@@ -1,0 +1,74 @@
+/// E19: the paper's closing significance claim — "the capacity of MANET
+/// links need only grow at a polylogarithmic rate in order to scale
+/// gracefully with increasing node count." We measure total LM control
+/// overhead (handoff + registration) against the data-plane load of a fixed
+/// per-node session workload: data transmissions per node grow as the mean
+/// path length Theta(sqrt n), so the control fraction must *vanish* as the
+/// network grows.
+
+#include "bench_util.hpp"
+#include "cluster/hierarchy_builder.hpp"
+#include "common/rng.hpp"
+#include "net/unit_disk.hpp"
+#include "traffic/sessions.hpp"
+
+using namespace manet;
+
+int main() {
+  bench::print_header(
+      "E19  bench_capacity — control overhead vs data-plane load",
+      "control/data -> 0: links need only polylog capacity headroom (paper Sec. 6)");
+
+  // Data workload: each node opens `kSessionsPerNodePerSec` unicast sessions
+  // to uniform random peers, each carrying kPacketsPerSession packets along
+  // shortest paths.
+  constexpr double kSessionsPerNodePerSec = 0.2;
+  constexpr double kPacketsPerSession = 10.0;
+
+  auto cfg = bench::paper_scenario();
+  exp::RunOptions opts;
+  opts.track_events = false;
+  opts.track_states = false;
+  opts.measure_hops = false;
+  opts.track_registration = true;
+
+  analysis::TextTable table({"|V|", "control (pkts/node/s)", "data (pkts/node/s)",
+                             "pkts/session", "control/data"});
+  for (const Size n : bench::standard_nodes()) {
+    cfg.n = n;
+    const auto agg = exp::run_replications(cfg, bench::standard_replications(), opts);
+    const double control = agg.mean("total_rate") + agg.mean("reg_rate");
+
+    // Data plane: route the session workload over *strict hierarchical
+    // routing* on a static snapshot of the same scenario, so stretch and
+    // recovery detours are charged to the data side too.
+    auto static_cfg = cfg;
+    static_cfg.mobility = exp::MobilityKind::kStatic;
+    auto scenario = exp::Scenario::materialize(static_cfg);
+    net::UnitDiskBuilder disk(static_cfg.tx_radius(), true);
+    const auto g = disk.build(scenario.mobility->positions());
+    const auto h = cluster::HierarchyBuilder().build(g, scenario.ids);
+    const routing::RoutingTables tables(g, h);
+
+    traffic::SessionConfig session_cfg;
+    session_cfg.sessions_per_node_per_sec = kSessionsPerNodePerSec;
+    session_cfg.packets_per_session = static_cast<Size>(kPacketsPerSession);
+    traffic::SessionWorkload workload(session_cfg, common::derive_seed(cfg.seed, 0xCAFE));
+    for (int t = 0; t < 30; ++t) workload.tick(tables, n, 1.0);
+    const double data = workload.stats().rate(n);
+
+    table.add_row({std::to_string(n), bench::fixed(control, 5), bench::fixed(data, 5),
+                   bench::fixed(workload.stats().mean_transmissions_per_session(), 4),
+                   bench::fixed(control / data, 4)});
+  }
+  std::printf("%s", table.to_string("control-plane vs data-plane load").c_str());
+
+  std::printf(
+      "\nreading: data load grows ~sqrt(n) with the session path length while\n"
+      "control grows ~log^2(n), so asymptotically the ratio falls to 0. At\n"
+      "these scales the two growth rates are still close (log^2 elasticity\n"
+      "~0.3 vs sqrt's 0.5), so expect the ratio to stop rising after the\n"
+      "smallest scales and drift down from there — boundedness is the\n"
+      "operative check; the decline is gentle. Paper Section 6.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+/// E21 (extension): resilience of the clustered hierarchy and the CHLM
+/// database to node death. The paper explicitly sets node birth/death aside
+/// ("extremely rare ... its effect is not evaluated"); this bench quantifies
+/// the cost it set aside: kill a fraction of nodes at a static snapshot,
+/// rebuild on the survivors, and measure
+///   - how much of the hierarchy survives (levels, clusterhead churn),
+///   - what fraction of LM entries must move (repair volume),
+///   - how many owners lost a server and at what re-registration cost.
+
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "cluster/hierarchy_builder.hpp"
+#include "graph/bfs.hpp"
+#include "lm/chlm.hpp"
+#include "net/unit_disk.hpp"
+
+using namespace manet;
+
+namespace {
+
+struct FailureResult {
+  double surviving_levels = 0.0;
+  double head_churn = 0.0;     ///< fraction of surviving level-1+ heads replaced
+  double entries_moved = 0.0;  ///< fraction of surviving owners' entries relocated
+  double repair_packets_per_survivor = 0.0;
+};
+
+FailureResult run_failure(Size n, double kill_fraction, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  const auto disk = geom::DiskRegion::with_density(n, 1.0);
+  std::vector<geom::Vec2> pts(n);
+  for (auto& p : pts) p = disk.sample(rng);
+  net::UnitDiskBuilder builder(2.2, true);
+  const auto g = builder.build(pts);
+  cluster::HierarchyBuilder hb;
+  const auto before = hb.build(g);
+
+  lm::ChlmService chlm_before;
+  chlm_before.rebuild(before);
+
+  // Kill a uniform random fraction.
+  std::vector<bool> keep(n, true);
+  const auto kills = static_cast<Size>(kill_fraction * static_cast<double>(n));
+  Size killed = 0;
+  while (killed < kills) {
+    const auto v = static_cast<NodeId>(common::uniform_index(rng, n));
+    if (keep[v]) {
+      keep[v] = false;
+      ++killed;
+    }
+  }
+
+  // Survivors' world: induced positions and graph (re-bridged if split).
+  std::vector<geom::Vec2> surv_pts;
+  std::vector<NodeId> surv_ids;
+  for (NodeId v = 0; v < n; ++v) {
+    if (keep[v]) {
+      surv_pts.push_back(pts[v]);
+      surv_ids.push_back(v);  // keep original ids so elections are comparable
+    }
+  }
+  net::UnitDiskBuilder surv_builder(2.2, true);
+  const auto surv_g = surv_builder.build(surv_pts);
+  const auto after = hb.build(surv_g, surv_ids);
+
+  lm::ChlmService chlm_after;
+  chlm_after.rebuild(after);
+
+  FailureResult result;
+  result.surviving_levels = static_cast<double>(after.top_level());
+
+  // Clusterhead churn among survivors at level >= 1.
+  std::vector<NodeId> heads_before, heads_after;
+  for (Level k = 1; k <= before.top_level(); ++k) {
+    for (const NodeId id : before.level(k).ids) {
+      if (keep[id]) heads_before.push_back(id);
+    }
+  }
+  for (Level k = 1; k <= after.top_level(); ++k) {
+    for (const NodeId id : after.level(k).ids) heads_after.push_back(id);
+  }
+  std::sort(heads_before.begin(), heads_before.end());
+  heads_before.erase(std::unique(heads_before.begin(), heads_before.end()),
+                     heads_before.end());
+  std::sort(heads_after.begin(), heads_after.end());
+  heads_after.erase(std::unique(heads_after.begin(), heads_after.end()), heads_after.end());
+  std::vector<NodeId> lost;
+  std::set_difference(heads_before.begin(), heads_before.end(), heads_after.begin(),
+                      heads_after.end(), std::back_inserter(lost));
+  if (!heads_before.empty()) {
+    result.head_churn =
+        static_cast<double>(lost.size()) / static_cast<double>(heads_before.size());
+  }
+
+  // LM repair: for surviving owners, compare their server (by original id)
+  // before and after; moved entries cost BFS hops in the survivors' graph.
+  graph::BfsScratch bfs;
+  Size entries = 0, moved = 0;
+  PacketCount repair = 0;
+  std::vector<NodeId> to_new(n, kInvalidNode);
+  for (Size i = 0; i < surv_ids.size(); ++i) to_new[surv_ids[i]] = static_cast<NodeId>(i);
+
+  for (Size i = 0; i < surv_ids.size(); ++i) {
+    const NodeId owner_old = surv_ids[i];
+    const auto owner_new = static_cast<NodeId>(i);
+    const Level top = std::min(before.top_level(), after.top_level());
+    for (Level k = lm::kFirstServedLevel; k <= top; ++k) {
+      const NodeId s_before = chlm_before.server_of(owner_old, k);
+      const NodeId s_after_new = chlm_after.server_of(owner_new, k);
+      if (s_before == kInvalidNode || s_after_new == kInvalidNode) continue;
+      ++entries;
+      const NodeId s_after_old = surv_ids[s_after_new];
+      const bool server_died = !keep[s_before];
+      if (s_before == s_after_old) continue;
+      ++moved;
+      // Dead server: the owner re-registers (owner -> new server). Live
+      // server: normal transfer (old -> new).
+      const NodeId src_new = server_died ? owner_new : to_new[s_before];
+      if (src_new == kInvalidNode) continue;
+      bfs.run(surv_g, src_new);
+      const auto hops = bfs.hops_to(s_after_new);
+      if (hops != graph::kUnreachable) repair += hops;
+    }
+  }
+  if (entries > 0) {
+    result.entries_moved = static_cast<double>(moved) / static_cast<double>(entries);
+  }
+  result.repair_packets_per_survivor =
+      static_cast<double>(repair) / static_cast<double>(surv_ids.size());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E21  bench_failures — node-death resilience (paper's excluded case)",
+      "cost of the birth/death events the paper assumes away (Section 1)");
+
+  const Size n = 1024;
+  analysis::TextTable table({"killed", "levels after", "head churn", "entries moved",
+                             "repair pkts/survivor"});
+  for (const double fraction : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+    analysis::Accumulator levels, churn, moved, repair;
+    for (std::uint64_t rep = 0; rep < 3; ++rep) {
+      const auto r = run_failure(n, fraction, 1000 + rep);
+      levels.add(r.surviving_levels);
+      churn.add(r.head_churn);
+      moved.add(r.entries_moved);
+      repair.add(r.repair_packets_per_survivor);
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.0f%%", fraction * 100.0);
+    table.add_row({label, bench::fixed(levels.mean(), 3), bench::fixed(churn.mean(), 3),
+                   bench::fixed(moved.mean(), 3), bench::fixed(repair.mean(), 4)});
+  }
+  std::printf("%s", table.to_string("killing a fraction of |V| = 1024 nodes").c_str());
+
+  std::printf(
+      "\nreading: entry relocation grows roughly linearly in the killed\n"
+      "fraction (flat-successor arcs localize damage); head churn above the\n"
+      "killed fraction itself reveals election cascades. The paper's\n"
+      "rarity assumption is safe when repair cost per event stays near the\n"
+      "per-tick handoff volume — compare against bench_handoff_reorg.\n");
+  return 0;
+}

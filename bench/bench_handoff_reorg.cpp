@@ -1,0 +1,50 @@
+/// E9: handoff overhead due to cluster reorganization (paper Section 5,
+/// eqs. 10-11): gamma_k = O(log|V|) per level, gamma = Theta(log^2 |V|)
+/// packet transmissions per node per second.
+
+#include "bench_util.hpp"
+
+using namespace manet;
+
+int main() {
+  bench::print_header(
+      "E9  bench_handoff_reorg — gamma (reorganization handoff)",
+      "gamma_k = O(log|V|) per level [eq. 10b]; gamma = Theta(log^2 |V|) [eq. 11]");
+
+  auto cfg = bench::paper_scenario();
+  exp::RunOptions opts;
+  opts.track_events = false;
+  opts.track_states = false;
+  opts.measure_hops = false;
+
+  const auto campaign = exp::sweep_node_count(cfg, bench::standard_nodes(),
+                                              bench::standard_replications(), opts);
+
+  analysis::TextTable table({"|V|", "gamma", "gamma/log^2(n)", "phi+gamma", "levels"});
+  for (const auto& point : campaign.points) {
+    const double n = static_cast<double>(point.n);
+    const double logn = std::log(n);
+    const double gamma = point.metrics.mean("gamma_rate");
+    table.add_row({std::to_string(point.n), bench::cell(point.metrics, "gamma_rate"),
+                   bench::fixed(gamma / (logn * logn), 4),
+                   bench::cell(point.metrics, "total_rate"),
+                   bench::cell(point.metrics, "levels")});
+  }
+  std::printf("%s", table.to_string("gamma vs |V| (pkts/node/s)").c_str());
+
+  for (const auto& point : campaign.points) {
+    analysis::TextTable levels({"level", "gamma_k"});
+    for (Level k = 1; k <= 12; ++k) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "gamma_k.%u", k);
+      if (!point.metrics.has(key)) break;
+      levels.add_row({std::to_string(k), bench::fixed(point.metrics.mean(key))});
+    }
+    char title[64];
+    std::snprintf(title, sizeof(title), "per-level gamma_k at |V| = %zu", point.n);
+    std::printf("%s", levels.to_string(title).c_str());
+  }
+
+  bench::print_model_selection("gamma", campaign, "gamma_rate");
+  return 0;
+}

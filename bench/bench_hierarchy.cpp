@@ -1,0 +1,59 @@
+/// E1-E3: structure of the recursive ALCA hierarchy (paper Fig. 1, eqs. (2),
+/// (3), (7), (13)). Static deployments; reports, per level:
+///   clusters |V_k|, aggregation alpha_k, measured intra-cluster hop count
+///   h_k against the sqrt(c_k) law, and link density |E_k|/|V| against 1/c_k.
+
+#include <cmath>
+
+#include "bench_util.hpp"
+
+using namespace manet;
+
+int main() {
+  bench::print_header(
+      "E1-E3  bench_hierarchy — clustered hierarchy shape",
+      "alpha_k = Theta(1); h_k = Theta(sqrt(c_k)) [eq. 3]; |E_k|/|V| = Theta(1/c_k) [eq. 13]");
+
+  auto cfg = bench::paper_scenario();
+  cfg.mobility = exp::MobilityKind::kStatic;
+  cfg.warmup = 0.0;
+  cfg.duration = 2.0;  // two static samples; structure only
+
+  exp::RunOptions opts;
+  opts.track_events = false;
+  opts.track_states = false;
+  opts.measure_hops = true;
+  opts.hop_sample_pairs = 128;
+
+  for (const Size n : bench::standard_nodes()) {
+    cfg.n = n;
+    const auto agg = exp::run_replications(cfg, bench::standard_replications(), opts);
+    std::printf("\n|V| = %zu   (levels L = %s)\n", n, bench::cell(agg, "levels").c_str());
+    analysis::TextTable table(
+        {"level", "clusters", "alpha_k", "c_k", "h_k meas", "sqrt(c_k)", "h/sqrt(c)",
+         "Ek_per_V", "1/c_k"});
+    for (Level k = 1; k <= 12; ++k) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "clusters.%u", k);
+      if (!agg.has(key)) break;
+      const double clusters = agg.mean(key);
+      std::snprintf(key, sizeof(key), "alpha.%u", k);
+      const double alpha = agg.mean(key);
+      const double ck = static_cast<double>(n) / clusters;
+      std::snprintf(key, sizeof(key), "h_k.%u", k);
+      const double hk = agg.mean(key);
+      std::snprintf(key, sizeof(key), "ek_per_v.%u", k);
+      const double ekv = agg.mean(key);
+      table.add_row({std::to_string(k), bench::fixed(clusters), bench::fixed(alpha),
+                     bench::fixed(ck), bench::fixed(hk), bench::fixed(std::sqrt(ck)),
+                     bench::fixed(hk / std::sqrt(ck), 3), bench::fixed(ekv),
+                     bench::fixed(1.0 / ck)});
+    }
+    std::printf("%s", table.to_string("per-level structure").c_str());
+  }
+
+  std::printf(
+      "\nreading: h/sqrt(c) should hover around a level-independent constant\n"
+      "(eq. 3) and Ek_per_V should track 1/c_k within a constant (eq. 13b).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// E4-E6: link and membership dynamics under random waypoint (paper eqs.
+/// (4), (8)-(9), (14)):
+///   f0       — level-0 link events per node per second, flat in |V|;
+///   f_k      — level-k membership change rate, decaying like 1/h_k;
+///   g'_k     — level-k link events per level-k link per second, O(1/h_k).
+
+#include "bench_util.hpp"
+
+using namespace manet;
+
+int main() {
+  bench::print_header(
+      "E4-E6  bench_link_dynamics — mobility-driven event frequencies",
+      "f0 = Theta(1) [eq. 4]; f_k = Theta(1/h_k) [eq. 9]; g'_k = O(1/h_k) [eq. 14]");
+
+  auto cfg = bench::paper_scenario();
+  exp::RunOptions opts;
+  opts.track_states = false;
+  opts.measure_hops = true;
+  opts.hop_sample_pairs = 64;
+
+  exp::Campaign campaign;
+
+  analysis::TextTable f0_table({"|V|", "f0 (events/node/s)", "f0 ci95"});
+  for (const Size n : bench::standard_nodes()) {
+    cfg.n = n;
+    exp::SweepPoint point;
+    point.n = n;
+    point.metrics = exp::run_replications(cfg, bench::standard_replications(), opts);
+    const auto s = point.metrics.summary("f0");
+    f0_table.add_row({std::to_string(n), bench::fixed(s.mean), bench::fixed(s.ci95, 2)});
+    campaign.points.push_back(std::move(point));
+  }
+  std::printf("%s", f0_table.to_string("E4: f0 vs |V| (paper: flat)").c_str());
+  bench::print_model_selection("f0", campaign, "f0");
+
+  for (const auto& point : campaign.points) {
+    std::printf("\n|V| = %zu\n", point.n);
+    analysis::TextTable table({"level", "f_k", "f_k*h_k", "g'_k", "g'_k*h_k", "h_k"});
+    for (Level k = 1; k <= 12; ++k) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "f_k.%u", k);
+      if (!point.metrics.has(key)) break;
+      const double fk = point.metrics.mean(key);
+      std::snprintf(key, sizeof(key), "gprime_k.%u", k);
+      const double gk = point.metrics.has(key) ? point.metrics.mean(key) : 0.0;
+      std::snprintf(key, sizeof(key), "h_k.%u", k);
+      const double hk = point.metrics.has(key) ? point.metrics.mean(key) : 0.0;
+      table.add_row({std::to_string(k), bench::fixed(fk), bench::fixed(fk * hk, 3),
+                     bench::fixed(gk), bench::fixed(gk * hk, 3), bench::fixed(hk, 3)});
+    }
+    std::printf("%s",
+                table.to_string("E5/E6: per-level event frequencies").c_str());
+  }
+
+  std::printf(
+      "\nreading: the paper's cancellations require f_k*h_k and g'_k*h_k to\n"
+      "be roughly level-invariant (each equals Theta(f0) resp. Theta(1)).\n");
+  return 0;
+}

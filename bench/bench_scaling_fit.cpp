@@ -1,0 +1,91 @@
+/// E14: the headline claim (paper Conclusions): total LM handoff overhead
+/// phi + gamma grows polylogarithmically in |V| — Theta(log^2 |V|) packet
+/// transmissions per node per second. Runs the widest sweep in the suite
+/// and ranks growth models for phi, gamma and the total, plus mobility-model
+/// sensitivity at one scale.
+
+#include "analysis/bootstrap.hpp"
+#include "bench_util.hpp"
+
+using namespace manet;
+
+int main() {
+  bench::print_header(
+      "E14  bench_scaling_fit — headline scaling of total handoff overhead",
+      "phi + gamma = Theta(log^2 |V|) pkts/node/s (paper Section 6)");
+
+  auto cfg = bench::paper_scenario();
+  exp::RunOptions opts;
+  opts.track_events = false;
+  opts.track_states = false;
+  opts.measure_hops = false;
+
+  // Extend the sweep one octave beyond the standard set for a cleaner fit.
+  auto nodes = bench::standard_nodes();
+  nodes.push_back(4096);
+  const auto campaign =
+      exp::sweep_node_count(cfg, nodes, bench::standard_replications(), opts);
+
+  analysis::TextTable table({"|V|", "phi", "gamma", "total", "total/log^2", "total/sqrt(n)",
+                             "levels"});
+  for (const auto& point : campaign.points) {
+    const double n = static_cast<double>(point.n);
+    const double total = point.metrics.mean("total_rate");
+    table.add_row({std::to_string(point.n), bench::cell(point.metrics, "phi_rate"),
+                   bench::cell(point.metrics, "gamma_rate"),
+                   bench::cell(point.metrics, "total_rate"),
+                   bench::fixed(total / (std::log(n) * std::log(n)), 4),
+                   bench::fixed(total / std::sqrt(n), 4),
+                   bench::cell(point.metrics, "levels")});
+  }
+  std::printf("%s", table.to_string("scaling sweep (pkts/node/s)").c_str());
+
+  bench::print_model_selection("phi", campaign, "phi_rate");
+  bench::print_model_selection("gamma", campaign, "gamma_rate");
+  bench::print_model_selection("total", campaign, "total_rate");
+
+  // Bootstrap confidence of the headline ranking: resample the per-point
+  // means within their standard errors and count how often each law wins.
+  {
+    std::vector<double> ns, ys, es;
+    campaign.series_with_error("total_rate", ns, ys, es);
+    const auto boot = analysis::bootstrap_model_selection(ns, ys, es, 2000);
+    std::printf("\nbootstrap over 2000 resamples of the total series:\n");
+    for (std::size_t law = 0; law < analysis::kGrowthLawCount; ++law) {
+      std::printf("  P(%-9s ranks first) = %.3f\n",
+                  analysis::to_string(static_cast<analysis::GrowthLaw>(law)),
+                  boot.win_fraction[law]);
+    }
+    std::printf("  P(best polylog law beats both sqrt(n) and n) = %.3f\n",
+                boot.polylog_beats_roots);
+  }
+
+  // Mobility-model sensitivity (extension beyond the paper). RPGM is the
+  // group-motion scenario HSR [11] targets: correlated motion keeps clusters
+  // aligned with groups, so handoff should drop relative to independent
+  // motion at the same speed.
+  std::printf("\n");
+  analysis::TextTable mob({"mobility", "phi", "gamma", "total", "f0"});
+  cfg.n = 1024;
+  for (const auto kind :
+       {exp::MobilityKind::kRandomWaypoint, exp::MobilityKind::kRandomDirection,
+        exp::MobilityKind::kGaussMarkov, exp::MobilityKind::kGroup}) {
+    cfg.mobility = kind;
+    const auto agg = exp::run_replications(cfg, bench::standard_replications(), opts);
+    const char* name = kind == exp::MobilityKind::kRandomWaypoint    ? "random_waypoint"
+                       : kind == exp::MobilityKind::kRandomDirection ? "random_direction"
+                       : kind == exp::MobilityKind::kGaussMarkov     ? "gauss_markov"
+                                                                     : "rpgm_group(16)";
+    mob.add_row({name, bench::cell(agg, "phi_rate"), bench::cell(agg, "gamma_rate"),
+                 bench::cell(agg, "total_rate"), bench::cell(agg, "f0")});
+  }
+  std::printf("%s", mob.to_string("mobility sensitivity, |V| = 1024 (E23)").c_str());
+
+  std::printf(
+      "\nreading: the decisive comparison is log^2 vs sqrt(n) vs n in the\n"
+      "rankings above — the paper's claim survives if log^2 ranks at or near\n"
+      "the top and linear growth is clearly rejected. Finite-size effects\n"
+      "(top hierarchy levels still maturing) bias small-n exponents upward;\n"
+      "EXPERIMENTS.md discusses the residuals.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// E20 (extension): parameter sensitivity of the handoff rates at fixed
+/// |V| = 1024. The paper's eq. (4) makes f0 — and through it every handoff
+/// frequency — proportional to node speed mu and inversely proportional to
+/// R_TX; mean degree (via R_TX at fixed density) sets the constant. This
+/// bench verifies both proportionalities and the tick-robustness of the
+/// sampled measurement.
+
+#include "bench_util.hpp"
+
+using namespace manet;
+
+int main() {
+  bench::print_header(
+      "E20  bench_sensitivity — speed / degree / tick sensitivity (|V| = 1024)",
+      "phi, gamma ~ mu (eq. 4 linearity); mild degree dependence; tick-stable");
+
+  exp::RunOptions opts;
+  opts.track_events = false;
+  opts.track_states = false;
+  opts.measure_hops = false;
+
+  {
+    analysis::TextTable table({"mu (m/s)", "f0", "f0/mu", "phi", "gamma", "total",
+                               "total/mu"});
+    for (const double mu : {0.5, 1.0, 2.0, 4.0}) {
+      auto cfg = bench::paper_scenario();
+      cfg.n = 1024;
+      cfg.mu = mu;
+      const auto agg = exp::run_replications(cfg, bench::standard_replications(), opts);
+      const double f0 = agg.mean("f0");
+      const double total = agg.mean("total_rate");
+      table.add_row({bench::fixed(mu, 3), bench::cell(agg, "f0"), bench::fixed(f0 / mu, 4),
+                     bench::cell(agg, "phi_rate"), bench::cell(agg, "gamma_rate"),
+                     bench::cell(agg, "total_rate"), bench::fixed(total / mu, 4)});
+    }
+    std::printf("%s", table.to_string("speed sweep (paper eq. 4: f0 ~ mu/R_TX)").c_str());
+  }
+
+  {
+    analysis::TextTable table({"target degree", "R_TX", "f0", "total", "levels"});
+    for (const double degree : {8.0, 12.0, 18.0, 24.0}) {
+      auto cfg = bench::paper_scenario();
+      cfg.n = 1024;
+      cfg.target_degree = degree;
+      const auto agg = exp::run_replications(cfg, bench::standard_replications(), opts);
+      table.add_row({bench::fixed(degree, 3), bench::fixed(cfg.tx_radius(), 4),
+                     bench::cell(agg, "f0"), bench::cell(agg, "total_rate"),
+                     bench::cell(agg, "levels")});
+    }
+    std::printf("%s", table.to_string("degree sweep (denser radio = slower link churn)").c_str());
+  }
+
+  {
+    analysis::TextTable table({"tick (s)", "f0", "phi", "gamma", "total"});
+    for (const double tick : {0.5, 1.0, 2.0}) {
+      auto cfg = bench::paper_scenario();
+      cfg.n = 1024;
+      cfg.tick = tick;
+      const auto agg = exp::run_replications(cfg, bench::standard_replications(), opts);
+      table.add_row({bench::fixed(tick, 3), bench::cell(agg, "f0"),
+                     bench::cell(agg, "phi_rate"), bench::cell(agg, "gamma_rate"),
+                     bench::cell(agg, "total_rate")});
+    }
+    std::printf("%s",
+                table.to_string("sampling-tick robustness (DESIGN.md validation)").c_str());
+  }
+
+  std::printf(
+      "\nreading: f0 is near-proportional to mu while the sampler resolves\n"
+      "the motion (mu*tick << R_TX); at mu = 4 a node covers ~2 R_TX per\n"
+      "tick and flickers alias, flattening f0/mu. Larger degree = bigger\n"
+      "clusters = fewer levels = lower absolute overhead (constants, not\n"
+      "growth order). Absolute rates scale ~1.4x per tick halving from the\n"
+      "same aliasing, which is why all sweeps fix tick = 1 s.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+/// E24: consolidated theory-vs-measured comparison. The analysis module's
+/// closed forms (analysis/theory.hpp — eqs. 3, 4, 8/9, 6, 10/11 with a
+/// single scale constant calibrated at the smallest sweep point) are printed
+/// beside the measurements, so the Theta-shape agreement is visible in one
+/// table per quantity.
+
+#include "analysis/theory.hpp"
+#include "bench_util.hpp"
+
+using namespace manet;
+
+int main() {
+  bench::print_header(
+      "E24  bench_theory — closed forms vs measurements",
+      "calibrate each Theta constant once at |V|=128, predict the rest of the sweep");
+
+  auto cfg = bench::paper_scenario();
+  exp::RunOptions opts;
+  opts.track_events = false;
+  opts.track_states = false;
+  opts.measure_hops = true;
+  opts.hop_sample_pairs = 64;
+
+  const auto campaign = exp::sweep_node_count(cfg, bench::standard_nodes(),
+                                              bench::standard_replications(), opts);
+
+  // Calibrate the theory parameters from the first sweep point. The
+  // effective aggregation ratio is the geometric mean over the realized
+  // depth, alpha = n^(1/L): the level-1 arity alone overweights the bushiest
+  // level and exaggerates high-level cluster sizes.
+  const auto& base = campaign.points.front();
+  analysis::TheoryParams params;
+  params.alpha =
+      std::pow(static_cast<double>(base.n), 1.0 / base.metrics.mean("levels"));
+  params.mu = cfg.mu;
+  params.tx_radius = cfg.tx_radius();
+  const double n0 = static_cast<double>(base.n);
+
+  // phi_total is linear in the scale constant; solve for it directly.
+  analysis::TheoryParams phi_params = params;
+  phi_params.scale = base.metrics.mean("phi_rate") / analysis::phi_total(n0, params);
+
+  analysis::TheoryParams gamma_params = params;
+  gamma_params.scale = base.metrics.mean("gamma_rate") / analysis::gamma_total(n0, params);
+
+  analysis::TextTable table({"|V|", "phi meas", "phi theory", "gamma meas", "gamma theory",
+                             "L meas", "L theory"});
+  for (const auto& point : campaign.points) {
+    const double n = static_cast<double>(point.n);
+    table.add_row({std::to_string(point.n), bench::fixed(point.metrics.mean("phi_rate")),
+                   bench::fixed(analysis::phi_total(n, phi_params)),
+                   bench::fixed(point.metrics.mean("gamma_rate")),
+                   bench::fixed(analysis::gamma_total(n, gamma_params)),
+                   bench::fixed(point.metrics.mean("levels"), 3),
+                   bench::fixed(analysis::expected_levels(n, params), 3)});
+  }
+  std::printf("%s",
+              table.to_string("handoff totals: measured vs Theta(log^2 n) closed form")
+                  .c_str());
+
+  // Per-level h_k at the largest scale.
+  const auto& last = campaign.points.back();
+  analysis::TextTable hk({"level", "h_k meas", "Theta(sqrt(c_k))"});
+  analysis::TheoryParams hk_params = params;
+  {
+    const double h1 = last.metrics.mean("h_k.1");
+    hk_params.scale = h1 / analysis::hop_count_hk(1, params);
+  }
+  for (Level k = 1; k <= 8; ++k) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "h_k.%u", k);
+    if (!last.metrics.has(key)) break;
+    hk.add_row({std::to_string(k), bench::fixed(last.metrics.mean(key), 4),
+                bench::fixed(analysis::hop_count_hk(k, hk_params), 4)});
+  }
+  char title[64];
+  std::snprintf(title, sizeof(title), "h_k (eq. 3) at |V| = %zu", last.n);
+  std::printf("%s", hk.to_string(title).c_str());
+
+  // f_k cancellation (eqs. 8/9) at the largest scale.
+  analysis::TextTable fk({"level", "f_k meas", "Theta(f0/h_k)"});
+  analysis::TheoryParams fk_params = params;
+  {
+    const double f1 = last.metrics.mean("f_k.1");
+    fk_params.scale = f1 / analysis::migration_fk(1, params);
+  }
+  for (Level k = 1; k <= 8; ++k) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "f_k.%u", k);
+    if (!last.metrics.has(key)) break;
+    fk.add_row({std::to_string(k), bench::fixed(last.metrics.mean(key), 4),
+                bench::fixed(analysis::migration_fk(k, fk_params), 4)});
+  }
+  std::snprintf(title, sizeof(title), "f_k (eq. 9) at |V| = %zu", last.n);
+  std::printf("%s", fk.to_string(title).c_str());
+
+  std::printf(
+      "\nreading: each theory column carries ONE constant fitted at the\n"
+      "calibration point; agreement of the remaining points tests the\n"
+      "functional form, not the constant. L tracks closely; h_k tracks until\n"
+      "it saturates at the network diameter (top clusters span the whole\n"
+      "deployment, so measured h_k cannot keep growing as sqrt(c_k)); f_k\n"
+      "decays slower than 1/h_k at mid levels because ancestor relabeling\n"
+      "(head renames) counts as membership change; phi/gamma sit above the\n"
+      "pure log^2 curve while the top levels mature — see EXPERIMENTS.md.\n");
+  return 0;
+}

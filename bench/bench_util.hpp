@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/model_fit.hpp"
+#include "analysis/table.hpp"
+#include "exp/campaign.hpp"
+
+/// \file bench_util.hpp
+/// Shared scaffolding for the experiment binaries in bench/. Every binary
+/// regenerates one row-set of EXPERIMENTS.md: it prints fixed-width tables
+/// via analysis::TextTable plus, where the claim is a growth order, the
+/// scaling-model ranking. Scales are sized so that the whole bench suite
+/// completes in minutes on one core while still spanning a 16x node range.
+
+namespace manet::bench {
+
+/// Node counts for scaling sweeps (16x range, log-spaced).
+inline std::vector<Size> standard_nodes() { return {128, 256, 512, 1024, 2048}; }
+
+/// Reduced sweep for the more expensive experiments.
+inline std::vector<Size> small_nodes() { return {128, 256, 512, 1024}; }
+
+/// The paper's scenario defaults (Section 1.2): random waypoint, constant
+/// density, fixed R_TX (the paper drops the connectivity log-factor, so the
+/// fixed-degree radius policy is the faithful default — see DESIGN.md).
+inline exp::ScenarioConfig paper_scenario() {
+  exp::ScenarioConfig cfg;
+  cfg.density = 1.0;
+  cfg.mu = 1.0;
+  cfg.radius_policy = exp::RadiusPolicy::kMeanDegree;
+  cfg.target_degree = 12.0;
+  cfg.warmup = 15.0;
+  cfg.duration = 45.0;
+  cfg.seed = 20020415;  // IPPS 2002
+  return cfg;
+}
+
+inline Size standard_replications() { return 3; }
+
+/// Print a mean +- ci cell.
+inline std::string cell(const exp::AggregatedMetrics& metrics, const std::string& name) {
+  const auto s = metrics.summary(name);
+  if (s.count == 0) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g +-%.2g", s.mean, s.ci95);
+  return buf;
+}
+
+inline std::string fixed(double v, int precision = 4) {
+  return analysis::TextTable::fmt(v, precision);
+}
+
+/// Print the growth-law ranking for one (n, y) series.
+inline void print_model_selection(const std::string& label, const exp::Campaign& campaign,
+                                  const std::string& metric) {
+  std::vector<double> ns, ys;
+  campaign.series(metric, ns, ys);
+  if (ns.size() < 3) {
+    std::printf("[%s] not enough points for a model fit\n", label.c_str());
+    return;
+  }
+  const auto sel = analysis::select_model(ns, ys);
+  std::printf("-- model ranking for %s (best first) --\n%s", label.c_str(),
+              sel.to_text().c_str());
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace manet::bench

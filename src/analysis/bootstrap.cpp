@@ -1,0 +1,61 @@
+#include "analysis/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace manet::analysis {
+
+BootstrapSelection bootstrap_model_selection(std::span<const double> ns,
+                                             std::span<const double> means,
+                                             std::span<const double> stderrs,
+                                             Size resamples, std::uint64_t seed) {
+  MANET_CHECK(ns.size() == means.size() && means.size() == stderrs.size());
+  MANET_CHECK_MSG(ns.size() >= 3, "bootstrap selection needs >= 3 scale points");
+  MANET_CHECK(resamples >= 1);
+
+  BootstrapSelection out;
+  out.resamples = resamples;
+  common::Xoshiro256 rng(seed);
+  std::vector<double> ys(means.size());
+
+  std::array<Size, kGrowthLawCount> wins{};
+  Size polylog_wins = 0;
+  for (Size r = 0; r < resamples; ++r) {
+    for (Size i = 0; i < means.size(); ++i) {
+      // Draws can dip negative for noisy near-zero points; clamp to a tiny
+      // positive value so the log-log diagnostic inside select_model stays
+      // defined.
+      ys[i] = std::max(1e-9, means[i] + stderrs[i] * common::normal(rng));
+    }
+    const auto sel = select_model(ns, ys);
+    ++wins[static_cast<std::size_t>(sel.best())];
+
+    int rank_poly = -1, rank_sqrt = -1, rank_linear = -1;
+    for (int i = 0; i < static_cast<int>(sel.ranked.size()); ++i) {
+      const auto law = sel.ranked[static_cast<std::size_t>(i)].law;
+      if (law == GrowthLaw::kLogSquared || law == GrowthLaw::kLog) {
+        if (rank_poly < 0) rank_poly = i;  // best polylog law
+      } else if (law == GrowthLaw::kSqrt) {
+        rank_sqrt = i;
+      } else if (law == GrowthLaw::kLinear) {
+        rank_linear = i;
+      }
+    }
+    if (rank_poly >= 0 && rank_poly < rank_sqrt && rank_poly < rank_linear) ++polylog_wins;
+  }
+
+  for (std::size_t law = 0; law < kGrowthLawCount; ++law) {
+    out.win_fraction[law] =
+        static_cast<double>(wins[law]) / static_cast<double>(resamples);
+  }
+  out.polylog_beats_roots =
+      static_cast<double>(polylog_wins) / static_cast<double>(resamples);
+  const auto best = std::max_element(wins.begin(), wins.end());
+  out.modal_winner = static_cast<GrowthLaw>(best - wins.begin());
+  out.modal_fraction = static_cast<double>(*best) / static_cast<double>(resamples);
+  return out;
+}
+
+}  // namespace manet::analysis

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "analysis/model_fit.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+/// \file bootstrap.hpp
+/// Parametric bootstrap for the growth-law selection: the headline result
+/// ("log^2 ranks first") is a point estimate over noisy Monte-Carlo means,
+/// so we resample each point from Normal(mean_i, stderr_i), rerun the model
+/// selection, and report how often each law wins. This turns "log^2 ranked
+/// first" into "log^2 ranked first in 84% of resamples" — the confidence
+/// statement EXPERIMENTS.md reports for E14.
+
+namespace manet::analysis {
+
+struct BootstrapSelection {
+  /// Fraction of resamples in which each GrowthLaw ranked first.
+  std::array<double, kGrowthLawCount> win_fraction{};
+
+  /// Fraction of resamples in which log^2 ranked ABOVE both sqrt and linear
+  /// (the decisive comparison even when log wins outright).
+  double polylog_beats_roots = 0.0;
+
+  GrowthLaw modal_winner{};
+  double modal_fraction = 0.0;
+  Size resamples = 0;
+};
+
+/// \p stderrs are the per-point standard errors of the means (0 = exact).
+BootstrapSelection bootstrap_model_selection(std::span<const double> ns,
+                                             std::span<const double> means,
+                                             std::span<const double> stderrs,
+                                             Size resamples = 1000,
+                                             std::uint64_t seed = 0xB007);
+
+}  // namespace manet::analysis

@@ -1,0 +1,80 @@
+#include "analysis/model_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace manet::analysis {
+
+const char* to_string(GrowthLaw law) {
+  switch (law) {
+    case GrowthLaw::kConstant: return "1";
+    case GrowthLaw::kLog: return "log(n)";
+    case GrowthLaw::kLogSquared: return "log^2(n)";
+    case GrowthLaw::kSqrt: return "sqrt(n)";
+    case GrowthLaw::kLinear: return "n";
+  }
+  return "?";
+}
+
+double growth_value(GrowthLaw law, double n) {
+  MANET_CHECK(n > 0.0);
+  switch (law) {
+    case GrowthLaw::kConstant: return 1.0;
+    case GrowthLaw::kLog: return std::log(n);
+    case GrowthLaw::kLogSquared: {
+      const double l = std::log(n);
+      return l * l;
+    }
+    case GrowthLaw::kSqrt: return std::sqrt(n);
+    case GrowthLaw::kLinear: return n;
+  }
+  return 0.0;
+}
+
+ModelSelection select_model(std::span<const double> ns, std::span<const double> ys) {
+  MANET_CHECK(ns.size() == ys.size());
+  MANET_CHECK_MSG(ns.size() >= 3, "model selection needs >= 3 scale points");
+
+  ModelSelection sel;
+  const auto m = static_cast<double>(ns.size());
+  for (std::size_t i = 0; i < kGrowthLawCount; ++i) {
+    const auto law = static_cast<GrowthLaw>(i);
+    std::vector<double> fx(ns.size());
+    for (std::size_t j = 0; j < ns.size(); ++j) fx[j] = growth_value(law, ns[j]);
+    ModelFit mf;
+    mf.law = law;
+    mf.fit = fit_linear(fx, ys);  // kConstant degenerates to the mean model
+    // Gaussian AIC with k = 2 parameters (3 counting sigma; constant across
+    // candidates, so only relative values matter).
+    const double rss = std::max(mf.fit.rss, 1e-300);
+    mf.aic = m * std::log(rss / m) + 2.0 * 2.0;
+    sel.ranked.push_back(mf);
+  }
+  std::sort(sel.ranked.begin(), sel.ranked.end(),
+            [](const ModelFit& a, const ModelFit& b) { return a.fit.rss < b.fit.rss; });
+  sel.power_law = fit_power_law(ns, ys);
+  return sel;
+}
+
+std::string ModelSelection::to_text() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-10s %12s %12s %12s %12s\n", "model", "slope",
+                "intercept", "R^2", "AIC");
+  out += line;
+  for (const auto& mf : ranked) {
+    std::snprintf(line, sizeof(line), "%-10s %12.5g %12.5g %12.4f %12.2f\n",
+                  analysis::to_string(mf.law), mf.fit.slope, mf.fit.intercept, mf.fit.r2,
+                  mf.aic);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "log-log exponent: %.3f (R^2 %.3f)\n", power_law.slope,
+                power_law.r2);
+  out += line;
+  return out;
+}
+
+}  // namespace manet::analysis

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/regression.hpp"
+
+/// \file model_fit.hpp
+/// Scaling-model selection: given measurements y(n) over node counts n, fit
+/// y = a + b * f(n) for every candidate growth law f and rank the fits.
+/// Experiment E14 uses this to check the paper's headline claim: the
+/// measured handoff overhead should be explained best by f(n) = log^2 n
+/// among {1, log n, log^2 n, sqrt n, n}.
+
+namespace manet::analysis {
+
+enum class GrowthLaw {
+  kConstant = 0,  ///< f(n) = 1
+  kLog,           ///< f(n) = ln n
+  kLogSquared,    ///< f(n) = (ln n)^2
+  kSqrt,          ///< f(n) = sqrt(n)
+  kLinear,        ///< f(n) = n
+};
+
+inline constexpr std::size_t kGrowthLawCount = 5;
+
+const char* to_string(GrowthLaw law);
+
+/// f(n) for the given law.
+double growth_value(GrowthLaw law, double n);
+
+struct ModelFit {
+  GrowthLaw law{};
+  LinearFit fit;    ///< y = intercept + slope * f(n)
+  double aic = 0.0; ///< Akaike information criterion (Gaussian residuals)
+};
+
+struct ModelSelection {
+  /// All candidate fits, ranked best-first by RSS (equivalently AIC, since
+  /// every candidate has the same parameter count).
+  std::vector<ModelFit> ranked;
+
+  GrowthLaw best() const { return ranked.front().law; }
+  const ModelFit& best_fit() const { return ranked.front(); }
+
+  /// Fitted power-law exponent (log-log slope) as a secondary diagnostic:
+  /// polylog growth shows an exponent drifting toward 0, sqrt toward 0.5,
+  /// linear toward 1.
+  LinearFit power_law;
+
+  std::string to_text() const;
+};
+
+/// Requires >= 3 points and positive n, y.
+ModelSelection select_model(std::span<const double> ns, std::span<const double> ys);
+
+}  // namespace manet::analysis

@@ -1,0 +1,68 @@
+#include "analysis/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace manet::analysis {
+
+double expected_levels(double n, const TheoryParams& p) {
+  MANET_CHECK(n >= 1.0 && p.alpha > 1.0);
+  return std::max(1.0, std::log(n) / std::log(p.alpha));
+}
+
+double aggregation_ck(Level k, const TheoryParams& p) {
+  return std::pow(p.alpha, static_cast<double>(k));
+}
+
+double hop_count_hk(Level k, const TheoryParams& p) {
+  return p.scale * std::sqrt(aggregation_ck(k, p));
+}
+
+double link_change_f0(const TheoryParams& p) {
+  MANET_CHECK(p.tx_radius > 0.0);
+  return p.scale * p.mu / p.tx_radius;
+}
+
+double migration_fk(Level k, const TheoryParams& p) {
+  return link_change_f0(p) / std::sqrt(aggregation_ck(k, p));
+}
+
+double phi_k(Level k, double n, const TheoryParams& p) {
+  // f_k * h_k * log n; with f_k = f_0 / h_k the h_k factors cancel, leaving
+  // f_0 * log n independent of k — the paper's key cancellation.
+  (void)k;
+  return link_change_f0(p) * std::log(n);
+}
+
+double phi_total(double n, const TheoryParams& p) {
+  return phi_k(1, n, p) * expected_levels(n, p);  // Theta(log^2 n)
+}
+
+double gamma_k(Level k, double n, const TheoryParams& p) {
+  // g_k c_k h_k log n with g_k = 1 / (c_k h_k): the c_k h_k factors cancel.
+  (void)k;
+  return p.scale * std::log(n);
+}
+
+double gamma_total(double n, const TheoryParams& p) {
+  return gamma_k(1, n, p) * expected_levels(n, p);
+}
+
+double level_link_density(Level k, const TheoryParams& p) {
+  return p.scale / aggregation_ck(k, p);
+}
+
+double entries_per_node(double n, const TheoryParams& p) {
+  return p.scale * std::max(0.0, expected_levels(n, p) - 1.0);
+}
+
+double recursion_time_bound(Level k, double q1, double p_max, const TheoryParams& p) {
+  MANET_CHECK(k >= 2);
+  const double denom = p_max * p_max + q1;
+  if (denom <= 0.0) return 0.0;
+  return (q1 / denom) * hop_count_hk(k - 2, p);
+}
+
+}  // namespace manet::analysis

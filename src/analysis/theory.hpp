@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file theory.hpp
+/// Closed-form evaluations of the paper's analytical expressions, used by
+/// the benchmark tables to print theory columns beside measurements. These
+/// are Theta-expressions: each carries an explicit scale constant argument,
+/// because the paper's results are growth orders, not absolute values.
+
+namespace manet::analysis {
+
+struct TheoryParams {
+  double alpha = 4.0;   ///< per-level aggregation ratio alpha_k (assumed level-invariant)
+  double mu = 1.0;      ///< node speed, m/s
+  double tx_radius = 1.0;  ///< R_TX, m
+  double scale = 1.0;   ///< overall Theta constant
+};
+
+/// L = Theta(log |V|): number of clustered levels, log base alpha.
+double expected_levels(double n, const TheoryParams& p);
+
+/// c_k = alpha^k (paper eq. (2a) with level-invariant alpha).
+double aggregation_ck(Level k, const TheoryParams& p);
+
+/// h_k = Theta(sqrt(c_k)) (paper eq. (3)).
+double hop_count_hk(Level k, const TheoryParams& p);
+
+/// f_0 = Theta(mu / R_TX) (paper eq. (4)): level-0 link events per node/s.
+double link_change_f0(const TheoryParams& p);
+
+/// f_k = Theta(f_0 / h_k) (paper eqs. (8)-(9)): level-k migrations per
+/// node per second.
+double migration_fk(Level k, const TheoryParams& p);
+
+/// phi_k = Theta(f_k h_k log n) (paper eq. (6a)) — per-level migration
+/// handoff; constant in k once (9) holds, so each level contributes
+/// Theta(log n).
+double phi_k(Level k, double n, const TheoryParams& p);
+
+/// phi = sum_k phi_k = Theta(log^2 n) (paper eq. (6c)).
+double phi_total(double n, const TheoryParams& p);
+
+/// gamma_k = Theta(g_k c_k h_k log n) evaluated at the paper's satisfied
+/// condition g_k = Theta(1 / (c_k h_k)) (eq. (12)): again Theta(log n).
+double gamma_k(Level k, double n, const TheoryParams& p);
+
+/// gamma = Theta(log^2 n) (paper eq. (11) + Section 5.3).
+double gamma_total(double n, const TheoryParams& p);
+
+/// |E_k| / |V| = Theta(1 / c_k) (paper eq. (13b)).
+double level_link_density(Level k, const TheoryParams& p);
+
+/// Expected LM entries per node: the owner registers at levels 2..L, so the
+/// database holds ~ (L - 1) * n entries over n nodes = Theta(log n) each.
+double entries_per_node(double n, const TheoryParams& p);
+
+/// T_R lower bound of eq. (23a): T_R >= (q1 / (p^2 + q1)) * h_{k-2}.
+double recursion_time_bound(Level k, double q1, double p_max, const TheoryParams& p);
+
+}  // namespace manet::analysis

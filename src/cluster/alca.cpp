@@ -1,0 +1,52 @@
+#include "cluster/alca.hpp"
+
+#include "common/check.hpp"
+
+namespace manet::cluster {
+
+ElectionResult alca_elect(const graph::Graph& g, std::span<const NodeId> ids) {
+  const Size n = g.vertex_count();
+  MANET_CHECK_MSG(ids.size() == n, "ids array size must match vertex count");
+
+  ElectionResult result;
+  result.head_of.resize(n);
+  result.votes.assign(n, 0);
+
+  // Each vertex elects the max-original-ID member of its closed neighborhood.
+  for (NodeId u = 0; u < n; ++u) {
+    NodeId best = u;
+    for (const NodeId w : g.neighbors(u)) {
+      if (ids[w] > ids[best]) best = w;
+    }
+    result.head_of[u] = best;
+  }
+
+  // A vertex is a clusterhead iff someone (possibly itself) elected it. An
+  // elected head h may itself have a larger closed neighbor H; the paper's
+  // Fig. 1 shows this case (node 68 is elected by 63 while not being the
+  // largest in its own neighborhood) and resolves it by making h lead its own
+  // cluster anyway. We therefore remap head_of[h] = h for every head so that
+  // cluster membership is a well-defined partition with the head inside.
+  std::vector<bool> is_head(n, false);
+  for (NodeId u = 0; u < n; ++u) is_head[result.head_of[u]] = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_head[v]) {
+      result.head_of[v] = v;
+      result.clusterheads.push_back(v);
+    }
+  }
+
+  // Fig. 3 ALCA state: the number of *neighbors* whose final affiliation is
+  // v (self-affiliation excluded). Computed after the head remap so that a
+  // head does not count as electing its larger neighbor.
+  for (NodeId u = 0; u < n; ++u) {
+    if (result.head_of[u] != u) ++result.votes[result.head_of[u]];
+  }
+  return result;
+}
+
+ElectionResult Alca::elect(const graph::Graph& g, std::span<const NodeId> ids) const {
+  return alca_elect(g, ids);
+}
+
+}  // namespace manet::cluster

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "cluster/election.hpp"
+
+/// \file alca.hpp
+/// Asynchronous Linked Cluster Algorithm (ALCA) election, the clustering rule
+/// the paper assumes throughout (Sections 1.2 and 2.2).
+///
+/// Rule (paper Section 2.2): vertex u elects, as its clusterhead, the vertex
+/// with the largest original ID in u's *closed* neighborhood N[u] = {u} u
+/// N(u). A vertex v is a clusterhead iff some vertex (possibly v itself)
+/// elected it. Example from the paper's Fig. 1: node 97 is elected because it
+/// is the largest in its own neighborhood; node 68 is elected because it is
+/// the largest in node 63's neighborhood even though 68 is not the largest in
+/// its own.
+///
+/// The result is the unique fixed point of the asynchronous message protocol
+/// (highest-ID wins is confluent), so computing it directly is equivalent to
+/// running the distributed rounds to convergence.
+
+namespace manet::cluster {
+
+class Alca final : public ElectionAlgorithm {
+ public:
+  ElectionResult elect(const graph::Graph& g, std::span<const NodeId> ids) const override;
+  const char* name() const override { return "alca"; }
+};
+
+/// Convenience free function.
+ElectionResult alca_elect(const graph::Graph& g, std::span<const NodeId> ids);
+
+}  // namespace manet::cluster

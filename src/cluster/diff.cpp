@@ -1,0 +1,222 @@
+#include "cluster/diff.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace manet::cluster {
+
+const char* to_string(ReorgEventType type) {
+  switch (type) {
+    case ReorgEventType::kLinkUp: return "i:link_up";
+    case ReorgEventType::kLinkDown: return "ii:link_down";
+    case ReorgEventType::kElectByMigration: return "iii:elect_migration";
+    case ReorgEventType::kRejectByMigration: return "iv:reject_migration";
+    case ReorgEventType::kElectRecursive: return "v:elect_recursive";
+    case ReorgEventType::kRejectRecursive: return "vi:reject_recursive";
+    case ReorgEventType::kNeighborPromoted: return "vii:neighbor_promoted";
+  }
+  return "?";
+}
+
+Size HierarchyDelta::count(ReorgEventType type, Level level) const {
+  const auto& per_level = event_counts[static_cast<std::size_t>(type)];
+  return level < per_level.size() ? per_level[level] : 0;
+}
+
+namespace {
+
+using IdPair = std::pair<NodeId, NodeId>;
+
+/// Sorted original ids of V_k; empty when the hierarchy lacks level k.
+std::vector<NodeId> sorted_head_ids(const Hierarchy& h, Level k) {
+  if (k >= h.level_count()) return {};
+  std::vector<NodeId> ids(h.level(k).ids.begin(), h.level(k).ids.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Canonical sorted id-pair list of E_k; empty when level k is absent.
+std::vector<IdPair> sorted_link_ids(const Hierarchy& h, Level k) {
+  if (k >= h.level_count()) return {};
+  const auto& view = h.level(k);
+  std::vector<IdPair> out;
+  out.reserve(view.topo.edge_count());
+  for (const auto& [a, b] : view.topo.edges()) {
+    NodeId ia = view.ids[a];
+    NodeId ib = view.ids[b];
+    if (ia > ib) std::swap(ia, ib);
+    out.emplace_back(ia, ib);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool contains_sorted(const std::vector<NodeId>& sorted, NodeId id) {
+  return std::binary_search(sorted.begin(), sorted.end(), id);
+}
+
+/// Ids of the level-(k-1) vertices affiliated with head id \p head in \p h
+/// (excluding the head itself). Empty if level k-1 or the head is absent.
+std::vector<NodeId> voter_ids(const Hierarchy& h, Level k, NodeId head) {
+  MANET_CHECK(k >= 1);
+  if (k - 1 >= h.level_count()) return {};
+  const auto& view = h.level(k - 1);
+  // Locate the head's dense vertex at level k-1.
+  NodeId head_dense = kInvalidNode;
+  for (NodeId u = 0; u < view.vertex_count(); ++u) {
+    if (view.ids[u] == head) {
+      head_dense = u;
+      break;
+    }
+  }
+  if (head_dense == kInvalidNode || view.election.head_of.empty()) return {};
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < view.vertex_count(); ++u) {
+    if (u != head_dense && view.election.head_of[u] == head_dense) out.push_back(view.ids[u]);
+  }
+  return out;
+}
+
+void record(HierarchyDelta& delta, ReorgEventType type, Level level, NodeId a, NodeId b) {
+  delta.events.push_back(ReorgEvent{type, level, a, b});
+  auto& per_level = delta.event_counts[static_cast<std::size_t>(type)];
+  if (per_level.size() <= level) per_level.resize(level + 1, 0);
+  ++per_level[level];
+}
+
+}  // namespace
+
+HierarchyDelta diff_hierarchies(const Hierarchy& before, const Hierarchy& after) {
+  MANET_CHECK_MSG(before.level(0).vertex_count() == after.level(0).vertex_count(),
+                  "hierarchy diff requires identical node populations");
+  HierarchyDelta delta;
+
+  const Level top_before = before.top_level();
+  const Level top_after = after.top_level();
+  const Level top_common = std::min(top_before, top_after);
+  const Level top_any = std::max(top_before, top_after);
+
+  // --- Per-node cluster membership migrations (phi triggers) ---
+  const Size n = after.level(0).vertex_count();
+  for (Level k = 1; k <= top_common; ++k) {
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId from = before.ancestor_id(v, k);
+      const NodeId to = after.ancestor_id(v, k);
+      if (from != to) delta.migrations.push_back(Migration{v, k, from, to});
+    }
+  }
+
+  // --- Head and link set changes per level ---
+  delta.heads_gained.resize(top_any + 2);
+  delta.heads_lost.resize(top_any + 2);
+  delta.links_up.resize(top_any + 1);
+  delta.links_down.resize(top_any + 1);
+
+  std::vector<std::vector<NodeId>> heads_before(top_any + 2), heads_after(top_any + 2);
+  for (Level k = 0; k <= top_any + 1; ++k) {
+    heads_before[k] = sorted_head_ids(before, k);
+    heads_after[k] = sorted_head_ids(after, k);
+  }
+
+  for (Level k = 1; k <= top_any + 1; ++k) {
+    std::set_difference(heads_after[k].begin(), heads_after[k].end(), heads_before[k].begin(),
+                        heads_before[k].end(), std::back_inserter(delta.heads_gained[k]));
+    std::set_difference(heads_before[k].begin(), heads_before[k].end(), heads_after[k].begin(),
+                        heads_after[k].end(), std::back_inserter(delta.heads_lost[k]));
+  }
+
+  for (Level k = 1; k <= top_any; ++k) {
+    const auto before_links = sorted_link_ids(before, k);
+    const auto after_links = sorted_link_ids(after, k);
+    std::set_difference(after_links.begin(), after_links.end(), before_links.begin(),
+                        before_links.end(), std::back_inserter(delta.links_up[k]));
+    std::set_difference(before_links.begin(), before_links.end(), after_links.begin(),
+                        after_links.end(), std::back_inserter(delta.links_down[k]));
+  }
+
+  // --- Events (i)/(ii): level-k cluster link changes touching V_{k+1} ---
+  // A level-k link change forces handoff only when an endpoint is a
+  // level-(k+1) node, because then level-(k+1) cluster membership shifts
+  // (paper Section 5.2 i/ii). Membership is judged in the snapshot where the
+  // link exists.
+  for (Level k = 1; k <= top_any; ++k) {
+    for (const auto& [x, y] : delta.links_up[k]) {
+      if (k + 1 < delta.heads_gained.size() &&
+          (contains_sorted(heads_after[k + 1], x) || contains_sorted(heads_after[k + 1], y))) {
+        record(delta, ReorgEventType::kLinkUp, k, x, y);
+      }
+    }
+    for (const auto& [x, y] : delta.links_down[k]) {
+      if (k + 1 < delta.heads_gained.size() &&
+          (contains_sorted(heads_before[k + 1], x) || contains_sorted(heads_before[k + 1], y))) {
+        record(delta, ReorgEventType::kLinkDown, k, x, y);
+      }
+    }
+  }
+
+  // --- Events (iii)-(vi): clusterhead election / rejection ---
+  // Election of h into V_k is "recursive" (v) when some voter that now
+  // affiliates with h was itself just promoted into V_{k-1}; otherwise the
+  // voter set changed through migration (iii). Rejection mirrors this with
+  // the before-snapshot voters (iv)/(vi).
+  for (Level k = 1; k <= top_any + 1; ++k) {
+    for (const NodeId h : delta.heads_gained[k]) {
+      const auto voters = voter_ids(after, k, h);
+      bool recursive = false;
+      NodeId witness = kInvalidNode;
+      for (const NodeId u : voters) {
+        if (k >= 2 && !contains_sorted(heads_before[k - 1], u)) {
+          recursive = true;
+          witness = u;
+          break;
+        }
+      }
+      if (!recursive && !voters.empty()) witness = voters.front();
+      record(delta,
+             recursive ? ReorgEventType::kElectRecursive : ReorgEventType::kElectByMigration,
+             k, h, witness);
+    }
+    for (const NodeId h : delta.heads_lost[k]) {
+      const auto voters = voter_ids(before, k, h);
+      bool recursive = false;
+      NodeId witness = kInvalidNode;
+      for (const NodeId u : voters) {
+        if (k >= 2 && !contains_sorted(heads_after[k - 1], u)) {
+          recursive = true;
+          witness = u;
+          break;
+        }
+      }
+      if (!recursive && !voters.empty()) witness = voters.front();
+      record(delta,
+             recursive ? ReorgEventType::kRejectRecursive : ReorgEventType::kRejectByMigration,
+             k, h, witness);
+    }
+  }
+
+  // --- Event (vii): a level-k neighbor promoted to level-(k+1) head ---
+  // Counted once per (affected level-k neighbor, new head) pair, per the
+  // paper's note that (vii) applies to each u_k in N_k(v).
+  for (Level k = 1; k <= top_any; ++k) {
+    if (k + 1 >= delta.heads_gained.size()) break;
+    if (k >= after.level_count()) break;
+    const auto& view = after.level(k);
+    // id -> dense map for this level.
+    std::unordered_map<NodeId, NodeId> dense;
+    dense.reserve(view.vertex_count());
+    for (NodeId u = 0; u < view.vertex_count(); ++u) dense.emplace(view.ids[u], u);
+    for (const NodeId h : delta.heads_gained[k + 1]) {
+      const auto it = dense.find(h);
+      if (it == dense.end()) continue;
+      for (const NodeId u : view.topo.neighbors(it->second)) {
+        record(delta, ReorgEventType::kNeighborPromoted, k, view.ids[u], h);
+      }
+    }
+  }
+
+  return delta;
+}
+
+}  // namespace manet::cluster

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "cluster/hierarchy.hpp"
+
+/// \file diff.hpp
+/// Snapshot differencing: given the clustered hierarchy before and after a
+/// topology change, emit (a) per-node cluster membership migrations — the
+/// triggers of migration handoff phi (paper Section 4) — and (b) typed
+/// cluster reorganization events (i)-(vii) (paper Section 5.2) — the triggers
+/// of reorganization handoff gamma.
+///
+/// All identities are *original node ids*, which are stable across
+/// snapshots; dense per-snapshot vertex indices never leave this module.
+
+namespace manet::cluster {
+
+/// The paper's Section 5.2 event taxonomy.
+enum class ReorgEventType : std::uint8_t {
+  kLinkUp = 0,            ///< (i)  new level-k link touching a level-(k+1) node
+  kLinkDown,              ///< (ii) lost level-k link touching a level-(k+1) node
+  kElectByMigration,      ///< (iii) head elected because an existing voter migrated
+  kRejectByMigration,     ///< (iv)  head rejected because its voter(s) migrated away
+  kElectRecursive,        ///< (v)   head elected by a voter that was itself just elected
+  kRejectRecursive,       ///< (vi)  head rejected because its voter was itself rejected
+  kNeighborPromoted,      ///< (vii) a level-k neighbor became a level-(k+1) head
+};
+
+inline constexpr std::size_t kReorgEventTypeCount = 7;
+
+const char* to_string(ReorgEventType type);
+
+struct ReorgEvent {
+  ReorgEventType type;
+  Level level;   ///< the level-k of the paper's event definition
+  NodeId a;      ///< primary id (head elected/rejected, or link endpoint)
+  NodeId b;      ///< secondary id (other endpoint / promoted neighbor); kInvalidNode if n/a
+};
+
+/// One level-0 node changing its level-k cluster.
+struct Migration {
+  NodeId node;       ///< level-0 node id
+  Level level;       ///< k >= 1
+  NodeId from_head;  ///< previous level-k clusterhead id
+  NodeId to_head;    ///< new level-k clusterhead id
+};
+
+struct HierarchyDelta {
+  std::vector<Migration> migrations;
+  std::vector<ReorgEvent> events;
+
+  /// heads_gained[k] / heads_lost[k]: ids entering/leaving V_k, k >= 1.
+  std::vector<std::vector<NodeId>> heads_gained;
+  std::vector<std::vector<NodeId>> heads_lost;
+
+  /// links_up[k] / links_down[k]: level-k topology link changes as canonical
+  /// id pairs, k >= 1 (level-0 link changes are tracked by net::LinkTracker).
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> links_up;
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> links_down;
+
+  /// Event count by [type][level] (level capped at the table width).
+  std::array<std::vector<Size>, kReorgEventTypeCount> event_counts;
+
+  Size total_events() const { return events.size(); }
+  Size count(ReorgEventType type, Level level) const;
+};
+
+/// Compute the delta between consecutive hierarchy snapshots over the same
+/// node population. Levels present in only one snapshot are treated as empty
+/// in the other.
+HierarchyDelta diff_hierarchies(const Hierarchy& before, const Hierarchy& after);
+
+}  // namespace manet::cluster

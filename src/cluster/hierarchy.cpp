@@ -1,0 +1,56 @@
+#include "cluster/hierarchy.hpp"
+
+#include "common/check.hpp"
+
+namespace manet::cluster {
+
+const LevelView& Hierarchy::level(Level k) const {
+  MANET_CHECK(k < levels_.size());
+  return levels_[k];
+}
+
+NodeId Hierarchy::ancestor(NodeId v, Level k) const {
+  MANET_CHECK(k < ancestor_.size());
+  MANET_CHECK(v < ancestor_[k].size());
+  return ancestor_[k][v];
+}
+
+NodeId Hierarchy::ancestor_id(NodeId v, Level k) const {
+  return level(k).ids[ancestor(v, k)];
+}
+
+const std::vector<NodeId>& Hierarchy::children(Level k, NodeId cluster) const {
+  MANET_CHECK(k >= 1 && k < levels_.size());
+  MANET_CHECK(cluster < children_[k].size());
+  return children_[k][cluster];
+}
+
+const std::vector<NodeId>& Hierarchy::members0(Level k, NodeId cluster) const {
+  MANET_CHECK(k < levels_.size());
+  MANET_CHECK(cluster < members0_[k].size());
+  return members0_[k][cluster];
+}
+
+std::vector<NodeId> Hierarchy::address(NodeId v) const {
+  std::vector<NodeId> out;
+  out.reserve(level_count());
+  for (Level k = top_level();; --k) {
+    out.push_back(ancestor_id(v, k));
+    if (k == 0) break;
+  }
+  return out;
+}
+
+double Hierarchy::alpha(Level k) const {
+  MANET_CHECK(k >= 1 && k < levels_.size());
+  return static_cast<double>(levels_[k - 1].vertex_count()) /
+         static_cast<double>(levels_[k].vertex_count());
+}
+
+double Hierarchy::aggregation(Level k) const {
+  MANET_CHECK(k < levels_.size());
+  return static_cast<double>(levels_[0].vertex_count()) /
+         static_cast<double>(levels_[k].vertex_count());
+}
+
+}  // namespace manet::cluster

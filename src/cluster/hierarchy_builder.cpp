@@ -1,0 +1,150 @@
+#include "cluster/hierarchy_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace manet::cluster {
+
+HierarchyBuilder::HierarchyBuilder(Options options)
+    : algorithm_(std::make_shared<Alca>()), options_(options) {}
+
+HierarchyBuilder::HierarchyBuilder(std::shared_ptr<const ElectionAlgorithm> algorithm,
+                                   Options options)
+    : algorithm_(std::move(algorithm)), options_(options) {
+  MANET_CHECK(algorithm_ != nullptr);
+}
+
+Hierarchy HierarchyBuilder::build(const graph::Graph& g, std::span<const NodeId> ids,
+                                  std::span<const geom::Vec2> positions) const {
+  const Size n = g.vertex_count();
+  MANET_CHECK(n > 0);
+  if (options_.geometric_links) {
+    MANET_CHECK_MSG(positions.size() == n,
+                    "geometric level-k links need level-0 node positions");
+  }
+
+  Hierarchy h;
+
+  // Level 0: the physical topology.
+  LevelView base;
+  base.topo = g;
+  if (ids.empty()) {
+    base.ids.resize(n);
+    for (NodeId v = 0; v < n; ++v) base.ids[v] = v;
+  } else {
+    MANET_CHECK_MSG(ids.size() == n, "id assignment size mismatch");
+    base.ids.assign(ids.begin(), ids.end());
+    auto sorted = base.ids;
+    std::sort(sorted.begin(), sorted.end());
+    MANET_CHECK_MSG(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                    "node ids must be unique");
+  }
+  base.node0.resize(n);
+  for (NodeId v = 0; v < n; ++v) base.node0[v] = v;
+  h.levels_.push_back(std::move(base));
+  h.children_.emplace_back();   // children_[0] unused
+  h.members0_.emplace_back();   // singleton sets
+
+  auto& level0_members = h.members0_.back();
+  level0_members.resize(n);
+  for (NodeId v = 0; v < n; ++v) level0_members[v] = {v};
+
+  h.ancestor_.emplace_back(n);
+  for (NodeId v = 0; v < n; ++v) h.ancestor_[0][v] = v;
+
+  // Recursive promotion.
+  for (Level k = 0; k < options_.max_levels; ++k) {
+    LevelView& cur = h.levels_[k];
+    if (cur.vertex_count() <= 1) break;
+
+    cur.election = algorithm_->elect(cur.topo, cur.ids);
+    const auto& heads = cur.election.clusterheads;
+    const Size n_next = heads.size();
+    if (n_next == cur.vertex_count()) {
+      // No aggregation (every vertex self-heads; edgeless or fully stalled
+      // level). Clear the election and stop.
+      cur.election = ElectionResult{};
+      break;
+    }
+
+    // Dense reindex: level-k head vertex -> level-(k+1) vertex.
+    std::vector<NodeId> promote(cur.vertex_count(), kInvalidNode);
+    for (Size i = 0; i < n_next; ++i) promote[heads[i]] = static_cast<NodeId>(i);
+
+    cur.parent.resize(cur.vertex_count());
+    for (NodeId u = 0; u < cur.vertex_count(); ++u) {
+      cur.parent[u] = promote[cur.election.head_of[u]];
+      MANET_CHECK(cur.parent[u] != kInvalidNode);
+    }
+
+    LevelView next;
+    next.ids.resize(n_next);
+    next.node0.resize(n_next);
+    for (Size i = 0; i < n_next; ++i) {
+      next.ids[i] = cur.ids[heads[i]];
+      next.node0[i] = cur.node0[heads[i]];
+    }
+
+    // Level-(k+1) links.
+    std::vector<graph::Edge> next_edges;
+    if (options_.geometric_links) {
+      // Geometric hysteresis (paper eq. (7)): heads within
+      // beta * R_TX * sqrt(mean aggregation) of one another are neighbors.
+      const double mean_ck = static_cast<double>(n) / static_cast<double>(n_next);
+      const double range = options_.beta * options_.tx_radius * std::sqrt(mean_ck);
+      const double range2 = range * range;
+      for (NodeId a = 0; a < n_next; ++a) {
+        const geom::Vec2 pa = positions[next.node0[a]];
+        for (NodeId b = a + 1; b < n_next; ++b) {
+          if (geom::distance2(pa, positions[next.node0[b]]) <= range2) {
+            next_edges.emplace_back(a, b);
+          }
+        }
+      }
+    } else {
+      // Graph contraction: clusters adjacent in the level-k topology.
+      for (const auto& [a, b] : cur.topo.edges()) {
+        NodeId pa = cur.parent[a];
+        NodeId pb = cur.parent[b];
+        if (pa == pb) continue;
+        if (pa > pb) std::swap(pa, pb);
+        next_edges.emplace_back(pa, pb);
+      }
+      std::sort(next_edges.begin(), next_edges.end());
+      next_edges.erase(std::unique(next_edges.begin(), next_edges.end()), next_edges.end());
+    }
+    next.topo = graph::Graph(n_next, next_edges);
+
+    // Children and level-0 member rollup.
+    std::vector<std::vector<NodeId>> children(n_next);
+    for (NodeId u = 0; u < cur.vertex_count(); ++u) children[cur.parent[u]].push_back(u);
+
+    std::vector<std::vector<NodeId>> members(n_next);
+    for (Size c = 0; c < n_next; ++c) {
+      for (const NodeId child : children[c]) {
+        const auto& sub = h.members0_[k][child];
+        members[c].insert(members[c].end(), sub.begin(), sub.end());
+      }
+      std::sort(members[c].begin(), members[c].end());
+    }
+
+    // Ancestor table for level k+1.
+    std::vector<NodeId> anc(n);
+    for (NodeId v = 0; v < n; ++v) anc[v] = cur.parent[h.ancestor_[k][v]];
+
+    h.levels_.push_back(std::move(next));
+    h.children_.push_back(std::move(children));
+    h.members0_.push_back(std::move(members));
+    h.ancestor_.push_back(std::move(anc));
+  }
+
+  // Terminal level has no election/parent data.
+  LevelView& top = h.levels_.back();
+  top.parent.assign(top.vertex_count(), kInvalidNode);
+  return h;
+}
+
+}  // namespace manet::cluster

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "cluster/election.hpp"
+
+/// \file maxmin.hpp
+/// Max-min d-cluster formation (Amis, Prakash, Vuong & Huynh, Infocom 2000 —
+/// the paper's ref [8]). Provided as the ablation baseline for E13: the same
+/// hierarchy/LM machinery runs over a different clusterhead election rule.
+///
+/// The algorithm runs 2d information-exchange rounds:
+///   floodmax (d rounds): each node propagates the largest id heard so far;
+///   floodmin (d rounds): each node then propagates the smallest of the
+///                        floodmax winners.
+/// Election rules per node v (in order):
+///   1. If v's own id appears among its floodmin round results, v is a head.
+///   2. Else, if some id appears in both v's floodmax and floodmin round
+///      results ("node pairs"), v elects the minimum such id.
+///   3. Else v elects the maximum id seen in floodmax.
+/// With d = 1 this degenerates to a 1-hop ID-based clustering akin to the
+/// ALCA (paper Section 2.2 notes the equivalence).
+
+namespace manet::cluster {
+
+class MaxMinDCluster final : public ElectionAlgorithm {
+ public:
+  explicit MaxMinDCluster(Level d = 2);
+
+  ElectionResult elect(const graph::Graph& g, std::span<const NodeId> ids) const override;
+  const char* name() const override { return "maxmin_d"; }
+
+  Level d() const { return d_; }
+
+ private:
+  Level d_;
+};
+
+}  // namespace manet::cluster

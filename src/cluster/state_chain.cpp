@@ -1,0 +1,75 @@
+#include "cluster/state_chain.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace manet::cluster {
+
+double StateOccupancy::fraction(Size s) const {
+  if (total_node_time <= 0.0 || s >= time_in_state.size()) return 0.0;
+  return time_in_state[s] / total_node_time;
+}
+
+StateChainTracker::StateChainTracker(Size max_state) : max_state_(max_state) {
+  MANET_CHECK(max_state >= 2);
+}
+
+void StateChainTracker::observe(const Hierarchy& h, double dt) {
+  MANET_CHECK(dt > 0.0);
+  // Levels 0 .. top-1 ran elections (the top level has none).
+  const Size elected_levels = h.level_count() > 0 ? h.level_count() - 1 : 0;
+  if (occupancy_.size() < elected_levels) {
+    occupancy_.resize(elected_levels);
+    for (auto& occ : occupancy_) {
+      if (occ.time_in_state.empty()) occ.time_in_state.assign(max_state_ + 1, 0.0);
+    }
+  }
+  for (Level k = 0; k < elected_levels; ++k) {
+    const auto& votes = h.level(k).election.votes;
+    auto& occ = occupancy_[k];
+    for (const auto v : votes) {
+      const Size s = std::min<Size>(v, max_state_);
+      occ.time_in_state[s] += dt;
+      occ.total_node_time += dt;
+    }
+  }
+}
+
+const StateOccupancy& StateChainTracker::occupancy(Level k) const {
+  MANET_CHECK(k < occupancy_.size());
+  return occupancy_[k];
+}
+
+std::vector<double> StateChainTracker::p_profile() const {
+  std::vector<double> p;
+  p.reserve(occupancy_.size());
+  for (const auto& occ : occupancy_) p.push_back(occ.p_state1());
+  return p;
+}
+
+RecursionProfile recursion_profile(std::span<const double> p_desc) {
+  RecursionProfile out;
+  const Size m = p_desc.size();  // m = k - 1 chain links
+  if (m == 0) return out;
+  out.q.resize(m);
+  // Eq. (15a): q_j = (1 - p_{k-j-1}) * prod_{i=1..j} p_{k-i} for j < k-1,
+  // and q_{k-1} = prod_{i=1..k-1} p_{k-i}. p_desc[i-1] = p_{k-i}.
+  double prod = 1.0;
+  for (Size j = 1; j <= m; ++j) {
+    prod *= p_desc[j - 1];
+    if (j < m) {
+      out.q[j - 1] = (1.0 - p_desc[j]) * prod;  // p_{k-j-1} == p_desc[j]
+    } else {
+      out.q[j - 1] = prod;
+    }
+  }
+  for (const double qj : out.q) out.Q += qj;
+  if (out.Q > 0.0) out.q1_over_Q = out.q[0] / out.Q;
+  const double p_max = *std::max_element(p_desc.begin(), p_desc.end());
+  const double denom = p_max * p_max + out.q[0];
+  out.lower_bound = denom > 0.0 ? out.q[0] / denom : 0.0;
+  return out;
+}
+
+}  // namespace manet::cluster

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/hierarchy.hpp"
+
+/// \file state_chain.hpp
+/// ALCA cluster-state occupancy tracking (paper Fig. 3 and Section 5.3.2).
+///
+/// The ALCA state of a level-k vertex is the number of level-k neighbors
+/// that elected it (states 1..n are clusterhead states; 0 is ordinary).
+/// From time-weighted occupancy we estimate:
+///   p_j  — probability a level-j vertex sits in state 1 ("critical node"),
+///   q_j  — probability the recursive rejection chain of eq. (15a) stops
+///          after exactly j levels,
+///   q1/Q — the fraction bounding T_R in eq. (17)/(21b),
+/// and test eq. (22): q1 stays bounded away from 0 as |V| grows — the
+/// paper's explicitly named future-work measurement (experiment E11).
+
+namespace manet::cluster {
+
+/// Occupancy histogram for one hierarchy level.
+struct StateOccupancy {
+  /// time_in_state[s] = total node-seconds spent in ALCA state s
+  /// (s capped at the histogram size - 1).
+  std::vector<double> time_in_state;
+  double total_node_time = 0.0;
+
+  /// Fraction of node-time in state \p s.
+  double fraction(Size s) const;
+  /// p estimate: fraction of node-time in state exactly 1.
+  double p_state1() const { return fraction(1); }
+};
+
+class StateChainTracker {
+ public:
+  /// \p max_state caps the histogram (states beyond it are lumped together).
+  explicit StateChainTracker(Size max_state = 16);
+
+  /// Accumulate the states of \p h for a dwell time of \p dt seconds.
+  /// Level occupancies are tracked for every level that ran an election.
+  void observe(const Hierarchy& h, double dt);
+
+  /// Number of levels with any observations.
+  Size level_count() const { return occupancy_.size(); }
+
+  const StateOccupancy& occupancy(Level k) const;
+
+  /// p_j estimates for j = 1..level_count(): p[j-1] = p_state1 of level j.
+  /// (Level indices follow the paper: p_j applies to level-j vertices; the
+  /// election that defines their state runs on level j.)
+  std::vector<double> p_profile() const;
+
+ private:
+  Size max_state_;
+  std::vector<StateOccupancy> occupancy_;  // index: level that ran the election
+};
+
+/// Recursive-rejection profile of eq. (15): given per-level critical-state
+/// probabilities p (p[i] = p_{level i+? } — pass the probabilities for
+/// levels k-1, k-2, ..., 1 in that order), compute q_j, Q = sum q_j, and the
+/// lower-bound ratio q1 / (p^2 + q1) of eq. (21b).
+struct RecursionProfile {
+  std::vector<double> q;   ///< q_1 .. q_{k-1}
+  double Q = 0.0;          ///< eq. (15b)
+  double q1_over_Q = 0.0;  ///< exact ratio (when Q > 0)
+  double lower_bound = 0.0;///< eq. (21b): q1 / (p^2 + q1), p = max of the p's
+};
+
+/// \p p_desc lists p_{k-1}, p_{k-2}, ..., p_1 (descending level order), so
+/// q.size() == p_desc.size().
+RecursionProfile recursion_profile(std::span<const double> p_desc);
+
+}  // namespace manet::cluster

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.hpp
+/// Lightweight always-on invariant checks. Simulation correctness bugs
+/// (broken cluster invariants, dangling LM entries) silently corrupt
+/// measured overhead, so invariants stay enabled in release builds; the
+/// checks are branch-predictable and outside inner loops.
+
+namespace manet::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "MANET_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace manet::detail
+
+#define MANET_CHECK(expr)                                                       \
+  do {                                                                          \
+    if (!(expr)) ::manet::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define MANET_CHECK_MSG(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr)) ::manet::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

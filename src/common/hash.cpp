@@ -1,0 +1,28 @@
+#include "common/hash.hpp"
+
+namespace manet::common {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // Mix each input to full width before combining: the boost-style
+  // a ^ (b + c + (a<<6) + (a>>2)) inner form collides on small structured
+  // inputs (its low bits mix poorly), which matters here because node ids
+  // and levels are small integers.
+  return mix64(mix64(a) ^ (mix64(b) + 0x9E3779B97F4A7C15ULL));
+}
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace manet::common

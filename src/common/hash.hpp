@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file hash.hpp
+/// Non-cryptographic mixing functions used by the location-management layer.
+///
+/// CHLM (Section 3.2 of the paper) requires a hash that (a) selects a server
+/// unambiguously given only node ID + candidate set, and (b) spreads server
+/// duty equitably. The paper leaves the concrete function open ("the specific
+/// implementation is not crucial"); we use strong 64-bit mixers feeding
+/// rendezvous hashing (see lm/rendezvous.hpp).
+
+namespace manet::common {
+
+/// Stafford variant 13 finalizer of MurmurHash3; a bijective 64-bit mixer.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Combine two 64-bit words into one well-mixed word (order sensitive).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// FNV-1a over a byte string; used for salting hash domains by name.
+std::uint64_t fnv1a(std::string_view bytes) noexcept;
+
+}  // namespace manet::common

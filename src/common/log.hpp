@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string_view>
+
+/// \file log.hpp
+/// Minimal leveled logging to stderr. Experiment binaries run quietly by
+/// default (level Warn); examples raise the level to Info for narration.
+
+namespace manet::common {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits "[LEVEL] message\n" to stderr if \p level passes the threshold.
+void log(LogLevel level, std::string_view message);
+
+void log_debug(std::string_view message);
+void log_info(std::string_view message);
+void log_warn(std::string_view message);
+void log_error(std::string_view message);
+
+}  // namespace manet::common

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Fundamental identifier and time types shared across all manet subsystems.
+
+namespace manet {
+
+/// Unique node identifier. Per the ALCA (Baker & Ephremides 1981) clusterhead
+/// election analyzed in the paper, IDs are totally ordered and election is
+/// ID-based: larger ID wins. IDs are dense [0, n) indices into per-node
+/// arrays throughout the library.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Hierarchy level index. Level 0 is the physical node level (V_0 = V);
+/// level k >= 1 are clusterhead levels produced by recursive ALCA election.
+using Level = std::uint32_t;
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Count of packet transmissions (one packet traversing one level-0 hop).
+/// The paper's overhead unit is "packet transmissions per node per second".
+using PacketCount = std::uint64_t;
+
+/// Convenience: number of nodes / clusters / entries.
+using Size = std::size_t;
+
+}  // namespace manet

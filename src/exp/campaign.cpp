@@ -1,0 +1,53 @@
+#include "exp/campaign.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace manet::exp {
+
+void Campaign::series(const std::string& metric, std::vector<double>& ns,
+                      std::vector<double>& ys) const {
+  ns.clear();
+  ys.clear();
+  for (const auto& point : points) {
+    const double y = point.metrics.mean(metric);
+    if (std::isnan(y)) continue;
+    ns.push_back(static_cast<double>(point.n));
+    ys.push_back(y);
+  }
+}
+
+void Campaign::series_with_error(const std::string& metric, std::vector<double>& ns,
+                                 std::vector<double>& ys,
+                                 std::vector<double>& stderrs) const {
+  ns.clear();
+  ys.clear();
+  stderrs.clear();
+  for (const auto& point : points) {
+    const auto s = point.metrics.summary(metric);
+    if (s.count == 0) continue;
+    ns.push_back(static_cast<double>(point.n));
+    ys.push_back(s.mean);
+    stderrs.push_back(s.ci95 / 1.96);
+  }
+}
+
+Campaign sweep_node_count(const ScenarioConfig& base, std::span<const Size> node_counts,
+                          Size replications, const RunOptions& options,
+                          common::ThreadPool* pool) {
+  MANET_CHECK(!node_counts.empty());
+  Campaign campaign;
+  campaign.points.reserve(node_counts.size());
+  for (const Size n : node_counts) {
+    ScenarioConfig cfg = base;
+    cfg.n = n;
+    SweepPoint point;
+    point.n = n;
+    point.metrics = run_replications(cfg, replications, options, pool);
+    campaign.points.push_back(std::move(point));
+  }
+  return campaign;
+}
+
+}  // namespace manet::exp

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+
+#include "exp/montecarlo.hpp"
+
+/// \file campaign.hpp
+/// Scaling campaigns: the same scenario run over a sweep of node counts,
+/// producing the (n, metric) series that the model fitter (analysis/
+/// model_fit.hpp) classifies. This is the machinery behind the headline
+/// experiments E8/E9/E14.
+
+namespace manet::exp {
+
+struct SweepPoint {
+  Size n = 0;
+  AggregatedMetrics metrics;
+};
+
+struct Campaign {
+  std::vector<SweepPoint> points;
+
+  /// Extract the (n, mean metric) series over points that carry the metric.
+  void series(const std::string& metric, std::vector<double>& ns,
+              std::vector<double>& ys) const;
+
+  /// Same, plus the standard error of each mean (for bootstrap fits).
+  void series_with_error(const std::string& metric, std::vector<double>& ns,
+                         std::vector<double>& ys, std::vector<double>& stderrs) const;
+};
+
+/// Run \p replications of \p base at every node count in \p node_counts.
+Campaign sweep_node_count(const ScenarioConfig& base, std::span<const Size> node_counts,
+                          Size replications, const RunOptions& options = RunOptions{},
+                          common::ThreadPool* pool = nullptr);
+
+}  // namespace manet::exp

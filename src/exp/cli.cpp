@@ -1,0 +1,197 @@
+#include "exp/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace manet::exp {
+
+namespace {
+
+bool parse_size(const std::string& text, Size& out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  out = static_cast<Size>(value);
+  return true;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  out = value;
+  return true;
+}
+
+bool parse_size_list(const std::string& text, std::vector<Size>& out) {
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    Size value = 0;
+    if (!parse_size(item, value) || value == 0) return false;
+    out.push_back(value);
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+std::string cli_usage(const std::string& program) {
+  return "usage: " + program +
+         " [flags]\n"
+         "scenario:\n"
+         "  --n N              node count (default 256)\n"
+         "  --density D        nodes per m^2 (default 1.0)\n"
+         "  --mu V             node speed m/s (default 1.0)\n"
+         "  --seed S           RNG seed\n"
+         "  --tick T           sampling interval s (default 1)\n"
+         "  --warmup T         settle time s (default 20)\n"
+         "  --duration T       measured window s (default 80)\n"
+         "  --mobility M       rwp | rd | gm | rpgm | static (default rwp)\n"
+         "  --radius R         connectivity | degree (default connectivity)\n"
+         "  --degree D         target mean degree for --radius degree\n"
+         "  --margin C         connectivity margin constant\n"
+         "  --algo A           alca | maxmin1 | maxmin2 (default alca)\n"
+         "  --strategy S       successor | weighted | unweighted\n"
+         "  --links L          geometric | contraction (default geometric)\n"
+         "  --beta B           geometric link range multiplier\n"
+         "measurement:\n"
+         "  --gls              run the GLS baseline side by side\n"
+         "  --registration     track owner-driven registration updates\n"
+         "  --routing          measure routing table size + path stretch\n"
+         "  --no-events        skip the reorg event taxonomy\n"
+         "  --no-states        skip ALCA state occupancy\n"
+         "  --no-hops          skip the h_k measurement\n"
+         "campaign:\n"
+         "  --reps R           Monte-Carlo replications (default 1)\n"
+         "  --sweep N1,N2,...  sweep node counts instead of a single run\n"
+         "  --csv PATH         write sweep results as CSV\n"
+         "  --json PATH        write single-run metrics as JSON\n"
+         "  --help             this text\n";
+}
+
+CliParseResult parse_cli(int argc, const char* const* argv) {
+  CliParseResult result;
+  CliOptions& opt = result.options;
+
+  auto fail = [&](const std::string& message) {
+    result.ok = false;
+    result.error = message;
+    return result;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+
+    if (flag == "--help" || flag == "-h") {
+      opt.show_help = true;
+      result.ok = true;
+      return result;
+    } else if (flag == "--gls") {
+      opt.run.run_gls = true;
+    } else if (flag == "--registration") {
+      opt.run.track_registration = true;
+    } else if (flag == "--routing") {
+      opt.run.measure_routing = true;
+    } else if (flag == "--no-events") {
+      opt.run.track_events = false;
+    } else if (flag == "--no-states") {
+      opt.run.track_states = false;
+    } else if (flag == "--no-hops") {
+      opt.run.measure_hops = false;
+    } else if (flag == "--mobility") {
+      const char* value = next();
+      if (value == nullptr) return fail("--mobility needs a value");
+      const std::string v = value;
+      if (v == "rwp") opt.scenario.mobility = MobilityKind::kRandomWaypoint;
+      else if (v == "rd") opt.scenario.mobility = MobilityKind::kRandomDirection;
+      else if (v == "gm") opt.scenario.mobility = MobilityKind::kGaussMarkov;
+      else if (v == "rpgm") opt.scenario.mobility = MobilityKind::kGroup;
+      else if (v == "static") opt.scenario.mobility = MobilityKind::kStatic;
+      else return fail("unknown mobility '" + v + "'");
+    } else if (flag == "--radius") {
+      const char* value = next();
+      if (value == nullptr) return fail("--radius needs a value");
+      const std::string v = value;
+      if (v == "connectivity") opt.scenario.radius_policy = RadiusPolicy::kConnectivity;
+      else if (v == "degree") opt.scenario.radius_policy = RadiusPolicy::kMeanDegree;
+      else return fail("unknown radius policy '" + v + "'");
+    } else if (flag == "--algo") {
+      const char* value = next();
+      if (value == nullptr) return fail("--algo needs a value");
+      const std::string v = value;
+      if (v == "alca") opt.scenario.cluster_algo = ClusterAlgo::kAlca;
+      else if (v == "maxmin1") opt.scenario.cluster_algo = ClusterAlgo::kMaxMin1;
+      else if (v == "maxmin2") opt.scenario.cluster_algo = ClusterAlgo::kMaxMin2;
+      else return fail("unknown clustering algorithm '" + v + "'");
+    } else if (flag == "--strategy") {
+      const char* value = next();
+      if (value == nullptr) return fail("--strategy needs a value");
+      const std::string v = value;
+      if (v == "successor") {
+        opt.scenario.handoff.select.strategy = lm::SelectStrategy::kFlatSuccessor;
+      } else if (v == "weighted") {
+        opt.scenario.handoff.select.strategy = lm::SelectStrategy::kWeightedDescent;
+      } else if (v == "unweighted") {
+        opt.scenario.handoff.select.strategy = lm::SelectStrategy::kUnweightedDescent;
+      } else {
+        return fail("unknown strategy '" + v + "'");
+      }
+    } else if (flag == "--links") {
+      const char* value = next();
+      if (value == nullptr) return fail("--links needs a value");
+      const std::string v = value;
+      if (v == "geometric") opt.scenario.geometric_links = true;
+      else if (v == "contraction") opt.scenario.geometric_links = false;
+      else return fail("unknown link model '" + v + "'");
+    } else if (flag == "--csv") {
+      const char* value = next();
+      if (value == nullptr) return fail("--csv needs a path");
+      opt.csv_path = value;
+    } else if (flag == "--json") {
+      const char* value = next();
+      if (value == nullptr) return fail("--json needs a path");
+      opt.json_path = value;
+    } else if (flag == "--sweep") {
+      const char* value = next();
+      if (value == nullptr || !parse_size_list(value, opt.sweep)) {
+        return fail("--sweep needs a comma-separated list of node counts");
+      }
+    } else if (flag == "--n" || flag == "--seed" || flag == "--reps") {
+      const char* value = next();
+      Size parsed = 0;
+      if (value == nullptr || !parse_size(value, parsed)) {
+        return fail(flag + " needs an unsigned integer");
+      }
+      if (flag == "--n") opt.scenario.n = parsed;
+      else if (flag == "--seed") opt.scenario.seed = parsed;
+      else opt.replications = parsed;
+    } else if (flag == "--density" || flag == "--mu" || flag == "--tick" ||
+               flag == "--warmup" || flag == "--duration" || flag == "--degree" ||
+               flag == "--margin" || flag == "--beta") {
+      const char* value = next();
+      double parsed = 0.0;
+      if (value == nullptr || !parse_double(value, parsed)) {
+        return fail(flag + " needs a number");
+      }
+      if (flag == "--density") opt.scenario.density = parsed;
+      else if (flag == "--mu") opt.scenario.mu = parsed;
+      else if (flag == "--tick") opt.scenario.tick = parsed;
+      else if (flag == "--warmup") opt.scenario.warmup = parsed;
+      else if (flag == "--duration") opt.scenario.duration = parsed;
+      else if (flag == "--degree") opt.scenario.target_degree = parsed;
+      else if (flag == "--margin") opt.scenario.connectivity_margin = parsed;
+      else opt.scenario.link_beta = parsed;
+    } else {
+      return fail("unknown flag '" + flag + "'");
+    }
+  }
+
+  if (opt.scenario.n < 2) return fail("--n must be >= 2");
+  if (opt.replications < 1) return fail("--reps must be >= 1");
+  result.ok = true;
+  return result;
+}
+
+}  // namespace manet::exp

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/simulation.hpp"
+
+/// \file cli.hpp
+/// Command-line configuration for scenario-driven binaries (the manet_sim
+/// tool and any user-written driver). Flags map 1:1 onto ScenarioConfig /
+/// RunOptions fields; unknown flags produce an error with the usage text so
+/// typos never silently run the default scenario.
+
+namespace manet::exp {
+
+struct CliOptions {
+  ScenarioConfig scenario;
+  RunOptions run;
+  Size replications = 1;
+  std::vector<Size> sweep;   ///< non-empty => sweep node counts
+  std::string csv_path;      ///< non-empty => write sweep CSV here
+  std::string json_path;     ///< non-empty => write single-run metrics JSON
+  bool show_help = false;
+};
+
+struct CliParseResult {
+  CliOptions options;
+  bool ok = false;
+  std::string error;  ///< set when !ok and !options.show_help
+};
+
+/// Parse argv (argv[0] skipped). Accepted flags:
+///   --n N            --density D        --mu V          --seed S
+///   --tick T         --warmup T         --duration T    --reps R
+///   --mobility {rwp|rd|gm|static}
+///   --radius {connectivity|degree}      --degree D      --margin C
+///   --algo {alca|maxmin1|maxmin2}
+///   --strategy {successor|weighted|unweighted}
+///   --links {geometric|contraction}     --beta B
+///   --gls  --registration  --routing  --no-events  --no-states  --no-hops
+///   --sweep N1,N2,...                   --csv PATH
+///   --json PATH (single-run metrics as JSON)
+///   --help
+CliParseResult parse_cli(int argc, const char* const* argv);
+
+/// Usage text for --help / errors.
+std::string cli_usage(const std::string& program);
+
+}  // namespace manet::exp

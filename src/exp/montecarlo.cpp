@@ -1,0 +1,70 @@
+#include "exp/montecarlo.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace manet::exp {
+
+void AggregatedMetrics::add(const RunMetrics& metrics) {
+  for (const auto& [name, value] : metrics.values) {
+    if (!std::isnan(value)) acc_[name].add(value);
+  }
+  ++replications_;
+}
+
+void AggregatedMetrics::merge(const AggregatedMetrics& other) {
+  for (const auto& [name, acc] : other.acc_) acc_[name].merge(acc);
+  replications_ += other.replications_;
+}
+
+bool AggregatedMetrics::has(const std::string& name) const { return acc_.contains(name); }
+
+double AggregatedMetrics::mean(const std::string& name) const {
+  const auto it = acc_.find(name);
+  return it == acc_.end() ? std::numeric_limits<double>::quiet_NaN() : it->second.mean();
+}
+
+analysis::Summary AggregatedMetrics::summary(const std::string& name) const {
+  const auto it = acc_.find(name);
+  if (it == acc_.end()) return analysis::Summary{};
+  const auto& a = it->second;
+  return analysis::Summary{a.count(), a.mean(), a.stddev(), a.ci95_halfwidth(), a.min(),
+                           a.max()};
+}
+
+std::vector<std::string> AggregatedMetrics::names() const {
+  std::vector<std::string> out;
+  out.reserve(acc_.size());
+  for (const auto& [name, acc] : acc_) {
+    (void)acc;
+    out.push_back(name);
+  }
+  return out;
+}
+
+AggregatedMetrics run_replications(const ScenarioConfig& base, Size replications,
+                                   const RunOptions& options, common::ThreadPool* pool) {
+  MANET_CHECK(replications >= 1);
+  std::vector<RunMetrics> results(replications);
+
+  auto run_one = [&](Size r) {
+    ScenarioConfig cfg = base;
+    cfg.seed = common::derive_seed(base.seed, r);
+    results[r] = run_simulation(cfg, options);
+  };
+
+  if (pool != nullptr && pool->thread_count() > 1 && replications > 1) {
+    pool->parallel_for(replications, run_one);
+  } else {
+    for (Size r = 0; r < replications; ++r) run_one(r);
+  }
+
+  AggregatedMetrics agg;
+  for (const auto& metrics : results) agg.add(metrics);  // index order: deterministic
+  return agg;
+}
+
+}  // namespace manet::exp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/simulation.hpp"
+
+/// \file montecarlo.hpp
+/// Monte-Carlo replication driver. Replications are embarrassingly parallel:
+/// replication r runs with seed derive_seed(base, r) and the results are
+/// merged in index order, so the aggregate is bit-identical regardless of
+/// thread count (the HPC-guide determinism requirement).
+
+namespace manet::exp {
+
+/// Per-metric aggregation across replications.
+class AggregatedMetrics {
+ public:
+  void add(const RunMetrics& metrics);
+  void merge(const AggregatedMetrics& other);
+
+  bool has(const std::string& name) const;
+  double mean(const std::string& name) const;  ///< NaN when absent
+  analysis::Summary summary(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  Size replication_count() const { return replications_; }
+
+ private:
+  std::map<std::string, analysis::Accumulator> acc_;
+  Size replications_ = 0;
+};
+
+/// Run \p replications of \p base (seeds derived per replication index).
+/// When \p pool is non-null the replications fan out across it.
+AggregatedMetrics run_replications(const ScenarioConfig& base, Size replications,
+                                   const RunOptions& options = RunOptions{},
+                                   common::ThreadPool* pool = nullptr);
+
+}  // namespace manet::exp

@@ -1,0 +1,83 @@
+#include "exp/scenario.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "mobility/field.hpp"
+#include "mobility/gauss_markov.hpp"
+#include "mobility/group.hpp"
+#include "mobility/random_direction.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "net/radio.hpp"
+
+namespace manet::exp {
+
+double ScenarioConfig::tx_radius() const {
+  switch (radius_policy) {
+    case RadiusPolicy::kConnectivity:
+      return net::connectivity_radius(n, density, connectivity_margin);
+    case RadiusPolicy::kMeanDegree:
+      return net::radius_for_mean_degree(target_degree, density);
+  }
+  return 1.0;
+}
+
+std::string ScenarioConfig::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu density=%.3g mu=%.3g rtx=%.3g tick=%.3g warmup=%.3g dur=%.3g seed=%llu",
+                n, density, mu, tx_radius(), tick, warmup, duration,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+Scenario Scenario::materialize(const ScenarioConfig& config) {
+  MANET_CHECK(config.n >= 2);
+  Scenario scenario;
+  scenario.config = config;
+  scenario.region = std::make_unique<geom::DiskRegion>(
+      geom::DiskRegion::with_density(config.n, config.density));
+
+  const std::uint64_t mob_seed = common::derive_seed(config.seed, 0xA0B1);
+  switch (config.mobility) {
+    case MobilityKind::kRandomWaypoint:
+      scenario.mobility = std::make_unique<mobility::RandomWaypoint>(
+          *scenario.region, config.n, mobility::RandomWaypoint::Params::fixed_speed(config.mu),
+          mob_seed);
+      break;
+    case MobilityKind::kRandomDirection:
+      scenario.mobility = std::make_unique<mobility::RandomDirection>(
+          *scenario.region, config.n,
+          mobility::RandomDirection::Params{config.mu, 60.0}, mob_seed);
+      break;
+    case MobilityKind::kGaussMarkov:
+      scenario.mobility = std::make_unique<mobility::GaussMarkov>(
+          *scenario.region, config.n,
+          mobility::GaussMarkov::Params{config.mu, 0.3 * config.mu, 0.85, 1.0}, mob_seed);
+      break;
+    case MobilityKind::kGroup: {
+      mobility::ReferencePointGroup::Params params;
+      params.group_size = config.group_size;
+      params.leader_speed = config.mu;
+      params.member_speed = 0.5 * config.mu;
+      scenario.mobility = std::make_unique<mobility::ReferencePointGroup>(
+          *scenario.region, config.n, params, mob_seed);
+      break;
+    }
+    case MobilityKind::kStatic:
+      scenario.mobility =
+          std::make_unique<mobility::StaticField>(*scenario.region, config.n, mob_seed);
+      break;
+  }
+
+  scenario.ids.resize(config.n);
+  for (NodeId v = 0; v < config.n; ++v) scenario.ids[v] = v;
+  if (config.shuffle_ids) {
+    common::Xoshiro256 rng(common::derive_seed(config.seed, 0xC2D3));
+    common::shuffle(rng, scenario.ids.data(), scenario.ids.size());
+  }
+  return scenario;
+}
+
+}  // namespace manet::exp

@@ -1,0 +1,357 @@
+#include "exp/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "cluster/diff.hpp"
+#include "cluster/hierarchy_builder.hpp"
+#include "cluster/maxmin.hpp"
+#include "cluster/stability.hpp"
+#include "cluster/state_chain.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "lm/address.hpp"
+#include "lm/gls.hpp"
+#include "lm/overhead.hpp"
+#include "lm/registration.hpp"
+#include "net/link_tracker.hpp"
+#include "net/unit_disk.hpp"
+#include "routing/table.hpp"
+#include "sim/engine.hpp"
+
+namespace manet::exp {
+
+void RunMetrics::set(std::string name, double value) {
+  values.emplace_back(std::move(name), value);
+}
+
+double RunMetrics::get(const std::string& name) const {
+  for (const auto& [key, value] : values) {
+    if (key == name) return value;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+bool RunMetrics::has(const std::string& name) const {
+  return !std::isnan(get(name));
+}
+
+namespace {
+
+std::string keyed(const char* base, Level k) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s.%u", base, k);
+  return buf;
+}
+
+/// Sampled mean level-0 hop count between nodes sharing a level-k cluster
+/// (the paper's h_k, eq. (3)).
+double measure_hk(const cluster::Hierarchy& h, const graph::Graph& g, Level k, Size pairs,
+                  common::Xoshiro256& rng) {
+  graph::BfsScratch bfs;
+  double sum = 0.0;
+  Size measured = 0;
+  const Size n_clusters = h.cluster_count(k);
+  for (Size attempt = 0; attempt < pairs * 4 && measured < pairs; ++attempt) {
+    const auto c = static_cast<NodeId>(common::uniform_index(rng, n_clusters));
+    const auto& members = h.members0(k, c);
+    if (members.size() < 2) continue;
+    const NodeId u = members[common::uniform_index(rng, members.size())];
+    const NodeId v = members[common::uniform_index(rng, members.size())];
+    if (u == v) continue;
+    bfs.run(g, u);
+    const auto hops = bfs.hops_to(v);
+    if (hops == graph::kUnreachable) continue;
+    sum += hops;
+    ++measured;
+  }
+  return measured > 0 ? sum / static_cast<double>(measured) : 0.0;
+}
+
+}  // namespace
+
+RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& options) {
+  // Draw a connected initial deployment (the paper assumes G connected);
+  // retry with derived seeds, keep the last draw if none connects.
+  ScenarioConfig cfg = config;
+  Scenario scenario = Scenario::materialize(cfg);
+  net::UnitDiskBuilder disk(cfg.tx_radius(), /*ensure_connected=*/true);
+  graph::Graph g0 = disk.build(scenario.mobility->positions());
+  bool connected = graph::is_connected(g0);
+  for (int attempt = 1; attempt < cfg.connect_attempts && !connected; ++attempt) {
+    cfg.seed = common::derive_seed(
+        config.seed, 0xFACE0000ULL + static_cast<unsigned long long>(attempt));
+    scenario = Scenario::materialize(cfg);
+    g0 = disk.build(scenario.mobility->positions());
+    connected = graph::is_connected(g0);
+  }
+
+  cluster::HierarchyOptions hopts;
+  hopts.geometric_links = cfg.geometric_links;
+  hopts.beta = cfg.link_beta;
+  hopts.tx_radius = cfg.tx_radius();
+  hopts.max_levels = cfg.max_levels;
+  std::shared_ptr<const cluster::ElectionAlgorithm> algo;
+  switch (cfg.cluster_algo) {
+    case ClusterAlgo::kAlca: algo = std::make_shared<cluster::Alca>(); break;
+    case ClusterAlgo::kMaxMin1: algo = std::make_shared<cluster::MaxMinDCluster>(1); break;
+    case ClusterAlgo::kMaxMin2: algo = std::make_shared<cluster::MaxMinDCluster>(2); break;
+  }
+  cluster::HierarchyBuilder builder(algo, hopts);
+  cluster::Hierarchy hier = builder.build(g0, scenario.ids, scenario.mobility->positions());
+
+  lm::HandoffEngine handoff(cfg.handoff);
+  cluster::StateChainTracker states;
+  cluster::HeadLifetimeTracker tenures;
+  common::Xoshiro256 hop_rng(common::derive_seed(cfg.seed, 0xB0F5));
+
+  // GLS rides on a bounding square of the disk region, level-1 cells sized
+  // to the radio range (as GLS prescribes).
+  std::unique_ptr<lm::GlsHandoffTracker> gls;
+  if (options.run_gls) {
+    const auto* disk_region = dynamic_cast<const geom::DiskRegion*>(scenario.region.get());
+    MANET_CHECK_MSG(disk_region != nullptr, "GLS comparison expects a disk region");
+    const double r = disk_region->radius();
+    const geom::Vec2 origin = disk_region->center() - geom::Vec2{r, r};
+    gls = std::make_unique<lm::GlsHandoffTracker>(
+        lm::GridHierarchy::cover(origin, 2.0 * r, cfg.tx_radius()));
+  }
+
+  // --- Warmup: advance mobility without accounting ---
+  sim::Engine engine;
+  for (Time t = cfg.tick; t <= cfg.warmup + 1e-9; t += cfg.tick) {
+    scenario.mobility->advance_to(t);
+  }
+  g0 = disk.build(scenario.mobility->positions());
+  hier = builder.build(g0, scenario.ids, scenario.mobility->positions());
+  const Time t0 = cfg.warmup;
+  handoff.prime(hier, t0);
+  net::LinkTracker links(g0, t0);
+  if (gls) gls->prime(scenario.mobility->positions(), scenario.ids, t0);
+
+  std::unique_ptr<lm::RegistrationTracker> registration;
+  if (options.track_registration) {
+    lm::RegistrationConfig reg_cfg;
+    reg_cfg.select = cfg.handoff.select;
+    reg_cfg.threshold = options.registration_threshold;
+    reg_cfg.tx_radius = cfg.tx_radius();
+    registration = std::make_unique<lm::RegistrationTracker>(reg_cfg);
+    registration->prime(hier, scenario.mobility->positions(), t0);
+  }
+
+  // --- Measured window, driven by a recurring tick event ---
+  // Accumulators for level-k link dynamics and event taxonomy.
+  std::vector<double> ek_time_sum;      // sum over ticks of |E_k|
+  std::vector<Size> ek_ticks;           // ticks where level k existed
+  std::vector<Size> level_link_events;  // level-k link up+down counts
+  std::vector<double> nk_time_sum;      // sum over ticks of |V_k|
+  std::vector<double> levels_sum;       // clustered level count per tick
+  std::array<std::vector<Size>, cluster::kReorgEventTypeCount> event_counts;
+  Size ticks = 0;
+  Size augmented_edges = 0;
+
+  auto accumulate_shape = [&](const cluster::Hierarchy& h) {
+    levels_sum.push_back(static_cast<double>(h.top_level()));
+    for (Level k = 1; k <= h.top_level(); ++k) {
+      if (ek_time_sum.size() <= k) {
+        ek_time_sum.resize(k + 1, 0.0);
+        ek_ticks.resize(k + 1, 0);
+        nk_time_sum.resize(k + 1, 0.0);
+      }
+      ek_time_sum[k] += static_cast<double>(h.level(k).topo.edge_count());
+      nk_time_sum[k] += static_cast<double>(h.level(k).vertex_count());
+      ++ek_ticks[k];
+    }
+  };
+  accumulate_shape(hier);
+  if (options.track_states) {
+    states.observe(hier, cfg.tick);
+    tenures.observe(hier, t0);
+  }
+
+  const Time horizon = cfg.warmup + cfg.duration;
+  engine.run_until(t0);
+  engine.schedule_every(cfg.tick, [&] {
+    const Time now = engine.now();
+    scenario.mobility->advance_to(now);
+    g0 = disk.build(scenario.mobility->positions());
+    augmented_edges += disk.last_augmented_edges();
+    cluster::Hierarchy next = builder.build(g0, scenario.ids, scenario.mobility->positions());
+
+    links.update(g0, now);
+    handoff.update(next, g0, now);
+    if (gls) gls->update(scenario.mobility->positions(), g0, scenario.ids, now);
+    if (registration) registration->update(next, g0, scenario.mobility->positions(), now);
+
+    if (options.track_events) {
+      const cluster::HierarchyDelta delta = cluster::diff_hierarchies(hier, next);
+      for (std::size_t type = 0; type < cluster::kReorgEventTypeCount; ++type) {
+        auto& acc = event_counts[type];
+        const auto& per_level = delta.event_counts[type];
+        if (acc.size() < per_level.size()) acc.resize(per_level.size(), 0);
+        for (Level k = 0; k < per_level.size(); ++k) acc[k] += per_level[k];
+      }
+      for (Level k = 1; k < delta.links_up.size(); ++k) {
+        if (level_link_events.size() <= k) level_link_events.resize(k + 1, 0);
+        level_link_events[k] += delta.links_up[k].size();
+      }
+      for (Level k = 1; k < delta.links_down.size(); ++k) {
+        if (level_link_events.size() <= k) level_link_events.resize(k + 1, 0);
+        level_link_events[k] += delta.links_down[k].size();
+      }
+    }
+
+    hier = std::move(next);
+    accumulate_shape(hier);
+    if (options.track_states) {
+      states.observe(hier, cfg.tick);
+      tenures.observe(hier, now);
+    }
+    ++ticks;
+  });
+  engine.run_until(horizon);
+
+  // --- Flatten metrics ---
+  RunMetrics out;
+  const double n = static_cast<double>(cfg.n);
+  const double window = handoff.elapsed();
+  out.set("connected0", connected ? 1.0 : 0.0);
+  out.set("augmented_per_tick",
+          ticks > 0 ? static_cast<double>(augmented_edges) / static_cast<double>(ticks) : 0.0);
+  out.set("ticks", static_cast<double>(ticks));
+  out.set("window", window);
+  out.set("tx_radius", cfg.tx_radius());
+
+  out.set("phi_rate", handoff.phi_rate());
+  out.set("gamma_rate", handoff.gamma_rate());
+  out.set("total_rate", handoff.phi_rate() + handoff.gamma_rate());
+  out.set("unreachable", static_cast<double>(handoff.unreachable_transfers()));
+  out.set("level_churn", static_cast<double>(handoff.level_churn_entries()));
+  out.set("f0", links.events_per_node_per_second());
+
+  const Level max_level = static_cast<Level>(
+      std::max<std::size_t>(handoff.per_level().size(), ek_time_sum.size()));
+  for (Level k = 1; k < max_level; ++k) {
+    if (k < handoff.per_level().size()) {
+      out.set(keyed("phi_k", k), handoff.phi_rate_at(k));
+      out.set(keyed("gamma_k", k), handoff.gamma_rate_at(k));
+      out.set(keyed("f_k", k), handoff.migration_rate(k));
+    }
+    if (k < ek_time_sum.size() && ek_ticks[k] > 0) {
+      const double mean_ek = ek_time_sum[k] / static_cast<double>(ek_ticks[k]);
+      const double mean_nk = nk_time_sum[k] / static_cast<double>(ek_ticks[k]);
+      out.set(keyed("ek_per_v", k), mean_ek / n);
+      out.set(keyed("clusters", k), mean_nk);
+      if (k >= 1) {
+        const double mean_prev = k == 1 ? n : nk_time_sum[k - 1] /
+                                                  static_cast<double>(ek_ticks[k - 1]);
+        if (mean_nk > 0.0) out.set(keyed("alpha", k), mean_prev / mean_nk);
+      }
+      if (k < level_link_events.size() && window > 0.0) {
+        const double events = static_cast<double>(level_link_events[k]);
+        out.set(keyed("g_k", k), events / (n * window));
+        if (mean_ek > 0.0) out.set(keyed("gprime_k", k), events / (mean_ek * window));
+      }
+    }
+  }
+
+  if (!levels_sum.empty()) {
+    double sum = 0.0;
+    for (const double l : levels_sum) sum += l;
+    out.set("levels", sum / static_cast<double>(levels_sum.size()));
+  }
+
+  if (options.track_events && window > 0.0) {
+    static const char* kEventKeys[cluster::kReorgEventTypeCount] = {
+        "ev.i", "ev.ii", "ev.iii", "ev.iv", "ev.v", "ev.vi", "ev.vii"};
+    for (std::size_t type = 0; type < cluster::kReorgEventTypeCount; ++type) {
+      for (Level k = 0; k < event_counts[type].size(); ++k) {
+        if (event_counts[type][k] == 0) continue;
+        out.set(keyed(kEventKeys[type], k),
+                static_cast<double>(event_counts[type][k]) / (n * window));
+      }
+    }
+  }
+
+  if (options.track_states) {
+    for (Level k = 1; k <= tenures.level_count(); ++k) {
+      const auto tenure = tenures.stats(k);
+      if (tenure.completed > 0) {
+        out.set(keyed("tenure_k", k), tenure.mean_lifetime);
+      } else if (tenure.ongoing > 0) {
+        // No completed tenure in the window: report the censored age as a
+        // lower bound (deep heads often outlive the whole run).
+        out.set(keyed("tenure_min_k", k), tenure.mean_ongoing_age);
+      }
+    }
+    const auto p = states.p_profile();
+    for (Level k = 0; k < p.size(); ++k) out.set(keyed("p_state1", k), p[k]);
+    // Recursion profile for the deepest level with at least 2 chain links:
+    // p_desc = {p_{k-1}, ..., p_1} with k = top level.
+    if (p.size() >= 2) {
+      std::vector<double> p_desc(p.rbegin(), p.rend() - 1);  // p[k-1] .. p[1]
+      const auto profile = cluster::recursion_profile(p_desc);
+      out.set("q1", profile.q.empty() ? 0.0 : profile.q[0]);
+      out.set("q1_over_Q", profile.q1_over_Q);
+      out.set("q_lower_bound", profile.lower_bound);
+    }
+  }
+
+  if (options.measure_hops) {
+    for (Level k = 1; k <= hier.top_level(); ++k) {
+      out.set(keyed("h_k", k), measure_hk(hier, g0, k, options.hop_sample_pairs, hop_rng));
+    }
+  }
+
+  // LM database census on the final state.
+  const auto loads = handoff.database().load_vector();
+  const auto ls = lm::load_stats(loads);
+  out.set("entries_per_node",
+          static_cast<double>(handoff.database().total_entries()) / n);
+  out.set("load_mean", ls.mean);
+  out.set("load_max", ls.max);
+  out.set("load_gini", ls.gini);
+
+  double map_sum = 0.0;
+  for (NodeId v = 0; v < cfg.n; ++v) {
+    map_sum += static_cast<double>(lm::hierarchical_map_size(hier, v));
+  }
+  out.set("map_size", map_sum / n);
+
+  if (gls) {
+    out.set("gls_handoff_rate", gls->handoff_rate());
+    out.set("gls_update_rate", gls->update_rate());
+    out.set("gls_total_rate", gls->combined_rate());
+  }
+
+  if (registration) {
+    out.set("reg_rate", registration->rate());
+    out.set("reg_updates", static_cast<double>(registration->total_updates()));
+    for (Level k = lm::kFirstServedLevel; k < registration->levels_tracked(); ++k) {
+      const double r = registration->rate_at(k);
+      if (r > 0.0) out.set(keyed("reg_k", k), r);
+    }
+  }
+
+  if (options.measure_routing) {
+    const routing::RoutingTables tables(g0, hier);
+    out.set("rt_table_size", tables.mean_table_size());
+    const auto stretch =
+        routing::measure_stretch(tables, g0, options.stretch_pairs,
+                                 common::derive_seed(cfg.seed, 0x57E7));
+    out.set("rt_stretch", stretch.mean_stretch);
+    out.set("rt_stretch_max", stretch.max_stretch);
+    out.set("rt_failures", static_cast<double>(stretch.failures));
+    out.set("rt_recoveries", static_cast<double>(stretch.recoveries));
+    out.set("rt_hier_hops", stretch.mean_hier_hops);
+    out.set("rt_shortest_hops", stretch.mean_shortest_hops);
+  }
+
+  return out;
+}
+
+}  // namespace manet::exp

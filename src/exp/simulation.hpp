@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+/// \file simulation.hpp
+/// Single-replication simulation runner: ties the mobility model, unit-disk
+/// sampler, recursive ALCA hierarchy, LM handoff engine, link tracker,
+/// hierarchy differ and ALCA state tracker together over one scenario, and
+/// flattens everything the experiments need into a named metric list.
+///
+/// Metric names (per-level metrics use a ".k" suffix, k = level):
+///   phi_rate / gamma_rate / total_rate   packets per node per second
+///   phi_k.k / gamma_k.k                  per-level rates
+///   f0                                   level-0 link events /node/s (E4)
+///   f_k.k                                level-k membership changes /node/s (E5)
+///   gprime_k.k                           level-k link events per level-k link /s (E6)
+///   g_k.k                                level-k link events /node/s
+///   ev.<i..vii>.k                        reorg event rates /node/s (E10)
+///   levels                               mean clustered levels (L)
+///   alpha.k / clusters.k / ek_per_v.k    hierarchy shape (E1, E3)
+///   h_k.k                                measured mean intra-cluster hops (E2)
+///   p_state1.k                           ALCA critical-state probability (E11)
+///   q1, q1_over_Q, q_lower_bound         eq. (15)-(22) quantities (E11)
+///   entries_per_node / load_mean / load_max / load_gini / map_size  (E7)
+///   gls_handoff_rate / gls_update_rate / gls_total_rate  (E12, when enabled)
+///   reg_rate / reg_updates / reg_k.k         registration overhead (E18)
+///   rt_table_size / rt_stretch / rt_stretch_max / rt_failures  routing (E16/E17)
+///   connected0                           1 if the initial draw was connected
+///   ticks                                number of measured samples
+
+namespace manet::exp {
+
+struct RunMetrics {
+  std::vector<std::pair<std::string, double>> values;
+
+  void set(std::string name, double value);
+  /// NaN when the metric is absent.
+  double get(const std::string& name) const;
+  bool has(const std::string& name) const;
+};
+
+struct RunOptions {
+  bool track_states = true;        ///< ALCA state occupancy (E11)
+  bool track_events = true;        ///< reorg event taxonomy (E10)
+  bool run_gls = false;            ///< GLS tracker side-by-side (E12)
+  bool measure_hops = true;        ///< sampled h_k measurement (E2)
+  Size hop_sample_pairs = 64;      ///< pairs sampled per level for h_k
+  bool track_registration = false; ///< owner-driven update overhead (E18)
+  double registration_threshold = 0.5;  ///< in units of R_TX * sqrt(c_k)
+  bool measure_routing = false;    ///< table size + path stretch on the final snapshot (E16/E17)
+  Size stretch_pairs = 100;        ///< sampled pairs for the stretch measurement
+};
+
+/// Run one replication of \p config and return the flattened metrics.
+RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& options = RunOptions{});
+
+}  // namespace manet::exp

@@ -1,0 +1,72 @@
+#include "geom/region.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace manet::geom {
+
+DiskRegion::DiskRegion(Vec2 center, double radius) : center_(center), radius_(radius) {
+  MANET_CHECK(radius > 0.0);
+}
+
+DiskRegion DiskRegion::with_density(std::size_t n_nodes, double density) {
+  MANET_CHECK(n_nodes > 0);
+  MANET_CHECK(density > 0.0);
+  const double area = static_cast<double>(n_nodes) / density;
+  return DiskRegion({0.0, 0.0}, std::sqrt(area / std::numbers::pi));
+}
+
+bool DiskRegion::contains(Vec2 p) const {
+  return distance2(p, center_) <= radius_ * radius_ * (1.0 + 1e-12);
+}
+
+Vec2 DiskRegion::sample(common::Xoshiro256& rng) const {
+  // Inverse-CDF sampling in polar coordinates: r = R*sqrt(u) is uniform in
+  // area; rejection sampling would be equally valid but this is branch-free.
+  const double r = radius_ * std::sqrt(common::uniform01(rng));
+  const double theta = common::uniform(rng, 0.0, 2.0 * std::numbers::pi);
+  return center_ + Vec2{r * std::cos(theta), r * std::sin(theta)};
+}
+
+double DiskRegion::area() const { return std::numbers::pi * radius_ * radius_; }
+
+Vec2 DiskRegion::clamp(Vec2 p) const {
+  const Vec2 d = p - center_;
+  const double n = d.norm();
+  if (n <= radius_) return p;
+  return center_ + d * (radius_ / n);
+}
+
+SquareRegion::SquareRegion(Vec2 origin, double side) : origin_(origin), side_(side) {
+  MANET_CHECK(side > 0.0);
+}
+
+SquareRegion SquareRegion::with_density(std::size_t n_nodes, double density) {
+  MANET_CHECK(n_nodes > 0);
+  MANET_CHECK(density > 0.0);
+  const double area = static_cast<double>(n_nodes) / density;
+  return SquareRegion({0.0, 0.0}, std::sqrt(area));
+}
+
+bool SquareRegion::contains(Vec2 p) const {
+  return p.x >= origin_.x && p.x <= origin_.x + side_ && p.y >= origin_.y &&
+         p.y <= origin_.y + side_;
+}
+
+Vec2 SquareRegion::sample(common::Xoshiro256& rng) const {
+  return origin_ + Vec2{common::uniform(rng, 0.0, side_), common::uniform(rng, 0.0, side_)};
+}
+
+double SquareRegion::area() const { return side_ * side_; }
+
+Vec2 SquareRegion::center() const { return origin_ + Vec2{side_ / 2.0, side_ / 2.0}; }
+
+Vec2 SquareRegion::clamp(Vec2 p) const {
+  return {std::clamp(p.x, origin_.x, origin_.x + side_),
+          std::clamp(p.y, origin_.y, origin_.y + side_)};
+}
+
+}  // namespace manet::geom

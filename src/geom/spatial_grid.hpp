@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geom/vec2.hpp"
+
+/// \file spatial_grid.hpp
+/// Uniform hash grid over the plane for radius-bounded neighbor queries.
+///
+/// Building the unit-disk graph naively is O(n^2) distance checks; with cell
+/// size == query radius, each query inspects only the 3x3 cell neighborhood,
+/// making graph construction O(n + m) in expectation under the paper's
+/// constant-density deployment. This is the hot path of every topology
+/// resample, so the grid stores node indices in flat bucket arrays (CSR
+/// layout) rebuilt in two passes — no per-cell allocation.
+
+namespace manet::geom {
+
+class SpatialGrid {
+ public:
+  /// \p cell_size must be >= the maximum query radius for 3x3 correctness.
+  explicit SpatialGrid(double cell_size);
+
+  /// Rebuild the index over \p positions (indexed by NodeId).
+  void rebuild(const std::vector<Vec2>& positions);
+
+  /// Append to \p out all node ids within \p radius of \p query
+  /// (excluding \p self if it is a valid id). Requires radius <= cell_size.
+  void neighbors_within(Vec2 query, double radius, NodeId self,
+                        std::vector<NodeId>& out) const;
+
+  /// Visit every unordered pair (u, v), u < v, with distance <= radius.
+  /// Callback signature: void(NodeId u, NodeId v).
+  template <typename F>
+  void for_each_pair_within(double radius, F&& visit) const;
+
+  double cell_size() const { return cell_size_; }
+  std::size_t node_count() const { return positions_.size(); }
+
+ private:
+  std::int64_t cell_of(Vec2 p) const;
+  std::int64_t cell_key(std::int64_t cx, std::int64_t cy) const;
+
+  double cell_size_;
+  std::vector<Vec2> positions_;
+  // CSR buckets: sorted_ids_ grouped by cell; cell_index_ maps cell key ->
+  // [start, end) via a sorted (key, start) table.
+  std::vector<NodeId> sorted_ids_;
+  std::vector<std::pair<std::int64_t, std::uint32_t>> cell_starts_;  // key -> start offset
+
+  /// Locate bucket range for a cell key; returns {0,0} when absent.
+  std::pair<std::uint32_t, std::uint32_t> bucket(std::int64_t key) const;
+
+  template <typename F>
+  void visit_bucket_pairs(std::uint32_t a_begin, std::uint32_t a_end, std::uint32_t b_begin,
+                          std::uint32_t b_end, double r2, bool same_bucket, F&& visit) const;
+};
+
+template <typename F>
+void SpatialGrid::for_each_pair_within(double radius, F&& visit) const {
+  const double r2 = radius * radius;
+  // For each occupied cell, pair within the cell and with the 4 forward
+  // neighbor cells (E, SW, S, SE); each unordered cell pair is visited once.
+  for (const auto& [key, start] : cell_starts_) {
+    const auto [a_begin, a_end] = bucket(key);
+    (void)start;
+    visit_bucket_pairs(a_begin, a_end, a_begin, a_end, r2, /*same_bucket=*/true, visit);
+    const std::int64_t cx = key >> 32;
+    const std::int64_t cy = static_cast<std::int32_t>(key & 0xFFFFFFFF);
+    static constexpr std::pair<int, int> kForward[] = {{1, 0}, {-1, 1}, {0, 1}, {1, 1}};
+    for (const auto& [dx, dy] : kForward) {
+      const auto [b_begin, b_end] = bucket(cell_key(cx + dx, cy + dy));
+      if (b_begin == b_end) continue;
+      visit_bucket_pairs(a_begin, a_end, b_begin, b_end, r2, /*same_bucket=*/false, visit);
+    }
+  }
+}
+
+template <typename F>
+void SpatialGrid::visit_bucket_pairs(std::uint32_t a_begin, std::uint32_t a_end,
+                                     std::uint32_t b_begin, std::uint32_t b_end, double r2,
+                                     bool same_bucket, F&& visit) const {
+  for (std::uint32_t i = a_begin; i < a_end; ++i) {
+    const NodeId u = sorted_ids_[i];
+    const Vec2 pu = positions_[u];
+    const std::uint32_t j0 = same_bucket ? i + 1 : b_begin;
+    for (std::uint32_t j = j0; j < b_end; ++j) {
+      const NodeId v = sorted_ids_[j];
+      if (distance2(pu, positions_[v]) <= r2) {
+        if (u < v) {
+          visit(u, v);
+        } else {
+          visit(v, u);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace manet::geom

@@ -1,0 +1,6 @@
+#include "geom/vec2.hpp"
+
+// Vec2 is header-only; this translation unit exists so the geometry library
+// always has at least one object file and to host future non-inline helpers.
+
+namespace manet::geom {}

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cmath>
+
+/// \file vec2.hpp
+/// 2-D vectors for node positions and velocities. The paper's deployment
+/// model is a two-dimensional uniform distribution over a circular area
+/// (Section 1.2), so all geometry in this library is planar.
+
+namespace manet::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  constexpr double norm2() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in the same direction; returns (0,0) for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+}  // namespace manet::geom

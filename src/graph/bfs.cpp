@@ -1,0 +1,65 @@
+#include "graph/bfs.hpp"
+
+#include "common/check.hpp"
+
+namespace manet::graph {
+
+namespace {
+
+/// Shared BFS core over a preinitialized distance array and seeded queue.
+void bfs_core(const Graph& g, std::vector<std::uint32_t>& dist, std::vector<NodeId>& queue) {
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId u = queue[head++];
+    const std::uint32_t du = dist[u];
+    for (const NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = du + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
+  MANET_CHECK(source < g.vertex_count());
+  std::vector<std::uint32_t> dist(g.vertex_count(), kUnreachable);
+  std::vector<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  bfs_core(g, dist, queue);
+  return dist;
+}
+
+std::vector<std::uint32_t> bfs_hops_multi(const Graph& g, std::span<const NodeId> sources) {
+  std::vector<std::uint32_t> dist(g.vertex_count(), kUnreachable);
+  std::vector<NodeId> queue;
+  for (const NodeId s : sources) {
+    MANET_CHECK(s < g.vertex_count());
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  bfs_core(g, dist, queue);
+  return dist;
+}
+
+std::span<const std::uint32_t> BfsScratch::run(const Graph& g, NodeId source) {
+  MANET_CHECK(source < g.vertex_count());
+  dist_.assign(g.vertex_count(), kUnreachable);
+  queue_.clear();
+  dist_[source] = 0;
+  queue_.push_back(source);
+  bfs_core(g, dist_, queue_);
+  return dist_;
+}
+
+std::uint32_t BfsScratch::hops_to(NodeId v) const {
+  MANET_CHECK(v < dist_.size());
+  return dist_[v];
+}
+
+}  // namespace manet::graph

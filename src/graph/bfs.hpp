@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file bfs.hpp
+/// Breadth-first search utilities. Hop counts on the level-0 graph are the
+/// library's packet-transmission metric: one LM entry moved from node a to
+/// node b costs hops(a, b) transmissions (strict hierarchical routing
+/// forwards along shortest paths, paper Section 2.1).
+
+namespace manet::graph {
+
+/// Hop distance marker for unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = 0xFFFFFFFFu;
+
+/// Single-source BFS: hop counts from \p source to every vertex.
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source);
+
+/// Multi-source BFS: hop count to the *nearest* of \p sources.
+std::vector<std::uint32_t> bfs_hops_multi(const Graph& g, std::span<const NodeId> sources);
+
+/// Reusable BFS workspace: avoids reallocating the frontier and distance
+/// arrays when many searches run against graphs of the same size (the
+/// handoff engine performs one BFS per unique transfer source per tick).
+class BfsScratch {
+ public:
+  /// Runs BFS from \p source and returns a view of the internal distance
+  /// array, valid until the next run() call.
+  std::span<const std::uint32_t> run(const Graph& g, NodeId source);
+
+  /// Distance from the last run's source to \p v.
+  std::uint32_t hops_to(NodeId v) const;
+
+ private:
+  std::vector<std::uint32_t> dist_;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace manet::graph

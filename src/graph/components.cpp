@@ -1,0 +1,88 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace manet::graph {
+
+UnionFind::UnionFind(Size n)
+    : parent_(n), size_(n, 1), components_(n) {
+  for (Size i = 0; i < n; ++i) parent_[i] = static_cast<NodeId>(i);
+}
+
+NodeId UnionFind::find(NodeId v) {
+  MANET_CHECK(v < parent_.size());
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::unite(NodeId u, NodeId v) {
+  NodeId ru = find(u);
+  NodeId rv = find(v);
+  if (ru == rv) return false;
+  if (size_[ru] < size_[rv]) std::swap(ru, rv);
+  parent_[rv] = ru;
+  size_[ru] += size_[rv];
+  --components_;
+  return true;
+}
+
+bool UnionFind::connected(NodeId u, NodeId v) { return find(u) == find(v); }
+
+Size UnionFind::component_size(NodeId v) { return size_[find(v)]; }
+
+std::vector<std::uint32_t> component_labels(const Graph& g) {
+  const Size n = g.vertex_count();
+  std::vector<std::uint32_t> label(n, 0xFFFFFFFFu);
+  std::vector<NodeId> stack;
+  std::uint32_t next = 0;
+  for (Size start = 0; start < n; ++start) {
+    if (label[start] != 0xFFFFFFFFu) continue;
+    label[start] = next;
+    stack.push_back(static_cast<NodeId>(start));
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const NodeId v : g.neighbors(u)) {
+        if (label[v] == 0xFFFFFFFFu) {
+          label[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+Size component_count(const Graph& g) {
+  const auto labels = component_labels(g);
+  return labels.empty() ? 0 : 1 + *std::max_element(labels.begin(), labels.end());
+}
+
+bool is_connected(const Graph& g) {
+  return g.vertex_count() > 0 && component_count(g) == 1;
+}
+
+std::vector<NodeId> giant_component(const Graph& g) {
+  const auto labels = component_labels(g);
+  if (labels.empty()) return {};
+  const std::uint32_t n_comp =
+      1 + *std::max_element(labels.begin(), labels.end());
+  std::vector<Size> count(n_comp, 0);
+  for (const auto l : labels) ++count[l];
+  const std::uint32_t best = static_cast<std::uint32_t>(
+      std::max_element(count.begin(), count.end()) - count.begin());
+  std::vector<NodeId> out;
+  out.reserve(count[best]);
+  for (Size v = 0; v < labels.size(); ++v) {
+    if (labels[v] == best) out.push_back(static_cast<NodeId>(v));
+  }
+  return out;
+}
+
+}  // namespace manet::graph

@@ -1,0 +1,79 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace manet::graph {
+
+Graph::Graph(Size n) : offsets_(n + 1, 0) {}
+
+Graph::Graph(Size n, std::span<const Edge> edges) {
+  edges_.assign(edges.begin(), edges.end());
+  std::sort(edges_.begin(), edges_.end());
+  for (const auto& [u, v] : edges_) {
+    MANET_CHECK_MSG(u < v, "edges must be canonical (u < v), no self loops");
+    MANET_CHECK_MSG(v < n, "edge endpoint out of range");
+  }
+  MANET_CHECK_MSG(std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+                  "duplicate edge in edge list");
+
+  // Two-pass CSR build: count degrees, prefix-sum, scatter.
+  offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  for (Size i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+  adjacency_.resize(2 * edges_.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adjacency_[cursor[u]++] = v;
+    adjacency_[cursor[v]++] = u;
+  }
+  // Neighbor lists come out sorted because the edge list is sorted by (u, v)
+  // for the u side; the v side needs an explicit sort.
+  for (Size vtx = 0; vtx < n; ++vtx) {
+    std::sort(adjacency_.begin() + offsets_[vtx], adjacency_.begin() + offsets_[vtx + 1]);
+  }
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  MANET_CHECK(v < vertex_count());
+  return {adjacency_.data() + offsets_[v],
+          static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+}
+
+Size Graph::degree(NodeId v) const { return neighbors(v).size(); }
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double Graph::average_degree() const noexcept {
+  const Size n = vertex_count();
+  if (n == 0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count()) / static_cast<double>(n);
+}
+
+Subgraph induced_subgraph(const Graph& g, const std::vector<bool>& keep) {
+  MANET_CHECK(keep.size() == g.vertex_count());
+  Subgraph out;
+  out.to_new.assign(g.vertex_count(), kInvalidNode);
+  for (NodeId v = 0; v < g.vertex_count(); ++v) {
+    if (keep[v]) {
+      out.to_new[v] = static_cast<NodeId>(out.to_original.size());
+      out.to_original.push_back(v);
+    }
+  }
+  std::vector<Edge> edges;
+  for (const auto& [u, v] : g.edges()) {
+    if (keep[u] && keep[v]) edges.emplace_back(out.to_new[u], out.to_new[v]);
+  }
+  out.graph = Graph(out.to_original.size(), edges);
+  return out;
+}
+
+}  // namespace manet::graph

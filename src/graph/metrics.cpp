@@ -1,0 +1,83 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+
+namespace manet::graph {
+
+namespace {
+
+/// Accumulate one BFS distance field into the running statistics.
+void accumulate(const Graph& g, NodeId source, std::span<const std::uint32_t> dist,
+                double& hop_sum, double& hop_max, Size& pairs, Size& unreachable) {
+  for (NodeId v = 0; v < g.vertex_count(); ++v) {
+    if (v == source) continue;
+    if (dist[v] == kUnreachable) {
+      ++unreachable;
+    } else {
+      hop_sum += dist[v];
+      hop_max = std::max(hop_max, static_cast<double>(dist[v]));
+      ++pairs;
+    }
+  }
+}
+
+}  // namespace
+
+HopStats sample_hop_stats(const Graph& g, Size n_sources, common::Xoshiro256& rng) {
+  HopStats out;
+  const Size n = g.vertex_count();
+  if (n < 2) return out;
+  if (n_sources >= n) return exact_hop_stats(g);
+
+  double hop_sum = 0.0, hop_max = 0.0;
+  BfsScratch scratch;
+  for (Size s = 0; s < n_sources; ++s) {
+    const auto source = static_cast<NodeId>(common::uniform_index(rng, n));
+    const auto dist = scratch.run(g, source);
+    accumulate(g, source, dist, hop_sum, hop_max, out.sampled_pairs, out.unreachable);
+  }
+  if (out.sampled_pairs > 0) out.mean = hop_sum / static_cast<double>(out.sampled_pairs);
+  out.max = hop_max;
+  return out;
+}
+
+HopStats exact_hop_stats(const Graph& g) {
+  HopStats out;
+  const Size n = g.vertex_count();
+  if (n < 2) return out;
+  double hop_sum = 0.0, hop_max = 0.0;
+  BfsScratch scratch;
+  for (NodeId source = 0; source < n; ++source) {
+    const auto dist = scratch.run(g, source);
+    accumulate(g, source, dist, hop_sum, hop_max, out.sampled_pairs, out.unreachable);
+  }
+  if (out.sampled_pairs > 0) out.mean = hop_sum / static_cast<double>(out.sampled_pairs);
+  out.max = hop_max;
+  return out;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats out;
+  const Size n = g.vertex_count();
+  if (n == 0) return out;
+  double sum = 0.0, sum2 = 0.0;
+  double lo = static_cast<double>(g.degree(0));
+  double hi = lo;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto d = static_cast<double>(g.degree(v));
+    sum += d;
+    sum2 += d * d;
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  const double dn = static_cast<double>(n);
+  out.mean = sum / dn;
+  out.min = lo;
+  out.max = hi;
+  out.variance = std::max(0.0, sum2 / dn - out.mean * out.mean);
+  return out;
+}
+
+}  // namespace manet::graph

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+/// \file metrics.hpp
+/// Graph-level statistics used by the experiments:
+///  - average pairwise hop count h (paper eq. (3) context; [2] shows
+///    h = Theta(sqrt(|V|)) for 2-D constant-density networks),
+///  - degree statistics (d in eq. (1a)),
+///  - eccentricity/diameter estimates.
+
+namespace manet::graph {
+
+struct HopStats {
+  double mean = 0.0;       ///< mean hops over sampled connected pairs
+  double max = 0.0;        ///< max observed hops (diameter lower bound)
+  Size sampled_pairs = 0;  ///< number of (source, target) pairs measured
+  Size unreachable = 0;    ///< pairs with no path (0 when graph connected)
+};
+
+/// Estimate pairwise hop statistics by exact BFS from \p n_sources uniformly
+/// sampled sources (all targets per source). For n_sources >= |V| this is the
+/// exact all-pairs statistic.
+HopStats sample_hop_stats(const Graph& g, Size n_sources, common::Xoshiro256& rng);
+
+/// Exact all-pairs hop statistics (BFS from every vertex); O(|V| (|V|+|E|)).
+HopStats exact_hop_stats(const Graph& g);
+
+struct DegreeStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double variance = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace manet::graph

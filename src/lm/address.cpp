@@ -1,0 +1,39 @@
+#include "lm/address.hpp"
+
+#include "common/check.hpp"
+
+namespace manet::lm {
+
+HierAddress make_address(const cluster::Hierarchy& h, NodeId v) {
+  return HierAddress{h.address(v)};
+}
+
+std::string to_string(const HierAddress& addr) {
+  std::string out;
+  for (Size i = 0; i < addr.chain.size(); ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(addr.chain[i]);
+  }
+  return out;
+}
+
+Level lowest_common_level(const cluster::Hierarchy& h, NodeId u, NodeId v) {
+  // Walk down from the top; the first level where the ancestors differ means
+  // the previous level held the smallest shared cluster.
+  for (Level k = h.top_level();; --k) {
+    if (h.ancestor(u, k) != h.ancestor(v, k)) return k + 1;
+    if (k == 0) return 0;  // u == v
+  }
+}
+
+Size hierarchical_map_size(const cluster::Hierarchy& h, NodeId v) {
+  // The node stores, for each level k = 1..top, the membership of its level-k
+  // cluster (its level-(k-1) siblings).
+  Size total = 0;
+  for (Level k = 1; k <= h.top_level(); ++k) {
+    total += h.children(k, h.ancestor(v, k)).size();
+  }
+  return total;
+}
+
+}  // namespace manet::lm

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/hierarchy.hpp"
+
+/// \file address.hpp
+/// Hierarchical addresses (paper Section 2.1): packet forwarding in a strict
+/// hierarchical network is driven solely by the destination's hierarchical
+/// address — the chain of clusterhead ids from the top-level cluster down to
+/// the node. Every node keeps an O(log|V|) hierarchical map of the clusters
+/// it belongs to; two addresses agree on a prefix exactly as deep as the
+/// lowest cluster the two nodes share.
+
+namespace manet::lm {
+
+struct HierAddress {
+  /// Head ids from the top level down to the node itself
+  /// (e.g. {100, 85, 68, 63} for node 63 in the paper's Fig. 1).
+  std::vector<NodeId> chain;
+
+  bool operator==(const HierAddress&) const = default;
+};
+
+/// Address of \p v under hierarchy \p h.
+HierAddress make_address(const cluster::Hierarchy& h, NodeId v);
+
+/// Dotted rendering, top-down: "100.85.68.63".
+std::string to_string(const HierAddress& addr);
+
+/// Lowest level (paper indexing) at which the two nodes share a cluster:
+/// L+1-length chains agreeing on the first (top) j entries share the cluster
+/// at level (top - j + 1). Returns the level k of the smallest shared
+/// cluster, or the top level + 1 sentinel when even the top differs
+/// (possible only across disconnected deployments).
+Level lowest_common_level(const cluster::Hierarchy& h, NodeId u, NodeId v);
+
+/// Size of the hierarchical map a node must store: one entry per sibling
+/// cluster at every level of its chain (paper: O(log|V|)). Used by E7 to
+/// verify the storage claim.
+Size hierarchical_map_size(const cluster::Hierarchy& h, NodeId v);
+
+}  // namespace manet::lm

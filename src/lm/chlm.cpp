@@ -1,0 +1,76 @@
+#include "lm/chlm.hpp"
+
+#include "common/check.hpp"
+#include "lm/address.hpp"
+
+namespace manet::lm {
+
+ChlmService::ChlmService(ServerSelectConfig config) : config_(config) {}
+
+void ChlmService::rebuild(const cluster::Hierarchy& h, Time now) {
+  const Size n = h.level(0).vertex_count();
+  top_level_ = h.top_level();
+  const Size levels = served_levels();
+
+  servers_ = select_all_servers(h, config_);
+  db_.reset(n);
+  for (NodeId owner = 0; owner < n; ++owner) {
+    for (Size i = 0; i < levels; ++i) {
+      const Level k = static_cast<Level>(i) + kFirstServedLevel;
+      db_.put(servers_[owner][i], LocationRecord{owner, k, now, 0});
+    }
+  }
+}
+
+Size ChlmService::served_levels() const {
+  return top_level_ >= kFirstServedLevel ? top_level_ - kFirstServedLevel + 1 : 0;
+}
+
+NodeId ChlmService::server_of(NodeId owner, Level k) const {
+  MANET_CHECK(owner < servers_.size());
+  if (k < kFirstServedLevel || k > top_level_) return kInvalidNode;
+  return servers_[owner][k - kFirstServedLevel];
+}
+
+std::span<const NodeId> ChlmService::servers_of(NodeId owner) const {
+  MANET_CHECK(owner < servers_.size());
+  return servers_[owner];
+}
+
+PacketCount ChlmService::query_cost(const cluster::Hierarchy& h, const graph::Graph& g,
+                                    NodeId requester, NodeId target) const {
+  MANET_CHECK(requester < g.vertex_count() && target < g.vertex_count());
+  if (requester == target) return 0;
+
+  const Level shared = lowest_common_level(h, requester, target);
+  graph::BfsScratch bfs;
+
+  // Within a shared level-1 cluster the full topology is known (paper
+  // Section 3.2) — route directly.
+  if (shared <= 1) {
+    bfs.run(g, requester);
+    return bfs.hops_to(target);
+  }
+
+  // Probe chain: the requester asks the *would-be* level-k server of the
+  // target inside its own level-k cluster; every probe below `shared`
+  // misses and the lookup escalates one level. The level-`shared` probe
+  // lands on the target's true server (same cluster at that level), which
+  // forwards the query to the target.
+  PacketCount cost = 0;
+  NodeId cursor = requester;
+  for (Level k = kFirstServedLevel; k <= shared && k <= top_level_; ++k) {
+    const NodeId probe = select_server_in(h, h.ancestor(requester, k), k, target, config_);
+    bfs.run(g, cursor);
+    const auto hops = bfs.hops_to(probe);
+    MANET_CHECK_MSG(hops != graph::kUnreachable, "query path through disconnected graph");
+    cost += hops;
+    cursor = probe;
+  }
+  bfs.run(g, cursor);
+  const auto final_hops = bfs.hops_to(target);
+  MANET_CHECK_MSG(final_hops != graph::kUnreachable, "query path through disconnected graph");
+  return cost + final_hops;
+}
+
+}  // namespace manet::lm

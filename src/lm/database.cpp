@@ -1,0 +1,83 @@
+#include "lm/database.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace manet::lm {
+
+LmDatabase::LmDatabase(Size n_nodes) { reset(n_nodes); }
+
+void LmDatabase::reset(Size n_nodes) {
+  stores_.assign(n_nodes, {});
+  total_ = 0;
+}
+
+void LmDatabase::put(NodeId server, LocationRecord record) {
+  MANET_CHECK(server < stores_.size());
+  MANET_CHECK(record.owner != kInvalidNode);
+  auto [it, inserted] = stores_[server].insert_or_assign(key(record.owner, record.level),
+                                                         record);
+  (void)it;
+  if (inserted) ++total_;
+}
+
+LocationRecord LmDatabase::take(NodeId server, NodeId owner, Level level) {
+  MANET_CHECK(server < stores_.size());
+  auto& store = stores_[server];
+  const auto it = store.find(key(owner, level));
+  if (it == store.end()) return LocationRecord{};
+  LocationRecord record = it->second;
+  store.erase(it);
+  --total_;
+  return record;
+}
+
+const LocationRecord* LmDatabase::find(NodeId server, NodeId owner, Level level) const {
+  MANET_CHECK(server < stores_.size());
+  const auto& store = stores_[server];
+  const auto it = store.find(key(owner, level));
+  return it == store.end() ? nullptr : &it->second;
+}
+
+Size LmDatabase::entry_count(NodeId server) const {
+  MANET_CHECK(server < stores_.size());
+  return stores_[server].size();
+}
+
+std::vector<Size> LmDatabase::load_vector() const {
+  std::vector<Size> out(stores_.size());
+  for (Size v = 0; v < stores_.size(); ++v) out[v] = stores_[v].size();
+  return out;
+}
+
+LoadStats load_stats(const std::vector<Size>& loads) {
+  LoadStats out;
+  if (loads.empty()) return out;
+  const Size n = loads.size();
+  double sum = 0.0, sum2 = 0.0, mx = 0.0;
+  for (const Size l : loads) {
+    const auto d = static_cast<double>(l);
+    sum += d;
+    sum2 += d * d;
+    mx = std::max(mx, d);
+  }
+  const double dn = static_cast<double>(n);
+  out.mean = sum / dn;
+  out.max = mx;
+  out.variance = std::max(0.0, sum2 / dn - out.mean * out.mean);
+  // Gini via the sorted-rank formula: G = (2*sum_i i*x_(i) / (n*sum x)) -
+  // (n+1)/n, with 1-based ranks over ascending x.
+  if (sum > 0.0) {
+    std::vector<Size> sorted = loads;
+    std::sort(sorted.begin(), sorted.end());
+    double weighted = 0.0;
+    for (Size i = 0; i < n; ++i) {
+      weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+    }
+    out.gini = 2.0 * weighted / (dn * sum) - (dn + 1.0) / dn;
+  }
+  return out;
+}
+
+}  // namespace manet::lm

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file database.hpp
+/// The distributed LM database: each node stores location entries for the
+/// owners that hash to it. The paper's key storage claim (Section 3.2) is
+/// that with L = Theta(log|V|) levels each node serves Theta(log|V|) owners
+/// on average — this module provides the entry store plus the load census
+/// used by experiment E7 to verify equitable distribution.
+
+namespace manet::lm {
+
+/// One stored location record.
+struct LocationRecord {
+  NodeId owner = kInvalidNode;  ///< whose location this is
+  Level level = 0;              ///< which level-k server role stores it
+  Time updated = 0.0;           ///< last refresh time
+  std::uint64_t version = 0;    ///< monotone per-entry version
+};
+
+/// Per-node entry stores, keyed by (owner, level).
+class LmDatabase {
+ public:
+  explicit LmDatabase(Size n_nodes = 0);
+
+  void reset(Size n_nodes);
+
+  /// Insert or overwrite the (owner, level) record at \p server.
+  void put(NodeId server, LocationRecord record);
+
+  /// Remove the (owner, level) record from \p server; returns the record or
+  /// a default one with owner == kInvalidNode if absent.
+  LocationRecord take(NodeId server, NodeId owner, Level level);
+
+  /// Lookup without removal; nullptr when absent.
+  const LocationRecord* find(NodeId server, NodeId owner, Level level) const;
+
+  /// Number of entries held by \p server.
+  Size entry_count(NodeId server) const;
+
+  Size total_entries() const { return total_; }
+  Size node_count() const { return stores_.size(); }
+
+  /// Entry counts for every node (the load histogram source).
+  std::vector<Size> load_vector() const;
+
+ private:
+  static std::uint64_t key(NodeId owner, Level level) {
+    return (static_cast<std::uint64_t>(owner) << 16) | level;
+  }
+
+  std::vector<std::unordered_map<std::uint64_t, LocationRecord>> stores_;
+  Size total_ = 0;
+};
+
+/// Server-load summary over a load vector.
+struct LoadStats {
+  double mean = 0.0;
+  double max = 0.0;
+  double variance = 0.0;
+  double gini = 0.0;  ///< 0 = perfectly equal, -> 1 = concentrated
+};
+
+LoadStats load_stats(const std::vector<Size>& loads);
+
+}  // namespace manet::lm

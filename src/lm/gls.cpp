@@ -1,0 +1,209 @@
+#include "lm/gls.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace manet::lm {
+
+GridHierarchy::GridHierarchy(geom::Vec2 origin, double side, Level levels)
+    : origin_(origin), side_(side), levels_(levels) {
+  MANET_CHECK(side > 0.0);
+  MANET_CHECK(levels >= 1);
+}
+
+GridHierarchy GridHierarchy::cover(geom::Vec2 origin, double side, double min_cell) {
+  MANET_CHECK(min_cell > 0.0);
+  MANET_CHECK(side > 0.0);
+  Level levels = 1;
+  while (side / std::pow(2.0, levels + 1) >= min_cell && levels < 30) ++levels;
+  return GridHierarchy(origin, side, levels);
+}
+
+double GridHierarchy::cell_side(Level k) const {
+  MANET_CHECK(k >= 1 && k <= levels_ + 1);
+  // Level-(L+1) is the whole square; each step down halves the side.
+  return side_ / std::pow(2.0, static_cast<double>(levels_ + 1 - k));
+}
+
+std::pair<std::int32_t, std::int32_t> GridHierarchy::cell(geom::Vec2 p, Level k) const {
+  const double s = cell_side(k);
+  // Clamp into the square so boundary points land in the outermost cells.
+  const double x = std::clamp(p.x - origin_.x, 0.0, side_ * (1.0 - 1e-12));
+  const double y = std::clamp(p.y - origin_.y, 0.0, side_ * (1.0 - 1e-12));
+  return {static_cast<std::int32_t>(x / s), static_cast<std::int32_t>(y / s)};
+}
+
+std::uint64_t GridHierarchy::cell_key(geom::Vec2 p, Level k) const {
+  const auto [cx, cy] = cell(p, k);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint32_t>(cy);
+}
+
+GlsService::GlsService(GridHierarchy grid) : grid_(grid) {}
+
+namespace {
+
+/// Successor-ID rule of the paper's eq. (5): pick z in \p candidates
+/// minimizing (id_z - id_v - 1) mod 2^32 — the least id greater than the
+/// owner's, cyclically. The owner itself scores 2^32 - 1 and so is never
+/// chosen unless alone, in which case the slot is reported empty.
+NodeId successor_pick(NodeId owner_id, std::span<const std::pair<NodeId, NodeId>> candidates) {
+  NodeId best = kInvalidNode;
+  std::uint32_t best_score = 0xFFFFFFFFu;
+  for (const auto& [node, id] : candidates) {
+    if (id == owner_id) continue;
+    const std::uint32_t score = id - owner_id - 1;  // mod 2^32 wraparound
+    if (best == kInvalidNode || score < best_score) {
+      best = node;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void GlsService::rebuild(const std::vector<geom::Vec2>& positions, std::span<const NodeId> ids,
+                         Time now) {
+  (void)now;
+  const Size n = positions.size();
+  std::vector<NodeId> identity;
+  if (ids.empty()) {
+    identity.resize(n);
+    for (NodeId v = 0; v < n; ++v) identity[v] = v;
+    ids = identity;
+  }
+  MANET_CHECK(ids.size() == n);
+
+  // Bucket nodes per level-(k-1) cell, for k-1 in [1, L]. One exact map per
+  // level, keyed by the packed (cx, cy) cell coordinates.
+  using Bucket = std::vector<std::pair<NodeId, NodeId>>;
+  std::vector<std::unordered_map<std::uint64_t, Bucket>> buckets(grid_.levels() + 1);
+  for (Level lvl = 1; lvl <= grid_.levels(); ++lvl) {
+    for (NodeId v = 0; v < n; ++v) {
+      buckets[lvl][grid_.cell_key(positions[v], lvl)].push_back({v, ids[v]});
+    }
+  }
+
+  const Level top = grid_.top_level();
+  assignments_.assign(n, std::vector<NodeId>((top - 1) * kGlsSiblings, kInvalidNode));
+
+  for (NodeId v = 0; v < n; ++v) {
+    for (Level k = 2; k <= top; ++k) {
+      // The 4 level-(k-1) children of v's level-k square; the 3 that differ
+      // from v's own child square are the sibling slots.
+      const Level child = k - 1;
+      const auto [pcx, pcy] = grid_.cell(positions[v], k);
+      const auto [own_cx, own_cy] = grid_.cell(positions[v], child);
+      Size slot = 0;
+      for (int dx = 0; dx < 2; ++dx) {
+        for (int dy = 0; dy < 2; ++dy) {
+          const std::int32_t cx = pcx * 2 + dx;
+          const std::int32_t cy = pcy * 2 + dy;
+          if (cx == own_cx && cy == own_cy) continue;
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+              static_cast<std::uint32_t>(cy);
+          const auto it = buckets[child].find(key);
+          NodeId server = kInvalidNode;
+          if (it != buckets[child].end()) server = successor_pick(ids[v], it->second);
+          assignments_[v][(k - 2) * kGlsSiblings + slot] = server;
+          ++slot;
+        }
+      }
+      MANET_CHECK(slot == kGlsSiblings);
+    }
+  }
+}
+
+NodeId GlsService::server_of(NodeId owner, Level k, Size sibling) const {
+  MANET_CHECK(owner < assignments_.size());
+  MANET_CHECK(k >= 2 && k <= grid_.top_level());
+  MANET_CHECK(sibling < kGlsSiblings);
+  return assignments_[owner][(k - 2) * kGlsSiblings + sibling];
+}
+
+std::vector<Size> GlsService::load_vector() const {
+  std::vector<Size> loads(node_count(), 0);
+  for (const auto& row : assignments_) {
+    for (const NodeId s : row) {
+      if (s != kInvalidNode) ++loads[s];
+    }
+  }
+  return loads;
+}
+
+GlsHandoffTracker::GlsHandoffTracker(GridHierarchy grid) : service_(grid) {}
+
+void GlsHandoffTracker::prime(const std::vector<geom::Vec2>& positions,
+                              std::span<const NodeId> ids, Time t) {
+  service_.rebuild(positions, ids, t);
+  prev_ = service_.assignments_;
+  start_time_ = last_time_ = t;
+  primed_ = true;
+}
+
+PacketCount GlsHandoffTracker::price(const graph::Graph& g0, NodeId from, NodeId to) {
+  if (from == to) return 0;
+  auto it = dist_cache_.find(from);
+  if (it == dist_cache_.end()) {
+    it = dist_cache_.emplace(from, graph::bfs_hops(g0, from)).first;
+  }
+  const std::uint32_t hops = it->second[to];
+  if (hops == graph::kUnreachable) {
+    ++unreachable_;
+    return 0;
+  }
+  return hops;
+}
+
+GlsHandoffTracker::TickResult GlsHandoffTracker::update(
+    const std::vector<geom::Vec2>& positions, const graph::Graph& g0,
+    std::span<const NodeId> ids, Time t) {
+  MANET_CHECK_MSG(primed_, "GlsHandoffTracker::update before prime");
+  MANET_CHECK_MSG(t >= last_time_, "tracker time must be monotone");
+  service_.rebuild(positions, ids, t);
+  dist_cache_.clear();
+
+  TickResult tick;
+  const auto& next = service_.assignments_;
+  MANET_CHECK(next.size() == prev_.size());
+  for (NodeId v = 0; v < next.size(); ++v) {
+    MANET_CHECK(next[v].size() == prev_[v].size());
+    for (Size i = 0; i < next[v].size(); ++i) {
+      const NodeId s_old = prev_[v][i];
+      const NodeId s_new = next[v][i];
+      if (s_old == s_new) continue;
+      if (s_old != kInvalidNode && s_new != kInvalidNode) {
+        tick.handoff_packets += price(g0, s_old, s_new);
+        ++tick.entries_moved;
+      } else if (s_new != kInvalidNode) {
+        tick.update_packets += price(g0, v, s_new);
+        ++tick.entries_moved;
+      }
+      // s_new == kInvalidNode: the sibling square emptied; entry evaporates
+      // (the old server purges it lazily in real GLS — no transfer cost).
+    }
+  }
+  total_handoff_ += tick.handoff_packets;
+  total_update_ += tick.update_packets;
+  prev_ = next;
+  last_time_ = t;
+  return tick;
+}
+
+double GlsHandoffTracker::handoff_rate() const {
+  const double denom = static_cast<double>(node_count()) * elapsed();
+  return denom > 0.0 ? static_cast<double>(total_handoff_) / denom : 0.0;
+}
+
+double GlsHandoffTracker::update_rate() const {
+  const double denom = static_cast<double>(node_count()) * elapsed();
+  return denom > 0.0 ? static_cast<double>(total_update_) / denom : 0.0;
+}
+
+double GlsHandoffTracker::combined_rate() const { return handoff_rate() + update_rate(); }
+
+}  // namespace manet::lm

@@ -1,0 +1,185 @@
+#include "lm/handoff.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace manet::lm {
+
+HandoffEngine::HandoffEngine(HandoffConfig config) : config_(config) {}
+
+HandoffEngine::Snapshot HandoffEngine::capture(const cluster::Hierarchy& h) const {
+  Snapshot snap;
+  const Size n = h.level(0).vertex_count();
+  snap.top = h.top_level();
+  snap.servers = select_all_servers(h, config_.select);
+  snap.anc_ids.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& anc = snap.anc_ids[v];
+    anc.resize(snap.top);  // k = 1..top
+    for (Level k = 1; k <= snap.top; ++k) anc[k - 1] = h.ancestor_id(v, k);
+  }
+  return snap;
+}
+
+void HandoffEngine::prime(const cluster::Hierarchy& h, Time t) {
+  prev_ = capture(h);
+  node_count_ = h.level(0).vertex_count();
+  start_time_ = last_time_ = t;
+  primed_ = true;
+  migrations_.assign(prev_.top + 2, 0);
+  levels_.assign(prev_.top + 2, LevelOverhead{});
+
+  db_.reset(node_count_);
+  for (NodeId owner = 0; owner < node_count_; ++owner) {
+    for (Size i = 0; i < prev_.servers[owner].size(); ++i) {
+      const Level k = static_cast<Level>(i) + kFirstServedLevel;
+      db_.put(prev_.servers[owner][i], LocationRecord{owner, k, t, version_counter_++});
+    }
+  }
+}
+
+LevelOverhead& HandoffEngine::ledger(Level k) {
+  if (levels_.size() <= k) levels_.resize(k + 1, LevelOverhead{});
+  return levels_[k];
+}
+
+PacketCount HandoffEngine::price(const graph::Graph& g0, NodeId from, NodeId to) {
+  if (from == to) return 0;
+  if (config_.metric == HopMetric::kUnit) return 1;
+  auto it = dist_cache_.find(from);
+  if (it == dist_cache_.end()) {
+    it = dist_cache_.emplace(from, graph::bfs_hops(g0, from)).first;
+  }
+  const std::uint32_t hops = it->second[to];
+  if (hops == graph::kUnreachable) {
+    ++unreachable_;
+    return 0;
+  }
+  return hops;
+}
+
+HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
+                                                const graph::Graph& g0, Time t) {
+  MANET_CHECK_MSG(primed_, "HandoffEngine::update before prime");
+  MANET_CHECK_MSG(t >= last_time_, "handoff time must be monotone");
+  MANET_CHECK_MSG(h.level(0).vertex_count() == node_count_, "node population changed");
+
+  Snapshot next = capture(h);
+  dist_cache_.clear();
+  TickResult tick;
+
+  // Count per-level cluster membership changes (f_k numerators).
+  const Level common_top = std::min(prev_.top, next.top);
+  if (migrations_.size() <= common_top) migrations_.resize(common_top + 1, 0);
+  for (NodeId v = 0; v < node_count_; ++v) {
+    for (Level k = 1; k <= common_top; ++k) {
+      if (prev_.anc_ids[v][k - 1] != next.anc_ids[v][k - 1]) ++migrations_[k];
+    }
+  }
+
+  // Entry moves.
+  const Level max_top = std::max(prev_.top, next.top);
+  for (NodeId v = 0; v < node_count_; ++v) {
+    for (Level k = kFirstServedLevel; k <= max_top; ++k) {
+      const bool had = k <= prev_.top;
+      const bool has = k <= next.top;
+      const NodeId s_old = had ? prev_.servers[v][k - kFirstServedLevel] : kInvalidNode;
+      const NodeId s_new = has ? next.servers[v][k - kFirstServedLevel] : kInvalidNode;
+      if (had && has) {
+        if (s_old == s_new) continue;
+        // Attribution: migration when the owner's level-k cluster changed;
+        // otherwise the cluster kept its head but recomposed (reorg).
+        const bool anc_known =
+            k <= prev_.top && k <= next.top;
+        const bool migrated =
+            anc_known && prev_.anc_ids[v][k - 1] != next.anc_ids[v][k - 1];
+        const PacketCount cost = price(g0, s_old, s_new);
+        auto& lvl = ledger(k);
+        if (migrated) {
+          lvl.phi_packets += cost;
+          ++lvl.phi_entries;
+          tick.phi_packets += cost;
+        } else {
+          lvl.gamma_packets += cost;
+          ++lvl.gamma_entries;
+          tick.gamma_packets += cost;
+        }
+        ++tick.entries_moved;
+        const LocationRecord rec = db_.take(s_old, v, k);
+        db_.put(s_new, LocationRecord{v, k, t, rec.owner == kInvalidNode
+                                                   ? version_counter_++
+                                                   : rec.version + 1});
+      } else if (had && !has) {
+        // Hierarchy lost level k: the entry retires to its owner.
+        const PacketCount cost = price(g0, s_old, v);
+        auto& lvl = ledger(k);
+        lvl.gamma_packets += cost;
+        ++lvl.gamma_entries;
+        tick.gamma_packets += cost;
+        ++tick.entries_moved;
+        ++level_churn_;
+        db_.take(s_old, v, k);
+      } else if (!had && has) {
+        // Hierarchy gained level k: the owner registers with the new server.
+        const PacketCount cost = price(g0, v, s_new);
+        auto& lvl = ledger(k);
+        lvl.gamma_packets += cost;
+        ++lvl.gamma_entries;
+        tick.gamma_packets += cost;
+        ++tick.entries_moved;
+        ++level_churn_;
+        db_.put(s_new, LocationRecord{v, k, t, version_counter_++});
+      }
+    }
+  }
+
+  prev_ = std::move(next);
+  last_time_ = t;
+  return tick;
+}
+
+PacketCount HandoffEngine::total_phi() const {
+  PacketCount sum = 0;
+  for (const auto& lvl : levels_) sum += lvl.phi_packets;
+  return sum;
+}
+
+PacketCount HandoffEngine::total_gamma() const {
+  PacketCount sum = 0;
+  for (const auto& lvl : levels_) sum += lvl.gamma_packets;
+  return sum;
+}
+
+double HandoffEngine::phi_rate() const {
+  const double denom = static_cast<double>(node_count_) * elapsed();
+  return denom > 0.0 ? static_cast<double>(total_phi()) / denom : 0.0;
+}
+
+double HandoffEngine::gamma_rate() const {
+  const double denom = static_cast<double>(node_count_) * elapsed();
+  return denom > 0.0 ? static_cast<double>(total_gamma()) / denom : 0.0;
+}
+
+double HandoffEngine::phi_rate_at(Level k) const {
+  const double denom = static_cast<double>(node_count_) * elapsed();
+  if (denom <= 0.0 || k >= levels_.size()) return 0.0;
+  return static_cast<double>(levels_[k].phi_packets) / denom;
+}
+
+double HandoffEngine::gamma_rate_at(Level k) const {
+  const double denom = static_cast<double>(node_count_) * elapsed();
+  if (denom <= 0.0 || k >= levels_.size()) return 0.0;
+  return static_cast<double>(levels_[k].gamma_packets) / denom;
+}
+
+Size HandoffEngine::migration_count(Level k) const {
+  return k < migrations_.size() ? migrations_[k] : 0;
+}
+
+double HandoffEngine::migration_rate(Level k) const {
+  const double denom = static_cast<double>(node_count_) * elapsed();
+  return denom > 0.0 ? static_cast<double>(migration_count(k)) / denom : 0.0;
+}
+
+}  // namespace manet::lm

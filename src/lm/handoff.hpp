@@ -1,0 +1,129 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "lm/chlm.hpp"
+
+/// \file handoff.hpp
+/// The LM handoff engine — the measurement core of this reproduction.
+///
+/// Between consecutive hierarchy snapshots the CHLM server assignment table
+/// is recomputed; every (owner, level) entry whose serving node changed is a
+/// *handoff*: the old server transfers the entry to the new one, costing
+/// hops(old, new) packet transmissions under strict hierarchical routing.
+/// Each move is attributed:
+///   phi_k   (paper Section 4)  — the owner's level-k cluster changed, i.e.
+///           the owner migrated across a level-k boundary;
+///   gamma_k (paper Section 5)  — the owner's level-k cluster is unchanged
+///           but the assignment moved because the cluster's internal
+///           composition changed (link change, election, rejection, ...).
+/// Summing per-level rates reproduces the paper's phi = Theta(log^2 |V|) and
+/// gamma = Theta(log^2 |V|) claims (experiments E8/E9).
+
+namespace manet::lm {
+
+/// How to price one entry transfer.
+enum class HopMetric {
+  kBfsExact,  ///< exact shortest-path hops on the level-0 graph (default)
+  kUnit,      ///< 1 per moved entry (message count, not packet count)
+};
+
+struct HandoffConfig {
+  ServerSelectConfig select;
+  HopMetric metric = HopMetric::kBfsExact;
+};
+
+/// Accumulated overhead at one hierarchy level.
+struct LevelOverhead {
+  PacketCount phi_packets = 0;
+  PacketCount gamma_packets = 0;
+  Size phi_entries = 0;    ///< entry moves attributed to migration
+  Size gamma_entries = 0;  ///< entry moves attributed to reorganization
+};
+
+class HandoffEngine {
+ public:
+  explicit HandoffEngine(HandoffConfig config = HandoffConfig{});
+
+  /// Install the initial snapshot at time \p t. No cost is charged (initial
+  /// registration is location *registration* overhead, covered by the
+  /// companion papers [16][17], not handoff).
+  void prime(const cluster::Hierarchy& h, Time t);
+
+  struct TickResult {
+    PacketCount phi_packets = 0;
+    PacketCount gamma_packets = 0;
+    Size entries_moved = 0;
+  };
+
+  /// Advance to snapshot \p h (level-0 graph \p g0 prices the transfers) at
+  /// time \p t; returns this tick's cost and accumulates totals.
+  TickResult update(const cluster::Hierarchy& h, const graph::Graph& g0, Time t);
+
+  // --- Accumulated results ---
+  Size node_count() const { return node_count_; }
+  Time elapsed() const { return last_time_ - start_time_; }
+
+  /// Per-level ledger; index by level k (entries 0 and 1 stay zero).
+  const std::vector<LevelOverhead>& per_level() const { return levels_; }
+
+  PacketCount total_phi() const;
+  PacketCount total_gamma() const;
+
+  /// Packet transmissions per node per second — the paper's overhead unit.
+  double phi_rate() const;
+  double gamma_rate() const;
+  double phi_rate_at(Level k) const;
+  double gamma_rate_at(Level k) const;
+
+  /// Level-k cluster membership changes observed (f_k numerator, E5):
+  /// migration_rate(k) = changes / (node_count * elapsed).
+  Size migration_count(Level k) const;
+  double migration_rate(Level k) const;
+
+  /// Entry moves whose endpoints were disconnected at transfer time (the
+  /// transfer is counted as an entry move with zero packets; should be 0 in
+  /// connected scenarios).
+  Size unreachable_transfers() const { return unreachable_; }
+
+  /// Registrations/retirements caused by the hierarchy gaining/losing
+  /// levels (priced like gamma transfers owner<->server).
+  Size level_churn_entries() const { return level_churn_; }
+
+  /// The maintained distributed database (kept consistent with the current
+  /// assignment table; integration tests verify this invariant).
+  const LmDatabase& database() const { return db_; }
+
+ private:
+  /// Capture assignment + ancestor tables for a snapshot.
+  struct Snapshot {
+    std::vector<std::vector<NodeId>> servers;  ///< [owner][k-2], k in [2, top]
+    std::vector<std::vector<NodeId>> anc_ids;  ///< [owner][k-1], k in [1, top]
+    Level top = 0;
+  };
+  Snapshot capture(const cluster::Hierarchy& h) const;
+
+  LevelOverhead& ledger(Level k);
+  PacketCount price(const graph::Graph& g0, NodeId from, NodeId to);
+
+  HandoffConfig config_;
+  Size node_count_ = 0;
+  Time start_time_ = 0.0;
+  Time last_time_ = 0.0;
+  bool primed_ = false;
+
+  Snapshot prev_;
+  std::vector<LevelOverhead> levels_;
+  std::vector<Size> migrations_;  ///< per level k
+  Size unreachable_ = 0;
+  Size level_churn_ = 0;
+  LmDatabase db_;
+  std::uint64_t version_counter_ = 0;
+
+  /// Per-tick BFS distance cache, keyed by source.
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> dist_cache_;
+};
+
+}  // namespace manet::lm

@@ -1,0 +1,47 @@
+#include "lm/overhead.hpp"
+
+#include <cstdio>
+
+namespace manet::lm {
+
+OverheadReport OverheadReport::from(const HandoffEngine& engine) {
+  OverheadReport report;
+  report.node_count = engine.node_count();
+  report.window = engine.elapsed();
+  report.phi_rate = engine.phi_rate();
+  report.gamma_rate = engine.gamma_rate();
+  report.unreachable_transfers = engine.unreachable_transfers();
+
+  const auto& levels = engine.per_level();
+  report.phi_per_level.resize(levels.size());
+  report.gamma_per_level.resize(levels.size());
+  report.migration_per_level.resize(levels.size());
+  for (Level k = 0; k < levels.size(); ++k) {
+    report.phi_per_level[k] = engine.phi_rate_at(k);
+    report.gamma_per_level[k] = engine.gamma_rate_at(k);
+    report.migration_per_level[k] = engine.migration_rate(k);
+    report.phi_entries += levels[k].phi_entries;
+    report.gamma_entries += levels[k].gamma_entries;
+  }
+  return report;
+}
+
+std::string OverheadReport::to_text() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "n=%zu window=%.1fs phi=%.5f gamma=%.5f total=%.5f pkts/node/s\n",
+                node_count, window, phi_rate, gamma_rate, total_rate());
+  out += line;
+  std::snprintf(line, sizeof(line), "%-6s %12s %12s %12s\n", "level", "phi_k", "gamma_k",
+                "f_k");
+  out += line;
+  for (Level k = 1; k < phi_per_level.size(); ++k) {
+    std::snprintf(line, sizeof(line), "%-6u %12.6f %12.6f %12.6f\n", k, phi_per_level[k],
+                  gamma_per_level[k], migration_per_level[k]);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace manet::lm

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lm/handoff.hpp"
+
+/// \file overhead.hpp
+/// Run-level overhead report extracted from a HandoffEngine: the per-level
+/// phi_k / gamma_k packet-transmission rates and migration frequencies f_k
+/// in the paper's units (per node per second), ready for the analysis layer
+/// and the benchmark tables.
+
+namespace manet::lm {
+
+struct OverheadReport {
+  Size node_count = 0;
+  Time window = 0.0;  ///< observation window, seconds
+
+  double phi_rate = 0.0;    ///< total migration handoff (eq. 6c)
+  double gamma_rate = 0.0;  ///< total reorganization handoff (eq. 11)
+
+  /// Indexed by level k (entries 0..1 zero by construction).
+  std::vector<double> phi_per_level;
+  std::vector<double> gamma_per_level;
+  std::vector<double> migration_per_level;  ///< f_k estimates
+
+  Size phi_entries = 0;
+  Size gamma_entries = 0;
+  Size unreachable_transfers = 0;
+
+  double total_rate() const { return phi_rate + gamma_rate; }
+
+  static OverheadReport from(const HandoffEngine& engine);
+
+  /// Multi-line human-readable rendering (one row per level).
+  std::string to_text() const;
+};
+
+}  // namespace manet::lm

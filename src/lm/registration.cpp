@@ -1,0 +1,90 @@
+#include "lm/registration.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace manet::lm {
+
+RegistrationTracker::RegistrationTracker(RegistrationConfig config) : config_(config) {
+  MANET_CHECK(config_.threshold > 0.0);
+  MANET_CHECK(config_.tx_radius > 0.0);
+}
+
+void RegistrationTracker::prime(const cluster::Hierarchy& h,
+                                const std::vector<geom::Vec2>& positions, Time t) {
+  const Size n = h.level(0).vertex_count();
+  MANET_CHECK(positions.size() == n);
+  top_ = h.top_level();
+  anchors_.assign(n, {});
+  const Size levels = top_ >= kFirstServedLevel ? top_ - kFirstServedLevel + 1 : 0;
+  for (NodeId v = 0; v < n; ++v) anchors_[v].assign(levels, positions[v]);
+  start_time_ = last_time_ = t;
+  primed_ = true;
+}
+
+PacketCount RegistrationTracker::price(const graph::Graph& g, NodeId from, NodeId to) {
+  if (from == to) return 0;
+  auto it = dist_cache_.find(from);
+  if (it == dist_cache_.end()) {
+    it = dist_cache_.emplace(from, graph::bfs_hops(g, from)).first;
+  }
+  const std::uint32_t hops = it->second[to];
+  return hops == graph::kUnreachable ? 0 : hops;
+}
+
+RegistrationTracker::TickResult RegistrationTracker::update(
+    const cluster::Hierarchy& h, const graph::Graph& g,
+    const std::vector<geom::Vec2>& positions, Time t) {
+  MANET_CHECK_MSG(primed_, "RegistrationTracker::update before prime");
+  MANET_CHECK_MSG(t >= last_time_, "registration time must be monotone");
+  const Size n = anchors_.size();
+  MANET_CHECK(positions.size() == n);
+  dist_cache_.clear();
+
+  TickResult tick;
+  const Level top = std::min(top_, h.top_level());
+  // Hierarchy depth may drift between ticks; anchors for a newly appearing
+  // level start at the node's current position (no spurious first update).
+  if (h.top_level() > top_) {
+    const Size levels =
+        h.top_level() >= kFirstServedLevel ? h.top_level() - kFirstServedLevel + 1 : 0;
+    for (NodeId v = 0; v < n; ++v) anchors_[v].resize(levels, positions[v]);
+    top_ = h.top_level();
+  }
+
+  const double n_d = static_cast<double>(n);
+  for (Level k = kFirstServedLevel; k <= top; ++k) {
+    const double mean_ck = n_d / static_cast<double>(h.cluster_count(k));
+    const double delta_k = config_.threshold * config_.tx_radius * std::sqrt(mean_ck);
+    const double delta2 = delta_k * delta_k;
+    const Size slot = k - kFirstServedLevel;
+    if (per_level_packets_.size() <= k) per_level_packets_.resize(k + 1, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (geom::distance2(positions[v], anchors_[v][slot]) < delta2) continue;
+      const NodeId server = select_server(h, v, k, config_.select);
+      const PacketCount cost = price(g, v, server);
+      tick.packets += cost;
+      ++tick.updates;
+      per_level_packets_[k] += cost;
+      anchors_[v][slot] = positions[v];
+    }
+  }
+  total_packets_ += tick.packets;
+  total_updates_ += tick.updates;
+  last_time_ = t;
+  return tick;
+}
+
+double RegistrationTracker::rate() const {
+  const double denom = static_cast<double>(node_count()) * elapsed();
+  return denom > 0.0 ? static_cast<double>(total_packets_) / denom : 0.0;
+}
+
+double RegistrationTracker::rate_at(Level k) const {
+  const double denom = static_cast<double>(node_count()) * elapsed();
+  if (denom <= 0.0 || k >= per_level_packets_.size()) return 0.0;
+  return static_cast<double>(per_level_packets_[k]) / denom;
+}
+
+}  // namespace manet::lm

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "graph/bfs.hpp"
+#include "lm/server_select.hpp"
+
+/// \file registration.hpp
+/// Location *registration* overhead — the owner-driven updates that keep LM
+/// servers fresh, as opposed to the server-to-server *handoff* this paper
+/// analyzes. The paper's conclusions cite the companion work [17] for the
+/// claim that registration costs only Theta(log|V|) packet transmissions per
+/// node per second; this module reproduces that measurement (experiment E18)
+/// with the GLS-style distance-threshold update rule:
+///
+///   a node refreshes its level-k server after moving
+///   delta_k = threshold * R_TX * sqrt(mean c_k) meters since its last
+///   level-k update (paper eq. (7) scale),
+///
+/// so far servers hear from it rarely and near servers often — exactly the
+/// lazy-updating geometry GLS prescribes (paper Section 3.1, feature (c)).
+
+namespace manet::lm {
+
+struct RegistrationConfig {
+  ServerSelectConfig select;
+  double threshold = 0.5;  ///< update distance in units of R_TX * sqrt(c_k)
+  double tx_radius = 1.0;  ///< R_TX for the distance scale
+};
+
+class RegistrationTracker {
+ public:
+  explicit RegistrationTracker(RegistrationConfig config);
+
+  /// Install anchors at time \p t: every (node, level) records its current
+  /// position; no cost charged.
+  void prime(const cluster::Hierarchy& h, const std::vector<geom::Vec2>& positions, Time t);
+
+  struct TickResult {
+    PacketCount packets = 0;
+    Size updates = 0;
+  };
+
+  /// Check every (node, level) against its distance threshold; charge
+  /// hops(owner, current level-k server) per triggered update.
+  TickResult update(const cluster::Hierarchy& h, const graph::Graph& g,
+                    const std::vector<geom::Vec2>& positions, Time t);
+
+  Time elapsed() const { return last_time_ - start_time_; }
+  Size node_count() const { return anchors_.size(); }
+
+  PacketCount total_packets() const { return total_packets_; }
+  Size total_updates() const { return total_updates_; }
+
+  /// Registration packet transmissions per node per second.
+  double rate() const;
+  double rate_at(Level k) const;
+  Size levels_tracked() const { return per_level_packets_.size(); }
+
+ private:
+  PacketCount price(const graph::Graph& g, NodeId from, NodeId to);
+
+  RegistrationConfig config_;
+  /// anchors_[node][k - kFirstServedLevel] = position at last level-k update.
+  std::vector<std::vector<geom::Vec2>> anchors_;
+  Level top_ = 0;
+  Time start_time_ = 0.0;
+  Time last_time_ = 0.0;
+  bool primed_ = false;
+  PacketCount total_packets_ = 0;
+  Size total_updates_ = 0;
+  std::vector<PacketCount> per_level_packets_;
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> dist_cache_;
+};
+
+}  // namespace manet::lm

@@ -1,0 +1,43 @@
+#include "lm/rendezvous.hpp"
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace manet::lm {
+
+std::uint64_t rendezvous_score(std::uint64_t salt, NodeId owner, NodeId candidate) noexcept {
+  // Two-stage mix: fold the owner into the salt domain first so that owner
+  // and candidate do not cancel under XOR symmetry.
+  const std::uint64_t domain = common::hash_combine(salt, owner);
+  return common::mix64(domain ^ (static_cast<std::uint64_t>(candidate) * 0x9E3779B97F4A7C15ULL));
+}
+
+NodeId rendezvous_pick(std::uint64_t salt, NodeId owner, std::span<const NodeId> candidates) {
+  MANET_CHECK_MSG(!candidates.empty(), "rendezvous over empty candidate set");
+  NodeId best = candidates[0];
+  std::uint64_t best_score = rendezvous_score(salt, owner, best);
+  for (Size i = 1; i < candidates.size(); ++i) {
+    const std::uint64_t score = rendezvous_score(salt, owner, candidates[i]);
+    if (score > best_score || (score == best_score && candidates[i] < best)) {
+      best = candidates[i];
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+Size rendezvous_pick_index(std::uint64_t salt, NodeId owner, Size n) {
+  MANET_CHECK(n > 0);
+  Size best = 0;
+  std::uint64_t best_score = rendezvous_score(salt, owner, 0);
+  for (Size i = 1; i < n; ++i) {
+    const std::uint64_t score = rendezvous_score(salt, owner, static_cast<NodeId>(i));
+    if (score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace manet::lm

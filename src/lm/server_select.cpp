@@ -1,0 +1,167 @@
+#include "lm/server_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "lm/rendezvous.hpp"
+
+namespace manet::lm {
+
+const char* to_string(SelectStrategy strategy) {
+  switch (strategy) {
+    case SelectStrategy::kFlatSuccessor: return "flat_successor";
+    case SelectStrategy::kWeightedDescent: return "weighted_descent";
+    case SelectStrategy::kUnweightedDescent: return "unweighted_descent";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Salt for one descent step, independent per (base, target level, depth).
+std::uint64_t step_salt(std::uint64_t base, Level k, Level depth) {
+  return common::hash_combine(base, (static_cast<std::uint64_t>(k) << 32) | depth);
+}
+
+/// Weighted rendezvous score: w / -ln(u) with u the (0,1)-uniform hash of
+/// (salt, owner, candidate). Argmax selects candidate c with probability
+/// w_c / sum(w) — the classic HRW weighting — so weighting children by their
+/// level-0 member counts makes the descended-to node uniform over members.
+double weighted_score(std::uint64_t salt, NodeId owner_id, NodeId candidate_id, double weight) {
+  const std::uint64_t raw = rendezvous_score(salt, owner_id, candidate_id);
+  // Map to (0, 1): never exactly 0 or 1 thanks to the +1 / +2 shift.
+  const double u = (static_cast<double>(raw >> 11) + 1.0) / (9007199254740992.0 + 2.0);
+  return weight / -std::log(u);
+}
+
+/// Successor-ID rule over the level-k cluster's flat member set: the member
+/// whose id minimizes (id_z - id_owner - 1) mod 2^32 — the least id above
+/// the owner's, cyclically (the paper's eq. (5) applied to members, where it
+/// IS equitable because ids are uniform). The owner scores 2^32 - 1 and is
+/// chosen only when alone in the cluster. The salt deliberately does not
+/// enter: stability under cluster relabeling is the point.
+NodeId flat_successor(const cluster::Hierarchy& h, NodeId cluster, Level k, NodeId owner) {
+  const auto& members = h.members0(k, cluster);
+  MANET_CHECK(!members.empty());
+  const NodeId owner_id = h.level(0).ids[owner];
+  const auto& ids0 = h.level(0).ids;
+  NodeId best = kInvalidNode;
+  std::uint32_t best_score = 0xFFFFFFFFu;
+  for (const NodeId z : members) {
+    if (ids0[z] == owner_id) continue;
+    const std::uint32_t score = ids0[z] - owner_id - 1;  // mod 2^32 wraparound
+    if (best == kInvalidNode || score < best_score) {
+      best = z;
+      best_score = score;
+    }
+  }
+  return best == kInvalidNode ? owner : best;  // singleton cluster: self-serve
+}
+
+/// Hash-chain descent from a level-k cluster down to a level-0 node.
+NodeId descend(const cluster::Hierarchy& h, NodeId cluster, Level k, NodeId owner,
+               const ServerSelectConfig& config) {
+  const NodeId owner_id = h.level(0).ids[owner];
+  const bool weighted = config.strategy == SelectStrategy::kWeightedDescent;
+  for (Level lvl = k; lvl >= 1; --lvl) {
+    const auto& kids = h.children(lvl, cluster);  // dense at lvl-1
+    MANET_CHECK(!kids.empty());
+
+    // Optionally skip the child hosting the owner itself (GLS sibling-region
+    // flavor) when an alternative exists and the owner is inside `cluster`.
+    NodeId own_branch = kInvalidNode;
+    if (config.exclude_own_branch && kids.size() > 1 && h.ancestor(owner, lvl) == cluster) {
+      own_branch = h.ancestor(owner, lvl - 1);
+    }
+
+    const std::uint64_t salt = step_salt(config.salt, k, lvl);
+    const auto& child_ids = h.level(lvl - 1).ids;
+    NodeId best = kInvalidNode;
+    double best_score = 0.0;
+    for (const NodeId child : kids) {
+      if (child == own_branch) continue;
+      double weight = 1.0;
+      if (weighted && lvl >= 2) {
+        weight = static_cast<double>(h.members0(lvl - 1, child).size());
+      }
+      const double score = weighted_score(salt, owner_id, child_ids[child], weight);
+      if (best == kInvalidNode || score > best_score ||
+          (score == best_score && child_ids[child] < child_ids[best])) {
+        best = child;
+        best_score = score;
+      }
+    }
+    MANET_CHECK(best != kInvalidNode);
+    cluster = best;
+  }
+  return cluster;  // dense level-0 vertex index
+}
+
+}  // namespace
+
+NodeId select_server(const cluster::Hierarchy& h, NodeId owner, Level k,
+                     const ServerSelectConfig& config) {
+  MANET_CHECK_MSG(k >= kFirstServedLevel, "levels below 2 carry no explicit LM server");
+  MANET_CHECK_MSG(k <= h.top_level(), "level beyond hierarchy top");
+  return select_server_in(h, h.ancestor(owner, k), k, owner, config);
+}
+
+NodeId select_server_in(const cluster::Hierarchy& h, NodeId cluster, Level k, NodeId owner,
+                        const ServerSelectConfig& config) {
+  MANET_CHECK_MSG(k >= 1, "descent requires a clustered level");
+  MANET_CHECK_MSG(k <= h.top_level(), "level beyond hierarchy top");
+  MANET_CHECK(cluster < h.level(k).vertex_count());
+  if (config.strategy == SelectStrategy::kFlatSuccessor) {
+    return flat_successor(h, cluster, k, owner);
+  }
+  return descend(h, cluster, k, owner, config);
+}
+
+std::vector<std::vector<NodeId>> select_all_servers(const cluster::Hierarchy& h,
+                                                    const ServerSelectConfig& config) {
+  const Size n = h.level(0).vertex_count();
+  const Level top = h.top_level();
+  const Size levels = top >= kFirstServedLevel ? top - kFirstServedLevel + 1 : 0;
+  std::vector<std::vector<NodeId>> servers(n, std::vector<NodeId>(levels, kInvalidNode));
+  if (levels == 0) return servers;
+
+  if (config.strategy != SelectStrategy::kFlatSuccessor) {
+    for (NodeId owner = 0; owner < n; ++owner) {
+      for (Level k = kFirstServedLevel; k <= top; ++k) {
+        servers[owner][k - kFirstServedLevel] = select_server(h, owner, k, config);
+      }
+    }
+    return servers;
+  }
+
+  // Flat successor fast path: per cluster, sort members by original id once;
+  // owner i's server is the next member in cyclic id order. Matches
+  // flat_successor() exactly: the cyclic successor excluding the owner, or
+  // the owner itself for singleton clusters.
+  const auto& ids0 = h.level(0).ids;
+  std::vector<std::pair<NodeId, NodeId>> by_id;  // (original id, dense vertex)
+  for (Level k = kFirstServedLevel; k <= top; ++k) {
+    const Size slot = k - kFirstServedLevel;
+    for (NodeId c = 0; c < h.cluster_count(k); ++c) {
+      const auto& members = h.members0(k, c);
+      if (members.size() == 1) {
+        servers[members[0]][slot] = members[0];  // self-serve
+        continue;
+      }
+      by_id.clear();
+      by_id.reserve(members.size());
+      for (const NodeId v : members) by_id.emplace_back(ids0[v], v);
+      std::sort(by_id.begin(), by_id.end());
+      for (Size i = 0; i < by_id.size(); ++i) {
+        const Size next = (i + 1) % by_id.size();
+        servers[by_id[i].second][slot] = by_id[next].second;
+      }
+    }
+  }
+  return servers;
+}
+
+}  // namespace manet::lm

@@ -1,0 +1,21 @@
+#include "mobility/field.hpp"
+
+#include "common/check.hpp"
+
+namespace manet::mobility {
+
+StaticField::StaticField(const geom::Region& region, Size n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  positions_.resize(n);
+  for (auto& p : positions_) p = region.sample(rng);
+}
+
+StaticField::StaticField(std::vector<geom::Vec2> positions)
+    : positions_(std::move(positions)) {}
+
+void StaticField::advance_to(Time t) {
+  MANET_CHECK_MSG(t >= now_, "mobility time must be monotone");
+  now_ = t;
+}
+
+}  // namespace manet::mobility

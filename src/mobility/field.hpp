@@ -1,0 +1,35 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "mobility/model.hpp"
+
+/// \file field.hpp
+/// Static (frozen) node field. Used by the structural experiments (hierarchy
+/// shape, LM database census) that need a snapshot deployment with no motion,
+/// and as a degenerate mobility model in tests.
+
+namespace manet::mobility {
+
+class StaticField final : public MobilityModel {
+ public:
+  /// Uniformly sample \p n positions in \p region.
+  StaticField(const geom::Region& region, Size n, std::uint64_t seed);
+
+  /// Wrap externally supplied positions (e.g. a crafted test layout).
+  explicit StaticField(std::vector<geom::Vec2> positions);
+
+  void advance_to(Time t) override;
+  const std::vector<geom::Vec2>& positions() const override { return positions_; }
+  Time now() const override { return now_; }
+  Size node_count() const override { return positions_.size(); }
+  const char* name() const override { return "static"; }
+
+  /// Mutable access for tests that perturb single nodes between samples.
+  std::vector<geom::Vec2>& mutable_positions() { return positions_; }
+
+ private:
+  std::vector<geom::Vec2> positions_;
+  Time now_ = 0.0;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,71 @@
+#include "mobility/gauss_markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace manet::mobility {
+
+GaussMarkov::GaussMarkov(const geom::Region& region, Size n, Params params, std::uint64_t seed)
+    : region_(region), params_(params), rng_(seed) {
+  MANET_CHECK(params_.mean_speed > 0.0);
+  MANET_CHECK(params_.alpha >= 0.0 && params_.alpha < 1.0);
+  MANET_CHECK(params_.step > 0.0);
+  positions_.resize(n);
+  states_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    positions_[v] = region_.sample(rng_);
+    states_[v].speed = params_.mean_speed;
+    states_[v].heading = common::uniform(rng_, 0.0, 2.0 * std::numbers::pi);
+  }
+  next_update_ = params_.step;
+}
+
+void GaussMarkov::update_step(Time dt) {
+  const double a = params_.alpha;
+  const double noise_scale = std::sqrt(1.0 - a * a);
+  for (NodeId v = 0; v < positions_.size(); ++v) {
+    State& st = states_[v];
+    // Integrate the previous velocity over dt, then refresh the AR(1) state.
+    geom::Vec2 next =
+        positions_[v] +
+        geom::Vec2{std::cos(st.heading), std::sin(st.heading)} * (st.speed * dt);
+    if (!region_.contains(next)) {
+      next = region_.clamp(next);
+      // Reflect: turn around when the boundary is reached.
+      st.heading += std::numbers::pi;
+    }
+    positions_[v] = next;
+    st.speed = a * st.speed + (1.0 - a) * params_.mean_speed +
+               noise_scale * params_.speed_sigma * common::normal(rng_);
+    st.speed = std::max(0.05 * params_.mean_speed, st.speed);
+    st.heading = a * st.heading + (1.0 - a) * st.heading +  // mean heading = current
+                 noise_scale * 0.35 * common::normal(rng_);
+  }
+}
+
+void GaussMarkov::advance_to(Time t) {
+  MANET_CHECK_MSG(t >= now_, "mobility time must be monotone");
+  while (next_update_ <= t) {
+    // dt can be < step if a prior advance_to ended mid-interval.
+    update_step(next_update_ - now_);
+    now_ = next_update_;
+    next_update_ += params_.step;
+  }
+  // Partial step up to t (positions integrate forward; AR state unchanged).
+  const Time dt = t - now_;
+  if (dt > 0.0) {
+    for (NodeId v = 0; v < positions_.size(); ++v) {
+      const State& st = states_[v];
+      geom::Vec2 next =
+          positions_[v] +
+          geom::Vec2{std::cos(st.heading), std::sin(st.heading)} * (st.speed * dt);
+      positions_[v] = region_.contains(next) ? next : region_.clamp(next);
+    }
+    now_ = t;
+  }
+}
+
+}  // namespace manet::mobility

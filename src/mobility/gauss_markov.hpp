@@ -1,0 +1,50 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "mobility/model.hpp"
+
+/// \file gauss_markov.hpp
+/// Gauss-Markov mobility (extension; not in the paper). Velocity evolves as a
+/// discrete AR(1) process with memory parameter alpha in [0, 1]:
+///   s_t = alpha*s_{t-1} + (1-alpha)*s_mean + sqrt(1-alpha^2)*sigma*N(0,1)
+/// and likewise for heading. alpha -> 1 gives smooth, temporally correlated
+/// motion; alpha -> 0 degenerates to a memoryless random walk. Used to test
+/// sensitivity of handoff rates to motion temporal correlation.
+
+namespace manet::mobility {
+
+class GaussMarkov final : public MobilityModel {
+ public:
+  struct Params {
+    double mean_speed = 1.0;   ///< m/s
+    double speed_sigma = 0.3;  ///< m/s
+    double alpha = 0.85;       ///< memory, in [0, 1)
+    double step = 1.0;         ///< s, internal update interval
+  };
+
+  GaussMarkov(const geom::Region& region, Size n, Params params, std::uint64_t seed);
+
+  void advance_to(Time t) override;
+  const std::vector<geom::Vec2>& positions() const override { return positions_; }
+  Time now() const override { return now_; }
+  Size node_count() const override { return positions_.size(); }
+  const char* name() const override { return "gauss_markov"; }
+
+ private:
+  struct State {
+    double speed;
+    double heading;  ///< radians
+  };
+
+  void update_step(Time dt);
+
+  const geom::Region& region_;
+  Params params_;
+  common::Xoshiro256 rng_;
+  std::vector<geom::Vec2> positions_;
+  std::vector<State> states_;
+  Time now_ = 0.0;
+  Time next_update_ = 0.0;
+};
+
+}  // namespace manet::mobility

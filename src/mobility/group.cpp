@@ -1,0 +1,105 @@
+#include "mobility/group.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace manet::mobility {
+
+ReferencePointGroup::ReferencePointGroup(const geom::Region& region, Size n, Params params,
+                                         std::uint64_t seed)
+    : region_(region), params_(params) {
+  MANET_CHECK(params_.group_size >= 1);
+  MANET_CHECK(params_.leader_speed > 0.0);
+  MANET_CHECK(params_.member_speed >= 0.0);
+
+  const Size n_groups = (n + params_.group_size - 1) / params_.group_size;
+  // Default jitter radius: size the group disk so that its area matches the
+  // group's share of the region (groups tile the space loosely).
+  jitter_radius_ = params_.member_radius > 0.0
+                       ? params_.member_radius
+                       : std::sqrt(region.area() / (std::numbers::pi *
+                                                    static_cast<double>(n_groups))) *
+                             0.7;
+
+  positions_.resize(n);
+  members_.resize(n);
+  group_of_.resize(n);
+  leaders_.resize(n_groups);
+  rngs_.reserve(n_groups);
+  for (Size gr = 0; gr < n_groups; ++gr) {
+    rngs_.emplace_back(common::derive_seed(seed, gr));
+    leaders_[gr].origin = region_.sample(rngs_[gr]);
+    leader_new_leg(gr, 0.0);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const Size gr = v / params_.group_size;
+    group_of_[v] = gr;
+    auto& rng = rngs_[gr];
+    const double r = jitter_radius_ * std::sqrt(common::uniform01(rng));
+    const double theta = common::uniform(rng, 0.0, 2.0 * std::numbers::pi);
+    members_[v].offset = {r * std::cos(theta), r * std::sin(theta)};
+    members_[v].offset_dest = members_[v].offset;
+    positions_[v] = region_.clamp(leaders_[gr].origin + members_[v].offset);
+  }
+}
+
+void ReferencePointGroup::leader_new_leg(Size group, Time at) {
+  Leader& leader = leaders_[group];
+  leader.dest = region_.sample(rngs_[group]);
+  leader.depart = at;
+  const double travel =
+      std::max(geom::distance(leader.origin, leader.dest) / params_.leader_speed, 1e-9);
+  leader.arrive = at + travel;
+}
+
+geom::Vec2 ReferencePointGroup::leader_pos(const Leader& leader, Time t) const {
+  if (t <= leader.depart) return leader.origin;
+  const double frac = (t - leader.depart) / (leader.arrive - leader.depart);
+  return leader.origin + (leader.dest - leader.origin) * std::min(frac, 1.0);
+}
+
+geom::Vec2 ReferencePointGroup::reference_point(Size group) const {
+  MANET_CHECK(group < leaders_.size());
+  return leader_pos(leaders_[group], now_);
+}
+
+void ReferencePointGroup::advance_to(Time t) {
+  MANET_CHECK_MSG(t >= now_, "mobility time must be monotone");
+  const double dt = t - now_;
+
+  // Advance reference points along their random-waypoint legs (consume any
+  // legs completed within the interval).
+  for (Size gr = 0; gr < leaders_.size(); ++gr) {
+    Leader& leader = leaders_[gr];
+    while (t >= leader.arrive) {
+      leader.origin = leader.dest;
+      leader_new_leg(gr, leader.arrive);
+    }
+  }
+
+  // Members drift toward their offset waypoints inside the jitter disk.
+  for (NodeId v = 0; v < positions_.size(); ++v) {
+    Member& member = members_[v];
+    auto& rng = rngs_[group_of_[v]];
+    const geom::Vec2 gap = member.offset_dest - member.offset;
+    const double gap_len = gap.norm();
+    const double step = params_.member_speed * dt;
+    if (gap_len <= step || gap_len < 1e-12) {
+      member.offset = member.offset_dest;
+      const double r = jitter_radius_ * std::sqrt(common::uniform01(rng));
+      const double theta = common::uniform(rng, 0.0, 2.0 * std::numbers::pi);
+      member.offset_dest = {r * std::cos(theta), r * std::sin(theta)};
+    } else {
+      member.offset += gap * (step / gap_len);
+    }
+    positions_[v] =
+        region_.clamp(leader_pos(leaders_[group_of_[v]], t) + member.offset);
+  }
+
+  now_ = t;
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "mobility/model.hpp"
+
+/// \file group.hpp
+/// Reference Point Group Mobility (RPGM; Hong et al. 1999 — the group-motion
+/// scenario HSR [11] targets, cited by the paper as a motivation for
+/// hierarchical clustering). Nodes are partitioned into groups; each group's
+/// *reference point* performs random waypoint, and members jitter inside a
+/// disk around it. Group-correlated motion is the best case for a clustered
+/// hierarchy: clusters align with groups, so cluster-boundary crossings —
+/// and hence LM handoff — drop relative to independent motion (experiment
+/// E23 in bench_sensitivity/gls comparisons).
+
+namespace manet::mobility {
+
+class ReferencePointGroup final : public MobilityModel {
+ public:
+  struct Params {
+    Size group_size = 16;       ///< nodes per group (last group may be smaller)
+    double leader_speed = 1.0;  ///< m/s, reference-point random waypoint speed
+    double member_radius = 0.0; ///< jitter disk radius; 0 => 2 * spacing heuristic
+    double member_speed = 0.5;  ///< m/s, motion around the reference point
+  };
+
+  ReferencePointGroup(const geom::Region& region, Size n, Params params,
+                      std::uint64_t seed);
+
+  void advance_to(Time t) override;
+  const std::vector<geom::Vec2>& positions() const override { return positions_; }
+  Time now() const override { return now_; }
+  Size node_count() const override { return positions_.size(); }
+  const char* name() const override { return "rpgm"; }
+
+  Size group_count() const { return leaders_.size(); }
+  Size group_of(NodeId v) const { return group_of_[v]; }
+  geom::Vec2 reference_point(Size group) const;
+
+ private:
+  struct Leader {
+    geom::Vec2 origin;  ///< position at leg start
+    geom::Vec2 dest;    ///< waypoint
+    Time depart = 0.0;
+    Time arrive = 0.0;
+  };
+
+  geom::Vec2 leader_pos(const Leader& leader, Time t) const;
+  struct Member {
+    geom::Vec2 offset;       ///< current offset from the reference point
+    geom::Vec2 offset_dest;  ///< offset waypoint inside the jitter disk
+  };
+
+  void leader_new_leg(Size group, Time at);
+
+  const geom::Region& region_;
+  Params params_;
+  std::vector<common::Xoshiro256> rngs_;  ///< one per group
+  std::vector<Leader> leaders_;
+  std::vector<Member> members_;
+  std::vector<Size> group_of_;
+  std::vector<geom::Vec2> positions_;
+  double jitter_radius_;
+  Time now_ = 0.0;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "geom/region.hpp"
+#include "geom/vec2.hpp"
+
+/// \file model.hpp
+/// Mobility model interface. Models evolve per-node positions in continuous
+/// time; the simulation harness advances them from sampling-tick events.
+/// The paper's analysis (Section 1.2) uses random waypoint with fixed speed
+/// mu and zero pause; other models are provided as extensions and for
+/// sensitivity checks.
+
+namespace manet::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Advance all nodes to absolute time \p t (monotone: t >= now()).
+  virtual void advance_to(Time t) = 0;
+
+  /// Current positions, indexed by NodeId. Valid until the next advance_to.
+  virtual const std::vector<geom::Vec2>& positions() const = 0;
+
+  /// Current model time.
+  virtual Time now() const = 0;
+
+  /// Number of nodes.
+  virtual Size node_count() const = 0;
+
+  /// Human-readable model name for reports.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,53 @@
+#include "mobility/random_direction.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace manet::mobility {
+
+RandomDirection::RandomDirection(const geom::Region& region, Size n, Params params,
+                                 std::uint64_t seed)
+    : region_(region), params_(params), rng_(seed) {
+  MANET_CHECK(params_.speed > 0.0);
+  MANET_CHECK(params_.mean_epoch > 0.0);
+  positions_.resize(n);
+  states_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    positions_[v] = region_.sample(rng_);
+    new_heading(v, 0.0);
+  }
+}
+
+void RandomDirection::new_heading(NodeId v, Time at) {
+  const double theta = common::uniform(rng_, 0.0, 2.0 * std::numbers::pi);
+  states_[v].heading = {std::cos(theta), std::sin(theta)};
+  states_[v].epoch_end = at + common::exponential(rng_, 1.0 / params_.mean_epoch);
+}
+
+void RandomDirection::advance_to(Time t) {
+  MANET_CHECK_MSG(t >= now_, "mobility time must be monotone");
+  for (NodeId v = 0; v < positions_.size(); ++v) {
+    Time cur = now_;
+    while (cur < t) {
+      State& st = states_[v];
+      const Time segment_end = std::min(t, st.epoch_end);
+      geom::Vec2 next = positions_[v] + st.heading * (params_.speed * (segment_end - cur));
+      if (!region_.contains(next)) {
+        // Boundary hit: clamp to the region and bounce with a fresh heading.
+        next = region_.clamp(next);
+        positions_[v] = next;
+        new_heading(v, segment_end);
+        cur = segment_end;
+        continue;
+      }
+      positions_[v] = next;
+      cur = segment_end;
+      if (segment_end == st.epoch_end) new_heading(v, segment_end);
+    }
+  }
+  now_ = t;
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "mobility/model.hpp"
+
+/// \file random_direction.hpp
+/// Random direction mobility (extension; not in the paper). Each node picks a
+/// uniform heading and travels until it hits the region boundary or an
+/// exponentially distributed epoch expires, then picks a new heading.
+/// Unlike random waypoint, the stationary node distribution stays
+/// near-uniform (no center bias), which makes it a useful sensitivity check
+/// for the paper's constant-density assumption.
+
+namespace manet::mobility {
+
+class RandomDirection final : public MobilityModel {
+ public:
+  struct Params {
+    double speed = 1.0;             ///< m/s
+    double mean_epoch = 60.0;       ///< s, mean of the exponential epoch length
+  };
+
+  RandomDirection(const geom::Region& region, Size n, Params params, std::uint64_t seed);
+
+  void advance_to(Time t) override;
+  const std::vector<geom::Vec2>& positions() const override { return positions_; }
+  Time now() const override { return now_; }
+  Size node_count() const override { return positions_.size(); }
+  const char* name() const override { return "random_direction"; }
+
+ private:
+  struct State {
+    geom::Vec2 heading;  ///< unit vector
+    Time epoch_end;      ///< when a new heading is drawn
+  };
+
+  void new_heading(NodeId v, Time at);
+
+  const geom::Region& region_;
+  Params params_;
+  common::Xoshiro256 rng_;
+  std::vector<geom::Vec2> positions_;
+  std::vector<State> states_;
+  Time now_ = 0.0;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,59 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace manet::mobility {
+
+RandomWaypoint::RandomWaypoint(const geom::Region& region, Size n, Params params,
+                               std::uint64_t seed)
+    : region_(region), params_(params) {
+  MANET_CHECK(params_.speed_min > 0.0);
+  MANET_CHECK(params_.speed_max >= params_.speed_min);
+  MANET_CHECK(params_.pause >= 0.0);
+  positions_.resize(n);
+  legs_.resize(n);
+  rngs_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    rngs_.emplace_back(common::derive_seed(seed, v));
+    positions_[v] = region_.sample(rngs_[v]);
+    start_new_leg(v, positions_[v], /*at=*/0.0);
+  }
+}
+
+void RandomWaypoint::start_new_leg(NodeId v, geom::Vec2 from, Time at) {
+  Leg& leg = legs_[v];
+  common::Xoshiro256& rng = rngs_[v];
+  leg.origin = from;
+  leg.dest = region_.sample(rng);
+  leg.speed = common::uniform(rng, params_.speed_min, params_.speed_max);
+  if (params_.speed_max == params_.speed_min) leg.speed = params_.speed_min;
+  leg.depart = at + params_.pause;
+  // Guard against a zero-length leg (waypoint sampled exactly at the current
+  // position) which would make advance_to's leg-consumption loop spin.
+  const double travel = std::max(geom::distance(from, leg.dest) / leg.speed, 1e-9);
+  leg.arrive = leg.depart + travel;
+}
+
+void RandomWaypoint::advance_to(Time t) {
+  MANET_CHECK_MSG(t >= now_, "mobility time must be monotone");
+  for (NodeId v = 0; v < positions_.size(); ++v) {
+    Leg* leg = &legs_[v];
+    // Consume completed legs (possibly several if t jumps far ahead).
+    while (t >= leg->arrive) {
+      positions_[v] = leg->dest;
+      start_new_leg(v, leg->dest, leg->arrive);
+      leg = &legs_[v];
+    }
+    if (t <= leg->depart) {
+      positions_[v] = leg->origin;  // pausing at the waypoint
+    } else {
+      const double frac = (t - leg->depart) / (leg->arrive - leg->depart);
+      positions_[v] = leg->origin + (leg->dest - leg->origin) * frac;
+    }
+  }
+  now_ = t;
+}
+
+}  // namespace manet::mobility

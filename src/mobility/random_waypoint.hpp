@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "mobility/model.hpp"
+
+/// \file random_waypoint.hpp
+/// Random waypoint mobility (Broch et al., MobiCom '98 — the paper's ref [4]).
+///
+/// Each node repeatedly (a) picks a uniform random waypoint in the region,
+/// (b) travels to it in a straight line at a speed drawn from
+/// [speed_min, speed_max], (c) pauses for `pause` seconds. The paper's
+/// assumptions are fixed speed mu and zero pause; those are the defaults via
+/// Params::fixed_speed().
+
+namespace manet::mobility {
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Params {
+    double speed_min = 1.0;  ///< m/s, must be > 0 (avoids the RWP speed-decay pathology)
+    double speed_max = 1.0;  ///< m/s, >= speed_min
+    double pause = 0.0;      ///< s at each waypoint (paper: 0)
+
+    /// Paper configuration: constant speed mu, zero pause.
+    static Params fixed_speed(double mu) { return Params{mu, mu, 0.0}; }
+  };
+
+  /// Nodes start at uniform positions in \p region (owned by caller,
+  /// must outlive the model) with an initial waypoint already assigned.
+  RandomWaypoint(const geom::Region& region, Size n, Params params, std::uint64_t seed);
+
+  void advance_to(Time t) override;
+  const std::vector<geom::Vec2>& positions() const override { return positions_; }
+  Time now() const override { return now_; }
+  Size node_count() const override { return positions_.size(); }
+  const char* name() const override { return "random_waypoint"; }
+
+  /// Direct access for tests: destination of node v's current leg.
+  geom::Vec2 current_waypoint(NodeId v) const { return legs_[v].dest; }
+  /// Speed of node v's current leg (m/s).
+  double current_speed(NodeId v) const { return legs_[v].speed; }
+
+ private:
+  struct Leg {
+    geom::Vec2 origin;   ///< position at leg start
+    geom::Vec2 dest;     ///< waypoint
+    Time depart;         ///< time motion starts (after any pause)
+    Time arrive;         ///< time the waypoint is reached
+    double speed;        ///< m/s on this leg
+  };
+
+  void start_new_leg(NodeId v, geom::Vec2 from, Time at);
+
+  const geom::Region& region_;
+  Params params_;
+  /// One RNG stream per node: trajectories are then independent of the
+  /// advance_to() call pattern (a node's k-th waypoint draw is always its
+  /// k-th draw from its own stream, however the interleaving falls).
+  std::vector<common::Xoshiro256> rngs_;
+  std::vector<geom::Vec2> positions_;
+  std::vector<Leg> legs_;
+  Time now_ = 0.0;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,103 @@
+#include "mobility/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace manet::mobility {
+
+Trace Trace::record(MobilityModel& model, Time duration, Time interval) {
+  MANET_CHECK(duration >= 0.0);
+  MANET_CHECK(interval > 0.0);
+  Trace trace;
+  const Time start = model.now();
+  for (Time t = start; t <= start + duration + 1e-12; t += interval) {
+    model.advance_to(t);
+    trace.append(TraceFrame{t, model.positions()});
+  }
+  return trace;
+}
+
+void Trace::append(TraceFrame frame) {
+  if (!frames_.empty()) {
+    MANET_CHECK_MSG(frame.positions.size() == frames_.front().positions.size(),
+                    "inconsistent node count across trace frames");
+    MANET_CHECK_MSG(frame.time >= frames_.back().time, "trace frames must be time-ordered");
+  }
+  frames_.push_back(std::move(frame));
+}
+
+void Trace::save(std::ostream& os) const {
+  os << "# manet-trace v1\n";
+  os << "# frames " << frames_.size() << " nodes " << node_count() << "\n";
+  os.precision(12);
+  for (const auto& frame : frames_) {
+    os << frame.time;
+    for (const auto& p : frame.positions) os << ' ' << p.x << ' ' << p.y;
+    os << '\n';
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  Trace trace;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    TraceFrame frame;
+    ss >> frame.time;
+    double x, y;
+    while (ss >> x >> y) frame.positions.push_back({x, y});
+    MANET_CHECK_MSG(!frame.positions.empty(), "trace frame with no positions");
+    trace.append(std::move(frame));
+  }
+  return trace;
+}
+
+double Trace::mean_step_displacement() const {
+  if (frames_.size() < 2 || node_count() == 0) return 0.0;
+  double sum = 0.0;
+  Size count = 0;
+  for (Size f = 1; f < frames_.size(); ++f) {
+    for (Size v = 0; v < node_count(); ++v) {
+      sum += geom::distance(frames_[f].positions[v], frames_[f - 1].positions[v]);
+      ++count;
+    }
+  }
+  return sum / static_cast<double>(count);
+}
+
+TraceReplay::TraceReplay(Trace trace) : trace_(std::move(trace)) {
+  MANET_CHECK_MSG(trace_.frame_count() > 0, "cannot replay an empty trace");
+  positions_ = trace_.frames().front().positions;
+  now_ = trace_.frames().front().time;
+}
+
+void TraceReplay::advance_to(Time t) {
+  MANET_CHECK_MSG(t >= now_, "mobility time must be monotone");
+  const auto& frames = trace_.frames();
+  // Locate the frame interval containing t (linear scan from the front is
+  // fine: replays advance monotonically and frames are few).
+  Size hi = 0;
+  while (hi < frames.size() && frames[hi].time < t) ++hi;
+  if (hi == 0) {
+    positions_ = frames.front().positions;
+  } else if (hi == frames.size()) {
+    positions_ = frames.back().positions;  // clamp beyond the last frame
+  } else {
+    const auto& a = frames[hi - 1];
+    const auto& b = frames[hi];
+    const double span = b.time - a.time;
+    const double frac = span > 0.0 ? (t - a.time) / span : 1.0;
+    positions_.resize(a.positions.size());
+    for (Size v = 0; v < positions_.size(); ++v) {
+      positions_[v] = a.positions[v] + (b.positions[v] - a.positions[v]) * frac;
+    }
+  }
+  now_ = t;
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "mobility/model.hpp"
+
+/// \file trace.hpp
+/// Mobility trace recording and replay. A trace is a sequence of timestamped
+/// position snapshots. Recording lets experiments decouple trace generation
+/// from analysis (and lets tests replay identical motion through different
+/// protocol stacks); the text format is a simple self-describing table.
+
+namespace manet::mobility {
+
+struct TraceFrame {
+  Time time = 0.0;
+  std::vector<geom::Vec2> positions;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Record \p model every \p interval seconds for \p duration seconds,
+  /// starting with a frame at the model's current time.
+  static Trace record(MobilityModel& model, Time duration, Time interval);
+
+  void append(TraceFrame frame);
+
+  const std::vector<TraceFrame>& frames() const { return frames_; }
+  Size frame_count() const { return frames_.size(); }
+  Size node_count() const { return frames_.empty() ? 0 : frames_.front().positions.size(); }
+
+  /// Serialize as "t x0 y0 x1 y1 ..." lines preceded by a header.
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+  /// Mean per-node displacement between consecutive frames (sanity metric).
+  double mean_step_displacement() const;
+
+ private:
+  std::vector<TraceFrame> frames_;
+};
+
+/// Mobility model that replays a recorded trace with linear interpolation
+/// between frames (and clamping beyond the last frame).
+class TraceReplay final : public MobilityModel {
+ public:
+  explicit TraceReplay(Trace trace);
+
+  void advance_to(Time t) override;
+  const std::vector<geom::Vec2>& positions() const override { return positions_; }
+  Time now() const override { return now_; }
+  Size node_count() const override { return positions_.size(); }
+  const char* name() const override { return "trace_replay"; }
+
+ private:
+  Trace trace_;
+  std::vector<geom::Vec2> positions_;
+  Time now_ = 0.0;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,42 @@
+#include "net/link_tracker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace manet::net {
+
+std::vector<graph::Edge> edge_difference(std::span<const graph::Edge> a,
+                                         std::span<const graph::Edge> b) {
+  std::vector<graph::Edge> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+LinkTracker::LinkTracker(const graph::Graph& initial, Time t0)
+    : prev_edges_(initial.edges().begin(), initial.edges().end()),
+      node_count_(initial.vertex_count()),
+      start_time_(t0),
+      last_time_(t0) {}
+
+LinkDelta LinkTracker::update(const graph::Graph& current, Time t) {
+  MANET_CHECK_MSG(t >= last_time_, "link tracker time must be monotone");
+  MANET_CHECK_MSG(current.vertex_count() == node_count_,
+                  "node count changed between snapshots");
+  LinkDelta delta;
+  delta.up = edge_difference(current.edges(), prev_edges_);
+  delta.down = edge_difference(prev_edges_, current.edges());
+  total_events_ += delta.event_count();
+  prev_edges_.assign(current.edges().begin(), current.edges().end());
+  last_time_ = t;
+  return delta;
+}
+
+double LinkTracker::events_per_node_per_second() const {
+  const Time window = elapsed();
+  if (window <= 0.0 || node_count_ == 0) return 0.0;
+  return static_cast<double>(total_events_) /
+         (static_cast<double>(node_count_) * window);
+}
+
+}  // namespace manet::net

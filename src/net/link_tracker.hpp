@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file link_tracker.hpp
+/// Link-state change detection between consecutive topology snapshots.
+///
+/// The paper's eq. (4) claims the per-node frequency of level-0 link state
+/// change events is f_0 = Theta(1) under random waypoint at constant density.
+/// LinkTracker diffs canonical edge lists of consecutive snapshots, reports
+/// which links came up / went down, and accumulates the running event rate
+/// needed by experiment E4.
+
+namespace manet::net {
+
+struct LinkDelta {
+  std::vector<graph::Edge> up;    ///< links present now, absent before
+  std::vector<graph::Edge> down;  ///< links absent now, present before
+
+  Size event_count() const { return up.size() + down.size(); }
+};
+
+class LinkTracker {
+ public:
+  /// Prime the tracker with the initial topology at time \p t0.
+  LinkTracker(const graph::Graph& initial, Time t0);
+
+  /// Diff \p current (at time \p t) against the previous snapshot, update
+  /// running counters, and return the delta. \p t must be >= the prior time.
+  LinkDelta update(const graph::Graph& current, Time t);
+
+  /// Total link-state change events observed so far.
+  Size total_events() const { return total_events_; }
+
+  /// Observation window covered so far (seconds).
+  Time elapsed() const { return last_time_ - start_time_; }
+
+  /// f_0 estimate: events per node per second. A link event involves two
+  /// endpoints; following the paper's accounting (eq. (4): |E| * mu / (|V| *
+  /// R_TX) events "per node"), each link event is counted once and divided
+  /// by |V|.
+  double events_per_node_per_second() const;
+
+ private:
+  std::vector<graph::Edge> prev_edges_;
+  Size node_count_;
+  Time start_time_;
+  Time last_time_;
+  Size total_events_ = 0;
+};
+
+/// Set-difference of two canonical sorted edge lists (a \ b).
+std::vector<graph::Edge> edge_difference(std::span<const graph::Edge> a,
+                                         std::span<const graph::Edge> b);
+
+}  // namespace manet::net

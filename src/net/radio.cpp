@@ -1,0 +1,23 @@
+#include "net/radio.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace manet::net {
+
+double connectivity_radius(std::size_t n_nodes, double density, double margin) {
+  MANET_CHECK(n_nodes >= 2);
+  MANET_CHECK(density > 0.0);
+  const double ln_n = std::log(static_cast<double>(n_nodes));
+  return std::sqrt((ln_n + margin) / (std::numbers::pi * density));
+}
+
+double radius_for_mean_degree(double target_degree, double density) {
+  MANET_CHECK(target_degree > 0.0);
+  MANET_CHECK(density > 0.0);
+  return std::sqrt((target_degree + 1.0) / (density * std::numbers::pi));
+}
+
+}  // namespace manet::net

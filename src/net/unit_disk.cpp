@@ -1,0 +1,69 @@
+#include "net/unit_disk.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "graph/components.hpp"
+
+namespace manet::net {
+
+graph::Graph build_unit_disk_graph(const std::vector<geom::Vec2>& positions,
+                                   double tx_radius) {
+  UnitDiskBuilder builder(tx_radius);
+  return builder.build(positions);
+}
+
+UnitDiskBuilder::UnitDiskBuilder(double tx_radius, bool ensure_connected)
+    : tx_radius_(tx_radius), ensure_connected_(ensure_connected), grid_(tx_radius) {
+  MANET_CHECK(tx_radius > 0.0);
+}
+
+graph::Graph UnitDiskBuilder::build(const std::vector<geom::Vec2>& positions) {
+  grid_.rebuild(positions);
+  edge_buffer_.clear();
+  grid_.for_each_pair_within(tx_radius_, [this](NodeId u, NodeId v) {
+    edge_buffer_.emplace_back(u, v);
+  });
+  // for_each_pair_within emits canonical (u < v) pairs, each exactly once.
+  graph::Graph g(positions.size(), edge_buffer_);
+  last_augmented_ = 0;
+  if (!ensure_connected_ || graph::is_connected(g) || positions.size() < 2) return g;
+
+  // Bridge every minor component to the giant one via the closest node pair
+  // (checked against every giant-component node; component populations are
+  // tiny in practice, so the quadratic scan is cheap and exact).
+  const auto labels = graph::component_labels(g);
+  const std::uint32_t n_comp = 1 + *std::max_element(labels.begin(), labels.end());
+  std::vector<Size> comp_size(n_comp, 0);
+  for (const auto l : labels) ++comp_size[l];
+  const std::uint32_t giant = static_cast<std::uint32_t>(
+      std::max_element(comp_size.begin(), comp_size.end()) - comp_size.begin());
+
+  std::vector<NodeId> giant_nodes;
+  for (NodeId v = 0; v < labels.size(); ++v) {
+    if (labels[v] == giant) giant_nodes.push_back(v);
+  }
+  for (std::uint32_t c = 0; c < n_comp; ++c) {
+    if (c == giant) continue;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    NodeId best_u = kInvalidNode, best_v = kInvalidNode;
+    for (NodeId u = 0; u < labels.size(); ++u) {
+      if (labels[u] != c) continue;
+      for (const NodeId v : giant_nodes) {
+        const double d2 = geom::distance2(positions[u], positions[v]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+    MANET_CHECK(best_u != kInvalidNode);
+    edge_buffer_.emplace_back(std::min(best_u, best_v), std::max(best_u, best_v));
+    ++last_augmented_;
+  }
+  return graph::Graph(positions.size(), edge_buffer_);
+}
+
+}  // namespace manet::net

@@ -1,0 +1,195 @@
+#include "routing/table.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/bfs.hpp"
+#include "lm/address.hpp"
+
+namespace manet::routing {
+
+RoutingTables::RoutingTables(const graph::Graph& g, const cluster::Hierarchy& h)
+    : g_(&g), h_(&h) {
+  const Size n = g.vertex_count();
+  MANET_CHECK(h.level(0).vertex_count() == n);
+  tables_.resize(n);
+
+  // For every cluster c at every level L-1 .. 0: BFS toward c's members
+  // *restricted to the parent cluster's induced subgraph*, so that forwarded
+  // packets stay inside the cluster whose address prefix they have already
+  // matched — this is what keeps strict hierarchical routing loop-free (a
+  // path that left the parent would raise the longest-matched prefix again
+  // and could oscillate). Members cut off inside the induced subgraph fall
+  // back to the global shortest-path field. Per-cluster fields are
+  // discarded immediately, so peak memory stays O(n).
+  std::vector<std::uint32_t> membership(n, 0xFFFFFFFFu);  // node -> parent cluster id
+  for (Level parent_level = 1; parent_level <= h.top_level(); ++parent_level) {
+    const Level child_level = parent_level - 1;
+    for (NodeId parent = 0; parent < h.cluster_count(parent_level); ++parent) {
+      const auto& children = h.children(parent_level, parent);
+      if (children.size() < 2) continue;  // no siblings, no entries
+      const auto& parent_members = h.members0(parent_level, parent);
+      for (const NodeId v : parent_members) membership[v] = parent;
+
+      for (const NodeId child : children) {
+        const auto& targets = h.members0(child_level, child);
+
+        // Multi-source BFS over the induced subgraph of parent_members.
+        std::vector<std::uint32_t> dist(n, graph::kUnreachable);
+        std::vector<NodeId> queue;
+        for (const NodeId s : targets) {
+          dist[s] = 0;
+          queue.push_back(s);
+        }
+        for (Size head = 0; head < queue.size(); ++head) {
+          const NodeId u = queue[head];
+          for (const NodeId w : g.neighbors(u)) {
+            if (membership[w] != parent || dist[w] != graph::kUnreachable) continue;
+            dist[w] = dist[u] + 1;
+            queue.push_back(w);
+          }
+        }
+
+        // Fallback field for members the induced subgraph cannot reach
+        // (cluster membership is not always level-0 contiguous).
+        std::vector<std::uint32_t> global_dist;
+        for (const NodeId v : parent_members) {
+          if (dist[v] != graph::kUnreachable) continue;
+          if (global_dist.empty()) global_dist = graph::bfs_hops_multi(g, targets);
+          break;
+        }
+
+        for (const NodeId v : parent_members) {
+          const bool in_cluster_path = dist[v] != graph::kUnreachable;
+          const auto& field = in_cluster_path ? dist : global_dist;
+          if (field.empty()) continue;
+          const std::uint32_t dv = field[v];
+          if (dv == 0) continue;  // v inside the target cluster
+          if (dv == graph::kUnreachable) continue;  // fully disconnected snapshot
+          // Next hop: the smallest-id neighbor strictly closer to the
+          // target (deterministic tie-break).
+          NodeId hop = kInvalidNode;
+          for (const NodeId w : g.neighbors(v)) {
+            if (field[w] == dv - 1 && (hop == kInvalidNode || w < hop)) hop = w;
+          }
+          MANET_CHECK(hop != kInvalidNode);
+          tables_[v].push_back(RouteEntry{child_level, child, hop, dv});
+        }
+      }
+      for (const NodeId v : parent_members) membership[v] = 0xFFFFFFFFu;
+    }
+  }
+}
+
+const std::vector<RouteEntry>& RoutingTables::entries(NodeId v) const {
+  MANET_CHECK(v < tables_.size());
+  return tables_[v];
+}
+
+double RoutingTables::mean_table_size() const {
+  if (tables_.empty()) return 0.0;
+  Size total = 0;
+  for (const auto& t : tables_) total += t.size();
+  return static_cast<double>(total) / static_cast<double>(tables_.size());
+}
+
+const RouteEntry* RoutingTables::find_entry(NodeId u, Level level, NodeId cluster) const {
+  for (const auto& entry : tables_[u]) {
+    if (entry.level == level && entry.target == cluster) return &entry;
+  }
+  return nullptr;
+}
+
+NodeId RoutingTables::next_hop(NodeId u, NodeId dest) const {
+  MANET_CHECK(u < tables_.size() && dest < tables_.size());
+  if (u == dest) return u;
+  // Lowest level where u and dest share a cluster; the packet heads for the
+  // destination's cluster one level below the shared one.
+  const Level shared = lm::lowest_common_level(*h_, u, dest);
+  MANET_CHECK(shared >= 1);
+  const NodeId target = h_->ancestor(dest, shared - 1);
+  const RouteEntry* entry = find_entry(u, shared - 1, target);
+  return entry != nullptr ? entry->next_hop : kInvalidNode;
+}
+
+RoutingTables::RouteResult RoutingTables::route(NodeId u, NodeId dest) const {
+  RouteResult result;
+  result.path.push_back(u);
+  const Size guard = 4 * tables_.size() + 8;
+  std::vector<bool> visited(tables_.size(), false);
+  visited[u] = true;
+
+  NodeId cur = u;
+  bool recovery = false;
+  std::vector<std::uint32_t> recovery_field;
+  while (cur != dest && result.path.size() < guard) {
+    NodeId hop = kInvalidNode;
+    if (!recovery) {
+      hop = next_hop(cur, dest);
+      // A revisit means a fallback entry oscillated; switch to recovery.
+      if (hop == kInvalidNode || visited[hop]) {
+        recovery = true;
+        result.recovered = true;
+        recovery_field = graph::bfs_hops(*g_, dest);
+      }
+    }
+    if (recovery) {
+      const std::uint32_t dc = recovery_field[cur];
+      if (dc == graph::kUnreachable || dc == 0) break;
+      for (const NodeId w : g_->neighbors(cur)) {
+        if (recovery_field[w] == dc - 1 && (hop == kInvalidNode || w < hop)) hop = w;
+      }
+    }
+    if (hop == kInvalidNode || hop == cur) break;
+    result.path.push_back(hop);
+    visited[hop] = true;
+    cur = hop;
+  }
+  result.delivered = cur == dest;
+  return result;
+}
+
+StretchStats measure_stretch(const RoutingTables& tables, const graph::Graph& g, Size pairs,
+                             std::uint64_t seed) {
+  StretchStats stats;
+  common::Xoshiro256 rng(seed);
+  graph::BfsScratch bfs;
+  const Size n = g.vertex_count();
+  if (n < 2) return stats;
+
+  double stretch_sum = 0.0;
+  double hier_sum = 0.0;
+  double short_sum = 0.0;
+  while (stats.sampled_pairs + stats.failures < pairs) {
+    const auto u = static_cast<NodeId>(common::uniform_index(rng, n));
+    const auto v = static_cast<NodeId>(common::uniform_index(rng, n));
+    if (u == v) continue;
+    bfs.run(g, u);
+    const auto shortest = bfs.hops_to(v);
+    if (shortest == graph::kUnreachable) continue;
+
+    const auto routed = tables.route(u, v);
+    if (!routed.delivered) {
+      ++stats.failures;
+      continue;
+    }
+    if (routed.recovered) ++stats.recoveries;
+    const double hier = static_cast<double>(routed.path.size() - 1);
+    const double stretch = hier / static_cast<double>(shortest);
+    stretch_sum += stretch;
+    hier_sum += hier;
+    short_sum += shortest;
+    stats.max_stretch = std::max(stats.max_stretch, stretch);
+    ++stats.sampled_pairs;
+  }
+  if (stats.sampled_pairs > 0) {
+    const auto m = static_cast<double>(stats.sampled_pairs);
+    stats.mean_stretch = stretch_sum / m;
+    stats.mean_hier_hops = hier_sum / m;
+    stats.mean_shortest_hops = short_sum / m;
+  }
+  return stats;
+}
+
+}  // namespace manet::routing

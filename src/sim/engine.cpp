@@ -1,0 +1,69 @@
+#include "sim/engine.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace manet::sim {
+
+EventId Engine::schedule_at(Time when, EventFn fn) {
+  MANET_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Engine::schedule_in(Time delay, EventFn fn) {
+  MANET_CHECK(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+Engine::RecurringHandle Engine::schedule_every(Time period, EventFn fn) {
+  MANET_CHECK(period > 0.0);
+  const std::uint64_t token = next_recurring_token_++;
+  recurring_alive_[token] = true;
+
+  // Self-rescheduling closure; checks liveness each firing so that
+  // stop_recurring() takes effect at the next tick boundary.
+  auto tick = std::make_shared<EventFn>();
+  auto shared_fn = std::make_shared<EventFn>(std::move(fn));
+  *tick = [this, token, period, shared_fn, tick]() {
+    const auto it = recurring_alive_.find(token);
+    if (it == recurring_alive_.end() || !it->second) {
+      recurring_alive_.erase(token);
+      return;
+    }
+    (*shared_fn)();
+    schedule_in(period, *tick);
+  };
+  schedule_in(period, *tick);
+  return RecurringHandle{token};
+}
+
+void Engine::stop_recurring(RecurringHandle handle) {
+  const auto it = recurring_alive_.find(handle.token);
+  if (it != recurring_alive_.end()) it->second = false;
+}
+
+Size Engine::run_until(Time horizon) {
+  Size executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    auto fired = queue_.pop();
+    MANET_CHECK(fired.time >= now_);
+    now_ = fired.time;
+    fired.fn();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  MANET_CHECK(fired.time >= now_);
+  now_ = fired.time;
+  fired.fn();
+  return true;
+}
+
+}  // namespace manet::sim

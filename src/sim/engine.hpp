@@ -1,0 +1,52 @@
+#pragma once
+
+#include "sim/event_queue.hpp"
+
+/// \file engine.hpp
+/// Discrete-event simulation engine: a monotone clock plus the pending-event
+/// set. Mobility waypoint arrivals, topology sampling ticks and measurement
+/// epochs are all events; the engine knows nothing about their semantics.
+
+namespace manet::sim {
+
+class Engine {
+ public:
+  Time now() const noexcept { return now_; }
+
+  /// Schedule at absolute time \p when (must be >= now()).
+  EventId schedule_at(Time when, EventFn fn);
+
+  /// Schedule \p delay seconds from now (delay >= 0).
+  EventId schedule_in(Time delay, EventFn fn);
+
+  /// Schedule \p fn every \p period seconds, first firing at now() + period.
+  /// Returns the id of the *first* occurrence; cancelling a recurring event
+  /// is done via stop_recurring() with the handle returned here.
+  struct RecurringHandle {
+    std::uint64_t token;
+  };
+  RecurringHandle schedule_every(Time period, EventFn fn);
+  void stop_recurring(RecurringHandle handle);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue is empty or the clock would pass \p horizon.
+  /// Events scheduled exactly at the horizon DO fire. Returns the number of
+  /// events executed.
+  Size run_until(Time horizon);
+
+  /// Execute exactly one event if any is pending; returns whether one fired.
+  bool step();
+
+  Size pending_count() const { return queue_.pending_count(); }
+
+ private:
+  struct Recurring;
+
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_recurring_token_ = 1;
+  std::unordered_map<std::uint64_t, bool> recurring_alive_;
+};
+
+}  // namespace manet::sim

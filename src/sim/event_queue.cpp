@@ -1,0 +1,45 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace manet::sim {
+
+EventId EventQueue::schedule(Time when, EventFn fn) {
+  MANET_CHECK_MSG(fn != nullptr, "null event callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled();
+  MANET_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  MANET_CHECK(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  Fired fired{top.time, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  return fired;
+}
+
+}  // namespace manet::sim

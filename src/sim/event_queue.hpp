@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file event_queue.hpp
+/// Pending-event set for the discrete-event kernel: a binary min-heap keyed
+/// by (time, sequence). The sequence number makes simultaneous events fire in
+/// scheduling order, which keeps runs bit-reproducible.
+
+namespace manet::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule \p fn at absolute time \p when; returns a cancellation handle.
+  EventId schedule(Time when, EventFn fn);
+
+  /// Cancel a pending event. Returns false if already fired or cancelled.
+  /// Cancellation is lazy: the heap entry is tombstoned and skipped on pop.
+  bool cancel(EventId id);
+
+  bool empty() const;
+
+  /// Time of the earliest pending (non-cancelled) event. Requires !empty().
+  Time next_time() const;
+
+  struct Fired {
+    Time time;
+    EventId id;
+    EventFn fn;
+  };
+
+  /// Pop and return the earliest event. Requires !empty().
+  Fired pop();
+
+  Size pending_count() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  /// Discard tombstoned (cancelled) heap heads.
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<EventId, EventFn> callbacks_;
+  EventId next_id_ = 0;
+};
+
+}  // namespace manet::sim

@@ -1,0 +1,49 @@
+#include "traffic/sessions.hpp"
+
+#include "common/check.hpp"
+
+namespace manet::traffic {
+
+double SessionStats::rate(Size node_count) const {
+  const double denom = static_cast<double>(node_count) * window;
+  return denom > 0.0 ? static_cast<double>(data_transmissions) / denom : 0.0;
+}
+
+double SessionStats::mean_transmissions_per_session() const {
+  const Size delivered = sessions - undeliverable;
+  if (delivered == 0) return 0.0;
+  return static_cast<double>(data_transmissions) / static_cast<double>(delivered);
+}
+
+SessionWorkload::SessionWorkload(SessionConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  MANET_CHECK(config_.sessions_per_node_per_sec > 0.0);
+  MANET_CHECK(config_.packets_per_session >= 1);
+}
+
+void SessionWorkload::tick(const routing::RoutingTables& tables, Size node_count, Time dt) {
+  MANET_CHECK(dt > 0.0);
+  MANET_CHECK(node_count >= 2);
+  const double lambda =
+      config_.sessions_per_node_per_sec * static_cast<double>(node_count) * dt;
+  const std::uint64_t n_sessions = common::poisson(rng_, lambda);
+
+  for (std::uint64_t s = 0; s < n_sessions; ++s) {
+    const auto src = static_cast<NodeId>(common::uniform_index(rng_, node_count));
+    auto dst = static_cast<NodeId>(common::uniform_index(rng_, node_count - 1));
+    if (dst >= src) ++dst;  // uniform over peers != src
+    ++stats_.sessions;
+    const auto routed = tables.route(src, dst);
+    if (!routed.delivered) {
+      ++stats_.undeliverable;
+      continue;
+    }
+    if (routed.recovered) ++stats_.recovered;
+    stats_.data_transmissions +=
+        static_cast<PacketCount>(config_.packets_per_session) *
+        static_cast<PacketCount>(routed.path.size() - 1);
+  }
+  stats_.window += dt;
+}
+
+}  // namespace manet::traffic

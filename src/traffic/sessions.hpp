@@ -1,0 +1,51 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "routing/table.hpp"
+
+/// \file sessions.hpp
+/// Data-plane session workload: Poisson unicast session arrivals between
+/// uniform random pairs, each carrying a packet train routed over *strict
+/// hierarchical routing* (not idealized shortest paths — stretch and
+/// recovery detours are charged). This is the denominator of the paper's
+/// Section-6 significance claim: LM control overhead must vanish relative
+/// to the data load the network exists to carry (experiment E19).
+
+namespace manet::traffic {
+
+struct SessionConfig {
+  double sessions_per_node_per_sec = 0.2;
+  Size packets_per_session = 10;
+};
+
+struct SessionStats {
+  Size sessions = 0;
+  Size undeliverable = 0;          ///< routing failures (should be 0)
+  Size recovered = 0;              ///< sessions that used recovery forwarding
+  PacketCount data_transmissions = 0;
+  double window = 0.0;             ///< accumulated seconds
+
+  /// Data-plane packet transmissions per node per second.
+  double rate(Size node_count) const;
+  /// Mean data transmissions per delivered session (= packet train length
+  /// times the routed path length).
+  double mean_transmissions_per_session() const;
+};
+
+class SessionWorkload {
+ public:
+  SessionWorkload(SessionConfig config, std::uint64_t seed);
+
+  /// Generate Poisson(n * rate * dt) sessions between uniform random pairs
+  /// and route each over \p tables; accumulate the transmission count.
+  void tick(const routing::RoutingTables& tables, Size node_count, Time dt);
+
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  SessionConfig config_;
+  common::Xoshiro256 rng_;
+  SessionStats stats_;
+};
+
+}  // namespace manet::traffic

@@ -1,0 +1,94 @@
+#include "viz/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace manet::viz {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// JSON number rendering: finite doubles as shortest round-trip-ish %g;
+/// NaN/inf (not representable in JSON) as null.
+std::string number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+}  // namespace
+
+void write_hierarchy_json(std::ostream& os, const cluster::Hierarchy& h,
+                          bool with_addresses) {
+  os << "{\"levels\":" << h.level_count() << ",\"level\":[";
+  for (Level k = 0; k <= h.top_level(); ++k) {
+    if (k) os << ',';
+    os << "{\"k\":" << k << ",\"clusters\":[";
+    const auto& view = h.level(k);
+    for (NodeId c = 0; c < view.vertex_count(); ++c) {
+      if (c) os << ',';
+      os << "{\"id\":" << view.ids[c] << ",\"members\":[";
+      const auto& members = h.members0(k, c);
+      for (Size i = 0; i < members.size(); ++i) {
+        if (i) os << ',';
+        os << h.level(0).ids[members[i]];
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << ']';
+  if (with_addresses) {
+    os << ",\"addresses\":{";
+    const Size n = h.level(0).vertex_count();
+    for (NodeId v = 0; v < n; ++v) {
+      if (v) os << ',';
+      os << '"' << h.level(0).ids[v] << "\":[";
+      const auto addr = h.address(v);
+      for (Size i = 0; i < addr.size(); ++i) {
+        if (i) os << ',';
+        os << addr[i];
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << "}\n";
+}
+
+void write_metrics_json(std::ostream& os, const exp::RunMetrics& metrics) {
+  os << '{';
+  bool first = true;
+  for (const auto& [name, value] : metrics.values) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << number(value);
+  }
+  os << "}\n";
+}
+
+}  // namespace manet::viz

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cluster/hierarchy.hpp"
+#include "exp/simulation.hpp"
+
+/// \file json.hpp
+/// JSON export of hierarchy snapshots and run metrics, for external tooling
+/// (plots, dashboards, diffing runs). The format is stable and documented:
+///
+/// hierarchy:
+///   { "levels": L+1,
+///     "level": [ { "k": 0, "clusters": [ { "id": head-id,
+///                                          "members": [level-0 ids...] } ] } ],
+///     "addresses": { "<node-id>": [top-down head ids] } }
+///
+/// metrics:
+///   { "<name>": value, ... }   (insertion order preserved)
+
+namespace manet::viz {
+
+/// Serialize the clustered hierarchy. \p with_addresses adds the per-node
+/// hierarchical address map (O(n log n) output size).
+void write_hierarchy_json(std::ostream& os, const cluster::Hierarchy& h,
+                          bool with_addresses = false);
+
+/// Serialize run metrics as a flat JSON object.
+void write_metrics_json(std::ostream& os, const exp::RunMetrics& metrics);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& text);
+
+}  // namespace manet::viz

@@ -1,0 +1,77 @@
+#include "viz/svg.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace manet::viz {
+
+SvgCanvas::SvgCanvas(geom::Vec2 world_min, geom::Vec2 world_max, double pixels)
+    : world_min_(world_min) {
+  const double w = world_max.x - world_min.x;
+  const double h = world_max.y - world_min.y;
+  MANET_CHECK(w > 0.0 && h > 0.0 && pixels > 0.0);
+  scale_ = pixels / w;
+  width_px_ = pixels;
+  height_px_ = h * scale_;
+}
+
+geom::Vec2 SvgCanvas::to_px(geom::Vec2 world) const {
+  // Flip y: SVG grows downward.
+  return {(world.x - world_min_.x) * scale_,
+          height_px_ - (world.y - world_min_.y) * scale_};
+}
+
+double SvgCanvas::scale_px(double world) const { return world * scale_; }
+
+void SvgCanvas::circle(geom::Vec2 center, double world_radius, const Style& style) {
+  const auto c = to_px(center);
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\" stroke=\"%s\" "
+                "stroke-width=\"%.2f\" opacity=\"%.3f\"/>",
+                c.x, c.y, scale_px(world_radius), style.fill.c_str(), style.stroke.c_str(),
+                style.stroke_width, style.opacity);
+  shapes_.emplace_back(buf);
+}
+
+void SvgCanvas::line(geom::Vec2 a, geom::Vec2 b, const Style& style) {
+  const auto pa = to_px(a);
+  const auto pb = to_px(b);
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"%s\" "
+                "stroke-width=\"%.2f\" opacity=\"%.3f\"/>",
+                pa.x, pa.y, pb.x, pb.y, style.stroke.c_str(), style.stroke_width,
+                style.opacity);
+  shapes_.emplace_back(buf);
+}
+
+void SvgCanvas::text(geom::Vec2 at, const std::string& content, double px_size,
+                     const std::string& color) {
+  const auto p = to_px(at);
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%.1f\" font-family=\"monospace\" "
+                "fill=\"%s\">%s</text>",
+                p.x, p.y, px_size, color.c_str(), content.c_str());
+  shapes_.emplace_back(buf);
+}
+
+void SvgCanvas::write(std::ostream& os) const {
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px_ << "\" height=\""
+     << height_px_ << "\" viewBox=\"0 0 " << width_px_ << ' ' << height_px_ << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& shape : shapes_) os << shape << '\n';
+  os << "</svg>\n";
+}
+
+std::string SvgCanvas::palette(Size i) {
+  static const char* kColors[] = {"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+                                  "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"};
+  return kColors[i % 10];
+}
+
+}  // namespace manet::viz

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geom/vec2.hpp"
+
+/// \file svg.hpp
+/// Minimal SVG document builder for rendering deployment snapshots and
+/// clustered hierarchies (examples/render_hierarchy). Shapes are collected
+/// in draw order and written out in one pass; the world-to-viewport
+/// transform flips the y axis so geometry coordinates render naturally.
+
+namespace manet::viz {
+
+struct Style {
+  std::string fill = "none";
+  std::string stroke = "black";
+  double stroke_width = 1.0;
+  double opacity = 1.0;
+};
+
+class SvgCanvas {
+ public:
+  /// World-space bounding box (min corner, max corner) mapped onto a
+  /// \p pixels wide viewport (height follows the aspect ratio).
+  SvgCanvas(geom::Vec2 world_min, geom::Vec2 world_max, double pixels = 900.0);
+
+  void circle(geom::Vec2 center, double world_radius, const Style& style);
+  void line(geom::Vec2 a, geom::Vec2 b, const Style& style);
+  void text(geom::Vec2 at, const std::string& content, double px_size = 10.0,
+            const std::string& color = "black");
+
+  /// Number of shapes queued so far.
+  Size shape_count() const { return shapes_.size(); }
+
+  void write(std::ostream& os) const;
+
+  /// Categorical color for cluster index i (10-color wheel).
+  static std::string palette(Size i);
+
+ private:
+  geom::Vec2 to_px(geom::Vec2 world) const;
+  double scale_px(double world) const;
+
+  geom::Vec2 world_min_;
+  double scale_;
+  double width_px_;
+  double height_px_;
+  std::vector<std::string> shapes_;
+};
+
+}  // namespace manet::viz

@@ -1,0 +1,71 @@
+#include "analysis/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace manet::analysis {
+namespace {
+
+std::vector<double> ns() { return {128, 256, 512, 1024, 2048, 4096}; }
+
+TEST(Bootstrap, NoiselessDataAlwaysPicksTruth) {
+  std::vector<double> means;
+  for (const double n : ns()) means.push_back(0.2 * std::log(n) * std::log(n));
+  const std::vector<double> zero(ns().size(), 0.0);
+  const auto sel = bootstrap_model_selection(ns(), means, zero, 200);
+  EXPECT_EQ(sel.modal_winner, GrowthLaw::kLogSquared);
+  EXPECT_DOUBLE_EQ(sel.modal_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(sel.polylog_beats_roots, 1.0);
+}
+
+TEST(Bootstrap, WinFractionsSumToOne) {
+  std::vector<double> means;
+  for (const double n : ns()) means.push_back(std::sqrt(n));
+  const std::vector<double> noise(ns().size(), 0.5);
+  const auto sel = bootstrap_model_selection(ns(), means, noise, 500);
+  double total = 0.0;
+  for (const double f : sel.win_fraction) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(sel.resamples, 500u);
+}
+
+TEST(Bootstrap, SqrtDataRejectsPolylogMostly) {
+  std::vector<double> means;
+  for (const double n : ns()) means.push_back(0.25 * std::sqrt(n));
+  const std::vector<double> noise(ns().size(), 0.2);
+  const auto sel = bootstrap_model_selection(ns(), means, noise, 500);
+  EXPECT_EQ(sel.modal_winner, GrowthLaw::kSqrt);
+  EXPECT_LT(sel.polylog_beats_roots, 0.5);
+}
+
+TEST(Bootstrap, NoiseSpreadsTheVote) {
+  std::vector<double> exact, noisy_err;
+  for (const double n : ns()) {
+    exact.push_back(std::log(n) * std::log(n));
+    noisy_err.push_back(5.0);  // large vs the signal differences
+  }
+  const auto sel = bootstrap_model_selection(ns(), exact, noisy_err, 500);
+  // With heavy noise no single law should sweep every resample.
+  EXPECT_LT(sel.modal_fraction, 1.0);
+  EXPECT_GT(sel.modal_fraction, 0.0);
+}
+
+TEST(Bootstrap, Deterministic) {
+  std::vector<double> means;
+  for (const double n : ns()) means.push_back(std::log(n));
+  const std::vector<double> noise(ns().size(), 0.1);
+  const auto a = bootstrap_model_selection(ns(), means, noise, 300, 42);
+  const auto b = bootstrap_model_selection(ns(), means, noise, 300, 42);
+  EXPECT_EQ(a.win_fraction, b.win_fraction);
+  EXPECT_EQ(a.polylog_beats_roots, b.polylog_beats_roots);
+}
+
+TEST(BootstrapDeath, RequiresThreePoints) {
+  const std::vector<double> two{10, 20};
+  EXPECT_DEATH(bootstrap_model_selection(two, two, two, 10), "3");
+}
+
+}  // namespace
+}  // namespace manet::analysis

@@ -1,0 +1,108 @@
+#include "analysis/model_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace manet::analysis {
+namespace {
+
+std::vector<double> standard_ns() { return {64, 128, 256, 512, 1024, 2048, 4096, 8192}; }
+
+std::vector<double> apply(GrowthLaw law, const std::vector<double>& ns, double a, double b,
+                          double noise, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<double> ys;
+  for (const double n : ns) {
+    ys.push_back(a + b * growth_value(law, n) + noise * common::normal(rng));
+  }
+  return ys;
+}
+
+class ModelRecovery : public ::testing::TestWithParam<GrowthLaw> {};
+
+TEST_P(ModelRecovery, SelectsTheGeneratingLaw) {
+  const GrowthLaw truth = GetParam();
+  const auto ns = standard_ns();
+  const auto ys = apply(truth, ns, 1.0, 2.0, 0.0, 1);
+  const auto sel = select_model(ns, ys);
+  EXPECT_EQ(sel.best(), truth) << "expected " << to_string(truth) << " got "
+                               << to_string(sel.best());
+  EXPECT_NEAR(sel.best_fit().fit.slope, 2.0, 1e-6);
+  EXPECT_NEAR(sel.best_fit().fit.intercept, 1.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Laws, ModelRecovery,
+                         ::testing::Values(GrowthLaw::kLog, GrowthLaw::kLogSquared,
+                                           GrowthLaw::kSqrt, GrowthLaw::kLinear),
+                         [](const auto& param_info) {
+                           std::string name = to_string(param_info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ModelFit, LogSquaredBeatsSqrtOnPolylogData) {
+  // The paper's headline discrimination: log^2 data must rank log^2 above
+  // sqrt even with moderate noise.
+  const auto ns = standard_ns();
+  const auto ys = apply(GrowthLaw::kLogSquared, ns, 0.5, 0.3, 0.05, 2);
+  const auto sel = select_model(ns, ys);
+  int rank_log2 = -1, rank_sqrt = -1;
+  for (int i = 0; i < static_cast<int>(sel.ranked.size()); ++i) {
+    if (sel.ranked[static_cast<Size>(i)].law == GrowthLaw::kLogSquared) rank_log2 = i;
+    if (sel.ranked[static_cast<Size>(i)].law == GrowthLaw::kSqrt) rank_sqrt = i;
+  }
+  EXPECT_LT(rank_log2, rank_sqrt);
+}
+
+TEST(ModelFit, PowerLawExponentDiagnosesGrowth) {
+  const auto ns = standard_ns();
+  const auto sel_lin = select_model(ns, apply(GrowthLaw::kLinear, ns, 0.0, 1.0, 0.0, 3));
+  EXPECT_NEAR(sel_lin.power_law.slope, 1.0, 0.01);
+  const auto sel_sqrt = select_model(ns, apply(GrowthLaw::kSqrt, ns, 0.0, 1.0, 0.0, 4));
+  EXPECT_NEAR(sel_sqrt.power_law.slope, 0.5, 0.01);
+}
+
+TEST(ModelFit, RankedIsSortedByRss) {
+  const auto ns = standard_ns();
+  const auto sel = select_model(ns, apply(GrowthLaw::kLog, ns, 2.0, 1.0, 0.1, 5));
+  for (Size i = 1; i < sel.ranked.size(); ++i) {
+    EXPECT_LE(sel.ranked[i - 1].fit.rss, sel.ranked[i].fit.rss);
+  }
+  EXPECT_EQ(sel.ranked.size(), kGrowthLawCount);
+}
+
+TEST(ModelFit, TextRenderingMentionsEveryModel) {
+  const auto ns = standard_ns();
+  const auto sel = select_model(ns, apply(GrowthLaw::kLog, ns, 2.0, 1.0, 0.0, 6));
+  const auto text = sel.to_text();
+  for (std::size_t i = 0; i < kGrowthLawCount; ++i) {
+    EXPECT_NE(text.find(to_string(static_cast<GrowthLaw>(i))), std::string::npos);
+  }
+  EXPECT_NE(text.find("exponent"), std::string::npos);
+}
+
+TEST(GrowthValue, KnownValues) {
+  EXPECT_DOUBLE_EQ(growth_value(GrowthLaw::kConstant, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(growth_value(GrowthLaw::kLinear, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(growth_value(GrowthLaw::kSqrt, 100.0), 10.0);
+  EXPECT_NEAR(growth_value(GrowthLaw::kLog, std::exp(1.0)), 1.0, 1e-12);
+  EXPECT_NEAR(growth_value(GrowthLaw::kLogSquared, std::exp(2.0)), 4.0, 1e-12);
+}
+
+TEST(ModelFitDeath, NeedsThreePoints) {
+  const std::vector<double> ns{10, 20};
+  const std::vector<double> ys{1, 2};
+  EXPECT_DEATH(select_model(ns, ys), "3");
+}
+
+}  // namespace
+}  // namespace manet::analysis

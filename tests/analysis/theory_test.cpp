@@ -1,0 +1,98 @@
+#include "analysis/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace manet::analysis {
+namespace {
+
+TEST(Theory, LevelsAreLogBaseAlpha) {
+  TheoryParams p;
+  p.alpha = 4.0;
+  EXPECT_NEAR(expected_levels(256.0, p), 4.0, 1e-12);
+  EXPECT_NEAR(expected_levels(1024.0, p), 5.0, 1e-12);
+}
+
+TEST(Theory, AggregationIsGeometric) {
+  TheoryParams p;
+  p.alpha = 3.0;
+  EXPECT_DOUBLE_EQ(aggregation_ck(0, p), 1.0);
+  EXPECT_DOUBLE_EQ(aggregation_ck(2, p), 9.0);
+  EXPECT_DOUBLE_EQ(aggregation_ck(3, p), 27.0);
+}
+
+TEST(Theory, HopCountIsSqrtOfAggregation) {
+  TheoryParams p;
+  p.alpha = 4.0;
+  // Eq. (3): h_k = sqrt(c_k) = 2^k at alpha = 4.
+  EXPECT_DOUBLE_EQ(hop_count_hk(1, p), 2.0);
+  EXPECT_DOUBLE_EQ(hop_count_hk(3, p), 8.0);
+}
+
+TEST(Theory, F0ScalesWithSpeedOverRadius) {
+  TheoryParams p;
+  p.mu = 4.0;
+  p.tx_radius = 2.0;
+  EXPECT_DOUBLE_EQ(link_change_f0(p), 2.0);
+}
+
+TEST(Theory, MigrationFrequencyDecaysAsInverseHk) {
+  // Eq. (9): f_k * h_k = f_0 for every level.
+  TheoryParams p;
+  p.alpha = 4.0;
+  for (Level k = 1; k <= 6; ++k) {
+    EXPECT_NEAR(migration_fk(k, p) * hop_count_hk(k, p), link_change_f0(p), 1e-12);
+  }
+}
+
+TEST(Theory, PhiPerLevelIsLevelInvariant) {
+  // The paper's cancellation: phi_k does not depend on k.
+  TheoryParams p;
+  EXPECT_DOUBLE_EQ(phi_k(1, 1000.0, p), phi_k(5, 1000.0, p));
+}
+
+TEST(Theory, PhiTotalIsLogSquared) {
+  TheoryParams p;
+  p.alpha = std::exp(1.0);  // log base e => levels = ln n exactly
+  const double n = 1000.0;
+  EXPECT_NEAR(phi_total(n, p), link_change_f0(p) * std::log(n) * std::log(n), 1e-9);
+}
+
+TEST(Theory, GammaTotalMatchesLogSquaredShape) {
+  TheoryParams p;
+  p.alpha = std::exp(1.0);
+  const double n = 500.0;
+  EXPECT_NEAR(gamma_total(n, p), std::log(n) * std::log(n), 1e-9);
+}
+
+TEST(Theory, LinkDensityDecaysGeometrically) {
+  // Eq. (13b): |E_k|/|V| ~ 1/c_k.
+  TheoryParams p;
+  p.alpha = 4.0;
+  EXPECT_DOUBLE_EQ(level_link_density(1, p) / level_link_density(2, p), 4.0);
+}
+
+TEST(Theory, EntriesPerNodeGrowsLogarithmically) {
+  TheoryParams p;
+  p.alpha = 4.0;
+  const double e1 = entries_per_node(256.0, p);
+  const double e2 = entries_per_node(4096.0, p);
+  EXPECT_NEAR(e2 - e1, 2.0, 1e-9);  // two extra levels
+}
+
+TEST(Theory, RecursionBoundMatchesEq23) {
+  TheoryParams p;
+  p.alpha = 4.0;
+  // k=4: h_{k-2} = h_2 = 4; q1=0.3, p=0.5 => bound = (0.3/0.55)*4.
+  EXPECT_NEAR(recursion_time_bound(4, 0.3, 0.5, p), (0.3 / 0.55) * 4.0, 1e-12);
+}
+
+TEST(Theory, ScaleParameterIsMultiplicative) {
+  TheoryParams p1, p2;
+  p2.scale = 3.0;
+  EXPECT_NEAR(phi_total(100.0, p2), 3.0 * phi_total(100.0, p1), 1e-9);
+}
+
+}  // namespace
+}  // namespace manet::analysis

@@ -1,0 +1,127 @@
+#include "cluster/alca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace manet::cluster {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+std::vector<NodeId> identity_ids(Size n) {
+  std::vector<NodeId> ids(n);
+  for (NodeId v = 0; v < n; ++v) ids[v] = v;
+  return ids;
+}
+
+TEST(Alca, SingleVertexHeadsItself) {
+  const Graph g(1);
+  const auto ids = identity_ids(1);
+  const auto result = alca_elect(g, ids);
+  EXPECT_EQ(result.clusterheads, (std::vector<NodeId>{0}));
+  EXPECT_EQ(result.head_of[0], 0u);
+  EXPECT_EQ(result.votes[0], 0u);
+}
+
+TEST(Alca, EdgeElectsLargerEndpoint) {
+  const Graph g(2, std::vector<Edge>{{0, 1}});
+  const auto ids = identity_ids(2);
+  const auto result = alca_elect(g, ids);
+  EXPECT_EQ(result.clusterheads, (std::vector<NodeId>{1}));
+  EXPECT_EQ(result.head_of[0], 1u);
+  EXPECT_EQ(result.head_of[1], 1u);
+  EXPECT_EQ(result.votes[1], 1u);  // node 0 elected it
+}
+
+TEST(Alca, StarElectsCenterWhenCenterIsMax) {
+  // Star with center 4 (max id): everyone elects 4.
+  const Graph g(5, std::vector<Edge>{{0, 4}, {1, 4}, {2, 4}, {3, 4}});
+  const auto ids = identity_ids(5);
+  const auto result = alca_elect(g, ids);
+  EXPECT_EQ(result.clusterheads, (std::vector<NodeId>{4}));
+  EXPECT_EQ(result.votes[4], 4u);
+}
+
+TEST(Alca, LeafWithMaxIdBecomesHeadOfItsNeighborOnly) {
+  // Path 0-1-2 with ids {5, 1, 9} (vertex 2 has the max id 9, vertex 0 has 5).
+  // Vertex 1 elects vertex 2 (id 9 in its neighborhood); vertex 0's closed
+  // neighborhood is {0:5, 1:1} so 0 elects itself.
+  const Graph g(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  const std::vector<NodeId> ids{5, 1, 9};
+  const auto result = alca_elect(g, ids);
+  EXPECT_EQ(result.clusterheads, (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(result.head_of[0], 0u);
+  EXPECT_EQ(result.head_of[1], 2u);
+  EXPECT_EQ(result.head_of[2], 2u);
+}
+
+TEST(Alca, PaperFigure1NonMaxHeadCase) {
+  // The paper's node-68 case: a node elected by a neighbor even though it is
+  // not the largest in its own neighborhood. Layout:
+  //   63 - 68 - 75   (75 > 68, but 63's closed neighborhood max is 68)
+  // 68 must be a clusterhead (elected by 63) while also adjacent to the
+  // larger 75; 68 leads its own cluster containing 63.
+  const Graph g(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  const std::vector<NodeId> ids{63, 68, 75};
+  const auto result = alca_elect(g, ids);
+  // Vertex 1 (id 68): elected by vertex 0 => head. Vertex 2 (id 75): elects
+  // itself (max in own neighborhood) => head.
+  EXPECT_EQ(result.clusterheads, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(result.head_of[0], 1u);  // 63 joins cluster 68
+  EXPECT_EQ(result.head_of[1], 1u);  // 68 leads its own cluster
+  EXPECT_EQ(result.head_of[2], 2u);
+  EXPECT_EQ(result.votes[1], 1u);  // exactly one elector: the critical state
+}
+
+TEST(Alca, HeadsFormDominatingSet) {
+  // Every vertex must be a head or adjacent to its head.
+  const Graph g(7, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {0, 6}});
+  const std::vector<NodeId> ids{3, 9, 1, 7, 2, 8, 5};
+  const auto result = alca_elect(g, ids);
+  for (NodeId v = 0; v < 7; ++v) {
+    const NodeId h = result.head_of[v];
+    EXPECT_TRUE(h == v || g.has_edge(v, h)) << "vertex " << v;
+    EXPECT_EQ(result.head_of[h], h) << "head must lead its own cluster";
+  }
+}
+
+TEST(Alca, VotesCountNeighborsAffiliatedAfterRemap) {
+  // Triangle with ids {1, 2, 3}: all elect vertex 2 (id 3).
+  const Graph g(3, std::vector<Edge>{{0, 1}, {0, 2}, {1, 2}});
+  const auto ids = identity_ids(3);
+  const auto result = alca_elect(g, ids);
+  EXPECT_EQ(result.clusterheads, (std::vector<NodeId>{2}));
+  EXPECT_EQ(result.votes[2], 2u);
+  EXPECT_EQ(result.votes[0], 0u);
+  EXPECT_EQ(result.votes[1], 0u);
+}
+
+TEST(Alca, DisconnectedComponentsElectIndependently) {
+  const Graph g(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  const auto ids = identity_ids(4);
+  const auto result = alca_elect(g, ids);
+  EXPECT_EQ(result.clusterheads, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(Alca, IdPermutationChangesOutcome) {
+  const Graph g(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  const auto a = alca_elect(g, std::vector<NodeId>{0, 1, 2});
+  const auto b = alca_elect(g, std::vector<NodeId>{2, 1, 0});
+  EXPECT_NE(a.clusterheads, b.clusterheads);
+}
+
+TEST(Alca, InterfaceObjectMatchesFreeFunction) {
+  const Graph g(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  const auto ids = identity_ids(4);
+  const Alca algorithm;
+  const auto a = algorithm.elect(g, ids);
+  const auto b = alca_elect(g, ids);
+  EXPECT_EQ(a.head_of, b.head_of);
+  EXPECT_EQ(a.clusterheads, b.clusterheads);
+  EXPECT_STREQ(algorithm.name(), "alca");
+}
+
+}  // namespace
+}  // namespace manet::cluster

@@ -1,0 +1,180 @@
+#include "cluster/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/hierarchy_builder.hpp"
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+#include "net/unit_disk.hpp"
+
+namespace manet::cluster {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+Hierarchy build(const Graph& g) { return HierarchyBuilder().build(g); }
+
+TEST(Diff, IdenticalHierarchiesProduceEmptyDelta) {
+  const Graph g(5, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto h = build(g);
+  const auto delta = diff_hierarchies(h, h);
+  EXPECT_TRUE(delta.migrations.empty());
+  EXPECT_TRUE(delta.events.empty());
+}
+
+TEST(Diff, NodeMigrationBetweenClusters) {
+  // Two 2-cliques {0,1,2} head 2 and {5,6,7} head 7 joined via a bridge;
+  // move node 3 from cluster 2's side to cluster 7's side.
+  //
+  // before: 3 attached to 2 (elects 2... ids: 3 < 7 so closed nbhd of 3 is
+  // {2,3}: max 3?? Use explicit ids to control elections.
+  // Simpler: line 0-1, 2-3 with ids making heads 1 and 3; then move edge of
+  // node 0 from 1 to 3.
+  const Graph g_before(4, std::vector<Edge>{{0, 1}, {2, 3}, {1, 3}});
+  const Graph g_after(4, std::vector<Edge>{{0, 3}, {2, 3}, {1, 3}});
+  const std::vector<NodeId> ids{0, 5, 1, 9};
+  const auto before = HierarchyBuilder().build(g_before, ids);
+  const auto after = HierarchyBuilder().build(g_after, ids);
+
+  const auto delta = diff_hierarchies(before, after);
+  bool found = false;
+  for (const auto& m : delta.migrations) {
+    if (m.node == 0 && m.level == 1) {
+      EXPECT_EQ(m.from_head, 5u);
+      EXPECT_EQ(m.to_head, 9u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "expected node 0 to migrate from cluster 5 to cluster 9";
+}
+
+TEST(Diff, HeadElectionDetected) {
+  // before: 0-1 (head id 5). after: add isolated-ish vertex pair 2-3 link
+  // ... instead: grow a path so a second head appears.
+  // before: triangle {0,1,2}, ids {1,2,9}: single head 9.
+  // after: break 0-2 and 1-2, link 0-1 only => vertex 2 self-heads (new head
+  // id 9 stays), vertex 1 (id 2) becomes head of {0,1}.
+  const Graph g_before(3, std::vector<Edge>{{0, 1}, {0, 2}, {1, 2}});
+  const Graph g_after(3, std::vector<Edge>{{0, 1}});
+  const std::vector<NodeId> ids{1, 2, 9};
+  const auto before = HierarchyBuilder().build(g_before, ids);
+  const auto after = HierarchyBuilder().build(g_after, ids);
+  const auto delta = diff_hierarchies(before, after);
+
+  ASSERT_GT(delta.heads_gained.size(), 1u);
+  EXPECT_EQ(delta.heads_gained[1], (std::vector<NodeId>{2}));  // id 2 newly heads
+  // An election event must be recorded at level 1.
+  const Size elect_events = delta.count(ReorgEventType::kElectByMigration, 1) +
+                            delta.count(ReorgEventType::kElectRecursive, 1);
+  EXPECT_GE(elect_events, 1u);
+}
+
+TEST(Diff, HeadRejectionDetected) {
+  // Reverse of the election test.
+  const Graph g_before(3, std::vector<Edge>{{0, 1}});
+  const Graph g_after(3, std::vector<Edge>{{0, 1}, {0, 2}, {1, 2}});
+  const std::vector<NodeId> ids{1, 2, 9};
+  const auto before = HierarchyBuilder().build(g_before, ids);
+  const auto after = HierarchyBuilder().build(g_after, ids);
+  const auto delta = diff_hierarchies(before, after);
+
+  ASSERT_GT(delta.heads_lost.size(), 1u);
+  EXPECT_EQ(delta.heads_lost[1], (std::vector<NodeId>{2}));
+  const Size reject_events = delta.count(ReorgEventType::kRejectByMigration, 1) +
+                             delta.count(ReorgEventType::kRejectRecursive, 1);
+  EXPECT_GE(reject_events, 1u);
+}
+
+TEST(Diff, EventCountsMatchEventList) {
+  common::Xoshiro256 rng(31);
+  const auto disk = geom::DiskRegion::with_density(150, 1.0);
+  std::vector<geom::Vec2> pts(150);
+  for (auto& p : pts) p = disk.sample(rng);
+  net::UnitDiskBuilder builder(2.2, true);
+  const auto h1 = build(builder.build(pts));
+  // Perturb a handful of nodes.
+  for (int i = 0; i < 10; ++i) {
+    pts[static_cast<Size>(i) * 7] += {1.5, -0.8};
+  }
+  const auto h2 = build(builder.build(pts));
+  const auto delta = diff_hierarchies(h1, h2);
+
+  std::array<Size, kReorgEventTypeCount> tallied{};
+  for (const auto& ev : delta.events) {
+    ++tallied[static_cast<std::size_t>(ev.type)];
+  }
+  for (std::size_t type = 0; type < kReorgEventTypeCount; ++type) {
+    Size from_counts = 0;
+    for (const Size c : delta.event_counts[type]) from_counts += c;
+    EXPECT_EQ(from_counts, tallied[type]) << "event type " << type;
+  }
+}
+
+TEST(Diff, MigrationsAreSymmetricUnderSwap) {
+  common::Xoshiro256 rng(37);
+  const auto disk = geom::DiskRegion::with_density(120, 1.0);
+  std::vector<geom::Vec2> pts(120);
+  for (auto& p : pts) p = disk.sample(rng);
+  net::UnitDiskBuilder builder(2.2, true);
+  const auto h1 = build(builder.build(pts));
+  for (Size i = 0; i < pts.size(); i += 9) pts[i] += {1.0, 1.0};
+  const auto h2 = build(builder.build(pts));
+
+  const auto forward = diff_hierarchies(h1, h2);
+  const auto backward = diff_hierarchies(h2, h1);
+  EXPECT_EQ(forward.migrations.size(), backward.migrations.size());
+  // Elections one way are rejections the other way.
+  Size fwd_elect = 0, bwd_reject = 0;
+  for (const auto& ev : forward.events) {
+    if (ev.type == ReorgEventType::kElectByMigration ||
+        ev.type == ReorgEventType::kElectRecursive) {
+      ++fwd_elect;
+    }
+  }
+  for (const auto& ev : backward.events) {
+    if (ev.type == ReorgEventType::kRejectByMigration ||
+        ev.type == ReorgEventType::kRejectRecursive) {
+      ++bwd_reject;
+    }
+  }
+  EXPECT_EQ(fwd_elect, bwd_reject);
+}
+
+TEST(Diff, NeighborPromotedScalesWithNeighborCount) {
+  common::Xoshiro256 rng(41);
+  const auto disk = geom::DiskRegion::with_density(200, 1.0);
+  std::vector<geom::Vec2> pts(200);
+  for (auto& p : pts) p = disk.sample(rng);
+  net::UnitDiskBuilder builder(2.2, true);
+  const auto h1 = build(builder.build(pts));
+  for (Size i = 0; i < pts.size(); i += 5) pts[i] += {2.0, 0.5};
+  const auto h2 = build(builder.build(pts));
+  const auto delta = diff_hierarchies(h1, h2);
+
+  // Every (vii) event's promoted head must indeed be a gained head one level
+  // up from the event's level.
+  for (const auto& ev : delta.events) {
+    if (ev.type != ReorgEventType::kNeighborPromoted) continue;
+    const auto& gained = delta.heads_gained[ev.level + 1];
+    EXPECT_TRUE(std::binary_search(gained.begin(), gained.end(), ev.b))
+        << "promoted head " << ev.b << " not in gained set at level " << ev.level + 1;
+  }
+}
+
+TEST(Diff, ToStringCoversAllEventTypes) {
+  for (std::size_t t = 0; t < kReorgEventTypeCount; ++t) {
+    EXPECT_STRNE(to_string(static_cast<ReorgEventType>(t)), "?");
+  }
+}
+
+TEST(DiffDeath, RequiresSamePopulation) {
+  const auto h1 = build(Graph(3, std::vector<Edge>{{0, 1}, {1, 2}}));
+  const auto h2 = build(Graph(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}}));
+  EXPECT_DEATH(diff_hierarchies(h1, h2), "population");
+}
+
+}  // namespace
+}  // namespace manet::cluster

@@ -1,0 +1,124 @@
+#include "cluster/state_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/hierarchy_builder.hpp"
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+#include "net/unit_disk.hpp"
+
+namespace manet::cluster {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+TEST(StateOccupancy, FractionsOfEmptyOccupancyAreZero) {
+  const StateOccupancy occ;
+  EXPECT_DOUBLE_EQ(occ.fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(occ.p_state1(), 0.0);
+}
+
+TEST(StateChainTracker, CountsKnownStates) {
+  // Path 0-1-2 with ids {5,1,9}: heads are vertex 0 (self) and vertex 2
+  // (elected by 1). Votes: v0: 0 electors, v2: 1 elector, v1: 0.
+  const Graph g(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  const std::vector<NodeId> ids{5, 1, 9};
+  const auto h = HierarchyBuilder().build(g, ids);
+
+  StateChainTracker tracker;
+  tracker.observe(h, 2.0);
+  ASSERT_GE(tracker.level_count(), 1u);
+  const auto& occ = tracker.occupancy(0);
+  // 3 vertices x 2 s = 6 node-seconds; states {0, 0, 1}.
+  EXPECT_DOUBLE_EQ(occ.total_node_time, 6.0);
+  EXPECT_DOUBLE_EQ(occ.fraction(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(occ.p_state1(), 1.0 / 3.0);
+}
+
+TEST(StateChainTracker, AccumulatesAcrossObservations) {
+  const Graph g(2, std::vector<Edge>{{0, 1}});
+  const auto h = HierarchyBuilder().build(g);
+  StateChainTracker tracker;
+  tracker.observe(h, 1.0);
+  tracker.observe(h, 3.0);
+  EXPECT_DOUBLE_EQ(tracker.occupancy(0).total_node_time, 8.0);
+}
+
+TEST(StateChainTracker, StatesAboveCapAreLumped) {
+  // Star with center 6 (max id) and 6 leaves: center state 6 > cap 4.
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 6; ++v) edges.push_back({v, 6});
+  const Graph g(7, edges);
+  const auto h = HierarchyBuilder().build(g);
+  StateChainTracker tracker(4);
+  tracker.observe(h, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.occupancy(0).fraction(4), 1.0 / 7.0);  // lumped top state
+}
+
+TEST(StateChainTracker, PProfileOnRandomDeployment) {
+  common::Xoshiro256 rng(3);
+  const auto disk = geom::DiskRegion::with_density(300, 1.0);
+  std::vector<geom::Vec2> pts(300);
+  for (auto& p : pts) p = disk.sample(rng);
+  net::UnitDiskBuilder builder(2.2, true);
+  const auto h = HierarchyBuilder().build(builder.build(pts));
+  StateChainTracker tracker;
+  tracker.observe(h, 1.0);
+  const auto p = tracker.p_profile();
+  ASSERT_GE(p.size(), 2u);
+  for (const double pj : p) {
+    EXPECT_GE(pj, 0.0);
+    EXPECT_LE(pj, 1.0);
+  }
+}
+
+TEST(RecursionProfile, SingleLinkChain) {
+  // k = 2: only q_1 = p_{k-1}; Q = q_1; ratio 1.
+  const std::vector<double> p{0.3};
+  const auto profile = recursion_profile(p);
+  ASSERT_EQ(profile.q.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile.q[0], 0.3);
+  EXPECT_DOUBLE_EQ(profile.Q, 0.3);
+  EXPECT_DOUBLE_EQ(profile.q1_over_Q, 1.0);
+  // Lower bound (21b): q1 / (p^2 + q1) = 0.3 / 0.39.
+  EXPECT_NEAR(profile.lower_bound, 0.3 / 0.39, 1e-12);
+}
+
+TEST(RecursionProfile, MatchesEq15ByHand) {
+  // k = 4, p_desc = {p_3, p_2, p_1} = {0.5, 0.4, 0.3}.
+  // q_1 = (1 - p_2) * p_3            = 0.6 * 0.5        = 0.30
+  // q_2 = (1 - p_1) * p_3 * p_2      = 0.7 * 0.5 * 0.4  = 0.14
+  // q_3 = p_3 * p_2 * p_1            = 0.5*0.4*0.3      = 0.06
+  const std::vector<double> p{0.5, 0.4, 0.3};
+  const auto profile = recursion_profile(p);
+  ASSERT_EQ(profile.q.size(), 3u);
+  EXPECT_NEAR(profile.q[0], 0.30, 1e-12);
+  EXPECT_NEAR(profile.q[1], 0.14, 1e-12);
+  EXPECT_NEAR(profile.q[2], 0.06, 1e-12);
+  EXPECT_NEAR(profile.Q, 0.50, 1e-12);
+  EXPECT_NEAR(profile.q1_over_Q, 0.6, 1e-12);
+  // p = max = 0.5; bound = 0.3 / (0.25 + 0.3).
+  EXPECT_NEAR(profile.lower_bound, 0.3 / 0.55, 1e-12);
+}
+
+TEST(RecursionProfile, BoundIsIndeedALowerBound) {
+  // Eq. (21): q1/Q >= q1/(p^2+q1) for any profile.
+  const std::vector<std::vector<double>> cases{
+      {0.2, 0.2, 0.2, 0.2}, {0.9, 0.1, 0.5}, {0.05, 0.9}, {0.5}};
+  for (const auto& p : cases) {
+    const auto profile = recursion_profile(p);
+    EXPECT_GE(profile.q1_over_Q + 1e-12, profile.lower_bound);
+  }
+}
+
+TEST(RecursionProfile, EmptyChain) {
+  const auto profile = recursion_profile({});
+  EXPECT_TRUE(profile.q.empty());
+  EXPECT_DOUBLE_EQ(profile.Q, 0.0);
+}
+
+}  // namespace
+}  // namespace manet::cluster

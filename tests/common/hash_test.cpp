@@ -1,0 +1,57 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace manet::common {
+namespace {
+
+TEST(Mix64, IsDeterministic) { EXPECT_EQ(mix64(12345), mix64(12345)); }
+
+TEST(Mix64, IsBijectiveOnSample) {
+  // A bijective mixer cannot collide; verify on a dense sample.
+  std::vector<std::uint64_t> outs;
+  for (std::uint64_t x = 0; x < 20000; ++x) outs.push_back(mix64(x));
+  std::sort(outs.begin(), outs.end());
+  EXPECT_EQ(std::adjacent_find(outs.begin(), outs.end()), outs.end());
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  for (std::uint64_t x = 1; x <= 64; ++x) {
+    total_flips += __builtin_popcountll(mix64(x) ^ mix64(x ^ 1));
+  }
+  const double mean_flips = total_flips / 64.0;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, DistinctPairsRarelyCollide) {
+  std::vector<std::uint64_t> outs;
+  for (std::uint64_t a = 0; a < 100; ++a) {
+    for (std::uint64_t b = 0; b < 100; ++b) outs.push_back(hash_combine(a, b));
+  }
+  std::sort(outs.begin(), outs.end());
+  EXPECT_EQ(std::adjacent_find(outs.begin(), outs.end()), outs.end());
+}
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a 64-bit of the empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+}
+
+TEST(Fnv1a, DifferentStringsDiffer) {
+  EXPECT_NE(fnv1a("alpha"), fnv1a("beta"));
+  // Embedded NUL must matter (string_view length, not strlen).
+  EXPECT_NE(fnv1a(std::string_view("a", 1)), fnv1a(std::string_view("a\0", 2)));
+}
+
+}  // namespace
+}  // namespace manet::common

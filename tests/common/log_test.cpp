@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manet::common {
+namespace {
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(original);
+}
+
+TEST(Log, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Off);
+  log_debug("dropped");
+  log_info("dropped");
+  log_warn("dropped");
+  log_error("dropped");
+  set_log_level(original);
+}
+
+TEST(Log, EmittingMessagesDoesNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Debug);
+  log(LogLevel::Debug, "visible debug (expected in test stderr)");
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace manet::common

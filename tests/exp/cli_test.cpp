@@ -1,0 +1,117 @@
+#include "exp/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace manet::exp {
+namespace {
+
+CliParseResult parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"manet_sim"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsParseCleanly) {
+  const auto result = parse({});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.options.scenario.n, 256u);
+  EXPECT_EQ(result.options.replications, 1u);
+  EXPECT_TRUE(result.options.sweep.empty());
+}
+
+TEST(Cli, ScenarioNumbers) {
+  const auto result = parse({"--n", "512", "--mu", "2.5", "--density", "0.5", "--seed",
+                             "99", "--tick", "0.5", "--warmup", "5", "--duration", "30"});
+  ASSERT_TRUE(result.ok) << result.error;
+  const auto& s = result.options.scenario;
+  EXPECT_EQ(s.n, 512u);
+  EXPECT_DOUBLE_EQ(s.mu, 2.5);
+  EXPECT_DOUBLE_EQ(s.density, 0.5);
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_DOUBLE_EQ(s.tick, 0.5);
+  EXPECT_DOUBLE_EQ(s.warmup, 5.0);
+  EXPECT_DOUBLE_EQ(s.duration, 30.0);
+}
+
+TEST(Cli, EnumFlags) {
+  const auto result = parse({"--mobility", "gm", "--radius", "degree", "--algo", "maxmin2",
+                             "--strategy", "weighted", "--links", "contraction"});
+  ASSERT_TRUE(result.ok) << result.error;
+  const auto& s = result.options.scenario;
+  EXPECT_EQ(s.mobility, MobilityKind::kGaussMarkov);
+  EXPECT_EQ(s.radius_policy, RadiusPolicy::kMeanDegree);
+  EXPECT_EQ(s.cluster_algo, ClusterAlgo::kMaxMin2);
+  EXPECT_EQ(s.handoff.select.strategy, lm::SelectStrategy::kWeightedDescent);
+  EXPECT_FALSE(s.geometric_links);
+}
+
+TEST(Cli, MeasurementToggles) {
+  const auto result =
+      parse({"--gls", "--registration", "--routing", "--no-events", "--no-states"});
+  ASSERT_TRUE(result.ok) << result.error;
+  const auto& run = result.options.run;
+  EXPECT_TRUE(run.run_gls);
+  EXPECT_TRUE(run.track_registration);
+  EXPECT_TRUE(run.measure_routing);
+  EXPECT_FALSE(run.track_events);
+  EXPECT_FALSE(run.track_states);
+  EXPECT_TRUE(run.measure_hops);  // untouched
+}
+
+TEST(Cli, SweepList) {
+  const auto result = parse({"--sweep", "128,256,512", "--reps", "4", "--csv", "out.csv"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.options.sweep, (std::vector<Size>{128, 256, 512}));
+  EXPECT_EQ(result.options.replications, 4u);
+  EXPECT_EQ(result.options.csv_path, "out.csv");
+}
+
+TEST(Cli, JsonPathAndRpgm) {
+  const auto result = parse({"--json", "m.json", "--mobility", "rpgm"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.options.json_path, "m.json");
+  EXPECT_EQ(result.options.scenario.mobility, MobilityKind::kGroup);
+  EXPECT_FALSE(parse({"--json"}).ok);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  const auto result = parse({"--help"});
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.options.show_help);
+  EXPECT_FALSE(cli_usage("manet_sim").empty());
+}
+
+TEST(Cli, UnknownFlagFails) {
+  const auto result = parse({"--bogus"});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  EXPECT_FALSE(parse({"--n"}).ok);
+  EXPECT_FALSE(parse({"--mobility"}).ok);
+  EXPECT_FALSE(parse({"--sweep"}).ok);
+}
+
+TEST(Cli, MalformedNumbersFail) {
+  EXPECT_FALSE(parse({"--n", "abc"}).ok);
+  EXPECT_FALSE(parse({"--mu", "fast"}).ok);
+  EXPECT_FALSE(parse({"--sweep", "128,abc"}).ok);
+}
+
+TEST(Cli, InvalidEnumValuesFail) {
+  EXPECT_FALSE(parse({"--mobility", "teleport"}).ok);
+  EXPECT_FALSE(parse({"--radius", "infinite"}).ok);
+  EXPECT_FALSE(parse({"--algo", "kmeans"}).ok);
+  EXPECT_FALSE(parse({"--strategy", "random"}).ok);
+}
+
+TEST(Cli, SemanticValidation) {
+  EXPECT_FALSE(parse({"--n", "1"}).ok);
+  EXPECT_FALSE(parse({"--reps", "0"}).ok);
+}
+
+}  // namespace
+}  // namespace manet::exp

@@ -1,0 +1,94 @@
+#include "exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/radio.hpp"
+
+namespace manet::exp {
+namespace {
+
+TEST(ScenarioConfig, RadiusPoliciesResolve) {
+  ScenarioConfig cfg;
+  cfg.n = 500;
+  cfg.density = 1.0;
+  cfg.radius_policy = RadiusPolicy::kConnectivity;
+  EXPECT_NEAR(cfg.tx_radius(),
+              net::connectivity_radius(500, 1.0, cfg.connectivity_margin), 1e-12);
+  cfg.radius_policy = RadiusPolicy::kMeanDegree;
+  cfg.target_degree = 12.0;
+  EXPECT_NEAR(cfg.tx_radius(), net::radius_for_mean_degree(12.0, 1.0), 1e-12);
+}
+
+TEST(ScenarioConfig, DescribeMentionsKeyParameters) {
+  ScenarioConfig cfg;
+  cfg.n = 123;
+  const auto text = cfg.describe();
+  EXPECT_NE(text.find("n=123"), std::string::npos);
+  EXPECT_NE(text.find("seed="), std::string::npos);
+}
+
+TEST(Scenario, MaterializeCreatesRequestedMobility) {
+  ScenarioConfig cfg;
+  cfg.n = 50;
+  for (const auto kind : {MobilityKind::kRandomWaypoint, MobilityKind::kRandomDirection,
+                          MobilityKind::kGaussMarkov, MobilityKind::kStatic}) {
+    cfg.mobility = kind;
+    const auto scenario = Scenario::materialize(cfg);
+    EXPECT_EQ(scenario.mobility->node_count(), 50u);
+    EXPECT_NE(scenario.mobility->name(), nullptr);
+  }
+}
+
+TEST(Scenario, PositionsInsideRegion) {
+  ScenarioConfig cfg;
+  cfg.n = 200;
+  const auto scenario = Scenario::materialize(cfg);
+  for (const auto& p : scenario.mobility->positions()) {
+    EXPECT_TRUE(scenario.region->contains(p));
+  }
+}
+
+TEST(Scenario, ShuffledIdsAreAPermutation) {
+  ScenarioConfig cfg;
+  cfg.n = 100;
+  cfg.shuffle_ids = true;
+  const auto scenario = Scenario::materialize(cfg);
+  auto ids = scenario.ids;
+  std::sort(ids.begin(), ids.end());
+  for (NodeId v = 0; v < 100; ++v) EXPECT_EQ(ids[v], v);
+  // With shuffling on, identity order is (overwhelmingly) broken.
+  EXPECT_NE(scenario.ids, ids);
+}
+
+TEST(Scenario, UnshuffledIdsAreIdentity) {
+  ScenarioConfig cfg;
+  cfg.n = 20;
+  cfg.shuffle_ids = false;
+  const auto scenario = Scenario::materialize(cfg);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(scenario.ids[v], v);
+}
+
+TEST(Scenario, SameSeedSameWorld) {
+  ScenarioConfig cfg;
+  cfg.n = 80;
+  cfg.seed = 42;
+  const auto a = Scenario::materialize(cfg);
+  const auto b = Scenario::materialize(cfg);
+  EXPECT_EQ(a.mobility->positions(), b.mobility->positions());
+  EXPECT_EQ(a.ids, b.ids);
+}
+
+TEST(Scenario, DifferentSeedDifferentWorld) {
+  ScenarioConfig cfg;
+  cfg.n = 80;
+  cfg.seed = 1;
+  const auto a = Scenario::materialize(cfg);
+  cfg.seed = 2;
+  const auto b = Scenario::materialize(cfg);
+  EXPECT_NE(a.mobility->positions(), b.mobility->positions());
+}
+
+}  // namespace
+}  // namespace manet::exp

@@ -1,0 +1,81 @@
+#include "geom/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace manet::geom {
+namespace {
+
+TEST(DiskRegion, AreaMatchesRadius) {
+  const DiskRegion disk({0, 0}, 2.0);
+  EXPECT_NEAR(disk.area(), 4.0 * std::numbers::pi, 1e-12);
+}
+
+TEST(DiskRegion, WithDensityGivesRequestedArea) {
+  const auto disk = DiskRegion::with_density(1000, 2.0);
+  EXPECT_NEAR(disk.area(), 500.0, 1e-9);
+}
+
+TEST(DiskRegion, ContainsCenterAndBoundary) {
+  const DiskRegion disk({1, 1}, 3.0);
+  EXPECT_TRUE(disk.contains({1, 1}));
+  EXPECT_TRUE(disk.contains({4, 1}));
+  EXPECT_FALSE(disk.contains({4.01, 1}));
+}
+
+TEST(DiskRegion, SamplesStayInside) {
+  const DiskRegion disk({-5, 2}, 4.0);
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 5000; ++i) EXPECT_TRUE(disk.contains(disk.sample(rng)));
+}
+
+TEST(DiskRegion, SamplingIsAreaUniform) {
+  // In a uniform disk, P(r <= R/2) = 1/4.
+  const DiskRegion disk({0, 0}, 1.0);
+  common::Xoshiro256 rng(2);
+  int inner = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (disk.sample(rng).norm() <= 0.5) ++inner;
+  }
+  EXPECT_NEAR(static_cast<double>(inner) / n, 0.25, 0.01);
+}
+
+TEST(DiskRegion, ClampProjectsToBoundary) {
+  const DiskRegion disk({0, 0}, 1.0);
+  const Vec2 p = disk.clamp({10.0, 0.0});
+  EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+  EXPECT_EQ(disk.clamp({0.3, 0.2}), (Vec2{0.3, 0.2}));  // inside untouched
+}
+
+TEST(SquareRegion, ContainsAndArea) {
+  const SquareRegion sq({0, 0}, 10.0);
+  EXPECT_TRUE(sq.contains({0, 0}));
+  EXPECT_TRUE(sq.contains({10, 10}));
+  EXPECT_FALSE(sq.contains({10.01, 5}));
+  EXPECT_FALSE(sq.contains({-0.01, 5}));
+  EXPECT_DOUBLE_EQ(sq.area(), 100.0);
+  EXPECT_EQ(sq.center(), (Vec2{5.0, 5.0}));
+}
+
+TEST(SquareRegion, SamplesStayInside) {
+  const SquareRegion sq({-3, 4}, 2.0);
+  common::Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) EXPECT_TRUE(sq.contains(sq.sample(rng)));
+}
+
+TEST(SquareRegion, ClampProjectsComponentwise) {
+  const SquareRegion sq({0, 0}, 1.0);
+  EXPECT_EQ(sq.clamp({2.0, -1.0}), (Vec2{1.0, 0.0}));
+  EXPECT_EQ(sq.clamp({0.5, 0.5}), (Vec2{0.5, 0.5}));
+}
+
+TEST(SquareRegion, WithDensityGivesRequestedArea) {
+  const auto sq = SquareRegion::with_density(400, 4.0);
+  EXPECT_NEAR(sq.area(), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace manet::geom

@@ -1,0 +1,122 @@
+#include "geom/spatial_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+
+namespace manet::geom {
+namespace {
+
+using PairSet = std::set<std::pair<NodeId, NodeId>>;
+
+PairSet brute_force_pairs(const std::vector<Vec2>& pts, double radius) {
+  PairSet out;
+  for (NodeId u = 0; u < pts.size(); ++u) {
+    for (NodeId v = u + 1; v < pts.size(); ++v) {
+      if (distance2(pts[u], pts[v]) <= radius * radius) out.insert({u, v});
+    }
+  }
+  return out;
+}
+
+PairSet grid_pairs(const std::vector<Vec2>& pts, double radius) {
+  SpatialGrid grid(radius);
+  grid.rebuild(pts);
+  PairSet out;
+  grid.for_each_pair_within(radius, [&](NodeId u, NodeId v) {
+    EXPECT_LT(u, v);
+    const auto [it, inserted] = out.insert({u, v});
+    (void)it;
+    EXPECT_TRUE(inserted) << "pair emitted twice: " << u << "," << v;
+  });
+  return out;
+}
+
+TEST(SpatialGrid, MatchesBruteForceOnRandomPoints) {
+  common::Xoshiro256 rng(17);
+  const DiskRegion disk({0, 0}, 10.0);
+  std::vector<Vec2> pts(300);
+  for (auto& p : pts) p = disk.sample(rng);
+  EXPECT_EQ(grid_pairs(pts, 1.3), brute_force_pairs(pts, 1.3));
+}
+
+TEST(SpatialGrid, MatchesBruteForceAcrossNegativeCoordinates) {
+  common::Xoshiro256 rng(19);
+  std::vector<Vec2> pts(200);
+  for (auto& p : pts) p = {common::uniform(rng, -8, 8), common::uniform(rng, -8, 8)};
+  EXPECT_EQ(grid_pairs(pts, 2.0), brute_force_pairs(pts, 2.0));
+}
+
+TEST(SpatialGrid, EmptyAndSingleton) {
+  SpatialGrid grid(1.0);
+  grid.rebuild({});
+  int count = 0;
+  grid.for_each_pair_within(1.0, [&](NodeId, NodeId) { ++count; });
+  EXPECT_EQ(count, 0);
+
+  grid.rebuild({{0.5, 0.5}});
+  grid.for_each_pair_within(1.0, [&](NodeId, NodeId) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(SpatialGrid, BoundaryDistanceIsInclusive) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}};
+  const auto pairs = grid_pairs(pts, 1.0);
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(SpatialGrid, NeighborsWithinFindsAllAndExcludesSelf) {
+  common::Xoshiro256 rng(23);
+  const DiskRegion disk({0, 0}, 5.0);
+  std::vector<Vec2> pts(150);
+  for (auto& p : pts) p = disk.sample(rng);
+  SpatialGrid grid(1.0);
+  grid.rebuild(pts);
+
+  for (NodeId v = 0; v < pts.size(); ++v) {
+    std::vector<NodeId> found;
+    grid.neighbors_within(pts[v], 1.0, v, found);
+    std::sort(found.begin(), found.end());
+    std::vector<NodeId> expected;
+    for (NodeId u = 0; u < pts.size(); ++u) {
+      if (u != v && distance2(pts[u], pts[v]) <= 1.0) expected.push_back(u);
+    }
+    EXPECT_EQ(found, expected) << "node " << v;
+  }
+}
+
+TEST(SpatialGrid, RebuildReplacesIndex) {
+  SpatialGrid grid(1.0);
+  grid.rebuild({{0, 0}, {0.5, 0}});
+  grid.rebuild({{0, 0}, {5.0, 5.0}});
+  int count = 0;
+  grid.for_each_pair_within(1.0, [&](NodeId, NodeId) { ++count; });
+  EXPECT_EQ(count, 0);  // old close pair must be gone
+}
+
+/// Property sweep over radii: grid always equals brute force.
+class GridRadius : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridRadius, EquivalentToBruteForce) {
+  const double radius = GetParam();
+  common::Xoshiro256 rng(29);
+  const DiskRegion disk({0, 0}, 6.0);
+  std::vector<Vec2> pts(250);
+  for (auto& p : pts) p = disk.sample(rng);
+  SpatialGrid grid(radius);
+  grid.rebuild(pts);
+  PairSet from_grid;
+  grid.for_each_pair_within(radius, [&](NodeId u, NodeId v) { from_grid.insert({u, v}); });
+  EXPECT_EQ(from_grid, brute_force_pairs(pts, radius));
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, GridRadius, ::testing::Values(0.25, 0.7, 1.0, 2.5, 6.0));
+
+}  // namespace
+}  // namespace manet::geom

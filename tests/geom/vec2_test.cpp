@@ -1,0 +1,49 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace manet::geom {
+namespace {
+
+TEST(Vec2, ArithmeticIdentities) {
+  const Vec2 a{3.0, 4.0}, b{-1.0, 2.0};
+  EXPECT_EQ(a + b, (Vec2{2.0, 6.0}));
+  EXPECT_EQ(a - b, (Vec2{4.0, 2.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{6.0, 8.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, (Vec2{1.5, 2.0}));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 a{1.0, 1.0};
+  a += Vec2{2.0, 3.0};
+  EXPECT_EQ(a, (Vec2{3.0, 4.0}));
+  a -= Vec2{3.0, 4.0};
+  EXPECT_EQ(a, (Vec2{0.0, 0.0}));
+}
+
+TEST(Vec2, NormAndDot) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.dot({1.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(a.dot(a), a.norm2());
+}
+
+TEST(Vec2, NormalizedIsUnitLength) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_NEAR(a.normalized().norm(), 1.0, 1e-12);
+  EXPECT_EQ(Vec2{}.normalized(), (Vec2{0.0, 0.0}));  // zero vector stays zero
+}
+
+TEST(Vec2, DistanceIsSymmetricAndTriangle) {
+  const Vec2 a{0.0, 0.0}, b{1.0, 1.0}, c{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+  EXPECT_LE(distance(a, c), distance(a, b) + distance(b, c) + 1e-12);
+  EXPECT_DOUBLE_EQ(distance2(a, b), 2.0);
+}
+
+}  // namespace
+}  // namespace manet::geom

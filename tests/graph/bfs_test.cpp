@@ -1,0 +1,93 @@
+#include "graph/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace manet::graph {
+namespace {
+
+Graph path_graph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return Graph(n, edges);
+}
+
+Graph cycle_graph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  edges.push_back({0, n - 1});
+  return Graph(n, edges);
+}
+
+TEST(Bfs, PathDistancesAreLinear) {
+  const auto g = path_graph(6);
+  const auto dist = bfs_hops(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, CycleDistancesWrapAround) {
+  const auto g = cycle_graph(8);
+  const auto dist = bfs_hops(g, 0);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[5], 3u);
+  EXPECT_EQ(dist[7], 1u);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  const Graph g(4, std::vector<Edge>{{0, 1}});
+  const auto dist = bfs_hops(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Bfs, SourceIsZero) {
+  const auto g = path_graph(3);
+  EXPECT_EQ(bfs_hops(g, 1)[1], 0u);
+}
+
+TEST(BfsMulti, NearestSourceWins) {
+  const auto g = path_graph(10);
+  const std::vector<NodeId> sources{0, 9};
+  const auto dist = bfs_hops_multi(g, sources);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[9], 0u);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[5], 4u);
+}
+
+TEST(BfsMulti, EmptySourcesAllUnreachable) {
+  const auto g = path_graph(3);
+  const auto dist = bfs_hops_multi(g, {});
+  for (const auto d : dist) EXPECT_EQ(d, kUnreachable);
+}
+
+TEST(BfsMulti, DuplicateSourcesHandled) {
+  const auto g = path_graph(4);
+  const std::vector<NodeId> sources{2, 2, 2};
+  const auto dist = bfs_hops_multi(g, sources);
+  EXPECT_EQ(dist[2], 0u);
+  EXPECT_EQ(dist[0], 2u);
+}
+
+TEST(BfsScratch, ReusableAcrossRuns) {
+  const auto g = path_graph(5);
+  BfsScratch scratch;
+  const auto d0 = scratch.run(g, 0);
+  EXPECT_EQ(d0[4], 4u);
+  const auto d4 = scratch.run(g, 4);
+  EXPECT_EQ(d4[0], 4u);
+  EXPECT_EQ(scratch.hops_to(0), 4u);
+}
+
+TEST(BfsScratch, WorksAcrossDifferentGraphSizes) {
+  BfsScratch scratch;
+  scratch.run(path_graph(10), 0);
+  const auto d = scratch.run(path_graph(3), 0);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[2], 2u);
+}
+
+}  // namespace
+}  // namespace manet::graph

@@ -1,0 +1,130 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace manet::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(0);
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, IsolatedVertices) {
+  const Graph g(5);
+  EXPECT_EQ(g.vertex_count(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, PathGraphAdjacency) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  const Graph g(4, edges);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(2, 2));  // self loop never present
+}
+
+TEST(Graph, NeighborsAreSortedAscending) {
+  const std::vector<Edge> edges{{0, 3}, {0, 1}, {0, 2}, {1, 3}};
+  const Graph g(4, edges);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(Graph, EdgeListIsCanonicalSorted) {
+  const std::vector<Edge> edges{{2, 3}, {0, 1}, {1, 2}};
+  const Graph g(4, edges);
+  const auto list = g.edges();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], (Edge{0, 1}));
+  EXPECT_EQ(list[1], (Edge{1, 2}));
+  EXPECT_EQ(list[2], (Edge{2, 3}));
+}
+
+TEST(Graph, AverageDegreeOfCompleteGraph) {
+  std::vector<Edge> edges;
+  const NodeId n = 6;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  const Graph g(n, edges);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 5.0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.has_edge(u, v), u != v);
+  }
+}
+
+TEST(InducedSubgraph, KeepAllIsIdentity) {
+  const Graph g(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  const auto sub = induced_subgraph(g, {true, true, true, true});
+  EXPECT_EQ(sub.graph.vertex_count(), 4u);
+  EXPECT_EQ(sub.graph.edge_count(), 3u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(sub.to_original[v], v);
+    EXPECT_EQ(sub.to_new[v], v);
+  }
+}
+
+TEST(InducedSubgraph, DropsVertexAndIncidentEdges) {
+  const Graph g(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  const auto sub = induced_subgraph(g, {true, false, true, true});
+  EXPECT_EQ(sub.graph.vertex_count(), 3u);
+  EXPECT_EQ(sub.graph.edge_count(), 1u);  // only (2,3) survives
+  EXPECT_EQ(sub.to_new[1], kInvalidNode);
+  // Relabeled: original 2 -> new 1, original 3 -> new 2.
+  EXPECT_TRUE(sub.graph.has_edge(sub.to_new[2], sub.to_new[3]));
+  EXPECT_EQ(sub.to_original[sub.to_new[3]], 3u);
+}
+
+TEST(InducedSubgraph, KeepNoneIsEmpty) {
+  const Graph g(3, std::vector<Edge>{{0, 1}});
+  const auto sub = induced_subgraph(g, {false, false, false});
+  EXPECT_EQ(sub.graph.vertex_count(), 0u);
+  EXPECT_TRUE(sub.to_original.empty());
+}
+
+TEST(InducedSubgraph, PreservesAdjacencyOnSurvivors) {
+  std::vector<Edge> edges;
+  const NodeId n = 8;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if ((u + v) % 3 != 0) edges.push_back({u, v});
+    }
+  }
+  const Graph g(n, edges);
+  std::vector<bool> keep{true, false, true, true, false, true, true, true};
+  const auto sub = induced_subgraph(g, keep);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || !keep[u] || !keep[v]) continue;
+      EXPECT_EQ(sub.graph.has_edge(sub.to_new[u], sub.to_new[v]), g.has_edge(u, v));
+    }
+  }
+}
+
+TEST(GraphDeath, RejectsNonCanonicalEdges) {
+  EXPECT_DEATH((Graph(3, std::vector<Edge>{{1, 0}})), "canonical");
+  EXPECT_DEATH((Graph(3, std::vector<Edge>{{1, 1}})), "canonical");
+}
+
+TEST(GraphDeath, RejectsOutOfRangeEndpoint) {
+  EXPECT_DEATH((Graph(3, std::vector<Edge>{{0, 3}})), "out of range");
+}
+
+TEST(GraphDeath, RejectsDuplicateEdges) {
+  EXPECT_DEATH((Graph(3, std::vector<Edge>{{0, 1}, {0, 1}})), "duplicate");
+}
+
+}  // namespace
+}  // namespace manet::graph

@@ -1,0 +1,71 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace manet::graph {
+namespace {
+
+Graph path_graph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return Graph(n, edges);
+}
+
+TEST(HopStats, ExactPathGraph) {
+  // Mean pairwise distance of a path on n vertices is (n+1)/3.
+  const auto g = path_graph(10);
+  const auto stats = exact_hop_stats(g);
+  EXPECT_EQ(stats.sampled_pairs, 90u);  // ordered pairs
+  EXPECT_EQ(stats.unreachable, 0u);
+  EXPECT_NEAR(stats.mean, 11.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.max, 9.0);
+}
+
+TEST(HopStats, DisconnectedCountsUnreachable) {
+  const Graph g(4, std::vector<Edge>{{0, 1}});
+  const auto stats = exact_hop_stats(g);
+  EXPECT_GT(stats.unreachable, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 1.0);  // only 0<->1 reachable
+}
+
+TEST(HopStats, SampledConvergesToExactOnSmallGraph) {
+  const auto g = path_graph(12);
+  common::Xoshiro256 rng(5);
+  const auto exact = exact_hop_stats(g);
+  const auto sampled = sample_hop_stats(g, 2000, rng);  // >= n falls back to exact
+  EXPECT_NEAR(sampled.mean, exact.mean, 1e-12);
+}
+
+TEST(HopStats, SampledIsReasonableEstimate) {
+  const auto g = path_graph(50);
+  common::Xoshiro256 rng(7);
+  const auto exact = exact_hop_stats(g);
+  const auto sampled = sample_hop_stats(g, 20, rng);
+  EXPECT_NEAR(sampled.mean, exact.mean, exact.mean * 0.25);
+}
+
+TEST(HopStats, TinyGraphs) {
+  EXPECT_EQ(exact_hop_stats(Graph(1)).sampled_pairs, 0u);
+  EXPECT_EQ(exact_hop_stats(Graph(0)).sampled_pairs, 0u);
+}
+
+TEST(DegreeStats, PathGraph) {
+  const auto stats = degree_stats(path_graph(5));
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 2.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+}
+
+TEST(DegreeStats, RegularGraphHasZeroVariance) {
+  // 4-cycle: every vertex degree 2.
+  const Graph g(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  const auto stats = degree_stats(g);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_NEAR(stats.variance, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace manet::graph

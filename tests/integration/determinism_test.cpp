@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "exp/simulation.hpp"
+#include "lm/handoff.hpp"
+
+#include "cluster/hierarchy_builder.hpp"
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+#include "net/unit_disk.hpp"
+
+/// Determinism and conservation properties across the whole stack. The
+/// experiment pipeline's credibility rests on bit-reproducibility from
+/// (seed, config) and on internal accounting identities; these tests pin
+/// both across every mobility model.
+
+namespace manet::exp {
+namespace {
+
+ScenarioConfig config(MobilityKind kind, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = 150;
+  cfg.seed = seed;
+  cfg.warmup = 4.0;
+  cfg.duration = 10.0;
+  cfg.mobility = kind;
+  cfg.radius_policy = RadiusPolicy::kMeanDegree;
+  cfg.target_degree = 12.0;
+  return cfg;
+}
+
+RunOptions full_options() {
+  RunOptions opts;
+  opts.track_events = true;
+  opts.track_states = true;
+  opts.measure_hops = true;
+  opts.track_registration = true;
+  opts.measure_routing = true;
+  opts.stretch_pairs = 40;
+  return opts;
+}
+
+class MobilityDeterminism : public ::testing::TestWithParam<MobilityKind> {};
+
+TEST_P(MobilityDeterminism, BitIdenticalAcrossRuns) {
+  const auto a = run_simulation(config(GetParam(), 71), full_options());
+  const auto b = run_simulation(config(GetParam(), 71), full_options());
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (Size i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(a.values[i].first, b.values[i].first);
+    EXPECT_DOUBLE_EQ(a.values[i].second, b.values[i].second) << a.values[i].first;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, MobilityDeterminism,
+                         ::testing::Values(MobilityKind::kRandomWaypoint,
+                                           MobilityKind::kRandomDirection,
+                                           MobilityKind::kGaussMarkov,
+                                           MobilityKind::kGroup, MobilityKind::kStatic),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case MobilityKind::kRandomWaypoint: return "rwp";
+                             case MobilityKind::kRandomDirection: return "rd";
+                             case MobilityKind::kGaussMarkov: return "gm";
+                             case MobilityKind::kGroup: return "rpgm";
+                             case MobilityKind::kStatic: return "static";
+                           }
+                           return "unknown";
+                         });
+
+TEST(Conservation, TickResultsSumToEngineTotals) {
+  const Size n = 200;
+  common::Xoshiro256 rng(5);
+  const auto disk = geom::DiskRegion::with_density(n, 1.0);
+  std::vector<geom::Vec2> pts(n);
+  for (auto& p : pts) p = disk.sample(rng);
+  net::UnitDiskBuilder builder(2.2, true);
+  cluster::HierarchyBuilder hb;
+
+  lm::HandoffEngine engine;
+  engine.prime(hb.build(builder.build(pts)), 0.0);
+  PacketCount phi_sum = 0, gamma_sum = 0;
+  Size moved_sum = 0;
+  for (int t = 1; t <= 20; ++t) {
+    for (auto& p : pts) {
+      p = disk.clamp(p + geom::Vec2{common::uniform(rng, -0.8, 0.8),
+                                    common::uniform(rng, -0.8, 0.8)});
+    }
+    const auto g = builder.build(pts);
+    const auto tick = engine.update(hb.build(g), g, static_cast<Time>(t));
+    phi_sum += tick.phi_packets;
+    gamma_sum += tick.gamma_packets;
+    moved_sum += tick.entries_moved;
+  }
+  EXPECT_EQ(phi_sum, engine.total_phi());
+  EXPECT_EQ(gamma_sum, engine.total_gamma());
+  Size ledger_moves = 0;
+  for (const auto& lvl : engine.per_level()) {
+    ledger_moves += lvl.phi_entries + lvl.gamma_entries;
+  }
+  EXPECT_EQ(ledger_moves, moved_sum);
+}
+
+TEST(Conservation, CoreMetricsKeepStableRelativeOrder) {
+  // Per-level metric sets vary with the realized hierarchy depth, but the
+  // core metrics must exist at every seed and keep their relative order
+  // (downstream CSV/JSON diffing relies on it).
+  const char* kCore[] = {"connected0",       "phi_rate", "gamma_rate", "total_rate",
+                         "f0",               "levels",   "entries_per_node",
+                         "load_gini"};
+  const auto a = run_simulation(config(MobilityKind::kRandomWaypoint, 3));
+  const auto b = run_simulation(config(MobilityKind::kRandomWaypoint, 4));
+  for (const auto* metrics : {&a, &b}) {
+    Size last_index = 0;
+    bool first = true;
+    for (const char* name : kCore) {
+      Size index = metrics->values.size();
+      for (Size i = 0; i < metrics->values.size(); ++i) {
+        if (metrics->values[i].first == name) {
+          index = i;
+          break;
+        }
+      }
+      ASSERT_LT(index, metrics->values.size()) << "missing metric " << name;
+      if (!first) {
+        EXPECT_GT(index, last_index) << "order changed at " << name;
+      }
+      last_index = index;
+      first = false;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manet::exp

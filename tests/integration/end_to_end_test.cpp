@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/montecarlo.hpp"
+
+/// End-to-end behaviour of the whole stack under the paper's scenario:
+/// random waypoint at constant density with recursive ALCA clustering and
+/// CHLM handoff accounting. These are the coarse physical sanity properties
+/// every reproduction experiment relies on.
+
+namespace manet::exp {
+namespace {
+
+ScenarioConfig base_config(Size n, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.warmup = 8.0;
+  cfg.duration = 25.0;
+  cfg.radius_policy = RadiusPolicy::kMeanDegree;
+  cfg.target_degree = 12.0;
+  return cfg;
+}
+
+TEST(EndToEnd, OverheadUnitsAreReasonable) {
+  const auto m = run_simulation(base_config(300, 1));
+  // Packet transmissions per node per second: positive, far below the
+  // everything-reshuffles-every-tick catastrophe (~ n * L).
+  EXPECT_GT(m.get("total_rate"), 0.1);
+  EXPECT_LT(m.get("total_rate"), 200.0);
+}
+
+TEST(EndToEnd, F0IsInsensitiveToNodeCount) {
+  // Paper eq. (4): f_0 = Theta(1) at constant density and fixed R_TX.
+  const auto small = run_simulation(base_config(128, 2));
+  const auto large = run_simulation(base_config(1024, 2));
+  const double ratio = large.get("f0") / small.get("f0");
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.5);  // 8x nodes, ~same link-change rate per node
+}
+
+TEST(EndToEnd, MigrationFrequencyDecaysWithLevel) {
+  // Paper eq. (9): f_k = Theta(1/h_k) — strictly decreasing across levels.
+  const auto m = run_simulation(base_config(600, 3));
+  const double f1 = m.get("f_k.1");
+  const double f3 = m.get("f_k.3");
+  ASSERT_FALSE(std::isnan(f1));
+  ASSERT_FALSE(std::isnan(f3));
+  EXPECT_LT(f3, f1);
+}
+
+TEST(EndToEnd, PerLinkChangeRateDecaysWithLevel) {
+  // Paper eq. (14): g'_k = O(1/h_k).
+  const auto m = run_simulation(base_config(600, 4));
+  const double g1 = m.get("gprime_k.1");
+  const double g3 = m.get("gprime_k.3");
+  ASSERT_FALSE(std::isnan(g1));
+  ASSERT_FALSE(std::isnan(g3));
+  EXPECT_LT(g3, g1 * 1.1);
+}
+
+TEST(EndToEnd, LevelLinkDensityDecaysGeometrically) {
+  // Paper eq. (13b): |E_k|/|V| = Theta(1/c_k).
+  const auto m = run_simulation(base_config(600, 5));
+  const double e1 = m.get("ek_per_v.1");
+  const double e2 = m.get("ek_per_v.2");
+  const double e3 = m.get("ek_per_v.3");
+  EXPECT_GT(e1, e2);
+  EXPECT_GT(e2, e3);
+}
+
+TEST(EndToEnd, HkGrowsLikeSqrtCk) {
+  // Paper eq. (3): h_k = Theta(sqrt(c_k)); check monotone growth and a loose
+  // ratio band against the measured aggregation.
+  const auto m = run_simulation(base_config(600, 6));
+  const double h1 = m.get("h_k.1");
+  const double h2 = m.get("h_k.2");
+  const double h3 = m.get("h_k.3");
+  EXPECT_GT(h2, h1);
+  EXPECT_GT(h3, h2);
+}
+
+TEST(EndToEnd, EntriesPerNodeTracksLevels) {
+  const auto m = run_simulation(base_config(500, 7));
+  // Every node registers at levels [2, L]: entries/node == levels - 1 when
+  // the depth is stable (it can drift a little as the hierarchy breathes).
+  EXPECT_NEAR(m.get("entries_per_node"), m.get("levels") - 1.0, 1.5);
+}
+
+TEST(EndToEnd, LoadIsEquitablyDistributed) {
+  const auto m = run_simulation(base_config(500, 8));
+  // The paper's equitable-distribution requirement: Gini far below the
+  // single-hot-spot regime and max load a small multiple of the mean.
+  EXPECT_LT(m.get("load_gini"), 0.75);
+  EXPECT_LT(m.get("load_max"), 25.0 * m.get("load_mean") + 5.0);
+}
+
+TEST(EndToEnd, ReorgEventRatesDecayAcrossLevels) {
+  // Section 5.3: every event family's frequency falls with level.
+  const auto m = run_simulation(base_config(600, 9));
+  const double ev1 = m.get("ev.i.1");
+  const double ev2 = m.get("ev.i.2");
+  if (!std::isnan(ev1) && !std::isnan(ev2)) {
+    EXPECT_LT(ev2, ev1);
+  }
+  const double el1 = m.get("ev.iii.1");
+  const double el2 = m.get("ev.iii.2");
+  if (!std::isnan(el1) && !std::isnan(el2)) {
+    EXPECT_LT(el2, el1 * 1.25);
+  }
+}
+
+TEST(EndToEnd, Q1BoundedAwayFromZero) {
+  // Eq. (22) — the paper's future-work measurement: q1 > epsilon > 0.
+  const auto m = run_simulation(base_config(500, 10));
+  EXPECT_GT(m.get("q1"), 0.01);
+  EXPECT_GT(m.get("q1_over_Q"), 0.2);
+}
+
+TEST(EndToEnd, GlsAndChlmAreComparable) {
+  RunOptions opts;
+  opts.run_gls = true;
+  const auto m = run_simulation(base_config(400, 11), opts);
+  const double chlm = m.get("total_rate");
+  const double gls = m.get("gls_total_rate");
+  EXPECT_GT(gls, 0.0);
+  // Same order of magnitude (both are hierarchical LM on the same motion).
+  EXPECT_LT(chlm / gls, 20.0);
+  EXPECT_LT(gls / chlm, 20.0);
+}
+
+}  // namespace
+}  // namespace manet::exp

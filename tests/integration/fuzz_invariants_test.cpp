@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/diff.hpp"
+#include "cluster/hierarchy_builder.hpp"
+#include "cluster/maxmin.hpp"
+#include "common/rng.hpp"
+#include "graph/components.hpp"
+#include "lm/server_select.hpp"
+
+/// Randomized structural fuzzing: many small random graphs (Erdos-Renyi and
+/// unit-disk-free, i.e. no geometric structure at all) pushed through the
+/// clustering, LM and diff machinery, asserting the invariants that every
+/// downstream measurement silently relies on. Seeds are the parameter so a
+/// failure names its reproducer.
+
+namespace manet {
+namespace {
+
+graph::Graph random_graph(Size n, double edge_prob, common::Xoshiro256& rng) {
+  std::vector<graph::Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (common::uniform01(rng) < edge_prob) edges.push_back({u, v});
+    }
+  }
+  return graph::Graph(n, edges);
+}
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeed, HierarchyInvariantsOnArbitraryGraphs) {
+  common::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 12; ++trial) {
+    const Size n = 2 + common::uniform_index(rng, 120);
+    const double p = common::uniform(rng, 0.01, 0.5);
+    const auto g = random_graph(n, p, rng);
+
+    // Random unique ids.
+    std::vector<NodeId> ids(n);
+    for (NodeId v = 0; v < n; ++v) ids[v] = v;
+    common::shuffle(rng, ids.data(), ids.size());
+
+    const auto h = cluster::HierarchyBuilder().build(g, ids);
+
+    // Partition + ancestor consistency at every level.
+    for (Level k = 0; k <= h.top_level(); ++k) {
+      Size total = 0;
+      for (NodeId c = 0; c < h.cluster_count(k); ++c) {
+        const auto& members = h.members0(k, c);
+        total += members.size();
+        for (const NodeId v : members) {
+          ASSERT_EQ(h.ancestor(v, k), c) << "seed " << GetParam() << " trial " << trial;
+        }
+      }
+      ASSERT_EQ(total, n);
+    }
+
+    // Level-1 heads dominate their members (ALCA 1-hop property) when the
+    // member is not the head itself.
+    if (h.top_level() >= 1) {
+      for (NodeId v = 0; v < n; ++v) {
+        const auto& view = h.level(1);
+        const NodeId c = h.ancestor(v, 1);
+        const NodeId head0 = view.node0[c];
+        ASSERT_TRUE(head0 == v || g.has_edge(v, head0))
+            << "member beyond 1 hop of its level-1 head";
+      }
+    }
+
+    // Server selection stays inside the owner's cluster for every strategy.
+    for (const auto strategy :
+         {lm::SelectStrategy::kFlatSuccessor, lm::SelectStrategy::kWeightedDescent}) {
+      lm::ServerSelectConfig cfg;
+      cfg.strategy = strategy;
+      for (Level k = lm::kFirstServedLevel; k <= h.top_level(); ++k) {
+        for (NodeId v = 0; v < n; v += 3) {
+          const NodeId server = lm::select_server(h, v, k, cfg);
+          ASSERT_EQ(h.ancestor(server, k), h.ancestor(v, k));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSeed, DiffIsConsistentUnderRandomPerturbation) {
+  common::Xoshiro256 rng(GetParam() ^ 0xD1FF);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Size n = 10 + common::uniform_index(rng, 80);
+    auto g1 = random_graph(n, 0.15, rng);
+    auto g2 = random_graph(n, 0.15, rng);  // independent → heavy delta
+    const auto h1 = cluster::HierarchyBuilder().build(g1);
+    const auto h2 = cluster::HierarchyBuilder().build(g2);
+    const auto delta = cluster::diff_hierarchies(h1, h2);
+
+    // Gained/lost head sets are disjoint per level.
+    for (Level k = 1; k < delta.heads_gained.size(); ++k) {
+      std::vector<NodeId> overlap;
+      std::set_intersection(delta.heads_gained[k].begin(), delta.heads_gained[k].end(),
+                            delta.heads_lost[k].begin(), delta.heads_lost[k].end(),
+                            std::back_inserter(overlap));
+      ASSERT_TRUE(overlap.empty());
+    }
+    // Every migration references real heads of the respective snapshots.
+    for (const auto& m : delta.migrations) {
+      ASSERT_NE(m.from_head, m.to_head);
+      ASSERT_LT(m.node, n);
+    }
+    // Event counts match the event list (already covered for unit-disk
+    // graphs; re-assert on arbitrary topologies).
+    Size listed = 0;
+    for (const auto& counts : delta.event_counts) {
+      for (const Size c : counts) listed += c;
+    }
+    ASSERT_EQ(listed, delta.events.size());
+  }
+}
+
+TEST_P(FuzzSeed, MaxMinPartitionsArbitraryGraphs) {
+  common::Xoshiro256 rng(GetParam() ^ 0x33AA);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Size n = 2 + common::uniform_index(rng, 100);
+    const auto g = random_graph(n, common::uniform(rng, 0.02, 0.4), rng);
+    std::vector<NodeId> ids(n);
+    for (NodeId v = 0; v < n; ++v) ids[v] = v;
+    const auto result = cluster::MaxMinDCluster(2).elect(g, ids);
+    ASSERT_FALSE(result.clusterheads.empty());
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId head = result.head_of[v];
+      ASSERT_LT(head, n);
+      ASSERT_EQ(result.head_of[head], head);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Values(11, 23, 37, 59, 71));
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/diff.hpp"
+#include "cluster/hierarchy_builder.hpp"
+#include "common/rng.hpp"
+#include "exp/simulation.hpp"
+#include "graph/components.hpp"
+#include "lm/handoff.hpp"
+#include "net/unit_disk.hpp"
+
+/// Cross-module invariants exercised over a mobile run: every tick of a
+/// realistic simulation must preserve the structural properties the
+/// analytical machinery assumes. Violations here indicate silent metric
+/// corruption that unit tests cannot see.
+
+namespace manet {
+namespace {
+
+TEST(Invariants, MobileRunPreservesAllStructuralInvariants) {
+  const Size n = 250;
+  exp::ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = 31;
+  cfg.radius_policy = exp::RadiusPolicy::kMeanDegree;
+  cfg.target_degree = 12.0;
+  auto scenario = exp::Scenario::materialize(cfg);
+
+  net::UnitDiskBuilder disk(cfg.tx_radius(), true);
+  cluster::HierarchyOptions hopts;
+  hopts.geometric_links = true;
+  hopts.tx_radius = cfg.tx_radius();
+  cluster::HierarchyBuilder builder(hopts);
+
+  lm::HandoffEngine engine;
+  graph::Graph g = disk.build(scenario.mobility->positions());
+  cluster::Hierarchy h = builder.build(g, scenario.ids, scenario.mobility->positions());
+  engine.prime(h, 0.0);
+
+  for (int tick = 1; tick <= 25; ++tick) {
+    scenario.mobility->advance_to(static_cast<Time>(tick));
+    g = disk.build(scenario.mobility->positions());
+    cluster::Hierarchy next =
+        builder.build(g, scenario.ids, scenario.mobility->positions());
+
+    // 1. Connectivity enforcement held.
+    ASSERT_TRUE(graph::is_connected(g)) << "tick " << tick;
+
+    // 2. Membership is a partition at every level, heads self-consistent.
+    for (Level k = 0; k <= next.top_level(); ++k) {
+      Size members_total = 0;
+      for (NodeId c = 0; c < next.cluster_count(k); ++c) {
+        members_total += next.members0(k, c).size();
+      }
+      ASSERT_EQ(members_total, n) << "tick " << tick << " level " << k;
+    }
+
+    // 3. Aggregation is strict below the top.
+    for (Level k = 1; k <= next.top_level(); ++k) {
+      ASSERT_LT(next.cluster_count(k), next.cluster_count(k - 1))
+          << "tick " << tick << " level " << k;
+    }
+
+    // 4. Diff is self-consistent: heads gained/lost match level id sets.
+    const auto delta = cluster::diff_hierarchies(h, next);
+    for (Level k = 1; k < delta.heads_gained.size() && k <= next.top_level(); ++k) {
+      for (const NodeId id : delta.heads_gained[k]) {
+        const auto& ids = next.level(k).ids;
+        ASSERT_NE(std::find(ids.begin(), ids.end(), id), ids.end());
+      }
+    }
+
+    // 5. Handoff engine's database matches the assignment function.
+    engine.update(next, g, static_cast<Time>(tick));
+    ASSERT_EQ(engine.database().total_entries(),
+              next.top_level() >= 2
+                  ? n * (next.top_level() - lm::kFirstServedLevel + 1)
+                  : 0)
+        << "tick " << tick;
+
+    // 6. No transfer ever crossed a disconnected graph.
+    ASSERT_EQ(engine.unreachable_transfers(), 0u) << "tick " << tick;
+
+    h = std::move(next);
+  }
+}
+
+TEST(Invariants, HandoffTotalsEqualSumOfLevels) {
+  exp::ScenarioConfig cfg;
+  cfg.n = 200;
+  cfg.seed = 33;
+  cfg.radius_policy = exp::RadiusPolicy::kMeanDegree;
+  auto scenario = exp::Scenario::materialize(cfg);
+  net::UnitDiskBuilder disk(cfg.tx_radius(), true);
+  cluster::HierarchyBuilder builder;
+  lm::HandoffEngine engine;
+
+  graph::Graph g = disk.build(scenario.mobility->positions());
+  engine.prime(builder.build(g, scenario.ids), 0.0);
+  for (int tick = 1; tick <= 15; ++tick) {
+    scenario.mobility->advance_to(static_cast<Time>(tick));
+    g = disk.build(scenario.mobility->positions());
+    engine.update(builder.build(g, scenario.ids), g, static_cast<Time>(tick));
+  }
+
+  PacketCount phi = 0, gamma = 0;
+  for (const auto& lvl : engine.per_level()) {
+    phi += lvl.phi_packets;
+    gamma += lvl.gamma_packets;
+  }
+  EXPECT_EQ(phi, engine.total_phi());
+  EXPECT_EQ(gamma, engine.total_gamma());
+}
+
+TEST(Invariants, TickRateRobustness) {
+  // Halving the sampling tick must not change measured rates wildly (the
+  // Delta-t validation promised in DESIGN.md). Rates are tick-sensitive for
+  // fast events, so allow a 2x band.
+  exp::ScenarioConfig coarse;
+  coarse.n = 200;
+  coarse.seed = 35;
+  coarse.warmup = 5.0;
+  coarse.duration = 20.0;
+  coarse.tick = 1.0;
+  coarse.radius_policy = exp::RadiusPolicy::kMeanDegree;
+  auto fine = coarse;
+  fine.tick = 0.5;
+
+  exp::RunOptions opts;
+  opts.track_events = false;
+  opts.track_states = false;
+  opts.measure_hops = false;
+  const auto mc = exp::run_simulation(coarse, opts);
+  const auto mf = exp::run_simulation(fine, opts);
+  const double rc = mc.get("total_rate");
+  const double rf = mf.get("total_rate");
+  EXPECT_LT(rf / rc, 2.0);
+  EXPECT_GT(rf / rc, 0.5);
+}
+
+}  // namespace
+}  // namespace manet

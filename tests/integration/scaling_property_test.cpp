@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/model_fit.hpp"
+#include "exp/campaign.hpp"
+
+/// Scaling properties over node count — the reproduction's headline checks,
+/// run at reduced scale so they stay test-suite friendly (the full-scale
+/// versions live in bench/). Parameterized over n so ctest reports each
+/// scale point separately.
+
+namespace manet::exp {
+namespace {
+
+ScenarioConfig scaling_config() {
+  ScenarioConfig cfg;
+  cfg.warmup = 8.0;
+  cfg.duration = 20.0;
+  cfg.seed = 2024;
+  cfg.radius_policy = RadiusPolicy::kMeanDegree;
+  cfg.target_degree = 12.0;
+  return cfg;
+}
+
+RunOptions light_options() {
+  RunOptions opts;
+  opts.track_events = false;
+  opts.track_states = false;
+  opts.measure_hops = false;
+  return opts;
+}
+
+/// One shared campaign across all property checks (expensive to produce).
+const Campaign& shared_campaign() {
+  static const Campaign campaign = [] {
+    const std::vector<Size> ns{96, 192, 384, 768};
+    return sweep_node_count(scaling_config(), ns, 2, light_options());
+  }();
+  return campaign;
+}
+
+TEST(ScalingProperty, LevelsGrowLogarithmically) {
+  std::vector<double> ns, levels;
+  shared_campaign().series("levels", ns, levels);
+  ASSERT_EQ(ns.size(), 4u);
+  // Levels increase, but by far less than proportionally.
+  EXPECT_GT(levels.back(), levels.front());
+  EXPECT_LT(levels.back(), levels.front() + 3.0);
+}
+
+TEST(ScalingProperty, F0StaysFlat) {
+  std::vector<double> ns, f0;
+  shared_campaign().series("f0", ns, f0);
+  ASSERT_EQ(f0.size(), 4u);
+  EXPECT_LT(f0.back() / f0.front(), 1.6);
+  EXPECT_GT(f0.back() / f0.front(), 0.6);
+}
+
+TEST(ScalingProperty, TotalOverheadGrowsSubLinearly) {
+  std::vector<double> ns, total;
+  shared_campaign().series("total_rate", ns, total);
+  ASSERT_EQ(total.size(), 4u);
+  const auto power = analysis::fit_power_law(ns, total);
+  // Polylogarithmic target; anything approaching linear growth (exponent 1)
+  // is a regression. Finite-size effects keep the small-n exponent well
+  // above the asymptotic 2/ln n, hence the generous ceiling.
+  EXPECT_LT(power.slope, 0.85);
+  EXPECT_GT(power.slope, 0.0);
+}
+
+TEST(ScalingProperty, LogSquaredModelOutranksLinear) {
+  std::vector<double> ns, total;
+  shared_campaign().series("total_rate", ns, total);
+  const auto sel = analysis::select_model(ns, total);
+  int rank_log2 = -1, rank_linear = -1;
+  for (int i = 0; i < static_cast<int>(sel.ranked.size()); ++i) {
+    const auto law = sel.ranked[static_cast<std::size_t>(i)].law;
+    if (law == analysis::GrowthLaw::kLogSquared) rank_log2 = i;
+    if (law == analysis::GrowthLaw::kLinear) rank_linear = i;
+  }
+  EXPECT_LT(rank_log2, rank_linear);
+}
+
+TEST(ScalingProperty, EntriesPerNodeGrowsSlowly) {
+  std::vector<double> ns, entries;
+  shared_campaign().series("entries_per_node", ns, entries);
+  ASSERT_EQ(entries.size(), 4u);
+  // 8x nodes, roughly +log growth in entries (bounded by +3 levels).
+  EXPECT_LE(entries.back(), entries.front() + 3.0);
+}
+
+TEST(ScalingProperty, PhiAndGammaBothPresentAtAllScales) {
+  for (const auto& point : shared_campaign().points) {
+    EXPECT_GT(point.metrics.mean("phi_rate"), 0.0) << "n=" << point.n;
+    EXPECT_GT(point.metrics.mean("gamma_rate"), 0.0) << "n=" << point.n;
+  }
+}
+
+}  // namespace
+}  // namespace manet::exp

@@ -1,0 +1,104 @@
+#include "lm/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/hierarchy_builder.hpp"
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+#include "net/unit_disk.hpp"
+
+namespace manet::lm {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+cluster::Hierarchy random_hierarchy(Size n, std::uint64_t seed,
+                                    std::vector<geom::Vec2>* out_pts = nullptr) {
+  common::Xoshiro256 rng(seed);
+  const auto disk = geom::DiskRegion::with_density(n, 1.0);
+  std::vector<geom::Vec2> pts(n);
+  for (auto& p : pts) p = disk.sample(rng);
+  net::UnitDiskBuilder builder(2.2, true);
+  const auto g = builder.build(pts);
+  if (out_pts) *out_pts = pts;
+  return cluster::HierarchyBuilder().build(g);
+}
+
+TEST(Address, ChainEndsAtNodeAndStartsAtTop) {
+  const auto h = random_hierarchy(200, 1);
+  const auto addr = make_address(h, 17);
+  ASSERT_EQ(addr.chain.size(), h.level_count());
+  EXPECT_EQ(addr.chain.back(), 17u);
+  EXPECT_EQ(addr.chain.front(), h.level(h.top_level()).ids[h.ancestor(17, h.top_level())]);
+}
+
+TEST(Address, ToStringIsDotted) {
+  HierAddress addr;
+  addr.chain = {100, 85, 68, 63};
+  EXPECT_EQ(to_string(addr), "100.85.68.63");
+  EXPECT_EQ(to_string(HierAddress{{7}}), "7");
+}
+
+TEST(Address, LowestCommonLevelOfSelfIsZero) {
+  const auto h = random_hierarchy(150, 2);
+  EXPECT_EQ(lowest_common_level(h, 5, 5), 0u);
+}
+
+TEST(Address, LowestCommonLevelSymmetric) {
+  const auto h = random_hierarchy(150, 3);
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = 0; v < 20; ++v) {
+      EXPECT_EQ(lowest_common_level(h, u, v), lowest_common_level(h, v, u));
+    }
+  }
+}
+
+TEST(Address, LowestCommonLevelMatchesAncestors) {
+  const auto h = random_hierarchy(250, 4);
+  for (NodeId u = 0; u < 30; ++u) {
+    for (NodeId v = 0; v < 30; ++v) {
+      if (u == v) continue;
+      const Level k = lowest_common_level(h, u, v);
+      ASSERT_GE(k, 1u);
+      ASSERT_LE(k, h.top_level());
+      EXPECT_EQ(h.ancestor(u, k), h.ancestor(v, k));
+      EXPECT_NE(h.ancestor(u, k - 1), h.ancestor(v, k - 1));
+    }
+  }
+}
+
+TEST(Address, MapSizeIsLogarithmicNotLinear) {
+  // The paper's O(log|V|) hierarchical map claim: the per-node map must be
+  // far below n and grow slowly.
+  const auto h300 = random_hierarchy(300, 5);
+  double mean300 = 0.0;
+  for (NodeId v = 0; v < 300; ++v) {
+    mean300 += static_cast<double>(hierarchical_map_size(h300, v));
+  }
+  mean300 /= 300.0;
+  EXPECT_LT(mean300, 80.0);  // << n
+
+  const auto h1200 = random_hierarchy(1200, 6);
+  double mean1200 = 0.0;
+  for (NodeId v = 0; v < 1200; ++v) {
+    mean1200 += static_cast<double>(hierarchical_map_size(h1200, v));
+  }
+  mean1200 /= 1200.0;
+  // 4x the nodes must not cost anywhere near 4x the map.
+  EXPECT_LT(mean1200, mean300 * 2.5);
+}
+
+TEST(Address, AddressesAreUniquePerNode) {
+  const auto h = random_hierarchy(100, 7);
+  for (NodeId u = 0; u < 100; ++u) {
+    for (NodeId v = u + 1; v < 100; ++v) {
+      EXPECT_NE(make_address(h, u), make_address(h, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manet::lm

@@ -1,0 +1,114 @@
+#include "lm/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace manet::lm {
+namespace {
+
+TEST(LmDatabase, StartsEmpty) {
+  const LmDatabase db(5);
+  EXPECT_EQ(db.total_entries(), 0u);
+  EXPECT_EQ(db.node_count(), 5u);
+  EXPECT_EQ(db.entry_count(2), 0u);
+}
+
+TEST(LmDatabase, PutAndFind) {
+  LmDatabase db(4);
+  db.put(1, LocationRecord{7, 2, 3.5, 0});
+  const auto* rec = db.find(1, 7, 2);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->owner, 7u);
+  EXPECT_EQ(rec->level, 2u);
+  EXPECT_DOUBLE_EQ(rec->updated, 3.5);
+  EXPECT_EQ(db.total_entries(), 1u);
+}
+
+TEST(LmDatabase, FindAbsentReturnsNull) {
+  LmDatabase db(4);
+  EXPECT_EQ(db.find(0, 1, 2), nullptr);
+  db.put(0, LocationRecord{1, 2, 0.0, 0});
+  EXPECT_EQ(db.find(0, 1, 3), nullptr);  // different level
+  EXPECT_EQ(db.find(1, 1, 2), nullptr);  // different server
+}
+
+TEST(LmDatabase, PutOverwritesSameKey) {
+  LmDatabase db(4);
+  db.put(0, LocationRecord{1, 2, 1.0, 0});
+  db.put(0, LocationRecord{1, 2, 9.0, 5});
+  EXPECT_EQ(db.total_entries(), 1u);
+  EXPECT_DOUBLE_EQ(db.find(0, 1, 2)->updated, 9.0);
+  EXPECT_EQ(db.find(0, 1, 2)->version, 5u);
+}
+
+TEST(LmDatabase, SameOwnerDifferentLevelsAreDistinct) {
+  LmDatabase db(4);
+  db.put(0, LocationRecord{1, 2, 0.0, 0});
+  db.put(0, LocationRecord{1, 3, 0.0, 0});
+  EXPECT_EQ(db.total_entries(), 2u);
+  EXPECT_EQ(db.entry_count(0), 2u);
+}
+
+TEST(LmDatabase, TakeRemovesAndReturns) {
+  LmDatabase db(4);
+  db.put(2, LocationRecord{5, 2, 1.0, 3});
+  const auto rec = db.take(2, 5, 2);
+  EXPECT_EQ(rec.owner, 5u);
+  EXPECT_EQ(rec.version, 3u);
+  EXPECT_EQ(db.total_entries(), 0u);
+  EXPECT_EQ(db.find(2, 5, 2), nullptr);
+}
+
+TEST(LmDatabase, TakeAbsentReturnsInvalid) {
+  LmDatabase db(4);
+  const auto rec = db.take(0, 9, 2);
+  EXPECT_EQ(rec.owner, kInvalidNode);
+  EXPECT_EQ(db.total_entries(), 0u);
+}
+
+TEST(LmDatabase, LoadVectorMatchesEntryCounts) {
+  LmDatabase db(3);
+  db.put(0, LocationRecord{1, 2, 0.0, 0});
+  db.put(0, LocationRecord{2, 2, 0.0, 0});
+  db.put(2, LocationRecord{1, 3, 0.0, 0});
+  EXPECT_EQ(db.load_vector(), (std::vector<Size>{2, 0, 1}));
+}
+
+TEST(LmDatabase, ResetClears) {
+  LmDatabase db(3);
+  db.put(0, LocationRecord{1, 2, 0.0, 0});
+  db.reset(5);
+  EXPECT_EQ(db.total_entries(), 0u);
+  EXPECT_EQ(db.node_count(), 5u);
+}
+
+TEST(LoadStats, UniformLoadHasZeroGini) {
+  const auto stats = load_stats({4, 4, 4, 4});
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);
+  EXPECT_NEAR(stats.gini, 0.0, 1e-12);
+  EXPECT_NEAR(stats.variance, 0.0, 1e-12);
+}
+
+TEST(LoadStats, ConcentratedLoadHasHighGini) {
+  const auto stats = load_stats({0, 0, 0, 12});
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats.max, 12.0);
+  EXPECT_NEAR(stats.gini, 0.75, 1e-12);  // (n-1)/n for a point mass
+}
+
+TEST(LoadStats, EmptyAndZeroVectors) {
+  EXPECT_DOUBLE_EQ(load_stats({}).mean, 0.0);
+  const auto stats = load_stats({0, 0, 0});
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.gini, 0.0);
+}
+
+TEST(LoadStats, GiniKnownHandValue) {
+  // loads {1, 3}: G = (2*(1*1 + 2*3)/(2*4)) - 3/2 = 14/8 - 1.5 = 0.25.
+  EXPECT_NEAR(load_stats({1, 3}).gini, 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace manet::lm

@@ -1,0 +1,186 @@
+#include "lm/gls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+#include "net/unit_disk.hpp"
+
+namespace manet::lm {
+namespace {
+
+TEST(GridHierarchy, CellSidesHalvePerLevel) {
+  const GridHierarchy grid({0, 0}, 16.0, 3);  // L = 3: level-4 = whole square
+  EXPECT_DOUBLE_EQ(grid.cell_side(4), 16.0);
+  EXPECT_DOUBLE_EQ(grid.cell_side(3), 8.0);
+  EXPECT_DOUBLE_EQ(grid.cell_side(2), 4.0);
+  EXPECT_DOUBLE_EQ(grid.cell_side(1), 2.0);
+}
+
+TEST(GridHierarchy, CoverPicksSmallestCellAboveMinimum) {
+  const auto grid = GridHierarchy::cover({0, 0}, 16.0, 2.0);
+  EXPECT_GE(grid.cell_side(1), 2.0);
+  EXPECT_LT(grid.cell_side(1), 4.0);
+}
+
+TEST(GridHierarchy, CellIndicesNestAcrossLevels) {
+  const GridHierarchy grid({0, 0}, 16.0, 3);
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const geom::Vec2 p{common::uniform(rng, 0, 16), common::uniform(rng, 0, 16)};
+    for (Level k = 1; k <= 3; ++k) {
+      const auto [cx, cy] = grid.cell(p, k);
+      const auto [px, py] = grid.cell(p, k + 1);
+      EXPECT_EQ(cx / 2, px);
+      EXPECT_EQ(cy / 2, py);
+    }
+  }
+}
+
+TEST(GridHierarchy, TopLevelIsSingleCell) {
+  const GridHierarchy grid({0, 0}, 10.0, 2);
+  common::Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const geom::Vec2 p{common::uniform(rng, 0, 10), common::uniform(rng, 0, 10)};
+    const auto [cx, cy] = grid.cell(p, grid.top_level());
+    EXPECT_EQ(cx, 0);
+    EXPECT_EQ(cy, 0);
+  }
+}
+
+TEST(GridHierarchy, BoundaryPointsClampIntoGrid) {
+  const GridHierarchy grid({0, 0}, 8.0, 2);
+  const auto [cx, cy] = grid.cell({8.0, 8.0}, 1);
+  EXPECT_EQ(cx, 3);
+  EXPECT_EQ(cy, 3);
+}
+
+struct GlsFixture {
+  std::vector<geom::Vec2> pts;
+  graph::Graph g{0};
+  GridHierarchy grid{{0, 0}, 1.0, 1};
+};
+
+GlsFixture make(Size n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  const auto disk = geom::DiskRegion::with_density(n, 1.0);
+  GlsFixture f;
+  f.pts.resize(n);
+  for (auto& p : f.pts) p = disk.sample(rng);
+  net::UnitDiskBuilder builder(2.2, true);
+  f.g = builder.build(f.pts);
+  const double r = disk.radius();
+  f.grid = GridHierarchy::cover({-r, -r}, 2.0 * r, 2.2);
+  return f;
+}
+
+TEST(GlsService, ServersAreNeverTheOwner) {
+  auto f = make(300, 3);
+  GlsService service(f.grid);
+  service.rebuild(f.pts);
+  for (NodeId owner = 0; owner < 300; owner += 3) {
+    for (Level k = 2; k <= f.grid.top_level(); ++k) {
+      for (Size s = 0; s < kGlsSiblings; ++s) {
+        const NodeId server = service.server_of(owner, k, s);
+        if (server != kInvalidNode) {
+          EXPECT_NE(server, owner);
+        }
+      }
+    }
+  }
+}
+
+TEST(GlsService, ServerLiesInASiblingSquare) {
+  auto f = make(300, 4);
+  GlsService service(f.grid);
+  service.rebuild(f.pts);
+  for (NodeId owner = 0; owner < 300; owner += 7) {
+    for (Level k = 2; k <= f.grid.top_level(); ++k) {
+      const auto own_parent = f.grid.cell(f.pts[owner], k);
+      const auto own_child = f.grid.cell(f.pts[owner], k - 1);
+      for (Size s = 0; s < kGlsSiblings; ++s) {
+        const NodeId server = service.server_of(owner, k, s);
+        if (server == kInvalidNode) continue;
+        // Server must be inside the owner's level-k square...
+        EXPECT_EQ(f.grid.cell(f.pts[server], k), own_parent);
+        // ...but not in the owner's own level-(k-1) child square.
+        EXPECT_NE(f.grid.cell(f.pts[server], k - 1), own_child);
+      }
+    }
+  }
+}
+
+TEST(GlsService, SuccessorRuleSelectsLeastIdAbove) {
+  // 4 nodes in one level-2 square, one per level-1 quadrant; owner id 1 must
+  // recruit the cyclically-next ids in the three sibling quadrants.
+  const GridHierarchy grid({0, 0}, 4.0, 1);  // level-1 cells of side 2
+  std::vector<geom::Vec2> pts{{1, 1}, {3, 1}, {1, 3}, {3, 3}};
+  GlsService service(grid);
+  service.rebuild(pts);
+  // Owner 0 (id 0) at cell (0,0): siblings hold nodes 1, 2, 3 — each alone,
+  // so each is the successor pick in its square.
+  std::vector<NodeId> servers;
+  for (Size s = 0; s < kGlsSiblings; ++s) servers.push_back(service.server_of(0, 2, s));
+  std::sort(servers.begin(), servers.end());
+  EXPECT_EQ(servers, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(GlsService, EmptySiblingSquareYieldsInvalid) {
+  const GridHierarchy grid({0, 0}, 4.0, 1);
+  std::vector<geom::Vec2> pts{{1, 1}, {3, 1}};  // two quadrants empty
+  GlsService service(grid);
+  service.rebuild(pts);
+  Size invalid = 0;
+  for (Size s = 0; s < kGlsSiblings; ++s) {
+    if (service.server_of(0, 2, s) == kInvalidNode) ++invalid;
+  }
+  EXPECT_EQ(invalid, 2u);
+}
+
+TEST(GlsService, LoadVectorSumsToValidAssignments) {
+  auto f = make(250, 5);
+  GlsService service(f.grid);
+  service.rebuild(f.pts);
+  Size assignments = 0;
+  for (NodeId owner = 0; owner < 250; ++owner) {
+    for (Level k = 2; k <= f.grid.top_level(); ++k) {
+      for (Size s = 0; s < kGlsSiblings; ++s) {
+        if (service.server_of(owner, k, s) != kInvalidNode) ++assignments;
+      }
+    }
+  }
+  Size load_total = 0;
+  for (const Size l : service.load_vector()) load_total += l;
+  EXPECT_EQ(load_total, assignments);
+}
+
+TEST(GlsHandoffTracker, StaticNodesIncurNoCost) {
+  auto f = make(200, 6);
+  GlsHandoffTracker tracker(f.grid);
+  tracker.prime(f.pts, {}, 0.0);
+  const auto tick = tracker.update(f.pts, f.g, {}, 1.0);
+  EXPECT_EQ(tick.handoff_packets, 0u);
+  EXPECT_EQ(tick.update_packets, 0u);
+  EXPECT_EQ(tick.entries_moved, 0u);
+}
+
+TEST(GlsHandoffTracker, MovementAcrossGridBoundaryCosts) {
+  auto f = make(300, 7);
+  GlsHandoffTracker tracker(f.grid);
+  tracker.prime(f.pts, {}, 0.0);
+  // Push a quarter of nodes one cell over.
+  for (Size v = 0; v < f.pts.size(); v += 4) f.pts[v] += {2.5, 0.0};
+  net::UnitDiskBuilder builder(2.2, true);
+  const auto g = builder.build(f.pts);
+  const auto tick = tracker.update(f.pts, g, {}, 1.0);
+  EXPECT_GT(tick.entries_moved, 0u);
+  EXPECT_GT(tick.handoff_packets + tick.update_packets, 0u);
+  EXPECT_GT(tracker.combined_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace manet::lm

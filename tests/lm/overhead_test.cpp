@@ -1,0 +1,106 @@
+#include "lm/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/hierarchy_builder.hpp"
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+#include "net/unit_disk.hpp"
+
+namespace manet::lm {
+namespace {
+
+struct World {
+  geom::DiskRegion disk{geom::Vec2{0, 0}, 1.0};
+  std::vector<geom::Vec2> pts;
+  net::UnitDiskBuilder builder{2.2, true};
+  cluster::HierarchyBuilder hb;
+  graph::Graph g{0};
+  cluster::Hierarchy h;
+
+  explicit World(Size n, std::uint64_t seed)
+      : disk(geom::DiskRegion::with_density(n, 1.0)) {
+    common::Xoshiro256 rng(seed);
+    pts.resize(n);
+    for (auto& p : pts) p = disk.sample(rng);
+    refresh();
+  }
+
+  void refresh() {
+    g = builder.build(pts);
+    h = hb.build(g);
+  }
+};
+
+HandoffEngine run_engine(World& w, int steps, std::uint64_t seed) {
+  HandoffEngine engine;
+  engine.prime(w.h, 0.0);
+  common::Xoshiro256 rng(seed);
+  for (int step = 1; step <= steps; ++step) {
+    for (auto& p : w.pts) {
+      p = w.disk.clamp(p + geom::Vec2{common::uniform(rng, -1, 1),
+                                      common::uniform(rng, -1, 1)});
+    }
+    w.refresh();
+    engine.update(w.h, w.g, static_cast<Time>(step));
+  }
+  return engine;
+}
+
+TEST(OverheadReport, MatchesEngineAggregates) {
+  World w(300, 1);
+  const auto engine = run_engine(w, 8, 2);
+  const auto report = OverheadReport::from(engine);
+
+  EXPECT_EQ(report.node_count, 300u);
+  EXPECT_DOUBLE_EQ(report.window, engine.elapsed());
+  EXPECT_DOUBLE_EQ(report.phi_rate, engine.phi_rate());
+  EXPECT_DOUBLE_EQ(report.gamma_rate, engine.gamma_rate());
+  EXPECT_DOUBLE_EQ(report.total_rate(), engine.phi_rate() + engine.gamma_rate());
+
+  double phi_sum = 0.0;
+  for (const double r : report.phi_per_level) phi_sum += r;
+  EXPECT_NEAR(phi_sum, report.phi_rate, 1e-9);
+}
+
+TEST(OverheadReport, EntryCountsMatchLedger) {
+  World w(250, 3);
+  const auto engine = run_engine(w, 6, 4);
+  const auto report = OverheadReport::from(engine);
+  Size phi_entries = 0, gamma_entries = 0;
+  for (const auto& lvl : engine.per_level()) {
+    phi_entries += lvl.phi_entries;
+    gamma_entries += lvl.gamma_entries;
+  }
+  EXPECT_EQ(report.phi_entries, phi_entries);
+  EXPECT_EQ(report.gamma_entries, gamma_entries);
+}
+
+TEST(OverheadReport, TextRenderingContainsKeyRows) {
+  World w(250, 5);
+  const auto engine = run_engine(w, 6, 6);
+  const auto report = OverheadReport::from(engine);
+  const auto text = report.to_text();
+  EXPECT_NE(text.find("phi"), std::string::npos);
+  EXPECT_NE(text.find("gamma"), std::string::npos);
+  EXPECT_NE(text.find("f_k"), std::string::npos);
+  EXPECT_NE(text.find("n=250"), std::string::npos);
+  // One row per level >= 1.
+  Size newlines = 0;
+  for (const char c : text) newlines += (c == '\n');
+  EXPECT_GE(newlines, 3u);
+}
+
+TEST(OverheadReport, FreshEngineIsAllZero) {
+  World w(150, 7);
+  HandoffEngine engine;
+  engine.prime(w.h, 0.0);
+  const auto report = OverheadReport::from(engine);
+  EXPECT_DOUBLE_EQ(report.phi_rate, 0.0);
+  EXPECT_DOUBLE_EQ(report.gamma_rate, 0.0);
+  EXPECT_EQ(report.phi_entries, 0u);
+  EXPECT_DOUBLE_EQ(report.window, 0.0);
+}
+
+}  // namespace
+}  // namespace manet::lm

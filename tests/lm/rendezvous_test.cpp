@@ -1,0 +1,87 @@
+#include "lm/rendezvous.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace manet::lm {
+namespace {
+
+TEST(Rendezvous, Deterministic) {
+  const std::vector<NodeId> candidates{3, 7, 11, 19};
+  EXPECT_EQ(rendezvous_pick(1, 42, candidates), rendezvous_pick(1, 42, candidates));
+}
+
+TEST(Rendezvous, WinnerIsIndependentOfCandidateOrder) {
+  std::vector<NodeId> a{3, 7, 11, 19, 23};
+  std::vector<NodeId> b{23, 11, 3, 19, 7};
+  for (NodeId owner = 0; owner < 50; ++owner) {
+    EXPECT_EQ(rendezvous_pick(5, owner, a), rendezvous_pick(5, owner, b));
+  }
+}
+
+TEST(Rendezvous, MinimalDisruptionOnCandidateRemoval) {
+  // The HRW property: removing a non-winning candidate never changes the
+  // winner.
+  const std::vector<NodeId> full{1, 2, 3, 4, 5, 6, 7, 8};
+  for (NodeId owner = 0; owner < 200; ++owner) {
+    const NodeId winner = rendezvous_pick(9, owner, full);
+    for (const NodeId removed : full) {
+      if (removed == winner) continue;
+      std::vector<NodeId> reduced;
+      for (const NodeId c : full) {
+        if (c != removed) reduced.push_back(c);
+      }
+      EXPECT_EQ(rendezvous_pick(9, owner, reduced), winner);
+    }
+  }
+}
+
+TEST(Rendezvous, LoadIsRoughlyUniform) {
+  const std::vector<NodeId> candidates{10, 20, 30, 40, 50};
+  std::vector<int> counts(5, 0);
+  const int owners = 50000;
+  for (NodeId owner = 0; owner < owners; ++owner) {
+    const NodeId winner = rendezvous_pick(13, owner, candidates);
+    const auto idx = static_cast<Size>(
+        std::find(candidates.begin(), candidates.end(), winner) - candidates.begin());
+    ++counts[idx];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / owners, 0.2, 0.02);
+  }
+}
+
+TEST(Rendezvous, SaltChangesAssignment) {
+  const std::vector<NodeId> candidates{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  int moved = 0;
+  for (NodeId owner = 0; owner < 500; ++owner) {
+    if (rendezvous_pick(1, owner, candidates) != rendezvous_pick(2, owner, candidates)) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 300);  // ~9/10 expected to move under a re-key
+}
+
+TEST(Rendezvous, SingleCandidateAlwaysWins) {
+  const std::vector<NodeId> one{77};
+  for (NodeId owner = 0; owner < 10; ++owner) {
+    EXPECT_EQ(rendezvous_pick(3, owner, one), 77u);
+  }
+}
+
+TEST(Rendezvous, PickIndexCoversRange) {
+  std::vector<int> counts(4, 0);
+  for (NodeId owner = 0; owner < 4000; ++owner) {
+    ++counts[rendezvous_pick_index(21, owner, 4)];
+  }
+  for (const int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Rendezvous, ScoreIsOwnerSensitive) {
+  EXPECT_NE(rendezvous_score(1, 10, 5), rendezvous_score(1, 11, 5));
+}
+
+}  // namespace
+}  // namespace manet::lm

@@ -1,0 +1,212 @@
+#include "lm/server_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/hierarchy_builder.hpp"
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+#include "net/unit_disk.hpp"
+
+namespace manet::lm {
+namespace {
+
+struct Fixture {
+  cluster::Hierarchy h;
+  Size n = 0;
+};
+
+Fixture make(Size n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  const auto disk = geom::DiskRegion::with_density(n, 1.0);
+  std::vector<geom::Vec2> pts(n);
+  for (auto& p : pts) p = disk.sample(rng);
+  net::UnitDiskBuilder builder(2.2, true);
+  return Fixture{cluster::HierarchyBuilder().build(builder.build(pts)), n};
+}
+
+class SelectStrategyTest : public ::testing::TestWithParam<SelectStrategy> {
+ protected:
+  ServerSelectConfig config() const {
+    ServerSelectConfig cfg;
+    cfg.strategy = GetParam();
+    return cfg;
+  }
+};
+
+TEST_P(SelectStrategyTest, ServerLiesInOwnersCluster) {
+  const auto f = make(300, 1);
+  const auto cfg = config();
+  for (NodeId owner = 0; owner < f.n; owner += 3) {
+    for (Level k = kFirstServedLevel; k <= f.h.top_level(); ++k) {
+      const NodeId server = select_server(f.h, owner, k, cfg);
+      ASSERT_LT(server, f.n);
+      // The server must belong to the owner's level-k cluster.
+      EXPECT_EQ(f.h.ancestor(server, k), f.h.ancestor(owner, k))
+          << "owner " << owner << " level " << k;
+    }
+  }
+}
+
+TEST_P(SelectStrategyTest, SelectionIsDeterministic) {
+  const auto f = make(200, 2);
+  const auto cfg = config();
+  for (NodeId owner = 0; owner < 50; ++owner) {
+    for (Level k = kFirstServedLevel; k <= f.h.top_level(); ++k) {
+      EXPECT_EQ(select_server(f.h, owner, k, cfg), select_server(f.h, owner, k, cfg));
+    }
+  }
+}
+
+TEST_P(SelectStrategyTest, LoadIsBoundedAndSpread) {
+  const auto f = make(400, 3);
+  const auto cfg = config();
+  std::vector<Size> load(f.n, 0);
+  Size assignments = 0;
+  for (NodeId owner = 0; owner < f.n; ++owner) {
+    for (Level k = kFirstServedLevel; k <= f.h.top_level(); ++k) {
+      ++load[select_server(f.h, owner, k, cfg)];
+      ++assignments;
+    }
+  }
+  const double mean = static_cast<double>(assignments) / static_cast<double>(f.n);
+  const Size max_load = *std::max_element(load.begin(), load.end());
+  // Equitable distribution (the paper's requirement): no node should carry
+  // more than a modest multiple of the mean. The bound is loose enough for
+  // every strategy yet tight enough to catch the everyone-hits-one-node
+  // pathology the paper warns about with the raw GLS rule.
+  EXPECT_LT(static_cast<double>(max_load), 20.0 * mean + 10.0);
+  // At least a third of nodes should serve someone.
+  const Size serving = static_cast<Size>(
+      std::count_if(load.begin(), load.end(), [](Size l) { return l > 0; }));
+  EXPECT_GT(serving, f.n / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, SelectStrategyTest,
+                         ::testing::Values(SelectStrategy::kFlatSuccessor,
+                                           SelectStrategy::kWeightedDescent,
+                                           SelectStrategy::kUnweightedDescent),
+                         [](const auto& param_info) { return to_string(param_info.param); });
+
+TEST(FlatSuccessor, StableUnderIrrelevantRelabeling) {
+  // The flat rule must depend only on the member id set, not on which member
+  // happens to be clusterhead — verified by comparing two hierarchies over
+  // the same topology whose elections differ (shuffled ids), restricted to
+  // clusters with identical member sets... covered more directly: selection
+  // equals the id-successor of the owner within the member set.
+  const auto f = make(250, 4);
+  ServerSelectConfig cfg;  // default flat successor
+  for (NodeId owner = 0; owner < 60; ++owner) {
+    for (Level k = kFirstServedLevel; k <= f.h.top_level(); ++k) {
+      const NodeId server = select_server(f.h, owner, k, cfg);
+      const auto& members = f.h.members0(k, f.h.ancestor(owner, k));
+      // server id must be the cyclic successor of owner among members\{owner}.
+      const NodeId owner_id = owner;  // identity ids in this fixture
+      NodeId best = kInvalidNode;
+      std::uint32_t best_score = 0xFFFFFFFFu;
+      for (const NodeId z : members) {
+        if (z == owner_id) continue;
+        const std::uint32_t score = z - owner_id - 1;
+        if (best == kInvalidNode || score < best_score) {
+          best = z;
+          best_score = score;
+        }
+      }
+      EXPECT_EQ(server, best == kInvalidNode ? owner : best);
+    }
+  }
+}
+
+TEST(FlatSuccessor, SingletonClusterSelfServes) {
+  // A 2-node graph: level-1 cluster has both nodes; build a custom case
+  // where a cluster has one member by using a disconnected pair handled via
+  // augmentation-free construction.
+  const graph::Graph g(1);
+  const auto h = cluster::HierarchyBuilder().build(g);
+  // Top level is 0; no served levels — nothing to assert beyond no crash.
+  EXPECT_EQ(h.top_level(), 0u);
+}
+
+TEST(Descent, ExcludeOwnBranchAvoidsOwnersLevel1Cluster) {
+  const auto f = make(300, 5);
+  ServerSelectConfig cfg;
+  cfg.strategy = SelectStrategy::kWeightedDescent;
+  cfg.exclude_own_branch = true;
+  Size checked = 0;
+  for (NodeId owner = 0; owner < f.n && checked < 100; ++owner) {
+    const Level k = kFirstServedLevel;
+    if (k > f.h.top_level()) break;
+    // Only meaningful when the owner's level-k cluster has > 1 child.
+    const NodeId cluster = f.h.ancestor(owner, k);
+    if (f.h.children(k, cluster).size() < 2) continue;
+    const NodeId server = select_server(f.h, owner, k, cfg);
+    EXPECT_NE(f.h.ancestor(server, k - 1), f.h.ancestor(owner, k - 1))
+        << "server landed in the owner's own level-" << (k - 1) << " branch";
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(Descent, SaltRekeysAssignments) {
+  const auto f = make(300, 6);
+  ServerSelectConfig a, b;
+  a.strategy = b.strategy = SelectStrategy::kWeightedDescent;
+  b.salt = a.salt + 1;
+  Size moved = 0, total = 0;
+  for (NodeId owner = 0; owner < f.n; ++owner) {
+    for (Level k = kFirstServedLevel; k <= f.h.top_level(); ++k) {
+      if (select_server(f.h, owner, k, a) != select_server(f.h, owner, k, b)) ++moved;
+      ++total;
+    }
+  }
+  EXPECT_GT(moved, total / 3);
+}
+
+TEST(SelectServerIn, AgreesWithSelectServerForOwnCluster) {
+  const auto f = make(200, 7);
+  ServerSelectConfig cfg;
+  for (NodeId owner = 0; owner < 40; ++owner) {
+    for (Level k = kFirstServedLevel; k <= f.h.top_level(); ++k) {
+      EXPECT_EQ(select_server_in(f.h, f.h.ancestor(owner, k), k, owner, cfg),
+                select_server(f.h, owner, k, cfg));
+    }
+  }
+}
+
+TEST(SelectAllServers, MatchesPerOwnerSelectionExactly) {
+  const auto f = make(350, 8);
+  for (const auto strategy :
+       {SelectStrategy::kFlatSuccessor, SelectStrategy::kWeightedDescent,
+        SelectStrategy::kUnweightedDescent}) {
+    ServerSelectConfig cfg;
+    cfg.strategy = strategy;
+    const auto bulk = select_all_servers(f.h, cfg);
+    ASSERT_EQ(bulk.size(), f.n);
+    for (NodeId owner = 0; owner < f.n; ++owner) {
+      for (Level k = kFirstServedLevel; k <= f.h.top_level(); ++k) {
+        ASSERT_EQ(bulk[owner][k - kFirstServedLevel], select_server(f.h, owner, k, cfg))
+            << to_string(strategy) << " owner " << owner << " level " << k;
+      }
+    }
+  }
+}
+
+TEST(SelectAllServers, FlatHierarchyYieldsEmptyRows) {
+  const graph::Graph g(2, std::vector<graph::Edge>{{0, 1}});
+  const auto h = cluster::HierarchyBuilder().build(g);
+  const auto bulk = select_all_servers(h);
+  ASSERT_EQ(bulk.size(), 2u);
+  EXPECT_TRUE(bulk[0].empty());
+}
+
+TEST(SelectStrategyNames, AreDistinct) {
+  EXPECT_STRNE(to_string(SelectStrategy::kFlatSuccessor),
+               to_string(SelectStrategy::kWeightedDescent));
+  EXPECT_STRNE(to_string(SelectStrategy::kWeightedDescent),
+               to_string(SelectStrategy::kUnweightedDescent));
+}
+
+}  // namespace
+}  // namespace manet::lm

@@ -1,0 +1,91 @@
+#include "mobility/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/region.hpp"
+
+namespace manet::mobility {
+namespace {
+
+const geom::DiskRegion kDisk({0, 0}, 40.0);
+
+ReferencePointGroup::Params params(Size group_size = 10) {
+  ReferencePointGroup::Params p;
+  p.group_size = group_size;
+  p.leader_speed = 2.0;
+  p.member_speed = 1.0;
+  return p;
+}
+
+TEST(Rpgm, GroupAssignmentCoversAllNodes) {
+  ReferencePointGroup model(kDisk, 95, params(10), 1);
+  EXPECT_EQ(model.group_count(), 10u);  // ceil(95/10)
+  for (NodeId v = 0; v < 95; ++v) {
+    EXPECT_LT(model.group_of(v), model.group_count());
+    EXPECT_EQ(model.group_of(v), v / 10);
+  }
+}
+
+TEST(Rpgm, PositionsStayInsideRegion) {
+  ReferencePointGroup model(kDisk, 80, params(), 2);
+  for (Time t = 0.5; t <= 60.0; t += 0.5) {
+    model.advance_to(t);
+    for (const auto& p : model.positions()) EXPECT_TRUE(kDisk.contains(p));
+  }
+}
+
+TEST(Rpgm, MembersStayNearTheirReferencePoint) {
+  auto p = params();
+  p.member_radius = 5.0;
+  ReferencePointGroup model(kDisk, 60, p, 3);
+  for (Time t = 1.0; t <= 30.0; t += 1.0) {
+    model.advance_to(t);
+    for (NodeId v = 0; v < 60; ++v) {
+      const auto ref = model.reference_point(model.group_of(v));
+      // Offset bounded by the jitter radius (clamping can only shrink it).
+      EXPECT_LE(geom::distance(model.positions()[v], ref), 5.0 + 1e-6) << "node " << v;
+    }
+  }
+}
+
+TEST(Rpgm, GroupsMoveCoherently) {
+  // Group members' displacement should correlate with the reference point's.
+  ReferencePointGroup model(kDisk, 40, params(20), 4);
+  const auto before = model.positions();
+  const auto ref_before0 = model.reference_point(0);
+  model.advance_to(8.0);
+  const auto ref_after0 = model.reference_point(0);
+  const geom::Vec2 ref_delta = ref_after0 - ref_before0;
+  ASSERT_GT(ref_delta.norm(), 2.0);  // the leader moved measurably
+  Size coherent = 0;
+  for (NodeId v = 0; v < 20; ++v) {  // group 0
+    const geom::Vec2 member_delta = model.positions()[v] - before[v];
+    if (member_delta.dot(ref_delta) > 0.0) ++coherent;
+  }
+  EXPECT_GE(coherent, 14u);  // most members move with the reference point
+}
+
+TEST(Rpgm, Deterministic) {
+  ReferencePointGroup a(kDisk, 50, params(), 7);
+  ReferencePointGroup b(kDisk, 50, params(), 7);
+  a.advance_to(12.5);
+  b.advance_to(12.5);
+  EXPECT_EQ(a.positions(), b.positions());
+}
+
+TEST(Rpgm, TimeMonotoneEnforced) {
+  ReferencePointGroup model(kDisk, 10, params(), 8);
+  model.advance_to(5.0);
+  EXPECT_DEATH(model.advance_to(4.0), "monotone");
+}
+
+TEST(Rpgm, SingleGroupDegeneratesGracefully) {
+  auto p = params(1000);  // everyone in one group
+  ReferencePointGroup model(kDisk, 30, p, 9);
+  EXPECT_EQ(model.group_count(), 1u);
+  model.advance_to(10.0);
+  for (const auto& pos : model.positions()) EXPECT_TRUE(kDisk.contains(pos));
+}
+
+}  // namespace
+}  // namespace manet::mobility

@@ -1,0 +1,113 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/region.hpp"
+
+namespace manet::mobility {
+namespace {
+
+const geom::DiskRegion kDisk({0, 0}, 50.0);
+
+TEST(RandomWaypoint, InitialPositionsInsideRegion) {
+  RandomWaypoint model(kDisk, 100, RandomWaypoint::Params::fixed_speed(1.0), 1);
+  for (const auto& p : model.positions()) EXPECT_TRUE(kDisk.contains(p));
+}
+
+TEST(RandomWaypoint, PositionsStayInsideOverTime) {
+  RandomWaypoint model(kDisk, 50, RandomWaypoint::Params::fixed_speed(3.0), 2);
+  for (Time t = 1.0; t <= 100.0; t += 1.0) {
+    model.advance_to(t);
+    for (const auto& p : model.positions()) EXPECT_TRUE(kDisk.contains(p));
+  }
+}
+
+TEST(RandomWaypoint, SpeedBoundsDisplacement) {
+  const double mu = 2.0;
+  RandomWaypoint model(kDisk, 80, RandomWaypoint::Params::fixed_speed(mu), 3);
+  auto prev = model.positions();
+  const Time dt = 0.5;
+  for (Time t = dt; t <= 20.0; t += dt) {
+    model.advance_to(t);
+    const auto& cur = model.positions();
+    for (Size v = 0; v < cur.size(); ++v) {
+      // Between waypoints a node covers at most mu*dt; direction changes at
+      // waypoints only shorten net displacement.
+      EXPECT_LE(geom::distance(prev[v], cur[v]), mu * dt + 1e-9);
+    }
+    prev = cur;
+  }
+}
+
+TEST(RandomWaypoint, ZeroPauseKeepsNodesMoving) {
+  RandomWaypoint model(kDisk, 40, RandomWaypoint::Params::fixed_speed(1.0), 4);
+  const auto before = model.positions();
+  model.advance_to(5.0);
+  Size moved = 0;
+  for (Size v = 0; v < before.size(); ++v) {
+    if (geom::distance(before[v], model.positions()[v]) > 0.5) ++moved;
+  }
+  EXPECT_GE(moved, 35u);  // nearly all nodes displace ~5 m in 5 s
+}
+
+TEST(RandomWaypoint, PauseHoldsNodeAtWaypoint) {
+  // A huge pause means a node that reaches its first waypoint stays put.
+  RandomWaypoint::Params params;
+  params.speed_min = params.speed_max = 100.0;  // reach waypoint fast
+  params.pause = 1e6;
+  RandomWaypoint model(kDisk, 10, params, 5);
+  model.advance_to(10.0);  // every leg (<100 m) is done by then
+  const auto frozen = model.positions();
+  model.advance_to(50.0);
+  for (Size v = 0; v < frozen.size(); ++v) {
+    EXPECT_EQ(frozen[v], model.positions()[v]);
+  }
+}
+
+TEST(RandomWaypoint, DeterministicUnderSeed) {
+  RandomWaypoint a(kDisk, 30, RandomWaypoint::Params::fixed_speed(1.0), 77);
+  RandomWaypoint b(kDisk, 30, RandomWaypoint::Params::fixed_speed(1.0), 77);
+  a.advance_to(12.3);
+  b.advance_to(12.3);
+  EXPECT_EQ(a.positions(), b.positions());
+}
+
+TEST(RandomWaypoint, AdvanceIsConsistentAcrossStepSizes) {
+  // Advancing in many small steps must land exactly where one big step does
+  // (piecewise-linear motion has no integration error).
+  RandomWaypoint a(kDisk, 20, RandomWaypoint::Params::fixed_speed(2.0), 9);
+  RandomWaypoint b(kDisk, 20, RandomWaypoint::Params::fixed_speed(2.0), 9);
+  for (Time t = 0.1; t <= 30.0 + 1e-9; t += 0.1) a.advance_to(t);
+  b.advance_to(a.now());  // land b exactly on a's accumulated endpoint
+  for (Size v = 0; v < 20; ++v) {
+    EXPECT_NEAR(a.positions()[v].x, b.positions()[v].x, 1e-6);
+    EXPECT_NEAR(a.positions()[v].y, b.positions()[v].y, 1e-6);
+  }
+}
+
+TEST(RandomWaypoint, CurrentSpeedWithinConfiguredRange) {
+  RandomWaypoint::Params params{1.0, 3.0, 0.0};
+  RandomWaypoint model(kDisk, 50, params, 10);
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_GE(model.current_speed(v), 1.0);
+    EXPECT_LE(model.current_speed(v), 3.0);
+  }
+}
+
+TEST(RandomWaypoint, WaypointsLieInRegion) {
+  RandomWaypoint model(kDisk, 50, RandomWaypoint::Params::fixed_speed(1.0), 11);
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_TRUE(kDisk.contains(model.current_waypoint(v)));
+  }
+}
+
+TEST(RandomWaypointDeath, TimeMustBeMonotone) {
+  RandomWaypoint model(kDisk, 5, RandomWaypoint::Params::fixed_speed(1.0), 12);
+  model.advance_to(5.0);
+  EXPECT_DEATH(model.advance_to(4.0), "monotone");
+}
+
+}  // namespace
+}  // namespace manet::mobility

@@ -1,0 +1,105 @@
+#include "mobility/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geom/region.hpp"
+#include "mobility/field.hpp"
+#include "mobility/random_waypoint.hpp"
+
+namespace manet::mobility {
+namespace {
+
+const geom::DiskRegion kDisk({0, 0}, 20.0);
+
+TEST(Trace, RecordCapturesExpectedFrameCount) {
+  RandomWaypoint model(kDisk, 10, RandomWaypoint::Params::fixed_speed(1.0), 1);
+  const Trace trace = Trace::record(model, 10.0, 1.0);
+  EXPECT_EQ(trace.frame_count(), 11u);  // t = 0..10 inclusive
+  EXPECT_EQ(trace.node_count(), 10u);
+}
+
+TEST(Trace, FramesAreTimeOrdered) {
+  RandomWaypoint model(kDisk, 5, RandomWaypoint::Params::fixed_speed(2.0), 2);
+  const Trace trace = Trace::record(model, 5.0, 0.5);
+  for (Size f = 1; f < trace.frame_count(); ++f) {
+    EXPECT_GT(trace.frames()[f].time, trace.frames()[f - 1].time);
+  }
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  RandomWaypoint model(kDisk, 7, RandomWaypoint::Params::fixed_speed(1.5), 3);
+  const Trace original = Trace::record(model, 4.0, 1.0);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  const Trace loaded = Trace::load(buffer);
+
+  ASSERT_EQ(loaded.frame_count(), original.frame_count());
+  ASSERT_EQ(loaded.node_count(), original.node_count());
+  for (Size f = 0; f < original.frame_count(); ++f) {
+    EXPECT_NEAR(loaded.frames()[f].time, original.frames()[f].time, 1e-9);
+    for (Size v = 0; v < original.node_count(); ++v) {
+      EXPECT_NEAR(loaded.frames()[f].positions[v].x, original.frames()[f].positions[v].x,
+                  1e-6);
+      EXPECT_NEAR(loaded.frames()[f].positions[v].y, original.frames()[f].positions[v].y,
+                  1e-6);
+    }
+  }
+}
+
+TEST(Trace, MeanStepDisplacementMatchesSpeed) {
+  RandomWaypoint model(kDisk, 50, RandomWaypoint::Params::fixed_speed(2.0), 4);
+  const Trace trace = Trace::record(model, 20.0, 1.0);
+  // With fixed 2 m/s, per-second displacement is <= 2 and usually close to
+  // it (waypoint turns shorten it slightly).
+  const double disp = trace.mean_step_displacement();
+  EXPECT_GT(disp, 1.0);
+  EXPECT_LE(disp, 2.0 + 1e-9);
+}
+
+TEST(TraceReplay, InterpolatesBetweenFrames) {
+  Trace trace;
+  trace.append({0.0, {{0.0, 0.0}}});
+  trace.append({10.0, {{10.0, 0.0}}});
+  TraceReplay replay(trace);
+  replay.advance_to(5.0);
+  EXPECT_NEAR(replay.positions()[0].x, 5.0, 1e-12);
+  replay.advance_to(7.5);
+  EXPECT_NEAR(replay.positions()[0].x, 7.5, 1e-12);
+}
+
+TEST(TraceReplay, ClampsBeyondLastFrame) {
+  Trace trace;
+  trace.append({0.0, {{0.0, 0.0}}});
+  trace.append({1.0, {{4.0, 2.0}}});
+  TraceReplay replay(trace);
+  replay.advance_to(100.0);
+  EXPECT_EQ(replay.positions()[0], (geom::Vec2{4.0, 2.0}));
+}
+
+TEST(TraceReplay, ReproducesRecordedMotionExactlyAtFrameTimes) {
+  RandomWaypoint model(kDisk, 8, RandomWaypoint::Params::fixed_speed(1.0), 5);
+  const Trace trace = Trace::record(model, 6.0, 1.0);
+  TraceReplay replay(trace);
+  for (Size f = 0; f < trace.frame_count(); ++f) {
+    replay.advance_to(trace.frames()[f].time);
+    EXPECT_EQ(replay.positions(), trace.frames()[f].positions);
+  }
+}
+
+TEST(TraceDeath, InconsistentNodeCountRejected) {
+  Trace trace;
+  trace.append({0.0, {{0.0, 0.0}}});
+  EXPECT_DEATH(trace.append({1.0, {{0.0, 0.0}, {1.0, 1.0}}}), "node count");
+}
+
+TEST(TraceDeath, OutOfOrderFrameRejected) {
+  Trace trace;
+  trace.append({5.0, {{0.0, 0.0}}});
+  EXPECT_DEATH(trace.append({1.0, {{0.0, 0.0}}}), "time-ordered");
+}
+
+}  // namespace
+}  // namespace manet::mobility

@@ -1,0 +1,100 @@
+#include "net/link_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/region.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "net/unit_disk.hpp"
+
+namespace manet::net {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+TEST(EdgeDifference, BasicSetDifference) {
+  const std::vector<Edge> a{{0, 1}, {1, 2}, {2, 3}};
+  const std::vector<Edge> b{{1, 2}};
+  const auto diff = edge_difference(a, b);
+  EXPECT_EQ(diff, (std::vector<Edge>{{0, 1}, {2, 3}}));
+  EXPECT_TRUE(edge_difference(b, b).empty());
+}
+
+TEST(LinkTracker, DetectsLinkUpAndDown) {
+  const Graph g1(4, std::vector<Edge>{{0, 1}, {1, 2}});
+  const Graph g2(4, std::vector<Edge>{{1, 2}, {2, 3}});
+  LinkTracker tracker(g1, 0.0);
+  const auto delta = tracker.update(g2, 1.0);
+  EXPECT_EQ(delta.up, (std::vector<Edge>{{2, 3}}));
+  EXPECT_EQ(delta.down, (std::vector<Edge>{{0, 1}}));
+  EXPECT_EQ(delta.event_count(), 2u);
+  EXPECT_EQ(tracker.total_events(), 2u);
+}
+
+TEST(LinkTracker, NoChangeMeansNoEvents) {
+  const Graph g(3, std::vector<Edge>{{0, 1}});
+  LinkTracker tracker(g, 0.0);
+  const auto delta = tracker.update(g, 1.0);
+  EXPECT_EQ(delta.event_count(), 0u);
+}
+
+TEST(LinkTracker, RatePerNodePerSecond) {
+  const Graph g1(10, std::vector<Edge>{});
+  const Graph g2(10, std::vector<Edge>{{0, 1}, {2, 3}});
+  LinkTracker tracker(g1, 0.0);
+  tracker.update(g2, 2.0);  // 2 events over 10 nodes in 2 s
+  EXPECT_DOUBLE_EQ(tracker.events_per_node_per_second(), 0.1);
+}
+
+TEST(LinkTracker, AccumulatesAcrossUpdates) {
+  const Graph g1(4, std::vector<Edge>{});
+  const Graph g2(4, std::vector<Edge>{{0, 1}});
+  const Graph g3(4, std::vector<Edge>{{2, 3}});
+  LinkTracker tracker(g1, 0.0);
+  tracker.update(g2, 1.0);
+  tracker.update(g3, 2.0);  // one down, one up
+  EXPECT_EQ(tracker.total_events(), 3u);
+  EXPECT_DOUBLE_EQ(tracker.elapsed(), 2.0);
+}
+
+TEST(LinkTracker, F0IsSpeedProportional) {
+  // Paper eq. (4): link event frequency scales as mu / R_TX; doubling node
+  // speed should roughly double f0 under random waypoint.
+  const geom::DiskRegion disk = geom::DiskRegion::with_density(200, 1.0);
+  const double radius = 2.0;
+
+  auto measure_f0 = [&](double mu) {
+    mobility::RandomWaypoint model(disk, 200,
+                                   mobility::RandomWaypoint::Params::fixed_speed(mu), 99);
+    UnitDiskBuilder builder(radius);
+    LinkTracker tracker(builder.build(model.positions()), 0.0);
+    for (Time t = 1.0; t <= 60.0; t += 1.0) {
+      model.advance_to(t);
+      tracker.update(builder.build(model.positions()), t);
+    }
+    return tracker.events_per_node_per_second();
+  };
+
+  const double f_slow = measure_f0(0.5);
+  const double f_fast = measure_f0(1.0);
+  EXPECT_GT(f_fast, f_slow * 1.5);
+  EXPECT_LT(f_fast, f_slow * 2.6);
+}
+
+TEST(LinkTrackerDeath, NodeCountMismatch) {
+  const Graph g1(4, std::vector<Edge>{});
+  const Graph g2(5, std::vector<Edge>{});
+  LinkTracker tracker(g1, 0.0);
+  EXPECT_DEATH(tracker.update(g2, 1.0), "node count");
+}
+
+TEST(LinkTrackerDeath, TimeMustBeMonotone) {
+  const Graph g(4, std::vector<Edge>{});
+  LinkTracker tracker(g, 5.0);
+  EXPECT_DEATH(tracker.update(g, 4.0), "monotone");
+}
+
+}  // namespace
+}  // namespace manet::net

@@ -1,0 +1,40 @@
+#include "net/radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace manet::net {
+namespace {
+
+TEST(Radio, ConnectivityRadiusGrowsWithLogN) {
+  const double r100 = connectivity_radius(100, 1.0);
+  const double r10000 = connectivity_radius(10000, 1.0);
+  EXPECT_GT(r10000, r100);
+  // Quadrupling log n doubles the radius: r(n^2)/r(n) -> sqrt(2) as margin
+  // becomes negligible.
+  EXPECT_NEAR(r10000 / r100, std::sqrt((std::log(10000.0) + 1) / (std::log(100.0) + 1)),
+              1e-9);
+}
+
+TEST(Radio, ConnectivityRadiusScalesWithDensity) {
+  // Double density => radius shrinks by sqrt(2).
+  EXPECT_NEAR(connectivity_radius(500, 1.0) / connectivity_radius(500, 2.0), std::sqrt(2.0),
+              1e-9);
+}
+
+TEST(Radio, MeanDegreeRadiusFormula) {
+  // Expected neighbors in a disk of radius R at density rho: rho*pi*R^2 - 1.
+  const double rho = 1.7;
+  const double d = 9.0;
+  const double r = radius_for_mean_degree(d, rho);
+  EXPECT_NEAR(rho * std::numbers::pi * r * r - 1.0, d, 1e-9);
+}
+
+TEST(Radio, MarginIncreasesRadius) {
+  EXPECT_GT(connectivity_radius(256, 1.0, 4.0), connectivity_radius(256, 1.0, 1.0));
+}
+
+}  // namespace
+}  // namespace manet::net

@@ -1,0 +1,108 @@
+#include "net/unit_disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+#include "graph/components.hpp"
+
+namespace manet::net {
+namespace {
+
+TEST(UnitDisk, PairsWithinRadiusAreLinked) {
+  const std::vector<geom::Vec2> pts{{0, 0}, {0.9, 0}, {2.0, 0}};
+  const auto g = build_unit_disk_graph(pts, 1.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(UnitDisk, ExactBoundaryIsLinked) {
+  const std::vector<geom::Vec2> pts{{0, 0}, {1.0, 0}};
+  const auto g = build_unit_disk_graph(pts, 1.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(UnitDisk, MatchesBruteForceOnRandomDeployment) {
+  common::Xoshiro256 rng(7);
+  const geom::DiskRegion disk({0, 0}, 12.0);
+  std::vector<geom::Vec2> pts(400);
+  for (auto& p : pts) p = disk.sample(rng);
+  const double radius = 1.4;
+  const auto g = build_unit_disk_graph(pts, radius);
+  for (NodeId u = 0; u < pts.size(); ++u) {
+    for (NodeId v = u + 1; v < pts.size(); ++v) {
+      EXPECT_EQ(g.has_edge(u, v), geom::distance2(pts[u], pts[v]) <= radius * radius)
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(UnitDisk, BuilderReusableAcrossSnapshots) {
+  UnitDiskBuilder builder(1.0);
+  const auto g1 = builder.build({{0, 0}, {0.5, 0}});
+  EXPECT_EQ(g1.edge_count(), 1u);
+  const auto g2 = builder.build({{0, 0}, {5.0, 0}});
+  EXPECT_EQ(g2.edge_count(), 0u);
+}
+
+TEST(UnitDisk, AugmentationConnectsFragments) {
+  // Three well-separated pairs: 3 components, the giant has 2 nodes.
+  const std::vector<geom::Vec2> pts{{0, 0}, {0.5, 0}, {10, 0}, {10.5, 0}, {20, 0}};
+  UnitDiskBuilder plain(1.0, /*ensure_connected=*/false);
+  EXPECT_FALSE(graph::is_connected(plain.build(pts)));
+
+  UnitDiskBuilder bridged(1.0, /*ensure_connected=*/true);
+  const auto g = bridged.build(pts);
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_EQ(bridged.last_augmented_edges(), 2u);  // two minor components
+}
+
+TEST(UnitDisk, AugmentationBridgesViaClosestPair) {
+  // Component {3} is closest to node 2 of the giant {0,1,2}.
+  const std::vector<geom::Vec2> pts{{0, 0}, {1, 0}, {2, 0}, {4, 0}};
+  UnitDiskBuilder bridged(1.0, true);
+  const auto g = bridged.build(pts);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(UnitDisk, NoAugmentationWhenAlreadyConnected) {
+  UnitDiskBuilder bridged(1.0, true);
+  const auto g = bridged.build({{0, 0}, {0.5, 0}, {1.0, 0}});
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_EQ(bridged.last_augmented_edges(), 0u);
+}
+
+TEST(UnitDisk, ConnectivityRadiusYieldsConnectedDeployments) {
+  // Statistical check of the Gupta-Kumar rule: the connection probability
+  // must increase toward 1 as the margin grows. Finite-n (300) disks fall
+  // short of the asymptotic e^{-e^{-c}}, so the absolute thresholds are
+  // deliberately forgiving while the monotonicity check is strict.
+  common::Xoshiro256 rng(11);
+  const int trials = 20;
+  const Size n = 300;
+  const double density = 1.0;
+  const auto disk = geom::DiskRegion::with_density(n, density);
+
+  auto connected_count = [&](double margin) {
+    int connected = 0;
+    const double radius = connectivity_radius(n, density, margin);
+    for (int t = 0; t < trials; ++t) {
+      std::vector<geom::Vec2> pts(n);
+      for (auto& p : pts) p = disk.sample(rng);
+      if (graph::is_connected(build_unit_disk_graph(pts, radius))) ++connected;
+    }
+    return connected;
+  };
+
+  const int at_low = connected_count(1.0);
+  const int at_high = connected_count(6.0);
+  EXPECT_GE(at_high, 17);
+  EXPECT_GE(at_high, at_low);
+}
+
+}  // namespace
+}  // namespace manet::net

@@ -1,0 +1,120 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace manet::sim {
+namespace {
+
+TEST(Engine, ClockStartsAtZero) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(Engine, RunUntilAdvancesClockToHorizon) {
+  Engine engine;
+  engine.run_until(10.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, EventsFireAtScheduledTimes) {
+  Engine engine;
+  std::vector<Time> fired;
+  engine.schedule_at(2.0, [&] { fired.push_back(engine.now()); });
+  engine.schedule_in(5.0, [&] { fired.push_back(engine.now()); });
+  const Size executed = engine.run_until(10.0);
+  EXPECT_EQ(executed, 2u);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 2.0);
+  EXPECT_DOUBLE_EQ(fired[1], 5.0);
+}
+
+TEST(Engine, EventAtHorizonFires) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_at(10.0, [&] { fired = true; });
+  engine.run_until(10.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, EventBeyondHorizonDoesNotFire) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_at(10.1, [&] { fired = true; });
+  engine.run_until(10.0);
+  EXPECT_FALSE(fired);
+  engine.run_until(11.0);
+  EXPECT_TRUE(fired);  // still pending, fires on the next run
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  std::vector<Time> fired;
+  engine.schedule_at(1.0, [&] {
+    fired.push_back(engine.now());
+    engine.schedule_in(1.5, [&] { fired.push_back(engine.now()); });
+  });
+  engine.run_until(5.0);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[1], 2.5);
+}
+
+TEST(Engine, RecurringEventFiresPeriodically) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_every(1.0, [&] { ++count; });
+  engine.run_until(5.5);
+  EXPECT_EQ(count, 5);  // t = 1, 2, 3, 4, 5
+}
+
+TEST(Engine, StopRecurringHalts) {
+  Engine engine;
+  int count = 0;
+  const auto handle = engine.schedule_every(1.0, [&] { ++count; });
+  engine.run_until(3.5);
+  engine.stop_recurring(handle);
+  engine.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, RecurringCanStopItself) {
+  Engine engine;
+  int count = 0;
+  Engine::RecurringHandle handle{};
+  handle = engine.schedule_every(1.0, [&] {
+    if (++count == 2) engine.stop_recurring(handle);
+  });
+  engine.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, CancelOneShot) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run_until(2.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, StepExecutesExactlyOneEvent) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] { ++count; });
+  engine.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(EngineDeath, RefusesPastScheduling) {
+  Engine engine;
+  engine.run_until(5.0);
+  EXPECT_DEATH(engine.schedule_at(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace manet::sim

@@ -1,0 +1,84 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace manet::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending_count(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(0); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleEventSkipsIt) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId id = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeReflectsEarliestLiveEvent) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.pending_count(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending_count(), 1u);
+  q.pop();
+  EXPECT_EQ(q.pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace manet::sim

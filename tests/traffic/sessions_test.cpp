@@ -1,0 +1,106 @@
+#include "traffic/sessions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/hierarchy_builder.hpp"
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+#include "net/unit_disk.hpp"
+
+namespace manet::traffic {
+namespace {
+
+struct World {
+  graph::Graph g{0};
+  cluster::Hierarchy h;
+  Size n = 0;
+};
+
+World make(Size n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  const auto disk = geom::DiskRegion::with_density(n, 1.0);
+  std::vector<geom::Vec2> pts(n);
+  for (auto& p : pts) p = disk.sample(rng);
+  net::UnitDiskBuilder builder(2.2, true);
+  World w;
+  w.g = builder.build(pts);
+  w.h = cluster::HierarchyBuilder().build(w.g);
+  w.n = n;
+  return w;
+}
+
+TEST(Sessions, GeneratesExpectedVolume) {
+  const auto w = make(200, 1);
+  const routing::RoutingTables tables(w.g, w.h);
+  SessionConfig cfg;
+  cfg.sessions_per_node_per_sec = 0.5;
+  cfg.packets_per_session = 5;
+  SessionWorkload workload(cfg, 2);
+  for (int t = 0; t < 40; ++t) workload.tick(tables, w.n, 1.0);
+  const auto& stats = workload.stats();
+  // Expected sessions: 0.5 * 200 * 40 = 4000; Poisson CI is tight here.
+  EXPECT_NEAR(static_cast<double>(stats.sessions), 4000.0, 300.0);
+  EXPECT_DOUBLE_EQ(stats.window, 40.0);
+  EXPECT_EQ(stats.undeliverable, 0u);
+  EXPECT_GT(stats.data_transmissions, 0u);
+}
+
+TEST(Sessions, RateScalesWithPacketTrainLength) {
+  const auto w = make(150, 3);
+  const routing::RoutingTables tables(w.g, w.h);
+  SessionConfig small_cfg, big_cfg;
+  small_cfg.packets_per_session = 2;
+  big_cfg.packets_per_session = 20;
+  SessionWorkload small_load(small_cfg, 4), big_load(big_cfg, 4);  // same seed: same pairs
+  for (int t = 0; t < 20; ++t) {
+    small_load.tick(tables, w.n, 1.0);
+    big_load.tick(tables, w.n, 1.0);
+  }
+  EXPECT_EQ(big_load.stats().data_transmissions,
+            10 * small_load.stats().data_transmissions);
+}
+
+TEST(Sessions, MeanTransmissionsMatchPathScale) {
+  const auto w = make(300, 5);
+  const routing::RoutingTables tables(w.g, w.h);
+  SessionConfig cfg;
+  cfg.packets_per_session = 10;
+  SessionWorkload workload(cfg, 6);
+  for (int t = 0; t < 20; ++t) workload.tick(tables, w.n, 1.0);
+  const double per_session = workload.stats().mean_transmissions_per_session();
+  // 10 packets x typical path of a 300-node disk (a few to ~20 hops).
+  EXPECT_GT(per_session, 10.0);
+  EXPECT_LT(per_session, 400.0);
+}
+
+TEST(Sessions, Deterministic) {
+  const auto w = make(120, 7);
+  const routing::RoutingTables tables(w.g, w.h);
+  SessionWorkload a(SessionConfig{}, 8), b(SessionConfig{}, 8);
+  for (int t = 0; t < 10; ++t) {
+    a.tick(tables, w.n, 1.0);
+    b.tick(tables, w.n, 1.0);
+  }
+  EXPECT_EQ(a.stats().sessions, b.stats().sessions);
+  EXPECT_EQ(a.stats().data_transmissions, b.stats().data_transmissions);
+}
+
+TEST(Poisson, MeanAndVarianceMatch) {
+  common::Xoshiro256 rng(9);
+  for (const double lambda : {0.5, 4.0, 100.0}) {
+    double sum = 0.0, sum2 = 0.0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) {
+      const auto k = static_cast<double>(common::poisson(rng, lambda));
+      sum += k;
+      sum2 += k * k;
+    }
+    const double mean = sum / draws;
+    const double var = sum2 / draws - mean * mean;
+    EXPECT_NEAR(mean, lambda, lambda * 0.05 + 0.05) << "lambda " << lambda;
+    EXPECT_NEAR(var, lambda, lambda * 0.15 + 0.1) << "lambda " << lambda;
+  }
+}
+
+}  // namespace
+}  // namespace manet::traffic

@@ -1,0 +1,78 @@
+#include "viz/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "cluster/hierarchy_builder.hpp"
+
+namespace manet::viz {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello_world.42"), "hello_world.42");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonHierarchy, SmallGraphStructure) {
+  // Path 0-1-2 with ids {5,1,9}: two level-1 clusters (heads 5 and 9).
+  const graph::Graph g(3, std::vector<graph::Edge>{{0, 1}, {1, 2}});
+  const std::vector<NodeId> ids{5, 1, 9};
+  const auto h = cluster::HierarchyBuilder().build(g, ids);
+
+  std::ostringstream os;
+  write_hierarchy_json(os, h, /*with_addresses=*/true);
+  const auto doc = os.str();
+
+  EXPECT_NE(doc.find("\"levels\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"k\":0"), std::string::npos);
+  EXPECT_NE(doc.find("\"k\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"id\":5"), std::string::npos);
+  EXPECT_NE(doc.find("\"id\":9"), std::string::npos);
+  EXPECT_NE(doc.find("\"addresses\":{"), std::string::npos);
+  // Node with id 1 belongs to cluster 9: address [.., 9, 1].
+  EXPECT_NE(doc.find("\"1\":["), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+            std::count(doc.begin(), doc.end(), '}'));
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+            std::count(doc.begin(), doc.end(), ']'));
+}
+
+TEST(JsonHierarchy, WithoutAddressesOmitsThem) {
+  const graph::Graph g(2, std::vector<graph::Edge>{{0, 1}});
+  const auto h = cluster::HierarchyBuilder().build(g);
+  std::ostringstream os;
+  write_hierarchy_json(os, h, false);
+  EXPECT_EQ(os.str().find("addresses"), std::string::npos);
+}
+
+TEST(JsonMetrics, RendersNamesAndValues) {
+  exp::RunMetrics m;
+  m.set("phi_rate", 1.25);
+  m.set("weird\"name", 2.0);
+  m.set("nan_metric", std::nan(""));
+  std::ostringstream os;
+  write_metrics_json(os, m);
+  const auto doc = os.str();
+  EXPECT_NE(doc.find("\"phi_rate\":1.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"weird\\\"name\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"nan_metric\":null"), std::string::npos);
+}
+
+TEST(JsonMetrics, EmptyMetricsIsEmptyObject) {
+  std::ostringstream os;
+  write_metrics_json(os, exp::RunMetrics{});
+  EXPECT_EQ(os.str(), "{}\n");
+}
+
+}  // namespace
+}  // namespace manet::viz

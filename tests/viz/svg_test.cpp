@@ -1,0 +1,68 @@
+#include "viz/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manet::viz {
+namespace {
+
+TEST(Svg, EmptyDocumentIsWellFormed) {
+  SvgCanvas canvas({0, 0}, {10, 10}, 100.0);
+  std::ostringstream os;
+  canvas.write(os);
+  const auto doc = os.str();
+  EXPECT_NE(doc.find("<?xml"), std::string::npos);
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_EQ(canvas.shape_count(), 0u);
+}
+
+TEST(Svg, ShapesAppearInDocument) {
+  SvgCanvas canvas({0, 0}, {10, 10}, 100.0);
+  Style s;
+  s.fill = "#ff0000";
+  canvas.circle({5, 5}, 1.0, s);
+  canvas.line({0, 0}, {10, 10}, s);
+  canvas.text({1, 1}, "hello");
+  EXPECT_EQ(canvas.shape_count(), 3u);
+  std::ostringstream os;
+  canvas.write(os);
+  const auto doc = os.str();
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("<line"), std::string::npos);
+  EXPECT_NE(doc.find(">hello</text>"), std::string::npos);
+  EXPECT_NE(doc.find("#ff0000"), std::string::npos);
+}
+
+TEST(Svg, WorldToViewportMapping) {
+  // World [0,10]^2 onto 100 px: center (5,5) -> (50, 50) with y flipped.
+  SvgCanvas canvas({0, 0}, {10, 10}, 100.0);
+  canvas.circle({5, 5}, 2.0, Style{});
+  std::ostringstream os;
+  canvas.write(os);
+  const auto doc = os.str();
+  EXPECT_NE(doc.find("cx=\"50.00\" cy=\"50.00\" r=\"20.00\""), std::string::npos);
+}
+
+TEST(Svg, YAxisIsFlipped) {
+  SvgCanvas canvas({0, 0}, {10, 10}, 100.0);
+  canvas.circle({0, 10}, 1.0, Style{});  // top-left in world
+  std::ostringstream os;
+  canvas.write(os);
+  // Should land at pixel y = 0 (SVG top).
+  EXPECT_NE(os.str().find("cx=\"0.00\" cy=\"0.00\""), std::string::npos);
+}
+
+TEST(Svg, PaletteCyclesStably) {
+  EXPECT_EQ(SvgCanvas::palette(0), SvgCanvas::palette(10));
+  EXPECT_NE(SvgCanvas::palette(0), SvgCanvas::palette(1));
+  EXPECT_FALSE(SvgCanvas::palette(7).empty());
+}
+
+TEST(SvgDeath, DegenerateWorldRejected) {
+  EXPECT_DEATH(SvgCanvas({0, 0}, {0, 10}, 100.0), "");
+}
+
+}  // namespace
+}  // namespace manet::viz
