@@ -17,8 +17,11 @@ int main() {
   opts.track_states = false;
   opts.measure_hops = false;
 
+  bench::Artifact artifact("handoff_migration", cfg, bench::standard_replications());
   const auto campaign = exp::sweep_node_count(cfg, bench::standard_nodes(),
                                               bench::standard_replications(), opts);
+  artifact.add_campaign(campaign, "phi_rate");
+  artifact.add_campaign(campaign, "levels");
 
   analysis::TextTable table({"|V|", "phi", "phi/log^2(n)", "levels"});
   for (const auto& point : campaign.points) {
@@ -38,6 +41,7 @@ int main() {
       std::snprintf(key, sizeof(key), "phi_k.%u", k);
       if (!point.metrics.has(key)) break;
       const double phik = point.metrics.mean(key);
+      artifact.add_point(key, static_cast<double>(point.n), point.metrics, key);
       std::snprintf(key, sizeof(key), "f_k.%u", k);
       const double fk = point.metrics.has(key) ? point.metrics.mean(key) : 0.0;
       levels.add_row({std::to_string(k), bench::fixed(phik), bench::fixed(fk)});
@@ -52,5 +56,6 @@ int main() {
       "\nreading: phi_k roughly flat across levels (the f_k*h_k cancellation)\n"
       "and the log^2 model competitive at the top of the ranking; shape, not\n"
       "absolute numbers, is the reproduction target.\n");
+  artifact.write();
   return 0;
 }

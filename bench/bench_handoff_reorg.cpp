@@ -17,8 +17,12 @@ int main() {
   opts.track_states = false;
   opts.measure_hops = false;
 
+  bench::Artifact artifact("handoff_reorg", cfg, bench::standard_replications());
   const auto campaign = exp::sweep_node_count(cfg, bench::standard_nodes(),
                                               bench::standard_replications(), opts);
+  artifact.add_campaign(campaign, "gamma_rate");
+  artifact.add_campaign(campaign, "total_rate");
+  artifact.add_campaign(campaign, "levels");
 
   analysis::TextTable table({"|V|", "gamma", "gamma/log^2(n)", "phi+gamma", "levels"});
   for (const auto& point : campaign.points) {
@@ -38,6 +42,7 @@ int main() {
       char key[32];
       std::snprintf(key, sizeof(key), "gamma_k.%u", k);
       if (!point.metrics.has(key)) break;
+      artifact.add_point(key, static_cast<double>(point.n), point.metrics, key);
       levels.add_row({std::to_string(k), bench::fixed(point.metrics.mean(key))});
     }
     char title[64];
@@ -46,5 +51,6 @@ int main() {
   }
 
   bench::print_model_selection("gamma", campaign, "gamma_rate");
+  artifact.write();
   return 0;
 }

@@ -25,9 +25,11 @@ int main() {
   opts.measure_hops = true;
   opts.hop_sample_pairs = 128;
 
+  bench::Artifact artifact("hierarchy", cfg, bench::standard_replications());
   for (const Size n : bench::standard_nodes()) {
     cfg.n = n;
     const auto agg = exp::run_replications(cfg, bench::standard_replications(), opts);
+    artifact.add_point("levels", static_cast<double>(n), agg, "levels");
     std::printf("\n|V| = %zu   (levels L = %s)\n", n, bench::cell(agg, "levels").c_str());
     analysis::TextTable table(
         {"level", "clusters", "alpha_k", "c_k", "h_k meas", "sqrt(c_k)", "h/sqrt(c)",
@@ -44,6 +46,13 @@ int main() {
       const double hk = agg.mean(key);
       std::snprintf(key, sizeof(key), "ek_per_v.%u", k);
       const double ekv = agg.mean(key);
+      char series[32];
+      std::snprintf(series, sizeof(series), "alpha.%u", k);
+      artifact.add_point(series, static_cast<double>(n), agg, series);
+      std::snprintf(series, sizeof(series), "h_k.%u", k);
+      if (agg.has(series)) {
+        artifact.add_point(series, static_cast<double>(n), agg, series);
+      }
       table.add_row({std::to_string(k), bench::fixed(clusters), bench::fixed(alpha),
                      bench::fixed(ck), bench::fixed(hk), bench::fixed(std::sqrt(ck)),
                      bench::fixed(hk / std::sqrt(ck), 3), bench::fixed(ekv),
@@ -55,5 +64,6 @@ int main() {
   std::printf(
       "\nreading: h/sqrt(c) should hover around a level-independent constant\n"
       "(eq. 3) and Ek_per_V should track 1/c_k within a constant (eq. 13b).\n");
+  artifact.write();
   return 0;
 }

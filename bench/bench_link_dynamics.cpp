@@ -20,6 +20,7 @@ int main() {
   opts.hop_sample_pairs = 64;
 
   exp::Campaign campaign;
+  bench::Artifact artifact("link_dynamics", cfg, bench::standard_replications());
 
   analysis::TextTable f0_table({"|V|", "f0 (events/node/s)", "f0 ci95"});
   for (const Size n : bench::standard_nodes()) {
@@ -33,6 +34,7 @@ int main() {
   }
   std::printf("%s", f0_table.to_string("E4: f0 vs |V| (paper: flat)").c_str());
   bench::print_model_selection("f0", campaign, "f0");
+  artifact.add_campaign(campaign, "f0");
 
   for (const auto& point : campaign.points) {
     std::printf("\n|V| = %zu\n", point.n);
@@ -41,6 +43,7 @@ int main() {
       char key[32];
       std::snprintf(key, sizeof(key), "f_k.%u", k);
       if (!point.metrics.has(key)) break;
+      artifact.add_point(key, static_cast<double>(point.n), point.metrics, key);
       const double fk = point.metrics.mean(key);
       std::snprintf(key, sizeof(key), "gprime_k.%u", k);
       const double gk = point.metrics.has(key) ? point.metrics.mean(key) : 0.0;
@@ -56,5 +59,6 @@ int main() {
   std::printf(
       "\nreading: the paper's cancellations require f_k*h_k and g'_k*h_k to\n"
       "be roughly level-invariant (each equals Theta(f0) resp. Theta(1)).\n");
+  artifact.write();
   return 0;
 }

@@ -1,11 +1,17 @@
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/json.hpp"
 #include "analysis/model_fit.hpp"
 #include "analysis/table.hpp"
+#include "exp/artifacts.hpp"
 #include "exp/campaign.hpp"
 
 /// \file bench_util.hpp
@@ -14,6 +20,10 @@
 /// via analysis::TextTable plus, where the claim is a growth order, the
 /// scaling-model ranking. Scales are sized so that the whole bench suite
 /// completes in minutes on one core while still spanning a 16x node range.
+///
+/// Binaries additionally write a machine-readable BENCH_<name>.json artifact
+/// (see Artifact below and exp/artifacts.hpp for the schema) so every number
+/// in EXPERIMENTS.md can be re-audited and diffed without parsing prose.
 
 namespace manet::bench {
 
@@ -73,5 +83,83 @@ inline void print_header(const char* experiment, const char* claim) {
   std::printf("claim: %s\n", claim);
   std::printf("================================================================\n");
 }
+
+/// Machine-readable artifact accumulator: collect the exact values printed
+/// in the text tables, then write() a BENCH_<name>.json next to the binary's
+/// stdout (into $MANET_BENCH_DIR when set, else the working directory).
+/// Wall time from construction to write() lands in the manifest.
+class Artifact {
+ public:
+  Artifact(std::string name, const exp::ScenarioConfig& base, Size replications,
+           Size thread_count = 1)
+      : manifest_(exp::RunManifest::capture(std::move(name), base, replications,
+                                            thread_count)),
+        started_(std::chrono::steady_clock::now()) {}
+
+  /// One aggregated sweep point of a named series (phi_rate, gamma_rate, ...).
+  void add_point(const std::string& series, double n, const exp::AggregatedMetrics& agg,
+                 const std::string& metric) {
+    const auto s = agg.summary(metric);
+    series_[series].push_back(exp::SeriesPoint{n, s.mean, s.ci95, s.count});
+  }
+
+  void add_point(const std::string& series, exp::SeriesPoint point) {
+    series_[series].push_back(point);
+  }
+
+  /// Campaign shorthand: one point per sweep node count.
+  void add_campaign(const exp::Campaign& campaign, const std::string& metric,
+                    const std::string& series_name = "") {
+    const std::string& key = series_name.empty() ? metric : series_name;
+    for (const auto& point : campaign.points) {
+      add_point(key, static_cast<double>(point.n), point.metrics, metric);
+    }
+  }
+
+  /// Standalone scalar result (model-fit R^2, bootstrap win fraction, ...).
+  void set_scalar(const std::string& key, double value) { scalars_[key] = value; }
+
+  /// Write BENCH_<name>.json; returns the path ("" on I/O failure, already
+  /// reported on stderr). Call once, at the end of main().
+  std::string write() {
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - started_;
+    manifest_.wall_seconds = wall.count();
+    const char* dir = std::getenv("MANET_BENCH_DIR");
+    const std::string path =
+        (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string()) +
+        "BENCH_" + manifest_.name + ".json";
+    std::ofstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return "";
+    }
+    analysis::JsonWriter w(file, /*pretty=*/true);
+    w.begin_object();
+    w.field("schema", "manet-bench-artifact/1");
+    w.key("manifest");
+    manifest_.write_json(w);
+    w.key("series").begin_object();
+    for (const auto& [name, points] : series_) {
+      w.key(name).begin_array();
+      for (const auto& point : points) exp::write_series_point_json(w, point);
+      w.end_array();
+    }
+    w.end_object();
+    w.key("scalars").begin_object();
+    for (const auto& [key, value] : scalars_) w.field(key, value);
+    w.end_object();
+    w.end_object();
+    file << '\n';
+    std::printf("wrote artifact %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  exp::RunManifest manifest_;
+  std::chrono::steady_clock::time_point started_;
+  std::map<std::string, std::vector<exp::SeriesPoint>> series_;
+  std::map<std::string, double> scalars_;
+};
 
 }  // namespace manet::bench

@@ -1,0 +1,387 @@
+#include "analysis/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace manet::analysis {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- JsonWriter ---
+
+JsonWriter::JsonWriter(std::ostream& os, bool pretty) : os_(os), pretty_(pretty) {}
+
+JsonWriter::~JsonWriter() {
+  // Not CHECKed here (destructors during unwinding), but complete() lets
+  // callers assert the document closed properly.
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (Size i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  MANET_CHECK_MSG(!top_level_done_, "JsonWriter: document already complete");
+  if (stack_.empty()) return;
+  if (stack_.back() == Frame::kObject) {
+    MANET_CHECK_MSG(key_pending_, "JsonWriter: value inside object requires key()");
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  MANET_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                  "JsonWriter: key() outside object");
+  MANET_CHECK_MSG(!key_pending_, "JsonWriter: key() twice without value");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+  os_ << '"' << json_escape(name) << (pretty_ ? "\": " : "\":");
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MANET_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                  "JsonWriter: end_object() without begin_object()");
+  MANET_CHECK_MSG(!key_pending_, "JsonWriter: dangling key at end_object()");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) newline_indent();
+  os_ << '}';
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MANET_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                  "JsonWriter: end_array() without begin_array()");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) newline_indent();
+  os_ << ']';
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+  }
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+bool JsonWriter::complete() const { return stack_.empty() && top_level_done_; }
+
+// --- JsonValue / parser ---
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->string : std::move(fallback);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
+    skip_ws();
+    if (!parse_value(result.value)) {
+      result.error = error_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = "trailing characters at offset " + std::to_string(pos_);
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty()) error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // Artifacts are ASCII; store BMP code points as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.string);
+    }
+    if (literal("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    if (literal("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_number(JsonValue& out) {
+    const Size start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  bool parse_object(JsonValue& out) {
+    consume('{');
+    out.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string name;
+      if (!parse_string(name)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.members.emplace_back(std::move(name), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    consume('[');
+    out.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.items.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  Size pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace manet::analysis

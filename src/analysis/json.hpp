@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file json.hpp
+/// Machine-readable run artifacts: a streaming JSON writer (used by the
+/// bench artifact emitter and the manet_sim --metrics-json path) and a small
+/// recursive-descent parser (used by tests to round-trip and schema-check
+/// the artifacts — no external JSON dependency).
+///
+/// Writer invariants: keys only inside objects, values only where valid;
+/// violations abort via MANET_CHECK, so a malformed artifact can never be
+/// written silently. Numbers render as %.17g (doubles round-trip exactly);
+/// NaN/inf, which JSON cannot represent, render as null.
+
+namespace manet::analysis {
+
+std::string json_escape(std::string_view text);
+
+class JsonWriter {
+ public:
+  /// \p pretty adds newlines + two-space indentation.
+  explicit JsonWriter(std::ostream& os, bool pretty = false);
+  ~JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value; only valid directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  /// Shorthand: key(name) then value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once every container opened has been closed and one top-level
+  /// value was written.
+  bool complete() const;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  bool pretty_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+  bool top_level_done_ = false;
+};
+
+/// Parsed JSON document (tests + schema validation). Object member order is
+/// preserved.
+struct JsonValue {
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+  std::vector<JsonValue> items;                            ///< kArray
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// find() that aborts the walk gracefully: returns the member's number or
+  /// \p fallback when the member is absent / not a number.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+};
+
+struct JsonParseResult {
+  JsonValue value;
+  bool ok = false;
+  std::string error;  ///< set when !ok, includes the byte offset
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+JsonParseResult parse_json(std::string_view text);
+
+}  // namespace manet::analysis

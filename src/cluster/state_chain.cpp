@@ -1,6 +1,7 @@
 #include "cluster/state_chain.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.hpp"
 
@@ -46,6 +47,16 @@ std::vector<double> StateChainTracker::p_profile() const {
   p.reserve(occupancy_.size());
   for (const auto& occ : occupancy_) p.push_back(occ.p_state1());
   return p;
+}
+
+void StateChainTracker::publish(common::MetricsRegistry& registry) const {
+  registry.gauge("alca.levels_observed").set(static_cast<double>(occupancy_.size()));
+  // Index matches the p_state1.k RunMetrics keys (p_profile() order).
+  char name[48];
+  for (Level k = 0; k < occupancy_.size(); ++k) {
+    std::snprintf(name, sizeof(name), "alca.p_state1.%u", k);
+    registry.gauge(name).set(occupancy_[k].p_state1());
+  }
 }
 
 RecursionProfile recursion_profile(std::span<const double> p_desc) {

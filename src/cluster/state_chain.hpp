@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "cluster/hierarchy.hpp"
+#include "common/metrics.hpp"
 
 /// \file state_chain.hpp
 /// ALCA cluster-state occupancy tracking (paper Fig. 3 and Section 5.3.2).
@@ -50,6 +51,11 @@ class StateChainTracker {
   /// (Level indices follow the paper: p_j applies to level-j vertices; the
   /// election that defines their state runs on level j.)
   std::vector<double> p_profile() const;
+
+  /// Publish the current occupancy estimates as alca.p_state1.k gauges (one
+  /// per observed level) plus alca.levels_observed, so the critical-state
+  /// profile is queryable live alongside the lm.* instruments.
+  void publish(common::MetricsRegistry& registry) const;
 
  private:
   Size max_state_;

@@ -1,0 +1,201 @@
+#include "exp/artifacts.hpp"
+
+#include <cmath>
+
+#ifndef MANET_GIT_SHA
+#define MANET_GIT_SHA "unknown"
+#endif
+
+namespace manet::exp {
+
+std::string build_git_sha() { return MANET_GIT_SHA; }
+
+RunManifest RunManifest::capture(std::string name, const ScenarioConfig& config,
+                                 Size replications, Size thread_count) {
+  RunManifest m;
+  m.name = std::move(name);
+  m.git_sha = build_git_sha();
+  m.seed = config.seed;
+  m.n = config.n;
+  m.replications = replications;
+  m.thread_count = thread_count;
+  m.scenario = config.describe();
+  return m;
+}
+
+void RunManifest::write_json(analysis::JsonWriter& w) const {
+  w.begin_object();
+  w.field("name", name);
+  w.field("git_sha", git_sha);
+  w.field("seed", static_cast<std::uint64_t>(seed));
+  w.field("n", static_cast<std::uint64_t>(n));
+  w.field("replications", static_cast<std::uint64_t>(replications));
+  w.field("thread_count", static_cast<std::uint64_t>(thread_count));
+  w.field("wall_seconds", wall_seconds);
+  w.field("scenario", scenario);
+  w.end_object();
+}
+
+bool RunManifest::from_json(const analysis::JsonValue& v, RunManifest& out) {
+  if (!v.is_object()) return false;
+  const auto* name = v.find("name");
+  const auto* sha = v.find("git_sha");
+  const auto* scenario = v.find("scenario");
+  const auto* seed = v.find("seed");
+  if (name == nullptr || !name->is_string() || sha == nullptr || !sha->is_string() ||
+      scenario == nullptr || !scenario->is_string() || seed == nullptr ||
+      !seed->is_number()) {
+    return false;
+  }
+  out.name = name->string;
+  out.git_sha = sha->string;
+  out.scenario = scenario->string;
+  out.seed = static_cast<std::uint64_t>(seed->number);
+  out.n = static_cast<Size>(v.number_or("n", 0.0));
+  out.replications = static_cast<Size>(v.number_or("replications", 0.0));
+  out.thread_count = static_cast<Size>(v.number_or("thread_count", 1.0));
+  out.wall_seconds = v.number_or("wall_seconds", 0.0);
+  return true;
+}
+
+void write_overhead_json(analysis::JsonWriter& w, const lm::OverheadReport& report) {
+  w.begin_object();
+  w.field("schema", "manet-overhead/1");
+  w.field("node_count", static_cast<std::uint64_t>(report.node_count));
+  w.field("window", report.window);
+  w.field("phi_rate", report.phi_rate);
+  w.field("gamma_rate", report.gamma_rate);
+  w.field("total_rate", report.total_rate());
+  w.field("phi_entries", static_cast<std::uint64_t>(report.phi_entries));
+  w.field("gamma_entries", static_cast<std::uint64_t>(report.gamma_entries));
+  w.field("unreachable_transfers",
+          static_cast<std::uint64_t>(report.unreachable_transfers));
+  const auto levels = [&w](const char* key, const std::vector<double>& xs) {
+    w.key(key).begin_array();
+    for (const double x : xs) w.value(x);
+    w.end_array();
+  };
+  levels("phi_per_level", report.phi_per_level);
+  levels("gamma_per_level", report.gamma_per_level);
+  levels("migration_per_level", report.migration_per_level);
+  w.end_object();
+}
+
+bool overhead_from_json(const analysis::JsonValue& v, lm::OverheadReport& out) {
+  if (!v.is_object()) return false;
+  if (v.string_or("schema", "") != "manet-overhead/1") return false;
+  const auto* phi = v.find("phi_rate");
+  const auto* gamma = v.find("gamma_rate");
+  if (phi == nullptr || !phi->is_number() || gamma == nullptr || !gamma->is_number()) {
+    return false;
+  }
+  out.node_count = static_cast<Size>(v.number_or("node_count", 0.0));
+  out.window = v.number_or("window", 0.0);
+  out.phi_rate = phi->number;
+  out.gamma_rate = gamma->number;
+  out.phi_entries = static_cast<Size>(v.number_or("phi_entries", 0.0));
+  out.gamma_entries = static_cast<Size>(v.number_or("gamma_entries", 0.0));
+  out.unreachable_transfers =
+      static_cast<Size>(v.number_or("unreachable_transfers", 0.0));
+  const auto levels = [&v](const char* key, std::vector<double>& xs) {
+    xs.clear();
+    const auto* arr = v.find(key);
+    if (arr == nullptr || !arr->is_array()) return false;
+    xs.reserve(arr->items.size());
+    for (const auto& item : arr->items) {
+      if (!item.is_number()) return false;
+      xs.push_back(item.number);
+    }
+    return true;
+  };
+  return levels("phi_per_level", out.phi_per_level) &&
+         levels("gamma_per_level", out.gamma_per_level) &&
+         levels("migration_per_level", out.migration_per_level);
+}
+
+void write_registry_json(analysis::JsonWriter& w, const common::MetricsRegistry& registry,
+                         Time now) {
+  using Entry = common::MetricsRegistry::Entry;
+  w.begin_object();
+  w.field("schema", "manet-metrics/1");
+  w.key("counters").begin_object();
+  for (const auto& e : registry.entries()) {
+    if (e.kind == Entry::Kind::kCounter) w.field(e.name, e.counter->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& e : registry.entries()) {
+    if (e.kind == Entry::Kind::kGauge) w.field(e.name, e.gauge->value());
+  }
+  w.end_object();
+  w.key("rates").begin_object();
+  for (const auto& e : registry.entries()) {
+    if (e.kind != Entry::Kind::kRateMeter) continue;
+    w.key(e.name).begin_object();
+    w.field("total", e.rate_meter->total());
+    w.field("rate", e.rate_meter->rate(now));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& e : registry.entries()) {
+    if (e.kind != Entry::Kind::kHistogram) continue;
+    const auto& h = *e.histogram;
+    w.key(e.name).begin_object();
+    w.field("count", h.count());
+    w.field("sum", h.sum());
+    w.field("mean", h.mean());
+    w.field("p50", h.quantile(0.5));
+    w.field("p99", h.quantile(0.99));
+    w.key("buckets").begin_array();
+    for (Size i = 0; i < h.bucket_total(); ++i) {
+      w.begin_object();
+      w.field("le", h.upper_bound(i));
+      w.field("count", h.bucket_count(i));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_trace_json(analysis::JsonWriter& w, const sim::TraceSink& sink) {
+  w.begin_object();
+  w.field("schema", "manet-trace/1");
+  w.field("seen", static_cast<std::uint64_t>(sink.seen()));
+  w.field("stored", static_cast<std::uint64_t>(sink.size()));
+  w.field("dropped", static_cast<std::uint64_t>(sink.dropped()));
+  w.key("type_counts").begin_object();
+  for (Size type = 0; type < sim::kTraceEventTypeCount; ++type) {
+    if (sink.type_counts()[type] == 0) continue;
+    w.field(sim::to_string(static_cast<sim::TraceEventType>(type)),
+            static_cast<std::uint64_t>(sink.type_counts()[type]));
+  }
+  w.end_object();
+  w.key("events").begin_array();
+  for (const auto& ev : sink.snapshot()) {
+    w.begin_object();
+    w.field("t", ev.t);
+    w.field("type", sim::to_string(ev.type));
+    w.field("k", static_cast<std::uint64_t>(ev.level));
+    if (ev.a != kInvalidNode) w.field("a", static_cast<std::uint64_t>(ev.a));
+    if (ev.b != kInvalidNode) w.field("b", static_cast<std::uint64_t>(ev.b));
+    if (ev.value != 0.0) w.field("cost", ev.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_series_point_json(analysis::JsonWriter& w, const SeriesPoint& point) {
+  w.begin_object();
+  w.field("n", point.n);
+  w.field("mean", point.mean);
+  w.field("ci95", point.ci95);
+  w.field("count", static_cast<std::uint64_t>(point.count));
+  w.end_object();
+}
+
+}  // namespace manet::exp

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/json.hpp"
+#include "common/metrics.hpp"
+#include "exp/montecarlo.hpp"
+#include "lm/overhead.hpp"
+#include "sim/trace.hpp"
+
+/// \file artifacts.hpp
+/// Machine-readable run artifacts. Every bench binary (and manet_sim
+/// --metrics-json) writes a JSON artifact next to its text tables so results
+/// can be re-audited, diffed across PRs and fed to tooling without parsing
+/// prose. An artifact always embeds a RunManifest — enough provenance to
+/// re-run the exact configuration that produced it.
+///
+/// Artifact schema (BENCH_<name>.json, validated by tests):
+///   { "schema": "manet-bench-artifact/1",
+///     "manifest": { "name", "git_sha", "seed", "n", "replications",
+///                   "thread_count", "wall_seconds", "scenario", ... },
+///     "series":  { "<metric>": [ {"n", "mean", "ci95", "count"}, ... ] },
+///     "scalars": { "<key>": number, ... } }
+
+namespace manet::exp {
+
+/// Provenance record for one run or bench invocation.
+struct RunManifest {
+  std::string name;          ///< artifact name (bench binary / run label)
+  std::string git_sha;       ///< build-time commit (unknown outside git)
+  std::uint64_t seed = 0;
+  Size n = 0;                ///< node count (0 for sweeps; see series)
+  Size replications = 0;
+  Size thread_count = 1;
+  double wall_seconds = 0.0; ///< measured by the artifact writer
+  std::string scenario;      ///< ScenarioConfig::describe() of the base config
+
+  /// Capture everything derivable from the config; wall_seconds is filled in
+  /// by the caller (or the bench Artifact helper) at write time.
+  static RunManifest capture(std::string name, const ScenarioConfig& config,
+                             Size replications, Size thread_count = 1);
+
+  void write_json(analysis::JsonWriter& w) const;
+  /// Strict read-back: false when a required field is missing or mistyped.
+  static bool from_json(const analysis::JsonValue& v, RunManifest& out);
+};
+
+/// Git SHA baked in at configure time (-DMANET_GIT_SHA=...); "unknown"
+/// when the build tree was not a git checkout.
+std::string build_git_sha();
+
+/// OverheadReport <-> JSON (schema "manet-overhead/1": scalar rates plus the
+/// per-level phi_k / gamma_k / f_k arrays).
+void write_overhead_json(analysis::JsonWriter& w, const lm::OverheadReport& report);
+bool overhead_from_json(const analysis::JsonValue& v, lm::OverheadReport& out);
+
+/// Dump a registry: counters as integers, gauges as numbers, rate meters as
+/// {total, rate} (rate evaluated at \p now), histograms as {count, sum, mean,
+/// p50, p99, buckets}.
+void write_registry_json(analysis::JsonWriter& w, const common::MetricsRegistry& registry,
+                         Time now = 0.0);
+
+/// Dump a trace sink: header (seen/stored/dropped + per-type counts) and the
+/// retained ring contents oldest-to-newest.
+void write_trace_json(analysis::JsonWriter& w, const sim::TraceSink& sink);
+
+/// One aggregated sweep point for artifact series.
+struct SeriesPoint {
+  double n = 0.0;
+  double mean = 0.0;
+  double ci95 = 0.0;
+  Size count = 0;
+};
+
+void write_series_point_json(analysis::JsonWriter& w, const SeriesPoint& point);
+
+}  // namespace manet::exp

@@ -67,6 +67,12 @@ std::string cli_usage(const std::string& program) {
          "  --sweep N1,N2,...  sweep node counts instead of a single run\n"
          "  --csv PATH         write sweep results as CSV\n"
          "  --json PATH        write single-run metrics as JSON\n"
+         "observability:\n"
+         "  --trace            record handoff/reorg events, print a summary\n"
+         "  --trace-capacity N ring-buffer slots for --trace (default 4096)\n"
+         "  --trace-sample N   keep every Nth trace event (default 1)\n"
+         "  --metrics-json P   write live metrics registry + manifest (+ trace\n"
+         "                     when --trace is on) as JSON to path P\n"
          "  --help             this text\n";
 }
 
@@ -153,6 +159,20 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       const char* value = next();
       if (value == nullptr) return fail("--json needs a path");
       opt.json_path = value;
+    } else if (flag == "--metrics-json") {
+      const char* value = next();
+      if (value == nullptr) return fail("--metrics-json needs a path");
+      opt.metrics_json_path = value;
+    } else if (flag == "--trace") {
+      opt.trace = true;
+    } else if (flag == "--trace-capacity" || flag == "--trace-sample") {
+      const char* value = next();
+      Size parsed = 0;
+      if (value == nullptr || !parse_size(value, parsed) || parsed == 0) {
+        return fail(flag + " needs a positive integer");
+      }
+      if (flag == "--trace-capacity") opt.trace_capacity = parsed;
+      else opt.trace_sample = parsed;
     } else if (flag == "--sweep") {
       const char* value = next();
       if (value == nullptr || !parse_size_list(value, opt.sweep)) {

@@ -20,6 +20,10 @@ struct CliOptions {
   std::vector<Size> sweep;   ///< non-empty => sweep node counts
   std::string csv_path;      ///< non-empty => write sweep CSV here
   std::string json_path;     ///< non-empty => write single-run metrics JSON
+  std::string metrics_json_path;  ///< non-empty => write registry+manifest JSON
+  bool trace = false;        ///< attach a TraceSink and print an event summary
+  Size trace_capacity = 4096;     ///< ring-buffer slots for --trace
+  Size trace_sample = 1;          ///< keep every Nth event for --trace
   bool show_help = false;
 };
 
@@ -40,6 +44,8 @@ struct CliParseResult {
 ///   --gls  --registration  --routing  --no-events  --no-states  --no-hops
 ///   --sweep N1,N2,...                   --csv PATH
 ///   --json PATH (single-run metrics as JSON)
+///   --trace  --trace-capacity N  --trace-sample N
+///   --metrics-json PATH (live registry + manifest + trace as JSON)
 ///   --help
 CliParseResult parse_cli(int argc, const char* const* argv);
 

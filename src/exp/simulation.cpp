@@ -48,6 +48,14 @@ std::string keyed(const char* base, Level k) {
   return buf;
 }
 
+/// The differ's taxonomy enums map 1:1 onto the trace vocabulary ((i)-(vii)
+/// in declaration order on both sides).
+sim::TraceEventType trace_type_of(cluster::ReorgEventType type) {
+  return static_cast<sim::TraceEventType>(
+      static_cast<std::uint8_t>(sim::TraceEventType::kReorgLinkUp) +
+      static_cast<std::uint8_t>(type));
+}
+
 /// Sampled mean level-0 hop count between nodes sharing a level-k cluster
 /// (the paper's h_k, eq. (3)).
 double measure_hk(const cluster::Hierarchy& h, const graph::Graph& g, Level k, Size pairs,
@@ -105,6 +113,8 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   cluster::Hierarchy hier = builder.build(g0, scenario.ids, scenario.mobility->positions());
 
   lm::HandoffEngine handoff(cfg.handoff);
+  handoff.set_metrics(options.metrics);
+  handoff.set_trace(options.trace);
   cluster::StateChainTracker states;
   cluster::HeadLifetimeTracker tenures;
   common::Xoshiro256 hop_rng(common::derive_seed(cfg.seed, 0xB0F5));
@@ -131,6 +141,7 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   const Time t0 = cfg.warmup;
   handoff.prime(hier, t0);
   net::LinkTracker links(g0, t0);
+  links.set_metrics(options.metrics);
   if (gls) gls->prime(scenario.mobility->positions(), scenario.ids, t0);
 
   std::unique_ptr<lm::RegistrationTracker> registration;
@@ -174,6 +185,7 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   }
 
   const Time horizon = cfg.warmup + cfg.duration;
+  engine.set_trace_sink(options.trace);
   engine.run_until(t0);
   engine.schedule_every(cfg.tick, [&] {
     const Time now = engine.now();
@@ -189,6 +201,14 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
 
     if (options.track_events) {
       const cluster::HierarchyDelta delta = cluster::diff_hierarchies(hier, next);
+      if (engine.tracing()) {
+        for (const auto& m : delta.migrations) {
+          engine.emit(sim::TraceEventType::kMigration, m.level, m.node, m.to_head);
+        }
+        for (const auto& ev : delta.events) {
+          engine.emit(trace_type_of(ev.type), ev.level, ev.a, ev.b);
+        }
+      }
       for (std::size_t type = 0; type < cluster::kReorgEventTypeCount; ++type) {
         auto& acc = event_counts[type];
         const auto& per_level = delta.event_counts[type];
@@ -210,8 +230,13 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     if (options.track_states) {
       states.observe(hier, cfg.tick);
       tenures.observe(hier, now);
+      if (options.metrics != nullptr) states.publish(*options.metrics);
     }
     ++ticks;
+    if (options.metrics != nullptr) {
+      options.metrics->counter("sim.ticks").add(1);
+      options.metrics->gauge("sim.now").set(now);
+    }
   });
   engine.run_until(horizon);
 

@@ -3,7 +3,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "exp/scenario.hpp"
+#include "sim/trace.hpp"
 
 /// \file simulation.hpp
 /// Single-replication simulation runner: ties the mobility model, unit-disk
@@ -52,6 +54,14 @@ struct RunOptions {
   double registration_threshold = 0.5;  ///< in units of R_TX * sqrt(c_k)
   bool measure_routing = false;    ///< table size + path stretch on the final snapshot (E16/E17)
   Size stretch_pairs = 100;        ///< sampled pairs for the stretch measurement
+
+  /// Observability hooks (not owned; nullptr = off, zero cost). With a
+  /// registry attached, every producer publishes live lm.* / net.* / alca.*
+  /// instruments during the run; with a trace sink attached, the engine and
+  /// producers emit typed TraceEvents (handoff transfers, migrations, the
+  /// (i)-(vii) reorg taxonomy). See docs/ARCHITECTURE.md "Observability".
+  common::MetricsRegistry* metrics = nullptr;
+  sim::TraceSink* trace = nullptr;
 };
 
 /// Run one replication of \p config and return the flattened metrics.

@@ -1,12 +1,57 @@
 #include "lm/handoff.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.hpp"
 
 namespace manet::lm {
 
+namespace {
+/// Transfer-cost histogram buckets (hops per moved entry).
+constexpr double kHopBuckets[] = {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+}  // namespace
+
 HandoffEngine::HandoffEngine(HandoffConfig config) : config_(config) {}
+
+void HandoffEngine::set_metrics(common::MetricsRegistry* registry) {
+  metrics_ = registry;
+  phi_level_c_.clear();
+  gamma_level_c_.clear();
+  migration_level_c_.clear();
+  if (registry == nullptr) {
+    phi_packets_c_ = gamma_packets_c_ = phi_entries_c_ = gamma_entries_c_ = nullptr;
+    level_churn_c_ = unreachable_c_ = nullptr;
+    entry_moves_rate_ = nullptr;
+    transfer_hops_h_ = nullptr;
+    return;
+  }
+  phi_packets_c_ = &registry->counter("lm.phi_packets");
+  gamma_packets_c_ = &registry->counter("lm.gamma_packets");
+  phi_entries_c_ = &registry->counter("lm.phi_entries");
+  gamma_entries_c_ = &registry->counter("lm.gamma_entries");
+  level_churn_c_ = &registry->counter("lm.level_churn");
+  unreachable_c_ = &registry->counter("lm.unreachable");
+  entry_moves_rate_ = &registry->rate_meter("lm.entry_moves", 10.0);
+  transfer_hops_h_ = &registry->histogram("lm.transfer_hops", kHopBuckets);
+}
+
+common::Counter* HandoffEngine::level_counter(std::vector<common::Counter*>& cache,
+                                              const char* base, Level k) {
+  if (cache.size() <= k) cache.resize(k + 1, nullptr);
+  if (cache[k] == nullptr) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s.%u", base, k);
+    cache[k] = &metrics_->counter(name);
+  }
+  return cache[k];
+}
+
+void HandoffEngine::publish_rates() {
+  metrics_->gauge("lm.phi_rate").set(phi_rate());
+  metrics_->gauge("lm.gamma_rate").set(gamma_rate());
+  metrics_->gauge("lm.total_rate").set(phi_rate() + gamma_rate());
+}
 
 HandoffEngine::Snapshot HandoffEngine::capture(const cluster::Hierarchy& h) const {
   Snapshot snap;
@@ -54,6 +99,7 @@ PacketCount HandoffEngine::price(const graph::Graph& g0, NodeId from, NodeId to)
   const std::uint32_t hops = it->second[to];
   if (hops == graph::kUnreachable) {
     ++unreachable_;
+    if (unreachable_c_ != nullptr) unreachable_c_->add(1);
     return 0;
   }
   return hops;
@@ -72,9 +118,18 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
   // Count per-level cluster membership changes (f_k numerators).
   const Level common_top = std::min(prev_.top, next.top);
   if (migrations_.size() <= common_top) migrations_.resize(common_top + 1, 0);
+  const std::vector<Size> migrations_before =
+      metrics_ != nullptr ? migrations_ : std::vector<Size>{};
   for (NodeId v = 0; v < node_count_; ++v) {
     for (Level k = 1; k <= common_top; ++k) {
       if (prev_.anc_ids[v][k - 1] != next.anc_ids[v][k - 1]) ++migrations_[k];
+    }
+  }
+  if (metrics_ != nullptr) {
+    for (Level k = 1; k <= common_top; ++k) {
+      const Size before = k < migrations_before.size() ? migrations_before[k] : 0;
+      const Size delta = migrations_[k] - before;
+      if (delta > 0) level_counter(migration_level_c_, "lm.migrations", k)->add(delta);
     }
   }
 
@@ -100,12 +155,32 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
           lvl.phi_packets += cost;
           ++lvl.phi_entries;
           tick.phi_packets += cost;
+          if (metrics_ != nullptr) {
+            phi_packets_c_->add(cost);
+            phi_entries_c_->add(1);
+            level_counter(phi_level_c_, "lm.phi_packets", k)->add(cost);
+          }
         } else {
           lvl.gamma_packets += cost;
           ++lvl.gamma_entries;
           tick.gamma_packets += cost;
+          if (metrics_ != nullptr) {
+            gamma_packets_c_->add(cost);
+            gamma_entries_c_->add(1);
+            level_counter(gamma_level_c_, "lm.gamma_packets", k)->add(cost);
+          }
         }
         ++tick.entries_moved;
+        if (metrics_ != nullptr) {
+          entry_moves_rate_->mark(t);
+          transfer_hops_h_->observe(static_cast<double>(cost));
+        }
+        if (trace_ != nullptr) {
+          trace_->record(sim::TraceEvent{
+              t, migrated ? sim::TraceEventType::kHandoffPhi
+                          : sim::TraceEventType::kHandoffGamma,
+              k, s_old, s_new, static_cast<double>(cost)});
+        }
         const LocationRecord rec = db_.take(s_old, v, k);
         db_.put(s_new, LocationRecord{v, k, t, rec.owner == kInvalidNode
                                                    ? version_counter_++
@@ -120,6 +195,18 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
         ++tick.entries_moved;
         ++level_churn_;
         db_.take(s_old, v, k);
+        if (metrics_ != nullptr) {
+          gamma_packets_c_->add(cost);
+          gamma_entries_c_->add(1);
+          level_churn_c_->add(1);
+          level_counter(gamma_level_c_, "lm.gamma_packets", k)->add(cost);
+          entry_moves_rate_->mark(t);
+          transfer_hops_h_->observe(static_cast<double>(cost));
+        }
+        if (trace_ != nullptr) {
+          trace_->record(sim::TraceEvent{t, sim::TraceEventType::kLevelChurn, k, s_old, v,
+                                         static_cast<double>(cost)});
+        }
       } else if (!had && has) {
         // Hierarchy gained level k: the owner registers with the new server.
         const PacketCount cost = price(g0, v, s_new);
@@ -130,12 +217,25 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
         ++tick.entries_moved;
         ++level_churn_;
         db_.put(s_new, LocationRecord{v, k, t, version_counter_++});
+        if (metrics_ != nullptr) {
+          gamma_packets_c_->add(cost);
+          gamma_entries_c_->add(1);
+          level_churn_c_->add(1);
+          level_counter(gamma_level_c_, "lm.gamma_packets", k)->add(cost);
+          entry_moves_rate_->mark(t);
+          transfer_hops_h_->observe(static_cast<double>(cost));
+        }
+        if (trace_ != nullptr) {
+          trace_->record(sim::TraceEvent{t, sim::TraceEventType::kLevelChurn, k, v, s_new,
+                                         static_cast<double>(cost)});
+        }
       }
     }
   }
 
   prev_ = std::move(next);
   last_time_ = t;
+  if (metrics_ != nullptr) publish_rates();
   return tick;
 }
 

@@ -3,8 +3,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "graph/bfs.hpp"
 #include "lm/chlm.hpp"
+#include "sim/trace.hpp"
 
 /// \file handoff.hpp
 /// The LM handoff engine — the measurement core of this reproduction.
@@ -96,6 +98,16 @@ class HandoffEngine {
   /// assignment table; integration tests verify this invariant).
   const LmDatabase& database() const { return db_; }
 
+  // --- Observability hooks (both optional; nullptr = off, zero cost) ---
+
+  /// Publish live counters/gauges into \p registry (see docs/ARCHITECTURE.md
+  /// "Observability" for the lm.* instrument names). phi_k / gamma_k / f_k
+  /// become queryable *during* the run, not just via OverheadReport.
+  void set_metrics(common::MetricsRegistry* registry);
+
+  /// Emit one typed TraceEvent per entry transfer / level-churn move.
+  void set_trace(sim::TraceSink* trace) noexcept { trace_ = trace; }
+
  private:
   /// Capture assignment + ancestor tables for a snapshot.
   struct Snapshot {
@@ -124,6 +136,25 @@ class HandoffEngine {
 
   /// Per-tick BFS distance cache, keyed by source.
   std::unordered_map<NodeId, std::vector<std::uint32_t>> dist_cache_;
+
+  // Observability (resolved once in set_metrics; hot path is pointer adds).
+  common::MetricsRegistry* metrics_ = nullptr;
+  sim::TraceSink* trace_ = nullptr;
+  common::Counter* phi_packets_c_ = nullptr;
+  common::Counter* gamma_packets_c_ = nullptr;
+  common::Counter* phi_entries_c_ = nullptr;
+  common::Counter* gamma_entries_c_ = nullptr;
+  common::Counter* level_churn_c_ = nullptr;
+  common::Counter* unreachable_c_ = nullptr;
+  common::RateMeter* entry_moves_rate_ = nullptr;
+  common::Histogram* transfer_hops_h_ = nullptr;
+  std::vector<common::Counter*> phi_level_c_;    ///< lm.phi_packets.k
+  std::vector<common::Counter*> gamma_level_c_;  ///< lm.gamma_packets.k
+  std::vector<common::Counter*> migration_level_c_;  ///< lm.migrations.k
+
+  common::Counter* level_counter(std::vector<common::Counter*>& cache, const char* base,
+                                 Level k);
+  void publish_rates();
 };
 
 }  // namespace manet::lm

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/check.hpp"
+
 namespace manet::lm {
 
 OverheadReport OverheadReport::from(const HandoffEngine& engine) {
@@ -36,7 +38,22 @@ std::string OverheadReport::to_text() const {
   std::snprintf(line, sizeof(line), "%-6s %12s %12s %12s\n", "level", "phi_k", "gamma_k",
                 "f_k");
   out += line;
+  // Levels 0 and 1 carry no handoff by construction: a node IS its own
+  // level-0 cluster and every node stores its own level-1 entry locally, so
+  // transfers only start at k = 2 (paper Section 4). Enforce the invariant
+  // here rather than silently rendering zeros.
+  for (Level k = 0; k < phi_per_level.size() && k < 2; ++k) {
+    MANET_CHECK_MSG(phi_per_level[k] == 0.0 && gamma_per_level[k] == 0.0,
+                    "phi_k/gamma_k must be zero at levels 0..1 by construction");
+  }
   for (Level k = 1; k < phi_per_level.size(); ++k) {
+    // Skip dead rows (all-zero: level never materialized in this run); the
+    // k = 1 row survives whenever f_1 is nonzero even though phi_1 = gamma_1
+    // = 0 by the invariant above.
+    if (phi_per_level[k] == 0.0 && gamma_per_level[k] == 0.0 &&
+        migration_per_level[k] == 0.0) {
+      continue;
+    }
     std::snprintf(line, sizeof(line), "%-6u %12.6f %12.6f %12.6f\n", k, phi_per_level[k],
                   gamma_per_level[k], migration_per_level[k]);
     out += line;

@@ -20,7 +20,9 @@ struct OverheadReport {
   double phi_rate = 0.0;    ///< total migration handoff (eq. 6c)
   double gamma_rate = 0.0;  ///< total reorganization handoff (eq. 11)
 
-  /// Indexed by level k (entries 0..1 zero by construction).
+  /// Indexed by level k. phi/gamma entries 0..1 are zero by construction
+  /// (no location entries live below level 2); to_text() CHECKs this.
+  /// migration_per_level[1] (f_1) is real data.
   std::vector<double> phi_per_level;
   std::vector<double> gamma_per_level;
   std::vector<double> migration_per_level;  ///< f_k estimates
@@ -33,7 +35,8 @@ struct OverheadReport {
 
   static OverheadReport from(const HandoffEngine& engine);
 
-  /// Multi-line human-readable rendering (one row per level).
+  /// Multi-line human-readable rendering, one row per live level (rows whose
+  /// phi_k, gamma_k and f_k are all zero are omitted).
   std::string to_text() const;
 };
 

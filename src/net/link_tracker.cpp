@@ -29,7 +29,22 @@ LinkDelta LinkTracker::update(const graph::Graph& current, Time t) {
   total_events_ += delta.event_count();
   prev_edges_.assign(current.edges().begin(), current.edges().end());
   last_time_ = t;
+  if (metrics_ != nullptr) {
+    up_c_->add(delta.up.size());
+    down_c_->add(delta.down.size());
+    metrics_->gauge("net.f0").set(events_per_node_per_second());
+  }
   return delta;
+}
+
+void LinkTracker::set_metrics(common::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    up_c_ = down_c_ = nullptr;
+    return;
+  }
+  up_c_ = &registry->counter("net.link_up");
+  down_c_ = &registry->counter("net.link_down");
 }
 
 double LinkTracker::events_per_node_per_second() const {

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "graph/graph.hpp"
 
 /// \file link_tracker.hpp
@@ -43,12 +44,19 @@ class LinkTracker {
   /// by |V|.
   double events_per_node_per_second() const;
 
+  /// Publish live counters (net.link_up / net.link_down) and the net.f0
+  /// gauge into \p registry on every update. nullptr turns publishing off.
+  void set_metrics(common::MetricsRegistry* registry);
+
  private:
   std::vector<graph::Edge> prev_edges_;
   Size node_count_;
   Time start_time_;
   Time last_time_;
   Size total_events_ = 0;
+  common::MetricsRegistry* metrics_ = nullptr;
+  common::Counter* up_c_ = nullptr;
+  common::Counter* down_c_ = nullptr;
 };
 
 /// Set-difference of two canonical sorted edge lists (a \ b).

@@ -1,11 +1,17 @@
 #pragma once
 
 #include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
 
 /// \file engine.hpp
 /// Discrete-event simulation engine: a monotone clock plus the pending-event
 /// set. Mobility waypoint arrivals, topology sampling ticks and measurement
 /// epochs are all events; the engine knows nothing about their semantics.
+///
+/// The engine also carries the run's TraceSink hook: producers driven by the
+/// engine call emit() (stamped with the engine clock) so every subsystem
+/// shares one sink without extra plumbing. With no sink attached, emit() is
+/// a single predictable branch — tracing off costs nothing.
 
 namespace manet::sim {
 
@@ -40,10 +46,23 @@ class Engine {
 
   Size pending_count() const { return queue_.pending_count(); }
 
+  /// Attach (or detach with nullptr) the run's trace sink. Not owned.
+  void set_trace_sink(TraceSink* sink) noexcept { trace_ = sink; }
+  TraceSink* trace_sink() const noexcept { return trace_; }
+  bool tracing() const noexcept { return trace_ != nullptr; }
+
+  /// Record a typed event stamped with the current simulation time. No-op
+  /// (one branch) when no sink is attached.
+  void emit(TraceEventType type, Level level, NodeId a = kInvalidNode,
+            NodeId b = kInvalidNode, double value = 0.0) {
+    if (trace_ != nullptr) trace_->record(TraceEvent{now_, type, level, a, b, value});
+  }
+
  private:
   struct Recurring;
 
   EventQueue queue_;
+  TraceSink* trace_ = nullptr;
   Time now_ = 0.0;
   std::uint64_t next_recurring_token_ = 1;
   std::unordered_map<std::uint64_t, bool> recurring_alive_;

@@ -1,0 +1,104 @@
+#include "analysis/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace manet::analysis {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriter, WritesNestedDocument) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("name", "run");
+  w.field("count", std::uint64_t{3});
+  w.key("xs").begin_array().value(1.5).value(2.5).end_array();
+  w.key("inner").begin_object().field("flag", true).end_object();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(),
+            R"({"name":"run","count":3,"xs":[1.5,2.5],"inner":{"flag":true}})");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriter, DoublesRoundTripThroughText) {
+  const double x = 0.1 + 0.2;  // not exactly 0.3
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array().value(x).end_array();
+  const auto parsed = parse_json(os.str());
+  ASSERT_TRUE(parsed.ok);
+  ASSERT_EQ(parsed.value.items.size(), 1u);
+  EXPECT_EQ(parsed.value.items[0].number, x);  // bit-exact via %.17g
+}
+
+TEST(JsonParser, ParsesScalarsAndContainers) {
+  const auto parsed = parse_json(
+      R"({"s": "hi", "n": -2.5e3, "t": true, "f": false, "z": null,
+          "a": [1, {"k": 2}]})");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto& v = parsed.value;
+  EXPECT_EQ(v.string_or("s", ""), "hi");
+  EXPECT_DOUBLE_EQ(v.number_or("n", 0.0), -2500.0);
+  ASSERT_NE(v.find("t"), nullptr);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_EQ(v.find("z")->kind, JsonValue::Kind::kNull);
+  const auto* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 2u);
+  EXPECT_DOUBLE_EQ(a->items[1].number_or("k", 0.0), 2.0);
+}
+
+TEST(JsonParser, DecodesEscapes) {
+  const auto parsed = parse_json("[\"line\\nbreak\", \"A\\u00e9\"]");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.items[0].string, "line\nbreak");
+  EXPECT_EQ(parsed.value.items[1].string, "A\xc3\xa9");  // é -> UTF-8 e-acute
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_json("").ok);
+  EXPECT_FALSE(parse_json("{").ok);
+  EXPECT_FALSE(parse_json("[1,]").ok);
+  EXPECT_FALSE(parse_json("{\"a\" 1}").ok);
+  EXPECT_FALSE(parse_json("true garbage").ok);  // trailing garbage
+  EXPECT_FALSE(parse_json("'single'").ok);
+}
+
+TEST(JsonParser, MemberOrderIsPreserved) {
+  const auto parsed = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(parsed.ok);
+  ASSERT_EQ(parsed.value.members.size(), 3u);
+  EXPECT_EQ(parsed.value.members[0].first, "z");
+  EXPECT_EQ(parsed.value.members[1].first, "a");
+  EXPECT_EQ(parsed.value.members[2].first, "m");
+}
+
+TEST(JsonWriterDeathTest, KeyOutsideObjectAborts) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  EXPECT_DEATH(w.key("nope"), "");
+}
+
+}  // namespace
+}  // namespace manet::analysis

@@ -1,0 +1,182 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace manet::common {
+namespace {
+
+TEST(Counter, AddsAndMerges) {
+  Counter a, b;
+  a.add();
+  a.add(4);
+  b.add(10);
+  EXPECT_EQ(a.value(), 5u);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 15u);
+}
+
+TEST(Gauge, MergeKeepsLaterWrittenShard) {
+  Gauge a, b, untouched;
+  a.set(1.0);
+  b.set(2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);  // later shard wins in fold order
+  a.merge(untouched);
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);  // unwritten shard leaves the value alone
+  EXPECT_FALSE(untouched.written());
+}
+
+TEST(RateMeter, WindowedRateAgesOut) {
+  RateMeter meter(10.0, 10);
+  for (int t = 0; t < 10; ++t) meter.mark(static_cast<Time>(t), 5);
+  // 50 events over a 10 s window.
+  EXPECT_NEAR(meter.rate(9.0), 5.0, 1.0);
+  EXPECT_EQ(meter.total(), 50u);
+  // Far in the future every bucket has aged out of the window.
+  EXPECT_DOUBLE_EQ(meter.rate(1000.0), 0.0);
+  EXPECT_EQ(meter.total(), 50u);  // totals never age
+}
+
+TEST(RateMeter, MergeAddsTotals) {
+  RateMeter a(10.0, 10), b(10.0, 10);
+  a.mark(1.0, 3);
+  b.mark(5.0, 7);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 10u);
+  EXPECT_GT(a.rate(5.0), 0.0);  // adopted the later shard's window
+}
+
+TEST(Histogram, BucketsAndQuantiles) {
+  const std::array<double, 4> bounds{1.0, 2.0, 4.0, 8.0};
+  Histogram h(bounds);
+  for (const double x : {0.5, 1.5, 1.5, 3.0, 10.0}) h.observe(x);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.5);
+  EXPECT_EQ(h.bucket_total(), 5u);  // 4 bounds + overflow
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 1.0);
+  EXPECT_LE(median, 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(MetricsRegistry, LookupIsStableAndTyped) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.count");
+  reg.gauge("a.gauge").set(3.0);
+  c.add(7);
+  EXPECT_EQ(&reg.counter("a.count"), &c);  // stable reference
+  ASSERT_NE(reg.find_counter("a.count"), nullptr);
+  EXPECT_EQ(reg.find_counter("a.count")->value(), 7u);
+  EXPECT_EQ(reg.find_counter("a.gauge"), nullptr);  // wrong kind
+  EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+  EXPECT_EQ(reg.instrument_count(), 2u);
+}
+
+TEST(MetricsRegistry, EntriesAreSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("zz");
+  reg.gauge("aa");
+  reg.rate_meter("mm");
+  const auto entries = reg.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "aa");
+  EXPECT_EQ(entries[1].name, "mm");
+  EXPECT_EQ(entries[2].name, "zz");
+}
+
+/// The deterministic workload each parallel task writes into its shard.
+void write_shard(MetricsRegistry& shard, std::size_t index) {
+  shard.counter("events").add(index + 1);
+  shard.counter("task." + std::to_string(index % 3)).add(2 * index + 1);
+  shard.gauge("last_index").set(static_cast<double>(index));
+  const std::array<double, 3> bounds{1.0, 4.0, 16.0};
+  auto& h = shard.histogram("hops", bounds);
+  for (std::size_t i = 0; i <= index; ++i) h.observe(static_cast<double>(i % 20));
+  shard.rate_meter("moves", 10.0, 10).mark(static_cast<Time>(index % 7), index);
+}
+
+/// Byte-exact fingerprint of a registry's aggregate state.
+std::string fingerprint(const MetricsRegistry& reg) {
+  std::string out;
+  const auto append_double = [&out](double v) {
+    char bytes[sizeof(double)];
+    std::memcpy(bytes, &v, sizeof(double));
+    out.append(bytes, sizeof(double));
+  };
+  for (const auto& e : reg.entries()) {
+    out += e.name;
+    switch (e.kind) {
+      case MetricsRegistry::Entry::Kind::kCounter:
+        out += std::to_string(e.counter->value());
+        break;
+      case MetricsRegistry::Entry::Kind::kGauge:
+        append_double(e.gauge->value());
+        break;
+      case MetricsRegistry::Entry::Kind::kRateMeter:
+        out += std::to_string(e.rate_meter->total());
+        append_double(e.rate_meter->rate(100.0));
+        break;
+      case MetricsRegistry::Entry::Kind::kHistogram:
+        out += std::to_string(e.histogram->count());
+        append_double(e.histogram->sum());
+        for (Size i = 0; i < e.histogram->bucket_total(); ++i) {
+          out += std::to_string(e.histogram->bucket_count(i));
+        }
+        break;
+    }
+    out += '|';
+  }
+  return out;
+}
+
+TEST(ShardedMetrics, MergeIsBitIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kTasks = 24;
+  std::vector<std::string> prints;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ShardedMetrics sharded(kTasks);
+    ThreadPool pool(threads);
+    pool.parallel_for(kTasks,
+                      [&sharded](std::size_t i) { write_shard(sharded.shard(i), i); });
+    prints.push_back(fingerprint(sharded.merged()));
+  }
+  EXPECT_EQ(prints[0], prints[1]);
+  EXPECT_EQ(prints[0], prints[2]);
+}
+
+TEST(ShardedMetrics, MergedAggregatesMatchHandComputation) {
+  constexpr std::size_t kTasks = 5;
+  ShardedMetrics sharded(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) write_shard(sharded.shard(i), i);
+  const auto merged = sharded.merged();
+  // events = sum of (i+1) = 15.
+  ASSERT_NE(merged.find_counter("events"), nullptr);
+  EXPECT_EQ(merged.find_counter("events")->value(), 15u);
+  // Gauge keeps the highest shard index's write.
+  ASSERT_NE(merged.find_gauge("last_index"), nullptr);
+  EXPECT_DOUBLE_EQ(merged.find_gauge("last_index")->value(), 4.0);
+  // Histogram counts add: sum of (i+1) observations.
+  ASSERT_NE(merged.find_histogram("hops"), nullptr);
+  EXPECT_EQ(merged.find_histogram("hops")->count(), 15u);
+}
+
+TEST(MetricsRegistry, MergeCreatesMissingInstruments) {
+  MetricsRegistry a, b;
+  b.counter("only_in_b").add(3);
+  a.merge(b);
+  ASSERT_NE(a.find_counter("only_in_b"), nullptr);
+  EXPECT_EQ(a.find_counter("only_in_b")->value(), 3u);
+}
+
+}  // namespace
+}  // namespace manet::common

@@ -1,0 +1,244 @@
+#include "exp/artifacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <sstream>
+
+#include "common/metrics.hpp"
+#include "exp/scenario.hpp"
+#include "exp/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace manet::exp {
+namespace {
+
+std::string render(const std::function<void(analysis::JsonWriter&)>& fn, bool pretty) {
+  std::ostringstream os;
+  analysis::JsonWriter w(os, pretty);
+  fn(w);
+  EXPECT_TRUE(w.complete());
+  return os.str();
+}
+
+TEST(RunManifest, CaptureFillsProvenance) {
+  ScenarioConfig cfg;
+  cfg.n = 77;
+  cfg.seed = 1234;
+  const auto m = RunManifest::capture("unit", cfg, 3, 4);
+  EXPECT_EQ(m.name, "unit");
+  EXPECT_EQ(m.seed, 1234u);
+  EXPECT_EQ(m.n, 77u);
+  EXPECT_EQ(m.replications, 3u);
+  EXPECT_EQ(m.thread_count, 4u);
+  EXPECT_EQ(m.git_sha, build_git_sha());
+  EXPECT_FALSE(m.git_sha.empty());
+  EXPECT_EQ(m.scenario, cfg.describe());
+}
+
+TEST(RunManifest, JsonRoundTrip) {
+  ScenarioConfig cfg;
+  cfg.n = 512;
+  cfg.seed = 42;
+  auto m = RunManifest::capture("roundtrip", cfg, 5, 2);
+  m.wall_seconds = 1.5;
+
+  for (const bool pretty : {false, true}) {
+    const auto text =
+        render([&m](analysis::JsonWriter& w) { m.write_json(w); }, pretty);
+    const auto parsed = analysis::parse_json(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    RunManifest back;
+    ASSERT_TRUE(RunManifest::from_json(parsed.value, back));
+    EXPECT_EQ(back.name, m.name);
+    EXPECT_EQ(back.git_sha, m.git_sha);
+    EXPECT_EQ(back.seed, m.seed);
+    EXPECT_EQ(back.n, m.n);
+    EXPECT_EQ(back.replications, m.replications);
+    EXPECT_EQ(back.thread_count, m.thread_count);
+    EXPECT_DOUBLE_EQ(back.wall_seconds, m.wall_seconds);
+    EXPECT_EQ(back.scenario, m.scenario);
+  }
+}
+
+TEST(RunManifest, FromJsonRejectsMissingRequiredFields) {
+  const auto parsed = analysis::parse_json(R"({"name": "x", "seed": 1})");
+  ASSERT_TRUE(parsed.ok);
+  RunManifest out;
+  EXPECT_FALSE(RunManifest::from_json(parsed.value, out));  // no git_sha/scenario
+}
+
+lm::OverheadReport sample_report() {
+  lm::OverheadReport report;
+  report.node_count = 250;
+  report.window = 60.0;
+  report.phi_rate = 0.125;
+  report.gamma_rate = 0.0625;
+  report.phi_per_level = {0.0, 0.0, 0.1, 0.025};
+  report.gamma_per_level = {0.0, 0.0, 0.05, 0.0125};
+  report.migration_per_level = {0.0, 0.5, 0.25, 0.125};
+  report.phi_entries = 17;
+  report.gamma_entries = 9;
+  report.unreachable_transfers = 2;
+  return report;
+}
+
+TEST(OverheadJson, RoundTripIsExact) {
+  const auto report = sample_report();
+  const auto text = render(
+      [&report](analysis::JsonWriter& w) { write_overhead_json(w, report); }, true);
+
+  const auto parsed = analysis::parse_json(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.string_or("schema", ""), "manet-overhead/1");
+
+  lm::OverheadReport back;
+  ASSERT_TRUE(overhead_from_json(parsed.value, back));
+  EXPECT_EQ(back.node_count, report.node_count);
+  EXPECT_DOUBLE_EQ(back.window, report.window);
+  // %.17g serialization means doubles survive bit-exactly.
+  EXPECT_EQ(back.phi_rate, report.phi_rate);
+  EXPECT_EQ(back.gamma_rate, report.gamma_rate);
+  EXPECT_EQ(back.phi_per_level, report.phi_per_level);
+  EXPECT_EQ(back.gamma_per_level, report.gamma_per_level);
+  EXPECT_EQ(back.migration_per_level, report.migration_per_level);
+  EXPECT_EQ(back.phi_entries, report.phi_entries);
+  EXPECT_EQ(back.gamma_entries, report.gamma_entries);
+  EXPECT_EQ(back.unreachable_transfers, report.unreachable_transfers);
+}
+
+TEST(OverheadJson, RejectsWrongSchema) {
+  const auto parsed =
+      analysis::parse_json(R"({"schema": "bogus/9", "phi_rate": 1, "gamma_rate": 2})");
+  ASSERT_TRUE(parsed.ok);
+  lm::OverheadReport out;
+  EXPECT_FALSE(overhead_from_json(parsed.value, out));
+}
+
+TEST(RegistryJson, SerializesEveryInstrumentKind) {
+  common::MetricsRegistry reg;
+  reg.counter("lm.phi_packets").add(42);
+  reg.gauge("lm.phi_rate").set(0.75);
+  reg.rate_meter("lm.entry_moves", 10.0, 10).mark(3.0, 6);
+  const std::array<double, 3> bounds{1.0, 4.0, 16.0};
+  auto& h = reg.histogram("lm.transfer_hops", bounds);
+  h.observe(2.0);
+  h.observe(5.0);
+
+  const auto text = render(
+      [&reg](analysis::JsonWriter& w) { write_registry_json(w, reg, 4.0); }, true);
+  const auto parsed = analysis::parse_json(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto& v = parsed.value;
+  EXPECT_EQ(v.string_or("schema", ""), "manet-metrics/1");
+
+  const auto* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->number_or("lm.phi_packets", -1.0), 42.0);
+
+  const auto* gauges = v.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->number_or("lm.phi_rate", -1.0), 0.75);
+
+  const auto* rates = v.find("rates");
+  ASSERT_NE(rates, nullptr);
+  const auto* moves = rates->find("lm.entry_moves");
+  ASSERT_NE(moves, nullptr);
+  EXPECT_DOUBLE_EQ(moves->number_or("total", -1.0), 6.0);
+  EXPECT_GT(moves->number_or("rate", -1.0), 0.0);
+
+  const auto* hists = v.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const auto* hops = hists->find("lm.transfer_hops");
+  ASSERT_NE(hops, nullptr);
+  EXPECT_DOUBLE_EQ(hops->number_or("count", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(hops->number_or("sum", -1.0), 7.0);
+  const auto* buckets = hops->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  EXPECT_EQ(buckets->items.size(), 4u);  // 3 bounds + overflow
+}
+
+TEST(TraceJson, SerializesHeaderAndEvents) {
+  sim::TraceSink sink(sim::TraceSink::Config{4, 1});
+  for (int i = 0; i < 6; ++i) {
+    sim::TraceEvent ev;
+    ev.t = static_cast<Time>(i);
+    ev.type = sim::TraceEventType::kHandoffPhi;
+    ev.level = 2;
+    ev.a = 7;
+    ev.b = 9;
+    ev.value = 3.0;
+    sink.record(ev);
+  }
+
+  const auto text = render(
+      [&sink](analysis::JsonWriter& w) { write_trace_json(w, sink); }, true);
+  const auto parsed = analysis::parse_json(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto& v = parsed.value;
+  EXPECT_EQ(v.string_or("schema", ""), "manet-trace/1");
+  EXPECT_DOUBLE_EQ(v.number_or("seen", -1.0), 6.0);
+  EXPECT_DOUBLE_EQ(v.number_or("stored", -1.0), 4.0);
+  EXPECT_DOUBLE_EQ(v.number_or("dropped", -1.0), 2.0);
+
+  const auto* counts = v.find("type_counts");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_DOUBLE_EQ(counts->number_or("handoff_phi", -1.0), 6.0);
+
+  const auto* events = v.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items.size(), 4u);
+  const auto& first = events->items.front();
+  EXPECT_DOUBLE_EQ(first.number_or("t", -1.0), 2.0);  // oldest surviving event
+  EXPECT_EQ(first.string_or("type", ""), "handoff_phi");
+  EXPECT_DOUBLE_EQ(first.number_or("k", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(first.number_or("a", -1.0), 7.0);
+  EXPECT_DOUBLE_EQ(first.number_or("b", -1.0), 9.0);
+  EXPECT_DOUBLE_EQ(first.number_or("cost", -1.0), 3.0);
+}
+
+/// The observability hooks must not perturb the simulation: the RunMetrics of
+/// an instrumented run are identical to an uninstrumented one, and the live
+/// registry agrees with the reported phi/gamma rates.
+TEST(SimulationObservability, HooksArePassiveAndConsistent) {
+  ScenarioConfig cfg;
+  cfg.n = 96;
+  cfg.seed = 9;
+  cfg.warmup = 2.0;
+  cfg.duration = 8.0;
+
+  RunOptions plain;
+  plain.track_events = false;
+  plain.measure_hops = false;
+  const auto bare = run_simulation(cfg, plain);
+
+  common::MetricsRegistry registry;
+  sim::TraceSink sink;
+  RunOptions observed = plain;
+  observed.metrics = &registry;
+  observed.trace = &sink;
+  const auto instrumented = run_simulation(cfg, observed);
+
+  ASSERT_EQ(bare.values.size(), instrumented.values.size());
+  for (Size i = 0; i < bare.values.size(); ++i) {
+    EXPECT_EQ(bare.values[i].first, instrumented.values[i].first);
+    EXPECT_EQ(bare.values[i].second, instrumented.values[i].second)
+        << "metric " << bare.values[i].first << " perturbed by instrumentation";
+  }
+
+  const auto* phi_gauge = registry.find_gauge("lm.phi_rate");
+  ASSERT_NE(phi_gauge, nullptr);
+  EXPECT_EQ(phi_gauge->value(), instrumented.get("phi_rate"));
+  const auto* gamma_gauge = registry.find_gauge("lm.gamma_rate");
+  ASSERT_NE(gamma_gauge, nullptr);
+  EXPECT_EQ(gamma_gauge->value(), instrumented.get("gamma_rate"));
+
+  // A mobile 96-node run has migrations; tracing must have captured activity.
+  EXPECT_GT(sink.seen(), 0u);
+}
+
+}  // namespace
+}  // namespace manet::exp

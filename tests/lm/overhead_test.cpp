@@ -91,6 +91,32 @@ TEST(OverheadReport, TextRenderingContainsKeyRows) {
   EXPECT_GE(newlines, 3u);
 }
 
+TEST(OverheadReport, TextSkipsDeadRowsButKeepsMigrationOnlyLevels) {
+  OverheadReport report;
+  report.node_count = 10;
+  report.window = 5.0;
+  report.phi_per_level = {0.0, 0.0, 0.25, 0.0, 0.0};
+  report.gamma_per_level = {0.0, 0.0, 0.1, 0.0, 0.0};
+  report.migration_per_level = {0.0, 0.5, 0.3, 0.0, 0.0};
+  const auto text = report.to_text();
+  // k=1 kept (f_1 nonzero), k=2 kept, dead rows k=3..4 skipped.
+  EXPECT_NE(text.find("\n1 "), std::string::npos);
+  EXPECT_NE(text.find("\n2 "), std::string::npos);
+  EXPECT_EQ(text.find("\n3 "), std::string::npos);
+  EXPECT_EQ(text.find("\n4 "), std::string::npos);
+  Size newlines = 0;
+  for (const char c : text) newlines += (c == '\n');
+  EXPECT_EQ(newlines, 4u);  // summary + header + rows 1, 2
+}
+
+TEST(OverheadReportDeathTest, TextChecksLowLevelsZeroByConstruction) {
+  OverheadReport report;
+  report.phi_per_level = {0.0, 1.0, 0.0};  // phi_1 != 0 violates the invariant
+  report.gamma_per_level = {0.0, 0.0, 0.0};
+  report.migration_per_level = {0.0, 0.0, 0.0};
+  EXPECT_DEATH(report.to_text(), "zero at levels 0..1");
+}
+
 TEST(OverheadReport, FreshEngineIsAllZero) {
   World w(150, 7);
   HandoffEngine engine;

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Documentation lint, run as a ctest (see tools/CMakeLists.txt).
+#
+# Checks that the prose cannot silently drift from the code:
+#   1. every src/<subsystem>/ directory is mentioned in docs/ARCHITECTURE.md;
+#   2. every `bench_*` binary named in EXPERIMENTS.md exists in
+#      bench/CMakeLists.txt (and therefore gets built);
+#   3. every bench source file has a matching bench/CMakeLists.txt entry.
+#
+# Usage: tools/check_docs.sh [repo-root]   (default: script's parent dir)
+
+set -u
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+status=0
+
+fail() {
+    echo "check_docs: $1" >&2
+    status=1
+}
+
+arch="$root/docs/ARCHITECTURE.md"
+experiments="$root/EXPERIMENTS.md"
+bench_cmake="$root/bench/CMakeLists.txt"
+
+for f in "$arch" "$experiments" "$bench_cmake"; do
+    [ -f "$f" ] || { echo "check_docs: missing $f" >&2; exit 1; }
+done
+
+# 1. Every src/ subsystem appears in ARCHITECTURE.md.
+for dir in "$root"/src/*/; do
+    name=$(basename "$dir")
+    grep -q "$name" "$arch" ||
+        fail "src/$name is never mentioned in docs/ARCHITECTURE.md"
+done
+
+# 2. Every bench binary named in EXPERIMENTS.md is registered in
+#    bench/CMakeLists.txt.
+for bench in $(grep -o 'bench_[a-z_0-9]*' "$experiments" | sort -u); do
+    [ "$bench" = "bench_util" ] && continue  # shared header, not a binary
+    grep -q "$bench" "$bench_cmake" ||
+        fail "EXPERIMENTS.md names $bench but bench/CMakeLists.txt does not build it"
+done
+
+# 3. Every bench source has a CMake registration (catches forgotten adds).
+for src in "$root"/bench/bench_*.cpp; do
+    name=$(basename "$src" .cpp)
+    grep -q "$name" "$bench_cmake" ||
+        fail "bench/$name.cpp exists but bench/CMakeLists.txt does not build it"
+done
+
+[ "$status" -eq 0 ] && echo "check_docs: OK"
+exit "$status"

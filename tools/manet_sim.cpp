@@ -9,11 +9,15 @@
 #include <fstream>
 
 #include "analysis/csv.hpp"
+#include "analysis/json.hpp"
 #include "analysis/model_fit.hpp"
 #include "analysis/table.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "exp/artifacts.hpp"
 #include "exp/campaign.hpp"
 #include "exp/cli.hpp"
+#include "sim/trace.hpp"
 #include "viz/json.hpp"
 
 int main(int argc, char** argv) {
@@ -55,7 +59,64 @@ int main(int argc, char** argv) {
       viz::write_metrics_json(json_file, metrics);
       std::printf("wrote metrics JSON to %s\n", opt.json_path.c_str());
     }
+
+    if (opt.trace || !opt.metrics_json_path.empty()) {
+      // Observability attaches to one canonical replication (the base seed):
+      // the registry and trace describe a single run, not an aggregate.
+      common::MetricsRegistry registry;
+      sim::TraceSink sink(sim::TraceSink::Config{opt.trace_capacity, opt.trace_sample});
+      exp::RunOptions observed = opt.run;
+      observed.metrics = &registry;
+      if (opt.trace) observed.trace = &sink;
+      (void)exp::run_simulation(opt.scenario, observed);
+
+      if (opt.trace) {
+        std::printf("\ntrace: %zu events seen, %zu retained, %zu dropped "
+                    "(capacity %zu, sample 1/%zu)\n",
+                    sink.seen(), sink.size(), sink.dropped(), sink.capacity(),
+                    opt.trace_sample);
+        analysis::TextTable trace_table({"event", "count"});
+        const auto& counts = sink.type_counts();
+        for (Size i = 0; i < sim::kTraceEventTypeCount; ++i) {
+          if (counts[i] == 0) continue;
+          trace_table.add_row({sim::to_string(static_cast<sim::TraceEventType>(i)),
+                               std::to_string(counts[i])});
+        }
+        std::printf("%s", trace_table.to_string("trace event counts").c_str());
+      }
+
+      if (!opt.metrics_json_path.empty()) {
+        std::ofstream file(opt.metrics_json_path);
+        if (!file) {
+          std::fprintf(stderr, "error: cannot write %s\n", opt.metrics_json_path.c_str());
+          return 1;
+        }
+        auto manifest = exp::RunManifest::capture("manet_sim", opt.scenario,
+                                                  /*replications=*/1);
+        analysis::JsonWriter w(file, /*pretty=*/true);
+        w.begin_object();
+        w.field("schema", "manet-sim-run/1");
+        w.key("manifest");
+        manifest.write_json(w);
+        w.key("metrics");
+        const Time end = opt.scenario.warmup + opt.scenario.duration;
+        exp::write_registry_json(w, registry, end);
+        if (opt.trace) {
+          w.key("trace");
+          exp::write_trace_json(w, sink);
+        }
+        w.end_object();
+        file << '\n';
+        std::printf("wrote metrics registry JSON to %s\n", opt.metrics_json_path.c_str());
+      }
+    }
     return 0;
+  }
+
+  if (opt.trace || !opt.metrics_json_path.empty()) {
+    std::fprintf(stderr,
+                 "warning: --trace/--metrics-json apply to single runs; ignored "
+                 "during a sweep\n");
   }
 
   // Node-count sweep.
