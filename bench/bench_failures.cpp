@@ -139,6 +139,11 @@ int main() {
       "cost of the birth/death events the paper assumes away (Section 1)");
 
   const Size n = 1024;
+  exp::ScenarioConfig base;
+  base.n = n;
+  base.seed = 1000;
+  bench::Artifact artifact("failures", base, 3);
+
   analysis::TextTable table({"killed", "levels after", "head churn", "entries moved",
                              "repair pkts/survivor"});
   for (const double fraction : {0.01, 0.02, 0.05, 0.10, 0.20}) {
@@ -154,8 +159,18 @@ int main() {
     std::snprintf(label, sizeof(label), "%.0f%%", fraction * 100.0);
     table.add_row({label, bench::fixed(levels.mean(), 3), bench::fixed(churn.mean(), 3),
                    bench::fixed(moved.mean(), 3), bench::fixed(repair.mean(), 4)});
+    // Series are keyed by killed percentage (the sweep axis), not node count.
+    const double pct = fraction * 100.0;
+    const auto point = [&](const analysis::Accumulator& acc) {
+      return exp::SeriesPoint{pct, acc.mean(), acc.ci95_halfwidth(), acc.count()};
+    };
+    artifact.add_point("surviving_levels", point(levels));
+    artifact.add_point("head_churn", point(churn));
+    artifact.add_point("entries_moved", point(moved));
+    artifact.add_point("repair_packets_per_survivor", point(repair));
   }
   std::printf("%s", table.to_string("killing a fraction of |V| = 1024 nodes").c_str());
+  artifact.write();
 
   std::printf(
       "\nreading: entry relocation grows roughly linearly in the killed\n"

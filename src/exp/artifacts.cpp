@@ -20,6 +20,7 @@ RunManifest RunManifest::capture(std::string name, const ScenarioConfig& config,
   m.replications = replications;
   m.thread_count = thread_count;
   m.scenario = config.describe();
+  m.fault = config.fault.describe();
   return m;
 }
 
@@ -33,6 +34,7 @@ void RunManifest::write_json(analysis::JsonWriter& w) const {
   w.field("thread_count", static_cast<std::uint64_t>(thread_count));
   w.field("wall_seconds", wall_seconds);
   w.field("scenario", scenario);
+  w.field("fault", fault);
   w.end_object();
 }
 
@@ -55,6 +57,8 @@ bool RunManifest::from_json(const analysis::JsonValue& v, RunManifest& out) {
   out.replications = static_cast<Size>(v.number_or("replications", 0.0));
   out.thread_count = static_cast<Size>(v.number_or("thread_count", 1.0));
   out.wall_seconds = v.number_or("wall_seconds", 0.0);
+  // Pre-fault manifests lack the field; treat them as fault-free runs.
+  out.fault = v.string_or("fault", "off");
   return true;
 }
 
@@ -187,6 +191,47 @@ void write_trace_json(analysis::JsonWriter& w, const sim::TraceSink& sink) {
   }
   w.end_array();
   w.end_object();
+}
+
+void write_resilience_json(analysis::JsonWriter& w, const ResilienceReport& report) {
+  w.begin_object();
+  w.field("schema", "manet-resilience/1");
+  w.field("loss", report.loss);
+  w.field("crash_rate", report.crash_rate);
+  w.field("phi_retx_rate", report.phi_retx_rate);
+  w.field("gamma_retx_rate", report.gamma_retx_rate);
+  w.field("failed_transfers", report.failed_transfers);
+  w.field("stale_entries", report.stale_entries);
+  w.field("repairs", report.repairs);
+  w.field("mean_time_to_repair", report.mean_time_to_repair);
+  w.field("query_success_rate", report.query_success_rate);
+  w.field("query_success_mean", report.query_success_mean);
+  w.field("crashes", report.crashes);
+  w.field("rejoins", report.rejoins);
+  w.end_object();
+}
+
+bool resilience_from_json(const analysis::JsonValue& v, ResilienceReport& out) {
+  if (!v.is_object()) return false;
+  if (v.string_or("schema", "") != "manet-resilience/1") return false;
+  const auto* loss = v.find("loss");
+  const auto* query = v.find("query_success_rate");
+  if (loss == nullptr || !loss->is_number() || query == nullptr || !query->is_number()) {
+    return false;
+  }
+  out.loss = loss->number;
+  out.crash_rate = v.number_or("crash_rate", 0.0);
+  out.phi_retx_rate = v.number_or("phi_retx_rate", 0.0);
+  out.gamma_retx_rate = v.number_or("gamma_retx_rate", 0.0);
+  out.failed_transfers = v.number_or("failed_transfers", 0.0);
+  out.stale_entries = v.number_or("stale_entries", 0.0);
+  out.repairs = v.number_or("repairs", 0.0);
+  out.mean_time_to_repair = v.number_or("mean_time_to_repair", 0.0);
+  out.query_success_rate = query->number;
+  out.query_success_mean = v.number_or("query_success_mean", 0.0);
+  out.crashes = v.number_or("crashes", 0.0);
+  out.rejoins = v.number_or("rejoins", 0.0);
+  return true;
 }
 
 void write_series_point_json(analysis::JsonWriter& w, const SeriesPoint& point) {

@@ -35,6 +35,7 @@ struct RunManifest {
   Size thread_count = 1;
   double wall_seconds = 0.0; ///< measured by the artifact writer
   std::string scenario;      ///< ScenarioConfig::describe() of the base config
+  std::string fault = "off"; ///< FaultConfig::describe(); "off" when disabled
 
   /// Capture everything derivable from the config; wall_seconds is filled in
   /// by the caller (or the bench Artifact helper) at write time.
@@ -64,6 +65,26 @@ void write_registry_json(analysis::JsonWriter& w, const common::MetricsRegistry&
 /// Dump a trace sink: header (seen/stored/dropped + per-type counts) and the
 /// retained ring contents oldest-to-newest.
 void write_trace_json(analysis::JsonWriter& w, const sim::TraceSink& sink);
+
+/// Aggregated resilience measurements for one fault scenario (one point of a
+/// bench_resilience sweep). Schema "manet-resilience/1".
+struct ResilienceReport {
+  double loss = 0.0;             ///< configured per-hop Bernoulli loss
+  double crash_rate = 0.0;       ///< configured crash hazard
+  double phi_retx_rate = 0.0;    ///< retransmissions /node/s on phi moves
+  double gamma_retx_rate = 0.0;  ///< retransmissions /node/s on gamma moves
+  double failed_transfers = 0.0;
+  double stale_entries = 0.0;    ///< left unrepaired at run end
+  double repairs = 0.0;
+  double mean_time_to_repair = 0.0;
+  double query_success_rate = 0.0;  ///< final consistency probe
+  double query_success_mean = 0.0;  ///< mean over per-audit probes
+  double crashes = 0.0;
+  double rejoins = 0.0;
+};
+
+void write_resilience_json(analysis::JsonWriter& w, const ResilienceReport& report);
+bool resilience_from_json(const analysis::JsonValue& v, ResilienceReport& out);
 
 /// One aggregated sweep point for artifact series.
 struct SeriesPoint {

@@ -55,6 +55,19 @@ std::string cli_usage(const std::string& program) {
          "  --strategy S       successor | weighted | unweighted\n"
          "  --links L          geometric | contraction (default geometric)\n"
          "  --beta B           geometric link range multiplier\n"
+         "fault injection (any fault flag activates ARQ + repair):\n"
+         "  --loss P           per-hop Bernoulli control-packet loss\n"
+         "  --burst-loss P     Gilbert-Elliott bad-state per-hop loss\n"
+         "  --burst-on P       per-packet P(chain enters bad state)\n"
+         "  --burst-len N      mean bad-state sojourn in packets\n"
+         "  --crash-rate R     node crash hazard (crashes /node/s)\n"
+         "  --downtime T       mean rejoin delay after a crash, s\n"
+         "  --retry-budget N   ARQ retransmissions after the first try\n"
+         "  --arq-timeout T    first retransmission timeout, s\n"
+         "  --audit T          server-audit / repair period, s\n"
+         "  --outage-radius R  regional-outage disk radius, m\n"
+         "  --outage-start T   outage onset (run time), s\n"
+         "  --outage-duration T  outage length, s\n"
          "measurement:\n"
          "  --gls              run the GLS baseline side by side\n"
          "  --registration     track owner-driven registration updates\n"
@@ -187,6 +200,13 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       if (flag == "--n") opt.scenario.n = parsed;
       else if (flag == "--seed") opt.scenario.seed = parsed;
       else opt.replications = parsed;
+    } else if (flag == "--retry-budget") {
+      const char* value = next();
+      Size parsed = 0;
+      if (value == nullptr || !parse_size(value, parsed)) {
+        return fail(flag + " needs an unsigned integer");
+      }
+      opt.scenario.fault.retry_budget = parsed;
     } else if (flag == "--density" || flag == "--mu" || flag == "--tick" ||
                flag == "--warmup" || flag == "--duration" || flag == "--degree" ||
                flag == "--margin" || flag == "--beta") {
@@ -203,6 +223,28 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       else if (flag == "--degree") opt.scenario.target_degree = parsed;
       else if (flag == "--margin") opt.scenario.connectivity_margin = parsed;
       else opt.scenario.link_beta = parsed;
+    } else if (flag == "--loss" || flag == "--burst-loss" || flag == "--burst-on" ||
+               flag == "--burst-len" || flag == "--crash-rate" || flag == "--downtime" ||
+               flag == "--arq-timeout" || flag == "--audit" ||
+               flag == "--outage-radius" || flag == "--outage-start" ||
+               flag == "--outage-duration") {
+      const char* value = next();
+      double parsed = 0.0;
+      if (value == nullptr || !parse_double(value, parsed) || parsed < 0.0) {
+        return fail(flag + " needs a non-negative number");
+      }
+      sim::FaultConfig& fault = opt.scenario.fault;
+      if (flag == "--loss") fault.loss = parsed;
+      else if (flag == "--burst-loss") fault.burst_loss = parsed;
+      else if (flag == "--burst-on") fault.burst_on = parsed;
+      else if (flag == "--burst-len") fault.burst_len = parsed;
+      else if (flag == "--crash-rate") fault.crash_rate = parsed;
+      else if (flag == "--downtime") fault.mean_downtime = parsed;
+      else if (flag == "--arq-timeout") fault.arq_timeout = parsed;
+      else if (flag == "--audit") fault.audit_period = parsed;
+      else if (flag == "--outage-radius") fault.outage_radius = parsed;
+      else if (flag == "--outage-start") fault.outage_start = parsed;
+      else fault.outage_duration = parsed;
     } else {
       return fail("unknown flag '" + flag + "'");
     }

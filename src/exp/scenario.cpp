@@ -29,7 +29,9 @@ std::string ScenarioConfig::describe() const {
                 "n=%zu density=%.3g mu=%.3g rtx=%.3g tick=%.3g warmup=%.3g dur=%.3g seed=%llu",
                 n, density, mu, tx_radius(), tick, warmup, duration,
                 static_cast<unsigned long long>(seed));
-  return buf;
+  std::string out = buf;
+  if (fault.enabled()) out += " fault[" + fault.describe() + "]";
+  return out;
 }
 
 Scenario Scenario::materialize(const ScenarioConfig& config) {

@@ -7,6 +7,7 @@
 #include "geom/region.hpp"
 #include "lm/handoff.hpp"
 #include "mobility/model.hpp"
+#include "sim/fault.hpp"
 
 /// \file scenario.hpp
 /// Scenario configuration shared by all experiments. A scenario fixes the
@@ -70,6 +71,11 @@ struct ScenarioConfig {
   bool shuffle_ids = true;
 
   lm::HandoffConfig handoff;
+
+  /// Fault-injection plan (all processes off by default; see sim/fault.hpp).
+  /// When disabled the runner constructs none of the fault machinery and the
+  /// run is bit-identical to a build without this field.
+  sim::FaultConfig fault;
 
   /// Maximum attempts to draw an initially connected deployment before
   /// falling back to the best draw.

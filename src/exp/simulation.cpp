@@ -18,10 +18,13 @@
 #include "lm/gls.hpp"
 #include "lm/overhead.hpp"
 #include "lm/registration.hpp"
+#include "lm/reliable.hpp"
 #include "net/link_tracker.hpp"
+#include "net/lossy_channel.hpp"
 #include "net/unit_disk.hpp"
 #include "routing/table.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace manet::exp {
 
@@ -131,15 +134,73 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
         lm::GridHierarchy::cover(origin, 2.0 * r, cfg.tx_radius()));
   }
 
+  // --- Fault plane (nothing below is constructed on the fault-free path,
+  // keeping fault-off runs bit-identical to builds without this block) ---
+  const bool faulted = cfg.fault.enabled();
+  const Time horizon = cfg.warmup + cfg.duration;
+  std::unique_ptr<sim::FaultInjector> injector;
+  std::unique_ptr<net::LossyChannel> channel;
+  std::unique_ptr<lm::ReliableTransfer> arq;
+  std::unique_ptr<common::Xoshiro256> probe_rng;
+  std::vector<std::uint8_t> down, prev_down;
+  Size crash_events = 0, rejoin_events = 0;
+  double probe_sum = 0.0;
+  Size probes = 0;
+  if (faulted) {
+    injector = std::make_unique<sim::FaultInjector>(
+        cfg.fault, cfg.n, cfg.warmup, horizon, common::derive_seed(cfg.seed, 0xFA017));
+    channel = std::make_unique<net::LossyChannel>(cfg.fault,
+                                                  common::derive_seed(cfg.seed, 0xC4A2));
+    arq = std::make_unique<lm::ReliableTransfer>(*channel, cfg.fault.retry_budget,
+                                                 cfg.fault.arq_timeout,
+                                                 cfg.fault.arq_backoff);
+    probe_rng = std::make_unique<common::Xoshiro256>(common::derive_seed(cfg.seed, 0x9B0B));
+    down.assign(cfg.n, 0);
+    prev_down.assign(cfg.n, 0);
+    handoff.set_resilience(arq.get(), &down);
+  }
+  auto refresh_down = [&](Time t) {
+    const auto& pos = scenario.mobility->positions();
+    for (NodeId v = 0; v < cfg.n; ++v) {
+      down[v] = (injector->crashed(v, t) || injector->in_outage(pos[v].x, pos[v].y, t))
+                    ? 1
+                    : 0;
+    }
+  };
+  // Crashed nodes neither send nor forward: strip their incident edges so
+  // the hierarchy re-elects through the survivors (a down clusterhead loses
+  // all members and the normal differ machinery records the re-election).
+  auto strip_down = [&](graph::Graph& g) {
+    bool any = false;
+    for (const auto f : down) any = any || f != 0;
+    if (!any) return;
+    std::vector<graph::Edge> kept;
+    kept.reserve(g.edge_count());
+    for (const auto& e : g.edges()) {
+      if (down[e.first] == 0 && down[e.second] == 0) kept.push_back(e);
+    }
+    g = graph::Graph(g.vertex_count(), kept);
+  };
+
   // --- Warmup: advance mobility without accounting ---
   sim::Engine engine;
   for (Time t = cfg.tick; t <= cfg.warmup + 1e-9; t += cfg.tick) {
     scenario.mobility->advance_to(t);
   }
   g0 = disk.build(scenario.mobility->positions());
-  hier = builder.build(g0, scenario.ids, scenario.mobility->positions());
   const Time t0 = cfg.warmup;
+  if (faulted) {
+    refresh_down(t0);
+    strip_down(g0);
+  }
+  hier = builder.build(g0, scenario.ids, scenario.mobility->positions());
   handoff.prime(hier, t0);
+  if (faulted) {
+    prev_down = down;
+    for (NodeId v = 0; v < cfg.n; ++v) {
+      if (down[v] != 0) handoff.on_node_down(v, t0);
+    }
+  }
   net::LinkTracker links(g0, t0);
   links.set_metrics(options.metrics);
   if (gls) gls->prime(scenario.mobility->positions(), scenario.ids, t0);
@@ -152,6 +213,7 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     reg_cfg.tx_radius = cfg.tx_radius();
     registration = std::make_unique<lm::RegistrationTracker>(reg_cfg);
     registration->prime(hier, scenario.mobility->positions(), t0);
+    if (faulted) registration->set_resilience(arq.get(), &down);
   }
 
   // --- Measured window, driven by a recurring tick event ---
@@ -184,7 +246,10 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     tenures.observe(hier, t0);
   }
 
-  const Time horizon = cfg.warmup + cfg.duration;
+  const Size audit_every =
+      faulted ? std::max<Size>(1, static_cast<Size>(std::lround(cfg.fault.audit_period /
+                                                                cfg.tick)))
+              : 0;
   engine.set_trace_sink(options.trace);
   engine.run_until(t0);
   engine.schedule_every(cfg.tick, [&] {
@@ -192,10 +257,31 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     scenario.mobility->advance_to(now);
     g0 = disk.build(scenario.mobility->positions());
     augmented_edges += disk.last_augmented_edges();
+    if (faulted) {
+      std::swap(prev_down, down);
+      refresh_down(now);
+      strip_down(g0);
+    }
     cluster::Hierarchy next = builder.build(g0, scenario.ids, scenario.mobility->positions());
 
     links.update(g0, now);
     handoff.update(next, g0, now);
+    if (faulted) {
+      for (NodeId v = 0; v < cfg.n; ++v) {
+        if (down[v] != 0 && prev_down[v] == 0) {
+          ++crash_events;
+          handoff.on_node_down(v, now);
+        } else if (down[v] == 0 && prev_down[v] != 0) {
+          ++rejoin_events;
+          handoff.on_node_up(g0, v, now);
+        }
+      }
+      if ((ticks + 1) % audit_every == 0) {
+        handoff.audit_repair(g0, now);
+        probe_sum += handoff.query_probe(*probe_rng, cfg.fault.probe_pairs);
+        ++probes;
+      }
+    }
     if (gls) gls->update(scenario.mobility->positions(), g0, scenario.ids, now);
     if (registration) registration->update(next, g0, scenario.mobility->positions(), now);
 
@@ -359,6 +445,37 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     for (Level k = lm::kFirstServedLevel; k < registration->levels_tracked(); ++k) {
       const double r = registration->rate_at(k);
       if (r > 0.0) out.set(keyed("reg_k", k), r);
+    }
+  }
+
+  if (faulted) {
+    // Final repair pass + consistency probe: the acceptance bar is that the
+    // repair path restores query success after sustained loss.
+    handoff.audit_repair(g0, horizon);
+    const double query_final = handoff.query_probe(*probe_rng, cfg.fault.probe_pairs);
+    const auto& resil = handoff.resilience();
+    out.set("crashes", static_cast<double>(crash_events));
+    out.set("rejoins", static_cast<double>(rejoin_events));
+    out.set("scheduled_crashes", static_cast<double>(injector->scheduled_crashes()));
+    out.set("packets_lossy", static_cast<double>(channel->packets_sent()));
+    out.set("packets_dropped", static_cast<double>(channel->packets_dropped()));
+    out.set("phi_retx", static_cast<double>(resil.phi_retx));
+    out.set("gamma_retx", static_cast<double>(resil.gamma_retx));
+    out.set("phi_retx_rate", handoff.phi_retx_rate());
+    out.set("gamma_retx_rate", handoff.gamma_retx_rate());
+    out.set("failed_transfers", static_cast<double>(resil.failed_transfers));
+    out.set("entries_dropped", static_cast<double>(resil.entries_dropped));
+    out.set("stale_entries", static_cast<double>(handoff.stale_entries()));
+    out.set("repairs", static_cast<double>(resil.repairs));
+    out.set("repair_packets", static_cast<double>(resil.repair_packets));
+    out.set("mean_time_to_repair", handoff.mean_time_to_repair());
+    out.set("query_success_rate", query_final);
+    out.set("query_success_mean",
+            probes > 0 ? probe_sum / static_cast<double>(probes) : query_final);
+    if (registration) {
+      out.set("reg_retx", static_cast<double>(registration->total_retx()));
+      out.set("reg_retx_rate", registration->retx_rate());
+      out.set("reg_failed", static_cast<double>(registration->failed_updates()));
     }
   }
 

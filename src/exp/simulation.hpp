@@ -32,6 +32,16 @@
 ///   rt_table_size / rt_stretch / rt_stretch_max / rt_failures  routing (E16/E17)
 ///   connected0                           1 if the initial draw was connected
 ///   ticks                                number of measured samples
+///
+/// Fault-plane metrics (emitted only when ScenarioConfig::fault.enabled()):
+///   crashes / rejoins / scheduled_crashes      node-churn event counts
+///   packets_lossy / packets_dropped            lossy-channel totals
+///   phi_retx / gamma_retx (+ _rate)            retransmission ledgers
+///   reg_retx / reg_retx_rate / reg_failed      registration ARQ (E18 + faults)
+///   failed_transfers / entries_dropped         budget exhaustion, crash wipes
+///   stale_entries / repairs / repair_packets   repair-path accounting
+///   mean_time_to_repair                        mean stale -> repaired latency
+///   query_success_rate / query_success_mean    consistency probe (final / mean)
 
 namespace manet::exp {
 

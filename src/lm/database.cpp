@@ -40,6 +40,23 @@ const LocationRecord* LmDatabase::find(NodeId server, NodeId owner, Level level)
   return it == store.end() ? nullptr : &it->second;
 }
 
+std::vector<LocationRecord> LmDatabase::drop_all(NodeId server) {
+  MANET_CHECK(server < stores_.size());
+  auto& store = stores_[server];
+  std::vector<LocationRecord> out;
+  out.reserve(store.size());
+  for (const auto& [k, record] : store) {
+    (void)k;
+    out.push_back(record);
+  }
+  total_ -= store.size();
+  store.clear();
+  std::sort(out.begin(), out.end(), [](const LocationRecord& a, const LocationRecord& b) {
+    return a.owner != b.owner ? a.owner < b.owner : a.level < b.level;
+  });
+  return out;
+}
+
 Size LmDatabase::entry_count(NodeId server) const {
   MANET_CHECK(server < stores_.size());
   return stores_[server].size();

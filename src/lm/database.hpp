@@ -40,6 +40,11 @@ class LmDatabase {
   /// Lookup without removal; nullptr when absent.
   const LocationRecord* find(NodeId server, NodeId owner, Level level) const;
 
+  /// Remove and return every record stored at \p server (a node crash wipes
+  /// its store). Records are returned sorted by (owner, level) so callers
+  /// iterate deterministically.
+  std::vector<LocationRecord> drop_all(NodeId server);
+
   /// Number of entries held by \p server.
   Size entry_count(NodeId server) const;
 

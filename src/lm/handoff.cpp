@@ -51,6 +51,11 @@ void HandoffEngine::publish_rates() {
   metrics_->gauge("lm.phi_rate").set(phi_rate());
   metrics_->gauge("lm.gamma_rate").set(gamma_rate());
   metrics_->gauge("lm.total_rate").set(phi_rate() + gamma_rate());
+  if (arq_ != nullptr) {
+    metrics_->gauge("lm.fault.stale_entries").set(static_cast<double>(stale_.size()));
+    metrics_->gauge("lm.fault.phi_retx_rate").set(phi_retx_rate());
+    metrics_->gauge("lm.fault.gamma_retx_rate").set(gamma_retx_rate());
+  }
 }
 
 HandoffEngine::Snapshot HandoffEngine::capture(const cluster::Hierarchy& h) const {
@@ -89,20 +94,167 @@ LevelOverhead& HandoffEngine::ledger(Level k) {
   return levels_[k];
 }
 
-PacketCount HandoffEngine::price(const graph::Graph& g0, NodeId from, NodeId to) {
+std::uint32_t HandoffEngine::hops_between(const graph::Graph& g0, NodeId from, NodeId to) {
   if (from == to) return 0;
-  if (config_.metric == HopMetric::kUnit) return 1;
   auto it = dist_cache_.find(from);
   if (it == dist_cache_.end()) {
     it = dist_cache_.emplace(from, graph::bfs_hops(g0, from)).first;
   }
-  const std::uint32_t hops = it->second[to];
+  return it->second[to];
+}
+
+PacketCount HandoffEngine::price(const graph::Graph& g0, NodeId from, NodeId to) {
+  if (from == to) return 0;
+  if (config_.metric == HopMetric::kUnit) return 1;
+  const std::uint32_t hops = hops_between(g0, from, to);
   if (hops == graph::kUnreachable) {
     ++unreachable_;
     if (unreachable_c_ != nullptr) unreachable_c_->add(1);
     return 0;
   }
   return hops;
+}
+
+TransferOutcome HandoffEngine::attempt_transfer(const graph::Graph& g0, NodeId from,
+                                                NodeId to) {
+  if (is_down(from) || is_down(to)) return arq_->transfer_unroutable();
+  const std::uint32_t hops = hops_between(g0, from, to);
+  if (hops == graph::kUnreachable) return arq_->transfer_unroutable();
+  return arq_->transfer(hops);
+}
+
+void HandoffEngine::set_resilience(ReliableTransfer* arq,
+                                   const std::vector<std::uint8_t>* down) {
+  arq_ = arq;
+  down_ = down;
+}
+
+void HandoffEngine::on_node_down(NodeId v, Time t) {
+  if (arq_ == nullptr) return;
+  const auto dropped = db_.drop_all(v);
+  resil_.entries_dropped += dropped.size();
+  for (const auto& rec : dropped) {
+    // The entry is gone; if it was already stale keep the original
+    // stale-since timestamp (repair latency is measured from first loss).
+    const auto [it, inserted] =
+        stale_.try_emplace(stale_key(rec.owner, rec.level), StaleEntry{kInvalidNode, t});
+    if (!inserted) it->second.holder = kInvalidNode;
+  }
+  if (trace_ != nullptr) {
+    trace_->record(sim::TraceEvent{t, sim::TraceEventType::kNodeCrash, 0, v, kInvalidNode,
+                                   static_cast<double>(dropped.size())});
+  }
+}
+
+void HandoffEngine::on_node_up(const graph::Graph& g0, NodeId v, Time t) {
+  if (arq_ == nullptr) return;
+  if (trace_ != nullptr) {
+    trace_->record(sim::TraceEvent{t, sim::TraceEventType::kNodeRejoin, 0, v, kInvalidNode});
+  }
+  if (v >= prev_.servers.size()) return;
+  // The rejoined node re-registers with each of its current servers so its
+  // own entries are fresh again; successful refreshes also clear any stale
+  // flag for the (owner, level).
+  for (Size i = 0; i < prev_.servers[v].size(); ++i) {
+    const Level k = static_cast<Level>(i) + kFirstServedLevel;
+    const NodeId s = prev_.servers[v][i];
+    if (s == kInvalidNode) continue;
+    const TransferOutcome out = attempt_transfer(g0, v, s);
+    resil_.repair_packets += out.packets;
+    if (out.delivered) {
+      db_.put(s, LocationRecord{v, k, t, version_counter_++});
+      const auto st = stale_.find(stale_key(v, k));
+      if (st != stale_.end()) {
+        if (st->second.holder != kInvalidNode && st->second.holder != s) {
+          db_.take(st->second.holder, v, k);
+        }
+        ++resil_.repairs;
+        resil_.repair_time_sum += t - st->second.since;
+        stale_.erase(st);
+        if (trace_ != nullptr) {
+          trace_->record(sim::TraceEvent{t, sim::TraceEventType::kRepair, k, v, s,
+                                         static_cast<double>(out.packets)});
+        }
+      }
+    } else if (db_.find(s, v, k) == nullptr) {
+      stale_.try_emplace(stale_key(v, k), StaleEntry{kInvalidNode, t});
+    }
+  }
+}
+
+HandoffEngine::RepairResult HandoffEngine::audit_repair(const graph::Graph& g0, Time t) {
+  RepairResult result;
+  if (arq_ == nullptr) {
+    result.remaining = stale_.size();
+    return result;
+  }
+  for (auto it = stale_.begin(); it != stale_.end();) {
+    const auto owner = static_cast<NodeId>(it->first >> 16);
+    const auto k = static_cast<Level>(it->first & 0xFFFF);
+    if (k > prev_.top || owner >= prev_.servers.size() ||
+        static_cast<Size>(k - kFirstServedLevel) >= prev_.servers[owner].size()) {
+      // Level no longer served: discard the residue, nothing to repair.
+      if (it->second.holder != kInvalidNode) db_.take(it->second.holder, owner, k);
+      it = stale_.erase(it);
+      continue;
+    }
+    if (is_down(owner)) {
+      ++it;  // the owner re-registers on rejoin
+      continue;
+    }
+    const NodeId s = prev_.servers[owner][k - kFirstServedLevel];
+    const TransferOutcome out = attempt_transfer(g0, owner, s);
+    resil_.repair_packets += out.packets;
+    result.packets += out.packets;
+    if (!out.delivered) {
+      ++it;  // stays stale; retried at the next audit
+      continue;
+    }
+    if (it->second.holder != kInvalidNode && it->second.holder != s) {
+      db_.take(it->second.holder, owner, k);
+    }
+    db_.put(s, LocationRecord{owner, k, t, version_counter_++});
+    ++resil_.repairs;
+    resil_.repair_time_sum += t - it->second.since;
+    ++result.repaired;
+    if (trace_ != nullptr) {
+      trace_->record(sim::TraceEvent{t, sim::TraceEventType::kRepair, k, owner, s,
+                                     static_cast<double>(out.packets)});
+    }
+    it = stale_.erase(it);
+  }
+  result.remaining = stale_.size();
+  return result;
+}
+
+double HandoffEngine::query_probe(common::Xoshiro256& rng, Size samples) const {
+  if (node_count_ == 0 || prev_.top < kFirstServedLevel) return 1.0;
+  Size asked = 0;
+  Size ok = 0;
+  for (Size attempt = 0; attempt < samples * 4 && asked < samples; ++attempt) {
+    const auto owner = static_cast<NodeId>(common::uniform_index(rng, node_count_));
+    if (is_down(owner)) continue;  // nobody queries a dead node's location
+    ++asked;
+    bool found = false;
+    for (Size i = 0; i < prev_.servers[owner].size() && !found; ++i) {
+      const Level k = static_cast<Level>(i) + kFirstServedLevel;
+      const NodeId s = prev_.servers[owner][i];
+      if (s == kInvalidNode || is_down(s)) continue;
+      found = db_.find(s, owner, k) != nullptr;
+    }
+    if (found) ++ok;
+  }
+  return asked > 0 ? static_cast<double>(ok) / static_cast<double>(asked) : 1.0;
+}
+
+double HandoffEngine::phi_retx_rate() const {
+  const double denom = static_cast<double>(node_count_) * elapsed();
+  return denom > 0.0 ? static_cast<double>(resil_.phi_retx) / denom : 0.0;
+}
+
+double HandoffEngine::gamma_retx_rate() const {
+  const double denom = static_cast<double>(node_count_) * elapsed();
+  return denom > 0.0 ? static_cast<double>(resil_.gamma_retx) / denom : 0.0;
 }
 
 HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
@@ -149,7 +301,34 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
             k <= prev_.top && k <= next.top;
         const bool migrated =
             anc_known && prev_.anc_ids[v][k - 1] != next.anc_ids[v][k - 1];
-        const PacketCount cost = price(g0, s_old, s_new);
+        PacketCount cost = 0;
+        if (arq_ == nullptr) {
+          cost = price(g0, s_old, s_new);
+        } else {
+          // Unreliable path: a stale entry is not at s_old, so there is
+          // nothing the old server could send — the repair path owns it.
+          const std::uint64_t sk = stale_key(v, k);
+          if (stale_.contains(sk)) continue;
+          const TransferOutcome out = attempt_transfer(g0, s_old, s_new);
+          auto& retx_ledger = migrated ? resil_.phi_retx : resil_.gamma_retx;
+          if (!out.delivered) {
+            retx_ledger += out.packets;
+            ++resil_.failed_transfers;
+            stale_.emplace(sk, StaleEntry{s_old, t});
+            if (trace_ != nullptr) {
+              trace_->record(sim::TraceEvent{t, sim::TraceEventType::kPacketDropped, k,
+                                             s_old, s_new,
+                                             static_cast<double>(out.packets)});
+            }
+            continue;
+          }
+          retx_ledger += out.retx;
+          if (trace_ != nullptr && out.attempts > 1) {
+            trace_->record(sim::TraceEvent{t, sim::TraceEventType::kRetransmit, k, s_old,
+                                           s_new, static_cast<double>(out.attempts - 1)});
+          }
+          cost = out.packets - out.retx;  // the ideal hops(s_old, s_new)
+        }
         auto& lvl = ledger(k);
         if (migrated) {
           lvl.phi_packets += cost;
@@ -187,7 +366,40 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
                                                    : rec.version + 1});
       } else if (had && !has) {
         // Hierarchy lost level k: the entry retires to its owner.
-        const PacketCount cost = price(g0, s_old, v);
+        PacketCount cost = 0;
+        if (arq_ == nullptr) {
+          cost = price(g0, s_old, v);
+        } else {
+          const std::uint64_t sk = stale_key(v, k);
+          const auto st = stale_.find(sk);
+          if (st != stale_.end()) {
+            // The level retired while the entry was stale: whoever still
+            // holds it just discards it; nothing is transmitted.
+            if (st->second.holder != kInvalidNode) db_.take(st->second.holder, v, k);
+            stale_.erase(st);
+            ++level_churn_;
+            if (level_churn_c_ != nullptr) level_churn_c_->add(1);
+            continue;
+          }
+          const TransferOutcome out = attempt_transfer(g0, s_old, v);
+          if (!out.delivered) {
+            // The retirement notice was lost; the serving plane drops the
+            // entry regardless (level k no longer exists), the owner just
+            // never hears the final ack. Harmless data loss.
+            resil_.gamma_retx += out.packets;
+            ++resil_.failed_transfers;
+            db_.take(s_old, v, k);
+            ++level_churn_;
+            if (level_churn_c_ != nullptr) level_churn_c_->add(1);
+            if (trace_ != nullptr) {
+              trace_->record(sim::TraceEvent{t, sim::TraceEventType::kPacketDropped, k,
+                                             s_old, v, static_cast<double>(out.packets)});
+            }
+            continue;
+          }
+          resil_.gamma_retx += out.retx;
+          cost = out.packets - out.retx;
+        }
         auto& lvl = ledger(k);
         lvl.gamma_packets += cost;
         ++lvl.gamma_entries;
@@ -209,7 +421,24 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
         }
       } else if (!had && has) {
         // Hierarchy gained level k: the owner registers with the new server.
-        const PacketCount cost = price(g0, v, s_new);
+        PacketCount cost = 0;
+        if (arq_ == nullptr) {
+          cost = price(g0, v, s_new);
+        } else {
+          const TransferOutcome out = attempt_transfer(g0, v, s_new);
+          if (!out.delivered) {
+            resil_.gamma_retx += out.packets;
+            ++resil_.failed_transfers;
+            stale_.try_emplace(stale_key(v, k), StaleEntry{kInvalidNode, t});
+            if (trace_ != nullptr) {
+              trace_->record(sim::TraceEvent{t, sim::TraceEventType::kPacketDropped, k, v,
+                                             s_new, static_cast<double>(out.packets)});
+            }
+            continue;
+          }
+          resil_.gamma_retx += out.retx;
+          cost = out.packets - out.retx;
+        }
         auto& lvl = ledger(k);
         lvl.gamma_packets += cost;
         ++lvl.gamma_entries;

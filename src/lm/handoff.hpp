@@ -1,11 +1,14 @@
 #pragma once
 
+#include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/rng.hpp"
 #include "graph/bfs.hpp"
 #include "lm/chlm.hpp"
+#include "lm/reliable.hpp"
 #include "sim/trace.hpp"
 
 /// \file handoff.hpp
@@ -108,6 +111,65 @@ class HandoffEngine {
   /// Emit one typed TraceEvent per entry transfer / level-churn move.
   void set_trace(sim::TraceSink* trace) noexcept { trace_ = trace; }
 
+  // --- Resilience plane (fault injection; see sim/fault.hpp) ---
+  //
+  // With an ARQ layer attached, every entry transfer traverses the lossy
+  // control channel: delivered transfers charge the ideal hops into the
+  // phi/gamma ledgers exactly as before plus their retransmissions into the
+  // retx ledgers; transfers that exhaust the retry budget FAIL and leave the
+  // (owner, level) entry stale until the repair path fixes it. Detached
+  // (nullptr, the default) the engine is bit-identical to the ideal build.
+
+  /// Accumulated fault-plane accounting. All zero while no ARQ is attached.
+  struct ResilienceStats {
+    PacketCount phi_retx = 0;        ///< retransmissions on phi-attributed moves
+    PacketCount gamma_retx = 0;      ///< retransmissions on gamma-attributed moves
+    PacketCount repair_packets = 0;  ///< owner re-registration + audit traffic
+    Size failed_transfers = 0;       ///< budget-exhausted entry moves
+    Size repairs = 0;                ///< stale entries successfully repaired
+    double repair_time_sum = 0.0;    ///< sum of (repair time - stale-since)
+    Size entries_dropped = 0;        ///< db entries wiped by node crashes
+  };
+
+  /// Attach (or detach with nullptr) the unreliable transfer path. \p down
+  /// points at per-node down flags owned by the caller and refreshed every
+  /// tick; it must outlive the engine's use (nullptr = nobody is ever down).
+  void set_resilience(ReliableTransfer* arq, const std::vector<std::uint8_t>* down);
+
+  /// Node \p v crashed at time \p t: every entry stored at v is wiped and
+  /// flagged for repair.
+  void on_node_down(NodeId v, Time t);
+
+  /// Node \p v rejoined at time \p t: it re-registers with each of its
+  /// current servers over the lossy channel (repair traffic).
+  void on_node_up(const graph::Graph& g0, NodeId v, Time t);
+
+  struct RepairResult {
+    Size repaired = 0;
+    Size remaining = 0;
+    PacketCount packets = 0;
+  };
+
+  /// Periodic server audit + owner re-registration: walk the stale set and
+  /// re-deliver each entry to its current assignment server. Failed repairs
+  /// stay stale and are retried at the next audit.
+  RepairResult audit_repair(const graph::Graph& g0, Time t);
+
+  /// Query-consistency probe: sample \p samples alive owners; a query
+  /// succeeds when at least one served level's entry is present at its
+  /// assignment server and that server is up. Returns the success fraction
+  /// (1.0 when nothing is served yet).
+  double query_probe(common::Xoshiro256& rng, Size samples) const;
+
+  Size stale_entries() const { return stale_.size(); }
+  const ResilienceStats& resilience() const { return resil_; }
+  double mean_time_to_repair() const {
+    return resil_.repairs > 0 ? resil_.repair_time_sum / static_cast<double>(resil_.repairs)
+                              : 0.0;
+  }
+  double phi_retx_rate() const;
+  double gamma_retx_rate() const;
+
  private:
   /// Capture assignment + ancestor tables for a snapshot.
   struct Snapshot {
@@ -119,6 +181,16 @@ class HandoffEngine {
 
   LevelOverhead& ledger(Level k);
   PacketCount price(const graph::Graph& g0, NodeId from, NodeId to);
+
+  /// Cached BFS hop count; graph::kUnreachable when no path exists. Unlike
+  /// price() this never touches the unreachable ledger.
+  std::uint32_t hops_between(const graph::Graph& g0, NodeId from, NodeId to);
+  bool is_down(NodeId v) const {
+    return down_ != nullptr && v < down_->size() && (*down_)[v] != 0;
+  }
+  /// One reliable delivery over from->to: unroutable when either endpoint is
+  /// down or no path exists.
+  TransferOutcome attempt_transfer(const graph::Graph& g0, NodeId from, NodeId to);
 
   HandoffConfig config_;
   Size node_count_ = 0;
@@ -133,6 +205,20 @@ class HandoffEngine {
   Size level_churn_ = 0;
   LmDatabase db_;
   std::uint64_t version_counter_ = 0;
+
+  // Resilience plane (inert until set_resilience attaches an ARQ layer).
+  struct StaleEntry {
+    NodeId holder = kInvalidNode;  ///< node still holding the entry, if any
+    Time since = 0.0;              ///< when the entry went stale
+  };
+  static std::uint64_t stale_key(NodeId owner, Level k) {
+    return (static_cast<std::uint64_t>(owner) << 16) | k;
+  }
+  /// Ordered so audits iterate deterministically.
+  std::map<std::uint64_t, StaleEntry> stale_;
+  ReliableTransfer* arq_ = nullptr;
+  const std::vector<std::uint8_t>* down_ = nullptr;
+  ResilienceStats resil_;
 
   /// Per-tick BFS distance cache, keyed by source.
   std::unordered_map<NodeId, std::vector<std::uint32_t>> dist_cache_;

@@ -62,8 +62,29 @@ RegistrationTracker::TickResult RegistrationTracker::update(
     if (per_level_packets_.size() <= k) per_level_packets_.resize(k + 1, 0);
     for (NodeId v = 0; v < n; ++v) {
       if (geom::distance2(positions[v], anchors_[v][slot]) < delta2) continue;
+      if (arq_ != nullptr && is_down(v)) continue;  // crashed nodes send nothing
       const NodeId server = select_server(h, v, k, config_.select);
-      const PacketCount cost = price(g, v, server);
+      PacketCount cost = 0;
+      if (arq_ == nullptr) {
+        cost = price(g, v, server);
+      } else {
+        TransferOutcome out;
+        if (is_down(server)) {
+          out = arq_->transfer_unroutable();
+        } else {
+          const PacketCount hops = price(g, v, server);
+          out = (hops == 0 && v != server) ? arq_->transfer_unroutable()
+                                           : arq_->transfer(hops);
+        }
+        reg_retx_ += out.retx;
+        if (!out.delivered) {
+          // Budget exhausted: leave the anchor un-refreshed so the distance
+          // rule fires again next tick — registration is its own repair.
+          ++failed_updates_;
+          continue;
+        }
+        cost = out.packets - out.retx;
+      }
       tick.packets += cost;
       ++tick.updates;
       per_level_packets_[k] += cost;
@@ -79,6 +100,17 @@ RegistrationTracker::TickResult RegistrationTracker::update(
 double RegistrationTracker::rate() const {
   const double denom = static_cast<double>(node_count()) * elapsed();
   return denom > 0.0 ? static_cast<double>(total_packets_) / denom : 0.0;
+}
+
+void RegistrationTracker::set_resilience(ReliableTransfer* arq,
+                                         const std::vector<std::uint8_t>* down) {
+  arq_ = arq;
+  down_ = down;
+}
+
+double RegistrationTracker::retx_rate() const {
+  const double denom = static_cast<double>(node_count()) * elapsed();
+  return denom > 0.0 ? static_cast<double>(reg_retx_) / denom : 0.0;
 }
 
 double RegistrationTracker::rate_at(Level k) const {

@@ -5,6 +5,7 @@
 
 #include "geom/vec2.hpp"
 #include "graph/bfs.hpp"
+#include "lm/reliable.hpp"
 #include "lm/server_select.hpp"
 
 /// \file registration.hpp
@@ -59,8 +60,24 @@ class RegistrationTracker {
   double rate_at(Level k) const;
   Size levels_tracked() const { return per_level_packets_.size(); }
 
+  // --- Resilience plane (see sim/fault.hpp) ---
+
+  /// Attach (or detach with nullptr) the unreliable transfer path. With an
+  /// ARQ attached, a triggered update that exhausts its retry budget leaves
+  /// the anchor UN-refreshed, so the distance rule naturally retries on the
+  /// next tick. Detached, behavior is bit-identical to the ideal build.
+  void set_resilience(ReliableTransfer* arq, const std::vector<std::uint8_t>* down);
+
+  /// Retransmitted registration packets (0 while no ARQ is attached).
+  PacketCount total_retx() const { return reg_retx_; }
+  Size failed_updates() const { return failed_updates_; }
+  double retx_rate() const;
+
  private:
   PacketCount price(const graph::Graph& g, NodeId from, NodeId to);
+  bool is_down(NodeId v) const {
+    return down_ != nullptr && v < down_->size() && (*down_)[v] != 0;
+  }
 
   RegistrationConfig config_;
   /// anchors_[node][k - kFirstServedLevel] = position at last level-k update.
@@ -73,6 +90,11 @@ class RegistrationTracker {
   Size total_updates_ = 0;
   std::vector<PacketCount> per_level_packets_;
   std::unordered_map<NodeId, std::vector<std::uint32_t>> dist_cache_;
+
+  ReliableTransfer* arq_ = nullptr;
+  const std::vector<std::uint8_t>* down_ = nullptr;
+  PacketCount reg_retx_ = 0;
+  Size failed_updates_ = 0;
 };
 
 }  // namespace manet::lm

@@ -1,0 +1,60 @@
+#include "lm/reliable.hpp"
+
+#include "common/check.hpp"
+
+namespace manet::lm {
+
+ReliableTransfer::ReliableTransfer(net::LossyChannel& channel, Size budget, Time timeout,
+                                   double backoff)
+    : channel_(channel), budget_(budget), timeout_(timeout), backoff_(backoff) {
+  MANET_CHECK(backoff_ >= 1.0);
+  MANET_CHECK(timeout_ >= 0.0);
+}
+
+TransferOutcome ReliableTransfer::transfer(Size hops) {
+  TransferOutcome out;
+  if (hops == 0) {
+    out.delivered = true;
+    out.attempts = 1;
+    return out;
+  }
+  Time wait = timeout_;
+  for (Size attempt = 0; attempt <= budget_; ++attempt) {
+    ++out.attempts;
+    const auto result = channel_.try_deliver(hops);
+    out.packets += result.packets;
+    if (result.delivered) {
+      out.delivered = true;
+      break;
+    }
+    if (attempt < budget_) {
+      out.latency += wait;
+      wait *= backoff_;
+      ++total_retries_;
+    }
+  }
+  out.retx = out.packets - (out.delivered ? hops : 0);
+  total_retx_ += out.retx;
+  if (!out.delivered) ++failed_;
+  return out;
+}
+
+TransferOutcome ReliableTransfer::transfer_unroutable() {
+  TransferOutcome out;
+  out.attempts = budget_ + 1;
+  // Each attempt burns one local route-probe transmission; no path exists,
+  // so delivery never happens and the whole cost is retransmission overhead.
+  out.packets = static_cast<PacketCount>(budget_ + 1);
+  out.retx = out.packets;
+  Time wait = timeout_;
+  for (Size attempt = 0; attempt < budget_; ++attempt) {
+    out.latency += wait;
+    wait *= backoff_;
+  }
+  total_retx_ += out.retx;
+  total_retries_ += budget_;
+  ++failed_;
+  return out;
+}
+
+}  // namespace manet::lm

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "net/lossy_channel.hpp"
+
+/// \file reliable.hpp
+/// ARQ retransmission over the lossy control channel. Every LM transfer
+/// (handoff, registration refresh, repair) is one logical message; this
+/// layer retries it with timeout and exponential backoff up to a bounded
+/// budget, and reports the split between the ideal cost (hops, what the
+/// paper charges) and the retransmission overhead paid on top — the
+/// phi_retx / gamma_retx / reg_retx accounting that makes overhead
+/// inflation under loss a first-class metric.
+///
+/// Transfers that exhaust the budget FAIL: the caller must leave the entry
+/// stale and route it through the repair path (HandoffEngine::audit_repair)
+/// instead of pretending delivery.
+
+namespace manet::lm {
+
+/// Outcome of one reliable transfer.
+struct TransferOutcome {
+  bool delivered = false;
+  Size attempts = 0;          ///< total attempts (first try + retries)
+  PacketCount packets = 0;    ///< total transmissions consumed
+  PacketCount retx = 0;       ///< packets - (delivered ? hops : 0)
+  Time latency = 0.0;         ///< backoff time accumulated before success/abort
+};
+
+class ReliableTransfer {
+ public:
+  /// \p budget retransmissions after the first attempt; \p timeout the first
+  /// retransmission timeout; \p backoff multiplies the timeout per retry.
+  ReliableTransfer(net::LossyChannel& channel, Size budget, Time timeout,
+                   double backoff);
+
+  /// Deliver one control message over \p hops level-0 hops, retrying up to
+  /// the budget. hops == 0 delivers instantly for free.
+  TransferOutcome transfer(Size hops);
+
+  /// Message with no usable route (endpoint down / partitioned): every
+  /// attempt costs one route-probe packet and nothing is ever delivered.
+  TransferOutcome transfer_unroutable();
+
+  // --- Accumulated totals across all transfers ---
+  PacketCount total_retx() const { return total_retx_; }
+  Size total_retries() const { return total_retries_; }
+  Size failed_transfers() const { return failed_; }
+
+ private:
+  net::LossyChannel& channel_;
+  Size budget_;
+  Time timeout_;
+  double backoff_;
+  PacketCount total_retx_ = 0;
+  Size total_retries_ = 0;
+  Size failed_ = 0;
+};
+
+}  // namespace manet::lm

@@ -1,0 +1,37 @@
+#include "net/lossy_channel.hpp"
+
+namespace manet::net {
+
+LossyChannel::LossyChannel(const sim::FaultConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+LossyChannel::Attempt LossyChannel::try_deliver(Size hops) {
+  Attempt attempt;
+  attempt.delivered = true;
+  for (Size hop = 0; hop < hops; ++hop) {
+    // Advance the Gilbert-Elliott chain once per transmission. With
+    // burst_loss == 0 the chain never matters but is still stepped, so
+    // enabling bursts later does not perturb the Bernoulli draw sequence.
+    if (config_.burst_loss > 0.0) {
+      if (bad_state_) {
+        if (config_.burst_len > 0.0 &&
+            common::uniform01(rng_) < 1.0 / config_.burst_len) {
+          bad_state_ = false;
+        }
+      } else if (common::uniform01(rng_) < config_.burst_on) {
+        bad_state_ = true;
+      }
+    }
+    ++packets_sent_;
+    ++attempt.packets;
+    const double p = current_loss();
+    if (p > 0.0 && common::uniform01(rng_) < p) {
+      ++packets_dropped_;
+      attempt.delivered = false;
+      break;  // the packet died at this hop; downstream hops never transmit
+    }
+  }
+  return attempt;
+}
+
+}  // namespace manet::net

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/fault.hpp"
+
+/// \file lossy_channel.hpp
+/// Unreliable multi-hop control channel. The ideal simulator charges a
+/// transfer exactly hops(src, dst) packet transmissions and assumes
+/// delivery; this channel makes each hop a Bernoulli trial instead, with an
+/// optional Gilbert-Elliott chain for bursty loss, so an h-hop transfer
+/// delivers with probability (1 - p)^h (p the per-hop loss in the current
+/// chain state).
+///
+/// Accounting: an attempt that is dropped at hop i still consumed i
+/// transmissions (the packet died on the air at hop i); a delivered attempt
+/// consumed all h. Callers (lm::ReliableTransfer) layer retries on top and
+/// split the total into base cost vs retransmission overhead.
+///
+/// Determinism: the channel owns one explicitly seeded RNG and one GE chain;
+/// a run consults it from a single thread in simulation order, so identical
+/// (seed, config) runs draw identical loss sequences.
+
+namespace manet::net {
+
+class LossyChannel {
+ public:
+  LossyChannel(const sim::FaultConfig& config, std::uint64_t seed);
+
+  struct Attempt {
+    bool delivered = false;
+    PacketCount packets = 0;  ///< transmissions consumed by this attempt
+  };
+
+  /// Send one control packet over \p hops level-0 hops. hops == 0 (src ==
+  /// dst) always delivers for free.
+  Attempt try_deliver(Size hops);
+
+  /// Per-hop loss probability the *next* transmission would see (depends on
+  /// the GE chain state).
+  double current_loss() const {
+    return bad_state_ ? config_.burst_loss : config_.loss;
+  }
+
+  PacketCount packets_sent() const { return packets_sent_; }
+  PacketCount packets_dropped() const { return packets_dropped_; }
+
+ private:
+  sim::FaultConfig config_;
+  common::Xoshiro256 rng_;
+  bool bad_state_ = false;
+  PacketCount packets_sent_ = 0;
+  PacketCount packets_dropped_ = 0;
+};
+
+}  // namespace manet::net

@@ -23,19 +23,24 @@ Engine::RecurringHandle Engine::schedule_every(Time period, EventFn fn) {
   recurring_alive_[token] = true;
 
   // Self-rescheduling closure; checks liveness each firing so that
-  // stop_recurring() takes effect at the next tick boundary.
+  // stop_recurring() takes effect at the next tick boundary. The engine owns
+  // the closure via recurring_ticks_; the queued copies capture only a weak
+  // reference so the schedule cannot keep itself alive once retired.
   auto tick = std::make_shared<EventFn>();
   auto shared_fn = std::make_shared<EventFn>(std::move(fn));
-  *tick = [this, token, period, shared_fn, tick]() {
+  std::weak_ptr<EventFn> weak_tick = tick;
+  *tick = [this, token, period, shared_fn, weak_tick]() {
     const auto it = recurring_alive_.find(token);
     if (it == recurring_alive_.end() || !it->second) {
       recurring_alive_.erase(token);
+      recurring_ticks_.erase(token);
       return;
     }
     (*shared_fn)();
-    schedule_in(period, *tick);
+    if (auto self = weak_tick.lock()) schedule_in(period, *self);
   };
   schedule_in(period, *tick);
+  recurring_ticks_.emplace(token, std::move(tick));
   return RecurringHandle{token};
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
 
@@ -66,6 +68,9 @@ class Engine {
   Time now_ = 0.0;
   std::uint64_t next_recurring_token_ = 1;
   std::unordered_map<std::uint64_t, bool> recurring_alive_;
+  // Owns each recurring closure; queued copies hold only a weak reference,
+  // so a recurring schedule cannot keep itself alive (no shared_ptr cycle).
+  std::unordered_map<std::uint64_t, std::shared_ptr<EventFn>> recurring_ticks_;
 };
 
 }  // namespace manet::sim

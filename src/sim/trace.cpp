@@ -19,6 +19,11 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kReorgElectRecursive: return "reorg_elect_recursive";
     case TraceEventType::kReorgRejectRecursive: return "reorg_reject_recursive";
     case TraceEventType::kReorgNeighborPromoted: return "reorg_neighbor_promoted";
+    case TraceEventType::kPacketDropped: return "packet_dropped";
+    case TraceEventType::kRetransmit: return "retransmit";
+    case TraceEventType::kNodeCrash: return "node_crash";
+    case TraceEventType::kNodeRejoin: return "node_rejoin";
+    case TraceEventType::kRepair: return "repair";
   }
   return "unknown";
 }

@@ -39,9 +39,16 @@ enum class TraceEventType : std::uint8_t {
   kReorgElectRecursive,    ///< (v)
   kReorgRejectRecursive,   ///< (vi)
   kReorgNeighborPromoted,  ///< (vii)
+  // Fault-injection plane (see sim/fault.hpp): lossy control packets, ARQ
+  // retransmissions, node churn and CHLM repair.
+  kPacketDropped,  ///< control packet lost in transit (value = packets lost)
+  kRetransmit,     ///< ARQ retransmission attempt (value = attempt index)
+  kNodeCrash,      ///< node went down (crash plan or regional outage)
+  kNodeRejoin,     ///< node came back up and re-registered
+  kRepair,         ///< stale/missing CHLM entry repaired (value = packets)
 };
 
-inline constexpr std::size_t kTraceEventTypeCount = 13;
+inline constexpr std::size_t kTraceEventTypeCount = 18;
 
 const char* to_string(TraceEventType type);
 

@@ -69,6 +69,86 @@ TEST(RunManifest, FromJsonRejectsMissingRequiredFields) {
   EXPECT_FALSE(RunManifest::from_json(parsed.value, out));  // no git_sha/scenario
 }
 
+TEST(RunManifest, RecordsFaultPlanAndDefaultsToOff) {
+  ScenarioConfig clean;
+  clean.n = 64;
+  const auto off = RunManifest::capture("clean", clean, 1);
+  EXPECT_EQ(off.fault, "off");
+
+  ScenarioConfig faulty = clean;
+  faulty.fault.loss = 0.05;
+  faulty.fault.crash_rate = 0.002;
+  const auto on = RunManifest::capture("faulty", faulty, 1);
+  EXPECT_EQ(on.fault, faulty.fault.describe());
+  EXPECT_NE(on.fault, "off");
+  EXPECT_NE(on.fault.find("loss=0.05"), std::string::npos);
+
+  // Round trip preserves the plan; manifests written before the field
+  // existed read back as fault-free.
+  const auto text = render([&on](analysis::JsonWriter& w) { on.write_json(w); }, true);
+  const auto parsed = analysis::parse_json(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  RunManifest back;
+  ASSERT_TRUE(RunManifest::from_json(parsed.value, back));
+  EXPECT_EQ(back.fault, on.fault);
+
+  const auto legacy = analysis::parse_json(
+      R"({"name": "old", "git_sha": "abc", "scenario": "n=64", "seed": 1})");
+  ASSERT_TRUE(legacy.ok);
+  RunManifest old;
+  ASSERT_TRUE(RunManifest::from_json(legacy.value, old));
+  EXPECT_EQ(old.fault, "off");
+}
+
+TEST(ResilienceJson, RoundTripIsExact) {
+  ResilienceReport report;
+  report.loss = 0.05;
+  report.crash_rate = 0.002;
+  report.phi_retx_rate = 0.123;
+  report.gamma_retx_rate = 0.045;
+  report.failed_transfers = 17.0;
+  report.stale_entries = 2.0;
+  report.repairs = 15.0;
+  report.mean_time_to_repair = 3.25;
+  report.query_success_rate = 0.996;
+  report.query_success_mean = 0.991;
+  report.crashes = 4.0;
+  report.rejoins = 3.0;
+
+  const auto text = render(
+      [&report](analysis::JsonWriter& w) { write_resilience_json(w, report); }, true);
+  const auto parsed = analysis::parse_json(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.string_or("schema", ""), "manet-resilience/1");
+
+  ResilienceReport back;
+  ASSERT_TRUE(resilience_from_json(parsed.value, back));
+  EXPECT_EQ(back.loss, report.loss);
+  EXPECT_EQ(back.crash_rate, report.crash_rate);
+  EXPECT_EQ(back.phi_retx_rate, report.phi_retx_rate);
+  EXPECT_EQ(back.gamma_retx_rate, report.gamma_retx_rate);
+  EXPECT_EQ(back.failed_transfers, report.failed_transfers);
+  EXPECT_EQ(back.stale_entries, report.stale_entries);
+  EXPECT_EQ(back.repairs, report.repairs);
+  EXPECT_EQ(back.mean_time_to_repair, report.mean_time_to_repair);
+  EXPECT_EQ(back.query_success_rate, report.query_success_rate);
+  EXPECT_EQ(back.query_success_mean, report.query_success_mean);
+  EXPECT_EQ(back.crashes, report.crashes);
+  EXPECT_EQ(back.rejoins, report.rejoins);
+}
+
+TEST(ResilienceJson, RejectsWrongSchemaOrMissingFields) {
+  ResilienceReport out;
+  const auto wrong =
+      analysis::parse_json(R"({"schema": "bogus/1", "loss": 0.1, "query_success_rate": 1})");
+  ASSERT_TRUE(wrong.ok);
+  EXPECT_FALSE(resilience_from_json(wrong.value, out));
+
+  const auto missing = analysis::parse_json(R"({"schema": "manet-resilience/1"})");
+  ASSERT_TRUE(missing.ok);
+  EXPECT_FALSE(resilience_from_json(missing.value, out));
+}
+
 lm::OverheadReport sample_report() {
   lm::OverheadReport report;
   report.node_count = 250;

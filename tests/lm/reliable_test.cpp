@@ -1,0 +1,112 @@
+#include "lm/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/lossy_channel.hpp"
+
+namespace manet::lm {
+namespace {
+
+net::LossyChannel make_channel(double loss, std::uint64_t seed = 1) {
+  sim::FaultConfig cfg;
+  cfg.loss = loss;
+  return net::LossyChannel(cfg, seed);
+}
+
+TEST(ReliableTransfer, ZeroHopsIsFreeSuccess) {
+  auto ch = make_channel(1.0);
+  ReliableTransfer arq(ch, 4, 0.05, 2.0);
+  const auto out = arq.transfer(0);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.packets, 0u);
+  EXPECT_EQ(out.retx, 0u);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_DOUBLE_EQ(out.latency, 0.0);
+}
+
+TEST(ReliableTransfer, LosslessChannelDeliversFirstTryAtIdealCost) {
+  auto ch = make_channel(0.0);
+  ReliableTransfer arq(ch, 4, 0.05, 2.0);
+  const auto out = arq.transfer(7);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_EQ(out.packets, 7u);
+  EXPECT_EQ(out.retx, 0u) << "ideal delivery has zero retransmission overhead";
+  EXPECT_EQ(arq.total_retx(), 0u);
+  EXPECT_EQ(arq.failed_transfers(), 0u);
+}
+
+TEST(ReliableTransfer, BudgetExhaustionFailsWithAllPacketsAsRetx) {
+  auto ch = make_channel(1.0);
+  const Size budget = 3;
+  ReliableTransfer arq(ch, budget, 0.05, 2.0);
+  const auto out = arq.transfer(5);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.attempts, budget + 1);
+  // Every attempt dies at hop 1, so budget+1 transmissions total, all waste.
+  EXPECT_EQ(out.packets, budget + 1);
+  EXPECT_EQ(out.retx, out.packets);
+  EXPECT_EQ(arq.failed_transfers(), 1u);
+  EXPECT_EQ(arq.total_retries(), budget);
+}
+
+TEST(ReliableTransfer, BackoffLatencyIsGeometricSum) {
+  auto ch = make_channel(1.0);
+  ReliableTransfer arq(ch, 3, 0.1, 2.0);
+  const auto out = arq.transfer(2);
+  // Waits between the 4 attempts: 0.1 + 0.2 + 0.4.
+  EXPECT_DOUBLE_EQ(out.latency, 0.1 + 0.2 + 0.4);
+}
+
+TEST(ReliableTransfer, RetxSplitsDeliveredCostFromOverhead) {
+  // Deterministic seed; with 30% loss over 4 hops some transfers need
+  // retries. For each delivered outcome the invariant is
+  //   packets == hops + retx,
+  // i.e. the ideal cost is recoverable exactly.
+  auto ch = make_channel(0.3, 99);
+  ReliableTransfer arq(ch, 16, 0.05, 2.0);
+  Size delivered = 0;
+  Size retried = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto out = arq.transfer(4);
+    if (out.delivered) {
+      ++delivered;
+      EXPECT_EQ(out.packets, 4u + out.retx);
+    } else {
+      EXPECT_EQ(out.retx, out.packets) << "a failed transfer is pure overhead";
+    }
+    if (out.attempts > 1) ++retried;
+  }
+  // Per-attempt success is 0.7^4 ~ 0.24, so budget 16 succeeds ~99% of the
+  // time; the vast majority must deliver and some must need retries.
+  EXPECT_GT(delivered, 180u);
+  EXPECT_GT(retried, 0u);
+  EXPECT_GT(arq.total_retx(), 0u);
+}
+
+TEST(ReliableTransfer, UnroutableBurnsBudgetAndFails) {
+  auto ch = make_channel(0.0);
+  const Size budget = 4;
+  ReliableTransfer arq(ch, budget, 0.05, 2.0);
+  const auto out = arq.transfer_unroutable();
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.attempts, budget + 1);
+  EXPECT_EQ(out.packets, budget + 1);
+  EXPECT_EQ(out.retx, out.packets);
+  EXPECT_EQ(arq.failed_transfers(), 1u);
+  // Route probes never touch the channel accounting.
+  EXPECT_EQ(ch.packets_sent(), 0u);
+}
+
+TEST(ReliableTransfer, TotalsAccumulateAcrossTransfers) {
+  auto ch = make_channel(1.0);
+  ReliableTransfer arq(ch, 2, 0.05, 2.0);
+  arq.transfer(3);
+  arq.transfer(3);
+  arq.transfer_unroutable();
+  EXPECT_EQ(arq.failed_transfers(), 3u);
+  EXPECT_EQ(arq.total_retx(), 3u + 3u + 3u);  // (budget+1) wasted packets each
+}
+
+}  // namespace
+}  // namespace manet::lm

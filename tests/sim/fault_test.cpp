@@ -1,0 +1,139 @@
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manet::sim {
+namespace {
+
+TEST(FaultConfig, DefaultIsOffAndDescribesAsOff) {
+  FaultConfig cfg;
+  EXPECT_FALSE(cfg.lossy());
+  EXPECT_FALSE(cfg.churn());
+  EXPECT_FALSE(cfg.outage());
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_EQ(cfg.describe(), "off");
+}
+
+TEST(FaultConfig, AnyProcessEnables) {
+  FaultConfig loss;
+  loss.loss = 0.05;
+  EXPECT_TRUE(loss.lossy());
+  EXPECT_TRUE(loss.enabled());
+
+  FaultConfig burst;
+  burst.burst_loss = 0.5;
+  EXPECT_TRUE(burst.lossy());
+
+  FaultConfig churn;
+  churn.crash_rate = 0.01;
+  EXPECT_TRUE(churn.churn());
+  EXPECT_TRUE(churn.enabled());
+
+  FaultConfig outage;
+  outage.outage_radius = 5.0;
+  outage.outage_duration = 10.0;
+  EXPECT_TRUE(outage.outage());
+  EXPECT_TRUE(outage.enabled());
+
+  FaultConfig forced;
+  forced.force = true;
+  EXPECT_TRUE(forced.enabled());
+  EXPECT_FALSE(forced.lossy());
+  EXPECT_NE(forced.describe(), "");
+}
+
+TEST(FaultPlan, NoChurnMeansEmptyPlan) {
+  FaultConfig cfg;
+  cfg.loss = 0.1;  // lossy but no churn
+  const auto plan = FaultPlan::build(cfg, 16, 0.0, 100.0, 42);
+  ASSERT_EQ(plan.downtime.size(), 16u);
+  for (const auto& ivs : plan.downtime) EXPECT_TRUE(ivs.empty());
+}
+
+TEST(FaultPlan, SameSeedSamePlanDifferentSeedDiffers) {
+  FaultConfig cfg;
+  cfg.crash_rate = 0.05;
+  cfg.mean_downtime = 5.0;
+  const auto a = FaultPlan::build(cfg, 64, 10.0, 200.0, 7);
+  const auto b = FaultPlan::build(cfg, 64, 10.0, 200.0, 7);
+  const auto c = FaultPlan::build(cfg, 64, 10.0, 200.0, 8);
+  ASSERT_EQ(a.downtime.size(), b.downtime.size());
+  Size total_a = 0;
+  bool any_diff = false;
+  for (NodeId v = 0; v < 64; ++v) {
+    ASSERT_EQ(a.downtime[v].size(), b.downtime[v].size());
+    total_a += a.downtime[v].size();
+    for (Size i = 0; i < a.downtime[v].size(); ++i) {
+      EXPECT_EQ(a.downtime[v][i].down, b.downtime[v][i].down);
+      EXPECT_EQ(a.downtime[v][i].up, b.downtime[v][i].up);
+    }
+    if (a.downtime[v].size() != c.downtime[v].size()) any_diff = true;
+    for (Size i = 0; i < std::min(a.downtime[v].size(), c.downtime[v].size()); ++i) {
+      if (a.downtime[v][i].down != c.downtime[v][i].down) any_diff = true;
+    }
+  }
+  EXPECT_GT(total_a, 0u) << "hazard 0.05 over 190 s should schedule crashes";
+  EXPECT_TRUE(any_diff) << "different seed should give a different plan";
+}
+
+TEST(FaultPlan, IntervalsSortedWithinWindowAndWellFormed) {
+  FaultConfig cfg;
+  cfg.crash_rate = 0.1;
+  cfg.mean_downtime = 2.0;
+  const auto plan = FaultPlan::build(cfg, 32, 5.0, 60.0, 99);
+  for (const auto& ivs : plan.downtime) {
+    Time prev_up = 0.0;
+    for (const auto& iv : ivs) {
+      EXPECT_GE(iv.down, 5.0);
+      EXPECT_LT(iv.down, 60.0);
+      EXPECT_GT(iv.up, iv.down);
+      EXPECT_GE(iv.down, prev_up) << "intervals must not overlap";
+      prev_up = iv.up;
+    }
+  }
+}
+
+TEST(FaultInjector, CrashedFollowsThePlan) {
+  FaultConfig cfg;
+  cfg.crash_rate = 0.1;
+  cfg.mean_downtime = 4.0;
+  const FaultInjector inj(cfg, 32, 0.0, 100.0, 3);
+  ASSERT_GT(inj.scheduled_crashes(), 0u);
+  for (NodeId v = 0; v < 32; ++v) {
+    for (const auto& iv : inj.plan().downtime[v]) {
+      EXPECT_TRUE(inj.crashed(v, iv.down));
+      EXPECT_TRUE(inj.crashed(v, (iv.down + iv.up) / 2.0));
+      EXPECT_FALSE(inj.crashed(v, iv.up));  // half-open [down, up)
+    }
+    EXPECT_FALSE(inj.crashed(v, -1.0));
+  }
+  EXPECT_FALSE(inj.crashed(500, 10.0));  // out-of-range node id
+}
+
+TEST(FaultInjector, OutageDiskDriftsWithTime) {
+  FaultConfig cfg;
+  cfg.outage_radius = 2.0;
+  cfg.outage_start = 10.0;
+  cfg.outage_duration = 10.0;
+  cfg.outage_x = 0.0;
+  cfg.outage_y = 0.0;
+  cfg.outage_vx = 1.0;  // center moves +1 m/s in x
+  const FaultInjector inj(cfg, 4, 0.0, 100.0, 1);
+
+  EXPECT_FALSE(inj.in_outage(0.0, 0.0, 9.9));   // before onset
+  EXPECT_TRUE(inj.in_outage(0.0, 0.0, 10.0));   // at onset, at center
+  EXPECT_TRUE(inj.in_outage(5.0, 0.0, 15.0));   // center has drifted to x=5
+  EXPECT_FALSE(inj.in_outage(0.0, 0.0, 15.0));  // origin now 5 m from center
+  EXPECT_FALSE(inj.in_outage(0.0, 0.0, 20.0));  // after the outage ends
+  EXPECT_FALSE(inj.in_outage(9.9, 0.0, 25.0));
+}
+
+TEST(FaultInjector, DisabledOutageNeverTriggers) {
+  FaultConfig cfg;  // all off
+  const FaultInjector inj(cfg, 8, 0.0, 50.0, 11);
+  EXPECT_FALSE(inj.in_outage(0.0, 0.0, 25.0));
+  EXPECT_EQ(inj.scheduled_crashes(), 0u);
+}
+
+}  // namespace
+}  // namespace manet::sim

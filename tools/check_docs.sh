@@ -49,5 +49,21 @@ for src in "$root"/bench/bench_*.cpp; do
         fail "bench/$name.cpp exists but bench/CMakeLists.txt does not build it"
 done
 
+# 4. The fault-injection chapter exists and names the three fault-plane
+#    classes plus the sanitizer switch (keeps the chapter from rotting if
+#    the classes are renamed).
+grep -q '^## Fault injection & resilience' "$arch" ||
+    fail "docs/ARCHITECTURE.md lost its 'Fault injection & resilience' chapter"
+for sym in FaultConfig LossyChannel ReliableTransfer MANET_SANITIZE; do
+    grep -q "$sym" "$arch" ||
+        fail "docs/ARCHITECTURE.md fault chapter no longer mentions $sym"
+done
+
+# 5. The dynamic resilience experiment is documented.
+grep -q 'E21-dynamic' "$experiments" ||
+    fail "EXPERIMENTS.md lost its E21-dynamic section"
+grep -q 'manet-resilience/1' "$experiments" ||
+    fail "EXPERIMENTS.md E21-dynamic must name the manet-resilience/1 schema"
+
 [ "$status" -eq 0 ] && echo "check_docs: OK"
 exit "$status"
