@@ -88,10 +88,30 @@ void record(HierarchyDelta& delta, ReorgEventType type, Level level, NodeId a, N
 
 }  // namespace
 
+namespace {
+
+/// Clear-and-resize for the per-level vector-of-vectors members: keeps the
+/// outer vector and every surviving inner buffer's capacity.
+template <typename Inner>
+void reset_levels(std::vector<Inner>& levels, Size size) {
+  for (auto& inner : levels) inner.clear();
+  levels.resize(size);
+}
+
+}  // namespace
+
 HierarchyDelta diff_hierarchies(const Hierarchy& before, const Hierarchy& after) {
+  HierarchyDelta delta;
+  diff_hierarchies(before, after, delta);
+  return delta;
+}
+
+void diff_hierarchies(const Hierarchy& before, const Hierarchy& after, HierarchyDelta& delta) {
   MANET_CHECK_MSG(before.level(0).vertex_count() == after.level(0).vertex_count(),
                   "hierarchy diff requires identical node populations");
-  HierarchyDelta delta;
+  delta.migrations.clear();
+  delta.events.clear();
+  for (auto& per_level : delta.event_counts) per_level.clear();
 
   const Level top_before = before.top_level();
   const Level top_after = after.top_level();
@@ -109,10 +129,10 @@ HierarchyDelta diff_hierarchies(const Hierarchy& before, const Hierarchy& after)
   }
 
   // --- Head and link set changes per level ---
-  delta.heads_gained.resize(top_any + 2);
-  delta.heads_lost.resize(top_any + 2);
-  delta.links_up.resize(top_any + 1);
-  delta.links_down.resize(top_any + 1);
+  reset_levels(delta.heads_gained, top_any + 2);
+  reset_levels(delta.heads_lost, top_any + 2);
+  reset_levels(delta.links_up, top_any + 1);
+  reset_levels(delta.links_down, top_any + 1);
 
   std::vector<std::vector<NodeId>> heads_before(top_any + 2), heads_after(top_any + 2);
   for (Level k = 0; k <= top_any + 1; ++k) {
@@ -215,8 +235,6 @@ HierarchyDelta diff_hierarchies(const Hierarchy& before, const Hierarchy& after)
       }
     }
   }
-
-  return delta;
 }
 
 }  // namespace manet::cluster

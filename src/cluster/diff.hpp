@@ -72,4 +72,9 @@ struct HierarchyDelta {
 /// in the other.
 HierarchyDelta diff_hierarchies(const Hierarchy& before, const Hierarchy& after);
 
+/// Same, writing into \p delta (cleared first, capacity retained). The tick
+/// loop calls this once per changed tick; reusing the delta's buffers keeps
+/// the steady-state path free of per-tick allocation growth.
+void diff_hierarchies(const Hierarchy& before, const Hierarchy& after, HierarchyDelta& delta);
+
 }  // namespace manet::cluster

@@ -17,14 +17,31 @@ HierarchyBuilder::HierarchyBuilder(std::shared_ptr<const ElectionAlgorithm> algo
   MANET_CHECK(algorithm_ != nullptr);
 }
 
+namespace {
+
+/// Whether level \p k of \p prev consumed exactly the inputs (topology, ids)
+/// now present in \p cur — the precondition for reusing its election.
+bool level_inputs_match(const LevelView& cur, const Hierarchy* prev, Level k) {
+  if (prev == nullptr || k >= prev->level_count()) return false;
+  const LevelView& old = prev->level(k);
+  if (old.ids != cur.ids) return false;
+  const auto a = old.topo.edges();
+  const auto b = cur.topo.edges();
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace
+
 Hierarchy HierarchyBuilder::build(const graph::Graph& g, std::span<const NodeId> ids,
-                                  std::span<const geom::Vec2> positions) const {
+                                  std::span<const geom::Vec2> positions,
+                                  const Hierarchy* reuse) const {
   const Size n = g.vertex_count();
   MANET_CHECK(n > 0);
   if (options_.geometric_links) {
     MANET_CHECK_MSG(positions.size() == n,
                     "geometric level-k links need level-0 node positions");
   }
+  if (reuse != nullptr && reuse->level(0).vertex_count() != n) reuse = nullptr;
 
   Hierarchy h;
 
@@ -55,12 +72,28 @@ Hierarchy HierarchyBuilder::build(const graph::Graph& g, std::span<const NodeId>
   h.ancestor_.emplace_back(n);
   for (NodeId v = 0; v < n; ++v) h.ancestor_[0][v] = v;
 
+  // True while every election so far was reused — then the parent chain, and
+  // with it the member/ancestor rollups, are provably identical to reuse's.
+  bool prefix_reused = reuse != nullptr;
+
   // Recursive promotion.
   for (Level k = 0; k < options_.max_levels; ++k) {
     LevelView& cur = h.levels_[k];
     if (cur.vertex_count() <= 1) break;
 
-    cur.election = algorithm_->elect(cur.topo, cur.ids);
+    const bool inputs_match = level_inputs_match(cur, reuse, k);
+    if (!inputs_match) prefix_reused = false;
+    if (inputs_match && k + 1 >= reuse->level_count()) {
+      // The prior build terminated here on identical inputs (the no-
+      // aggregation case, recorded as a cleared election). Same decision.
+      cur.election = ElectionResult{};
+      break;
+    }
+    if (inputs_match) {
+      cur.election = reuse->level(k).election;
+    } else {
+      cur.election = algorithm_->elect(cur.topo, cur.ids);
+    }
     const auto& heads = cur.election.clusterheads;
     const Size n_next = heads.size();
     if (n_next == cur.vertex_count()) {
@@ -70,14 +103,18 @@ Hierarchy HierarchyBuilder::build(const graph::Graph& g, std::span<const NodeId>
       break;
     }
 
-    // Dense reindex: level-k head vertex -> level-(k+1) vertex.
-    std::vector<NodeId> promote(cur.vertex_count(), kInvalidNode);
-    for (Size i = 0; i < n_next; ++i) promote[heads[i]] = static_cast<NodeId>(i);
+    if (inputs_match) {
+      cur.parent = reuse->level(k).parent;
+    } else {
+      // Dense reindex: level-k head vertex -> level-(k+1) vertex.
+      std::vector<NodeId> promote(cur.vertex_count(), kInvalidNode);
+      for (Size i = 0; i < n_next; ++i) promote[heads[i]] = static_cast<NodeId>(i);
 
-    cur.parent.resize(cur.vertex_count());
-    for (NodeId u = 0; u < cur.vertex_count(); ++u) {
-      cur.parent[u] = promote[cur.election.head_of[u]];
-      MANET_CHECK(cur.parent[u] != kInvalidNode);
+      cur.parent.resize(cur.vertex_count());
+      for (NodeId u = 0; u < cur.vertex_count(); ++u) {
+        cur.parent[u] = promote[cur.election.head_of[u]];
+        MANET_CHECK(cur.parent[u] != kInvalidNode);
+      }
     }
 
     LevelView next;
@@ -89,10 +126,12 @@ Hierarchy HierarchyBuilder::build(const graph::Graph& g, std::span<const NodeId>
     }
 
     // Level-(k+1) links.
-    std::vector<graph::Edge> next_edges;
     if (options_.geometric_links) {
       // Geometric hysteresis (paper eq. (7)): heads within
       // beta * R_TX * sqrt(mean aggregation) of one another are neighbors.
+      // Positions drift every tick, so this is recomputed even when the
+      // election was reused.
+      std::vector<graph::Edge> next_edges;
       const double mean_ck = static_cast<double>(n) / static_cast<double>(n_next);
       const double range = options_.beta * options_.tx_radius * std::sqrt(mean_ck);
       const double range2 = range * range;
@@ -104,8 +143,14 @@ Hierarchy HierarchyBuilder::build(const graph::Graph& g, std::span<const NodeId>
           }
         }
       }
+      next.topo = graph::Graph(n_next, next_edges);
+    } else if (inputs_match && k + 1 < reuse->level_count()) {
+      // Graph contraction depends only on (cur.topo, cur.parent) — both
+      // matched, so the contracted topology is the cached one.
+      next.topo = reuse->level(k + 1).topo;
     } else {
       // Graph contraction: clusters adjacent in the level-k topology.
+      std::vector<graph::Edge> next_edges;
       for (const auto& [a, b] : cur.topo.edges()) {
         NodeId pa = cur.parent[a];
         NodeId pb = cur.parent[b];
@@ -115,30 +160,39 @@ Hierarchy HierarchyBuilder::build(const graph::Graph& g, std::span<const NodeId>
       }
       std::sort(next_edges.begin(), next_edges.end());
       next_edges.erase(std::unique(next_edges.begin(), next_edges.end()), next_edges.end());
+      next.topo = graph::Graph(n_next, next_edges);
     }
-    next.topo = graph::Graph(n_next, next_edges);
 
-    // Children and level-0 member rollup.
-    std::vector<std::vector<NodeId>> children(n_next);
-    for (NodeId u = 0; u < cur.vertex_count(); ++u) children[cur.parent[u]].push_back(u);
+    if (prefix_reused && k + 1 < reuse->level_count()) {
+      // Every parent chain below is unchanged: the rollups are the cached
+      // ones (a straight copy skips the per-cluster merges and sorts).
+      h.children_.push_back(reuse->children_[k + 1]);
+      h.members0_.push_back(reuse->members0_[k + 1]);
+      h.ancestor_.push_back(reuse->ancestor_[k + 1]);
+    } else {
+      // Children and level-0 member rollup.
+      std::vector<std::vector<NodeId>> children(n_next);
+      for (NodeId u = 0; u < cur.vertex_count(); ++u) children[cur.parent[u]].push_back(u);
 
-    std::vector<std::vector<NodeId>> members(n_next);
-    for (Size c = 0; c < n_next; ++c) {
-      for (const NodeId child : children[c]) {
-        const auto& sub = h.members0_[k][child];
-        members[c].insert(members[c].end(), sub.begin(), sub.end());
+      std::vector<std::vector<NodeId>> members(n_next);
+      for (Size c = 0; c < n_next; ++c) {
+        for (const NodeId child : children[c]) {
+          const auto& sub = h.members0_[k][child];
+          members[c].insert(members[c].end(), sub.begin(), sub.end());
+        }
+        std::sort(members[c].begin(), members[c].end());
       }
-      std::sort(members[c].begin(), members[c].end());
-    }
 
-    // Ancestor table for level k+1.
-    std::vector<NodeId> anc(n);
-    for (NodeId v = 0; v < n; ++v) anc[v] = cur.parent[h.ancestor_[k][v]];
+      // Ancestor table for level k+1.
+      std::vector<NodeId> anc(n);
+      for (NodeId v = 0; v < n; ++v) anc[v] = cur.parent[h.ancestor_[k][v]];
+
+      h.children_.push_back(std::move(children));
+      h.members0_.push_back(std::move(members));
+      h.ancestor_.push_back(std::move(anc));
+    }
 
     h.levels_.push_back(std::move(next));
-    h.children_.push_back(std::move(children));
-    h.members0_.push_back(std::move(members));
-    h.ancestor_.push_back(std::move(anc));
   }
 
   // Terminal level has no election/parent data.

@@ -52,8 +52,21 @@ class HierarchyBuilder {
   /// identity assignment id(v) = v. \p positions (level-0 node coordinates)
   /// are required when Options::geometric_links is set and ignored
   /// otherwise.
+  ///
+  /// \p reuse (optional): the hierarchy produced by the *previous* build
+  /// over the same node population. Elections are pure functions of a
+  /// level's (topology, ids), so whenever a level's inputs are unchanged
+  /// from the prior snapshot the cached ElectionResult is copied instead of
+  /// re-run, and — while the whole prefix of levels below is unchanged —
+  /// the children/member/ancestor rollups are copied rather than resorted.
+  /// The output is bit-identical to a from-scratch build; \p reuse only
+  /// short-circuits work. This is the incremental tick pipeline's seeding
+  /// path: a tick whose level-0 edge delta is empty but whose positions
+  /// drifted re-runs, at most, the cheap upper-level elections whose
+  /// geometric links actually flipped.
   Hierarchy build(const graph::Graph& g, std::span<const NodeId> ids = {},
-                  std::span<const geom::Vec2> positions = {}) const;
+                  std::span<const geom::Vec2> positions = {},
+                  const Hierarchy* reuse = nullptr) const;
 
   const ElectionAlgorithm& algorithm() const { return *algorithm_; }
 

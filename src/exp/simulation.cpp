@@ -13,7 +13,6 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "graph/bfs.hpp"
-#include "graph/components.hpp"
 #include "lm/address.hpp"
 #include "lm/gls.hpp"
 #include "lm/overhead.hpp"
@@ -29,18 +28,21 @@
 namespace manet::exp {
 
 void RunMetrics::set(std::string name, double value) {
+  index_.emplace(name, values.size());  // first occurrence wins
   values.emplace_back(std::move(name), value);
 }
 
 double RunMetrics::get(const std::string& name) const {
-  for (const auto& [key, value] : values) {
-    if (key == name) return value;
-  }
-  return std::numeric_limits<double>::quiet_NaN();
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::numeric_limits<double>::quiet_NaN();
+  return values[it->second].second;
 }
 
 bool RunMetrics::has(const std::string& name) const {
-  return !std::isnan(get(name));
+  // Single lookup (has() used to call get(), doubling the old linear scan);
+  // a metric explicitly set to NaN still reads as absent, as before.
+  const auto it = index_.find(name);
+  return it != index_.end() && !std::isnan(values[it->second].second);
 }
 
 namespace {
@@ -62,8 +64,7 @@ sim::TraceEventType trace_type_of(cluster::ReorgEventType type) {
 /// Sampled mean level-0 hop count between nodes sharing a level-k cluster
 /// (the paper's h_k, eq. (3)).
 double measure_hk(const cluster::Hierarchy& h, const graph::Graph& g, Level k, Size pairs,
-                  common::Xoshiro256& rng) {
-  graph::BfsScratch bfs;
+                  common::Xoshiro256& rng, graph::BfsScratch& bfs) {
   double sum = 0.0;
   Size measured = 0;
   const Size n_clusters = h.cluster_count(k);
@@ -88,17 +89,22 @@ double measure_hk(const cluster::Hierarchy& h, const graph::Graph& g, Level k, S
 RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& options) {
   // Draw a connected initial deployment (the paper assumes G connected);
   // retry with derived seeds, keep the last draw if none connects.
+  //
+  // The builder augments every returned graph to connectivity, so testing
+  // is_connected() on its output can never fail — which silently disabled
+  // this retry loop for years of ticks. Raw-draw connectivity is instead
+  // judged by whether augmentation had to add bridges.
   ScenarioConfig cfg = config;
   Scenario scenario = Scenario::materialize(cfg);
   net::UnitDiskBuilder disk(cfg.tx_radius(), /*ensure_connected=*/true);
   graph::Graph g0 = disk.build(scenario.mobility->positions());
-  bool connected = graph::is_connected(g0);
-  for (int attempt = 1; attempt < cfg.connect_attempts && !connected; ++attempt) {
+  bool raw_connected = disk.last_augmented_edges() == 0;
+  for (int attempt = 1; attempt < cfg.connect_attempts && !raw_connected; ++attempt) {
     cfg.seed = common::derive_seed(
         config.seed, 0xFACE0000ULL + static_cast<unsigned long long>(attempt));
     scenario = Scenario::materialize(cfg);
     g0 = disk.build(scenario.mobility->positions());
-    connected = graph::is_connected(g0);
+    raw_connected = disk.last_augmented_edges() == 0;
   }
 
   cluster::HierarchyOptions hopts;
@@ -170,30 +176,50 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   // Crashed nodes neither send nor forward: strip their incident edges so
   // the hierarchy re-elects through the survivors (a down clusterhead loses
   // all members and the normal differ machinery records the re-election).
-  auto strip_down = [&](graph::Graph& g) {
+  // The stripped snapshot is cached: when neither the raw topology nor the
+  // down-mask changed (\p dirty false), the previous one is returned as is.
+  graph::Graph eff;
+  std::vector<graph::Edge> strip_scratch;
+  bool eff_valid = false;
+  auto strip_down = [&](const graph::Graph& gin, bool dirty) -> const graph::Graph* {
     bool any = false;
     for (const auto f : down) any = any || f != 0;
-    if (!any) return;
-    std::vector<graph::Edge> kept;
-    kept.reserve(g.edge_count());
-    for (const auto& e : g.edges()) {
-      if (down[e.first] == 0 && down[e.second] == 0) kept.push_back(e);
+    if (!any) return &gin;
+    if (dirty || !eff_valid) {
+      strip_scratch.clear();
+      for (const auto& e : gin.edges()) {
+        if (down[e.first] == 0 && down[e.second] == 0) strip_scratch.push_back(e);
+      }
+      eff.assign(gin.vertex_count(), strip_scratch);
+      eff_valid = true;
     }
-    g = graph::Graph(g.vertex_count(), kept);
+    return &eff;
   };
 
   // --- Warmup: advance mobility without accounting ---
+  // The step count is derived once as an integer: accumulating t += cfg.tick
+  // in floating point drifts for ticks without an exact binary representation
+  // (0.1 summed ten times is not 1.0) and eventually skips or repeats a
+  // warmup step on long horizons.
   sim::Engine engine;
-  for (Time t = cfg.tick; t <= cfg.warmup + 1e-9; t += cfg.tick) {
-    scenario.mobility->advance_to(t);
+  const auto warmup_ticks = static_cast<Size>(std::floor(cfg.warmup / cfg.tick + 1e-9));
+  for (Size i = 1; i <= warmup_ticks; ++i) {
+    scenario.mobility->advance_to(static_cast<Time>(i) * cfg.tick);
   }
-  g0 = disk.build(scenario.mobility->positions());
+  const bool inc = options.incremental_tick;
+  const graph::Graph* g;  // effective (post-strip) level-0 graph this tick
+  if (inc) {
+    g = &disk.update(scenario.mobility->positions());
+  } else {
+    g0 = disk.build(scenario.mobility->positions());
+    g = &g0;
+  }
   const Time t0 = cfg.warmup;
   if (faulted) {
     refresh_down(t0);
-    strip_down(g0);
+    g = strip_down(*g, /*dirty=*/true);
   }
-  hier = builder.build(g0, scenario.ids, scenario.mobility->positions());
+  hier = builder.build(*g, scenario.ids, scenario.mobility->positions());
   handoff.prime(hier, t0);
   if (faulted) {
     prev_down = down;
@@ -201,7 +227,7 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
       if (down[v] != 0) handoff.on_node_down(v, t0);
     }
   }
-  net::LinkTracker links(g0, t0);
+  net::LinkTracker links(*g, t0);
   links.set_metrics(options.metrics);
   if (gls) gls->prime(scenario.mobility->positions(), scenario.ids, t0);
 
@@ -252,20 +278,52 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
               : 0;
   engine.set_trace_sink(options.trace);
   engine.run_until(t0);
-  engine.schedule_every(cfg.tick, [&] {
+  // Reused across ticks: the freshly built hierarchy and the diff scratch
+  // (their internal buffers survive moves/clears, so changed steady-state
+  // ticks stop growing the heap).
+  cluster::Hierarchy next;
+  cluster::HierarchyDelta delta;
+  auto tick_fn = [&] {
     const Time now = engine.now();
     scenario.mobility->advance_to(now);
-    g0 = disk.build(scenario.mobility->positions());
+
+    bool topo_changed = true;  // full-rebuild path treats every tick as changed
+    bool pos_moved = true;
+    if (inc) {
+      g = &disk.update(scenario.mobility->positions());
+      topo_changed = disk.changed();
+      pos_moved = disk.last_moved_nodes() > 0;
+    } else {
+      g0 = disk.build(scenario.mobility->positions());
+      g = &g0;
+    }
     augmented_edges += disk.last_augmented_edges();
+
+    bool mask_changed = false;
     if (faulted) {
       std::swap(prev_down, down);
       refresh_down(now);
-      strip_down(g0);
+      mask_changed = down != prev_down;
+      g = strip_down(*g, topo_changed || mask_changed);
     }
-    cluster::Hierarchy next = builder.build(g0, scenario.ids, scenario.mobility->positions());
 
-    links.update(g0, now);
-    handoff.update(next, g0, now);
+    // Change gate (incremental path): the hierarchy rebuild and snapshot
+    // diff are skipped when nothing they read changed this tick — no level-0
+    // edge delta (augmentation included), same down-mask, and either no node
+    // moved or level-k links are purely topological (geometric links, paper
+    // eq. (7), re-derive from positions on every build). Two identical
+    // snapshots diff to an empty delta, so skipping build+diff outright is
+    // bit-identical to the full-rebuild path.
+    const bool rebuild =
+        !inc || topo_changed || mask_changed || (pos_moved && cfg.geometric_links);
+    if (rebuild) {
+      next = builder.build(*g, scenario.ids, scenario.mobility->positions(),
+                           inc ? &hier : nullptr);
+    }
+    const cluster::Hierarchy& hnow = rebuild ? next : hier;
+
+    links.update(*g, now);
+    handoff.update(hnow, *g, now);
     if (faulted) {
       for (NodeId v = 0; v < cfg.n; ++v) {
         if (down[v] != 0 && prev_down[v] == 0) {
@@ -273,20 +331,20 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
           handoff.on_node_down(v, now);
         } else if (down[v] == 0 && prev_down[v] != 0) {
           ++rejoin_events;
-          handoff.on_node_up(g0, v, now);
+          handoff.on_node_up(*g, v, now);
         }
       }
       if ((ticks + 1) % audit_every == 0) {
-        handoff.audit_repair(g0, now);
+        handoff.audit_repair(*g, now);
         probe_sum += handoff.query_probe(*probe_rng, cfg.fault.probe_pairs);
         ++probes;
       }
     }
-    if (gls) gls->update(scenario.mobility->positions(), g0, scenario.ids, now);
-    if (registration) registration->update(next, g0, scenario.mobility->positions(), now);
+    if (gls) gls->update(scenario.mobility->positions(), *g, scenario.ids, now);
+    if (registration) registration->update(hnow, *g, scenario.mobility->positions(), now);
 
-    if (options.track_events) {
-      const cluster::HierarchyDelta delta = cluster::diff_hierarchies(hier, next);
+    if (options.track_events && rebuild) {
+      cluster::diff_hierarchies(hier, next, delta);
       if (engine.tracing()) {
         for (const auto& m : delta.migrations) {
           engine.emit(sim::TraceEventType::kMigration, m.level, m.node, m.to_head);
@@ -309,9 +367,18 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
         if (level_link_events.size() <= k) level_link_events.resize(k + 1, 0);
         level_link_events[k] += delta.links_down[k].size();
       }
+    } else if (options.track_events) {
+      // Gated tick: the full-rebuild path would diff two identical snapshots
+      // here, adding nothing but growing the per-level link accumulator to
+      // the level count. Reproduce that sizing so the zero-valued g_k /
+      // gprime_k entries are emitted identically.
+      const Size levels_now = hier.level_count();
+      if (levels_now >= 2 && level_link_events.size() < levels_now) {
+        level_link_events.resize(levels_now, 0);
+      }
     }
 
-    hier = std::move(next);
+    if (rebuild) hier = std::move(next);
     accumulate_shape(hier);
     if (options.track_states) {
       states.observe(hier, cfg.tick);
@@ -323,14 +390,23 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
       options.metrics->counter("sim.ticks").add(1);
       options.metrics->gauge("sim.now").set(now);
     }
-  });
-  engine.run_until(horizon);
+  };
+  // The i-th measured tick fires at t0 + i * tick (one multiply per tick —
+  // no accumulated rounding), and exactly total_ticks of them are scheduled,
+  // so the measured sample count is a pure function of (duration, tick) on
+  // any horizon. The horizon is widened by an ulp-sized max() because the
+  // last product can round a hair past warmup + duration.
+  const auto total_ticks = static_cast<Size>(std::floor(cfg.duration / cfg.tick + 1e-9));
+  for (Size i = 1; i <= total_ticks; ++i) {
+    engine.schedule_at(t0 + static_cast<Time>(i) * cfg.tick, tick_fn);
+  }
+  engine.run_until(std::max(horizon, t0 + static_cast<Time>(total_ticks) * cfg.tick));
 
   // --- Flatten metrics ---
   RunMetrics out;
   const double n = static_cast<double>(cfg.n);
   const double window = handoff.elapsed();
-  out.set("connected0", connected ? 1.0 : 0.0);
+  out.set("connected0", raw_connected ? 1.0 : 0.0);
   out.set("augmented_per_tick",
           ticks > 0 ? static_cast<double>(augmented_edges) / static_cast<double>(ticks) : 0.0);
   out.set("ticks", static_cast<double>(ticks));
@@ -413,8 +489,10 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   }
 
   if (options.measure_hops) {
+    graph::BfsScratch bfs;
     for (Level k = 1; k <= hier.top_level(); ++k) {
-      out.set(keyed("h_k", k), measure_hk(hier, g0, k, options.hop_sample_pairs, hop_rng));
+      out.set(keyed("h_k", k),
+              measure_hk(hier, *g, k, options.hop_sample_pairs, hop_rng, bfs));
     }
   }
 
@@ -451,7 +529,7 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   if (faulted) {
     // Final repair pass + consistency probe: the acceptance bar is that the
     // repair path restores query success after sustained loss.
-    handoff.audit_repair(g0, horizon);
+    handoff.audit_repair(*g, horizon);
     const double query_final = handoff.query_probe(*probe_rng, cfg.fault.probe_pairs);
     const auto& resil = handoff.resilience();
     out.set("crashes", static_cast<double>(crash_events));
@@ -480,10 +558,10 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   }
 
   if (options.measure_routing) {
-    const routing::RoutingTables tables(g0, hier);
+    const routing::RoutingTables tables(*g, hier);
     out.set("rt_table_size", tables.mean_table_size());
     const auto stretch =
-        routing::measure_stretch(tables, g0, options.stretch_pairs,
+        routing::measure_stretch(tables, *g, options.stretch_pairs,
                                  common::derive_seed(cfg.seed, 0x57E7));
     out.set("rt_stretch", stretch.mean_stretch);
     out.set("rt_stretch_max", stretch.max_stretch);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -30,7 +31,11 @@
 ///   gls_handoff_rate / gls_update_rate / gls_total_rate  (E12, when enabled)
 ///   reg_rate / reg_updates / reg_k.k         registration overhead (E18)
 ///   rt_table_size / rt_stretch / rt_stretch_max / rt_failures  routing (E16/E17)
-///   connected0                           1 if the initial draw was connected
+///   connected0                           1 if the *raw* initial deployment
+///                                        draw was connected (augmentation
+///                                        bridges don't count; retries use
+///                                        derived seeds until a raw draw
+///                                        connects or attempts run out)
 ///   ticks                                number of measured samples
 ///
 /// Fault-plane metrics (emitted only when ScenarioConfig::fault.enabled()):
@@ -46,12 +51,21 @@
 namespace manet::exp {
 
 struct RunMetrics {
+  /// Insertion-ordered (name, value) list — downstream CSV/JSON writers rely
+  /// on the order, so it is never resorted. Lookups go through a name index
+  /// (campaign aggregation probes ~40 metrics per run; a linear scan here
+  /// made that quadratic).
   std::vector<std::pair<std::string, double>> values;
 
   void set(std::string name, double value);
   /// NaN when the metric is absent.
   double get(const std::string& name) const;
   bool has(const std::string& name) const;
+
+ private:
+  /// name -> index into values (first occurrence wins, matching the old
+  /// first-match linear-scan semantics).
+  std::unordered_map<std::string, Size> index_;
 };
 
 struct RunOptions {
@@ -64,6 +78,15 @@ struct RunOptions {
   double registration_threshold = 0.5;  ///< in units of R_TX * sqrt(c_k)
   bool measure_routing = false;    ///< table size + path stretch on the final snapshot (E16/E17)
   Size stretch_pairs = 100;        ///< sampled pairs for the stretch measurement
+
+  /// Incremental tick pipeline (default). The unit-disk graph is maintained
+  /// as a delta over moved nodes, the hierarchy rebuild is skipped entirely
+  /// on ticks where nothing it depends on changed, and elections are reused
+  /// per level when a level's inputs are unchanged. Bit-identical to the
+  /// full-rebuild path (enforced by tests/integration/tick_pipeline_test);
+  /// set false to force the historical rebuild-everything tick, which is
+  /// what bench_tick_pipeline compares against.
+  bool incremental_tick = true;
 
   /// Observability hooks (not owned; nullptr = off, zero cost). With a
   /// registry attached, every producer publishes live lm.* / net.* / alca.*

@@ -8,7 +8,9 @@ namespace manet::graph {
 
 Graph::Graph(Size n) : offsets_(n + 1, 0) {}
 
-Graph::Graph(Size n, std::span<const Edge> edges) {
+Graph::Graph(Size n, std::span<const Edge> edges) { assign(n, edges); }
+
+void Graph::assign(Size n, std::span<const Edge> edges) {
   edges_.assign(edges.begin(), edges.end());
   std::sort(edges_.begin(), edges_.end());
   for (const auto& [u, v] : edges_) {

@@ -30,6 +30,12 @@ class Graph {
   /// MANET_CHECK (callers produce canonical u < v lists).
   Graph(Size n, std::span<const Edge> edges);
 
+  /// Rebuild in place from an edge list, with the same validation as the
+  /// constructor. Internal buffers keep their capacity, so per-tick snapshot
+  /// producers (the unit-disk builder, the fault-plane edge stripper) do not
+  /// reallocate once warmed up.
+  void assign(Size n, std::span<const Edge> edges);
+
   Size vertex_count() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
   Size edge_count() const noexcept { return edges_.size(); }
 

@@ -14,26 +14,22 @@ graph::Graph build_unit_disk_graph(const std::vector<geom::Vec2>& positions,
   return builder.build(positions);
 }
 
-UnitDiskBuilder::UnitDiskBuilder(double tx_radius, bool ensure_connected)
-    : tx_radius_(tx_radius), ensure_connected_(ensure_connected), grid_(tx_radius) {
+UnitDiskBuilder::UnitDiskBuilder(double tx_radius, bool ensure_connected, double slack_factor)
+    : tx_radius_(tx_radius),
+      ensure_connected_(ensure_connected),
+      slack_(slack_factor * tx_radius),
+      grid_(tx_radius * (1.0 + slack_factor)) {
   MANET_CHECK(tx_radius > 0.0);
+  MANET_CHECK(slack_factor >= 0.0);
 }
 
-graph::Graph UnitDiskBuilder::build(const std::vector<geom::Vec2>& positions) {
-  grid_.rebuild(positions);
-  edge_buffer_.clear();
-  grid_.for_each_pair_within(tx_radius_, [this](NodeId u, NodeId v) {
-    edge_buffer_.emplace_back(u, v);
-  });
-  // for_each_pair_within emits canonical (u < v) pairs, each exactly once.
-  graph::Graph g(positions.size(), edge_buffer_);
-  last_augmented_ = 0;
-  if (!ensure_connected_ || graph::is_connected(g) || positions.size() < 2) return g;
-
+void UnitDiskBuilder::compute_bridges(const std::vector<geom::Vec2>& positions,
+                                      const graph::Graph& raw,
+                                      std::vector<graph::Edge>& bridges) const {
   // Bridge every minor component to the giant one via the closest node pair
   // (checked against every giant-component node; component populations are
   // tiny in practice, so the quadratic scan is cheap and exact).
-  const auto labels = graph::component_labels(g);
+  const auto labels = graph::component_labels(raw);
   const std::uint32_t n_comp = 1 + *std::max_element(labels.begin(), labels.end());
   std::vector<Size> comp_size(n_comp, 0);
   for (const auto l : labels) ++comp_size[l];
@@ -60,10 +56,214 @@ graph::Graph UnitDiskBuilder::build(const std::vector<geom::Vec2>& positions) {
       }
     }
     MANET_CHECK(best_u != kInvalidNode);
-    edge_buffer_.emplace_back(std::min(best_u, best_v), std::max(best_u, best_v));
-    ++last_augmented_;
+    bridges.emplace_back(std::min(best_u, best_v), std::max(best_u, best_v));
   }
+}
+
+graph::Graph UnitDiskBuilder::build(const std::vector<geom::Vec2>& positions) {
+  inc_valid_ = false;  // stateless path; next update() re-seeds
+  grid_.rebuild(positions);
+  edge_buffer_.clear();
+  grid_.for_each_pair_within(tx_radius_, [this](NodeId u, NodeId v) {
+    edge_buffer_.emplace_back(u, v);
+  });
+  // for_each_pair_within emits canonical (u < v) pairs, each exactly once.
+  graph::Graph g(positions.size(), edge_buffer_);
+  last_augmented_ = 0;
+  if (!ensure_connected_ || graph::is_connected(g) || positions.size() < 2) return g;
+
+  bridge_scratch_.clear();
+  compute_bridges(positions, g, bridge_scratch_);
+  edge_buffer_.insert(edge_buffer_.end(), bridge_scratch_.begin(), bridge_scratch_.end());
+  last_augmented_ = bridge_scratch_.size();
   return graph::Graph(positions.size(), edge_buffer_);
+}
+
+void UnitDiskBuilder::full_reset(const std::vector<geom::Vec2>& positions) {
+  const Size n = positions.size();
+  cur_pos_ = positions;
+  anchor_pos_ = positions;
+  grid_.rebuild(positions);
+  adj_.resize(n);
+  for (auto& a : adj_) a.clear();
+  grid_.for_each_pair_within(tx_radius_, [this](NodeId u, NodeId v) {
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+  });
+  for (auto& a : adj_) std::sort(a.begin(), a.end());
+  stale_.assign(n, 0);
+  stale_list_.clear();
+  moved_now_.assign(n, 0);
+  inc_valid_ = true;
+  refresh_graphs(/*raw_dirty=*/true);
+}
+
+void UnitDiskBuilder::refresh_graphs(bool raw_dirty) {
+  const Size n = cur_pos_.size();
+  if (raw_dirty) {
+    edge_buffer_.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      for (const NodeId v : adj_[u]) {
+        if (v > u) edge_buffer_.emplace_back(u, v);
+      }
+    }
+    raw_graph_.assign(n, edge_buffer_);
+  }
+  bool aug_dirty = false;
+  if (ensure_connected_ && n >= 2) {
+    // Bridges must be refreshed when the raw edge set changed, and also when
+    // any node moved while bridges were active: the closest-pair rule reads
+    // current positions, so the full-rebuild path would re-derive them.
+    if (raw_dirty || augmented_) {
+      std::swap(bridges_, bridge_scratch_);  // keep the old set for the diff
+      bridges_.clear();
+      if (!graph::is_connected(raw_graph_)) {
+        compute_bridges(cur_pos_, raw_graph_, bridges_);
+      }
+      aug_dirty = bridges_ != bridge_scratch_;
+      augmented_ = !bridges_.empty();
+      if (augmented_ && (raw_dirty || aug_dirty)) {
+        combine_scratch_.assign(raw_graph_.edges().begin(), raw_graph_.edges().end());
+        combine_scratch_.insert(combine_scratch_.end(), bridges_.begin(), bridges_.end());
+        aug_graph_.assign(n, combine_scratch_);
+      }
+    }
+  } else {
+    augmented_ = false;
+    bridges_.clear();
+  }
+  last_augmented_ = bridges_.size();
+  changed_ = raw_dirty || aug_dirty;
+}
+
+const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& positions) {
+  const Size n = positions.size();
+  if (!inc_valid_ || cur_pos_.size() != n) {
+    full_reset(positions);
+    last_moved_ = n;
+    ups_.clear();
+    downs_.clear();
+    changed_ = true;  // (re)seed: callers must treat the topology as new
+    return graph();
+  }
+
+  // Exact moved-node detection. Any approximation here (a movement
+  // threshold) could miss a pair crossing R_TX and break bit-identity.
+  moved_scratch_.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (positions[v] != cur_pos_[v]) moved_scratch_.push_back(v);
+  }
+  last_moved_ = moved_scratch_.size();
+  ups_.clear();
+  downs_.clear();
+  if (moved_scratch_.empty()) {
+    // Nothing moved: the raw set and (position-dependent) bridges are
+    // exactly what a full rebuild would produce. Zero work, zero allocation.
+    changed_ = false;
+    return graph();
+  }
+
+  if (last_moved_ > n / 4) {
+    // Mostly-moving tick: a full rescan is cheaper than point updates.
+    // Preserve the previous *raw* edge set to emit an exact delta — the
+    // ups/downs contract covers radio links only, never synthetic bridges.
+    old_edges_scratch_.assign(raw_graph_.edges().begin(), raw_graph_.edges().end());
+    full_reset(positions);
+    const auto new_edges = raw_graph_.edges();
+    std::set_difference(new_edges.begin(), new_edges.end(), old_edges_scratch_.begin(),
+                        old_edges_scratch_.end(), std::back_inserter(ups_));
+    std::set_difference(old_edges_scratch_.begin(), old_edges_scratch_.end(),
+                        new_edges.begin(), new_edges.end(), std::back_inserter(downs_));
+    // full_reset's refresh left the pre-reset bridge set in bridge_scratch_,
+    // so a position-only bridge swap (same count, different endpoints) is
+    // still visible here.
+    const bool aug_changed = ensure_connected_ && n >= 2 && bridges_ != bridge_scratch_;
+    changed_ = !ups_.empty() || !downs_.empty() || aug_changed;
+    return graph();
+  }
+
+  // --- Point updates ---
+  const double r2 = tx_radius_ * tx_radius_;
+  const double query_r = tx_radius_ + slack_;
+  const double slack2 = slack_ * slack_;
+  for (const NodeId v : moved_scratch_) {
+    moved_now_[v] = 1;
+    cur_pos_[v] = positions[v];
+    if (stale_[v] == 0 && geom::distance2(cur_pos_[v], anchor_pos_[v]) > slack2) {
+      stale_[v] = 1;
+      stale_list_.push_back(v);
+    }
+  }
+
+  for (const NodeId u : moved_scratch_) {
+    // New exact neighborhood of u: grid candidates are keyed by anchored
+    // positions, so widen the query by the slack (a non-stale candidate sits
+    // within slack of its anchor) and re-check true distances; stale nodes
+    // are not reliably anchored and are scanned directly.
+    new_nbrs_.clear();
+    nbr_scratch_.clear();
+    grid_.neighbors_within(cur_pos_[u], query_r, u, nbr_scratch_);
+    for (const NodeId v : nbr_scratch_) {
+      if (stale_[v] == 0 && geom::distance2(cur_pos_[u], cur_pos_[v]) <= r2) {
+        new_nbrs_.push_back(v);
+      }
+    }
+    for (const NodeId v : stale_list_) {
+      if (v != u && geom::distance2(cur_pos_[u], cur_pos_[v]) <= r2) {
+        new_nbrs_.push_back(v);
+      }
+    }
+    std::sort(new_nbrs_.begin(), new_nbrs_.end());
+
+    // Diff against the maintained adjacency. A pair with both endpoints
+    // moved is recomputed twice with identical results; emit it once
+    // (from the smaller endpoint).
+    const auto& old_nbrs = adj_[u];
+    auto record = [&](NodeId v, std::vector<graph::Edge>& out) {
+      if (moved_now_[v] == 0 || u < v) {
+        out.emplace_back(std::min(u, v), std::max(u, v));
+      }
+    };
+    std::size_t i = 0, j = 0;
+    while (i < old_nbrs.size() || j < new_nbrs_.size()) {
+      if (j == new_nbrs_.size() || (i < old_nbrs.size() && old_nbrs[i] < new_nbrs_[j])) {
+        record(old_nbrs[i++], downs_);
+      } else if (i == old_nbrs.size() || new_nbrs_[j] < old_nbrs[i]) {
+        record(new_nbrs_[j++], ups_);
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+  }
+  for (const NodeId v : moved_scratch_) moved_now_[v] = 0;
+
+  // Apply the delta to both endpoints' adjacency lists (sorted insert/erase).
+  for (const auto& [a, b] : ups_) {
+    auto& na = adj_[a];
+    na.insert(std::lower_bound(na.begin(), na.end(), b), b);
+    auto& nb = adj_[b];
+    nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
+  }
+  for (const auto& [a, b] : downs_) {
+    auto& na = adj_[a];
+    na.erase(std::lower_bound(na.begin(), na.end(), b));
+    auto& nb = adj_[b];
+    nb.erase(std::lower_bound(nb.begin(), nb.end(), a));
+  }
+
+  refresh_graphs(/*raw_dirty=*/!ups_.empty() || !downs_.empty());
+
+  // Re-anchor the grid once enough nodes drifted beyond the slack; point
+  // queries degrade (the stale list is scanned per moved node) before
+  // correctness ever would.
+  if (stale_list_.size() > std::max<Size>(16, n / 8)) {
+    grid_.rebuild(cur_pos_);
+    anchor_pos_ = cur_pos_;
+    std::fill(stale_.begin(), stale_.end(), 0);
+    stale_list_.clear();
+  }
+  return graph();
 }
 
 }  // namespace manet::net

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "geom/spatial_grid.hpp"
@@ -12,13 +13,24 @@
 /// |p_u - p_v| <= R_TX. Built through a spatial hash grid, so topology
 /// resampling is O(|V| + |E|) expected — the inner loop of every mobile
 /// experiment.
+///
+/// Two entry points are provided:
+///   - build():  stateless full rescan (the historical path);
+///   - update(): incremental delta maintenance. Only nodes whose position
+///     changed since the previous update() are re-evaluated, and the builder
+///     reports the resulting edge ups/downs plus whether the graph changed
+///     at all. The edge set is maintained *exactly* (membership is always
+///     decided by the true current distance), so update() is bit-identical
+///     to a full rebuild at every tick — the change-gated tick pipeline in
+///     exp/simulation.cpp relies on this.
 
 namespace manet::net {
 
 /// One-shot build (allocates its own grid).
 graph::Graph build_unit_disk_graph(const std::vector<geom::Vec2>& positions, double tx_radius);
 
-/// Reusable builder: keeps the spatial grid and edge buffer across ticks.
+/// Reusable builder: keeps the spatial grid, adjacency and edge buffers
+/// across ticks.
 class UnitDiskBuilder {
  public:
   /// \p ensure_connected: when the sampled unit-disk graph fragments
@@ -29,21 +41,88 @@ class UnitDiskBuilder {
   /// still reaches the network through its nearest neighbor at a higher
   /// power level. The number of augmented edges per snapshot is reported
   /// so experiments can verify the correction stays marginal.
-  explicit UnitDiskBuilder(double tx_radius, bool ensure_connected = false);
+  ///
+  /// \p slack_factor: grid-anchoring slack for the incremental path, as a
+  /// fraction of R_TX. A node's grid bucket is refreshed only once it has
+  /// drifted more than slack from its anchored position; neighbor queries
+  /// widen their radius by the same slack so no candidate is ever missed.
+  /// The slack trades grid-maintenance churn against slightly larger
+  /// candidate sets — it never affects the produced edge set, which is
+  /// always decided by exact current distances.
+  explicit UnitDiskBuilder(double tx_radius, bool ensure_connected = false,
+                           double slack_factor = 0.5);
 
+  /// Full rescan. Invalidates any incremental state, so interleaving
+  /// build() and update() is safe (the next update() re-seeds itself).
   graph::Graph build(const std::vector<geom::Vec2>& positions);
+
+  /// Incremental maintenance: re-evaluates only nodes whose position
+  /// changed since the last update() (exact comparison — bit-identity
+  /// forbids a movement threshold here) and returns the maintained graph.
+  /// The first call, a node-count change, or a call after build() seeds a
+  /// full rescan. When more than a quarter of the nodes moved, the builder
+  /// falls back to a full rescan internally (cheaper than point updates,
+  /// still emitting an exact delta).
+  const graph::Graph& update(const std::vector<geom::Vec2>& positions);
+
+  /// The graph maintained by update(). Valid until the next build()/update().
+  const graph::Graph& graph() const { return augmented_ ? aug_graph_ : raw_graph_; }
+
+  /// Whether the last update() changed the edge set (including augmentation
+  /// bridges). The first update() after a (re)seed reports true.
+  bool changed() const { return changed_; }
+
+  /// Nodes whose position changed in the last update().
+  Size last_moved_nodes() const { return last_moved_; }
+
+  /// Raw unit-disk edge ups/downs from the last update() (canonical u < v
+  /// pairs; augmentation bridges are excluded). After an internal full
+  /// rescan these are the exact diff against the previous edge set.
+  const std::vector<graph::Edge>& links_up() const { return ups_; }
+  const std::vector<graph::Edge>& links_down() const { return downs_; }
 
   double tx_radius() const { return tx_radius_; }
 
-  /// Edges added by connectivity augmentation in the last build() call.
+  /// Edges added by connectivity augmentation in the last build()/update()
+  /// snapshot (update() carries the standing count across unchanged ticks).
   Size last_augmented_edges() const { return last_augmented_; }
 
  private:
+  /// Re-seed all incremental state from a full rescan of \p positions.
+  void full_reset(const std::vector<geom::Vec2>& positions);
+  /// Rebuild raw_graph_ (when \p raw_dirty) and the augmentation layer;
+  /// sets changed_ / last_augmented_.
+  void refresh_graphs(bool raw_dirty);
+  /// Append the component bridges for \p raw to \p bridges (closest-pair
+  /// rule; shared by the full and incremental paths).
+  void compute_bridges(const std::vector<geom::Vec2>& positions, const graph::Graph& raw,
+                       std::vector<graph::Edge>& bridges) const;
+
   double tx_radius_;
   bool ensure_connected_;
+  double slack_;
   geom::SpatialGrid grid_;
   std::vector<graph::Edge> edge_buffer_;
   Size last_augmented_ = 0;
+
+  // --- Incremental state (valid while inc_valid_) ---
+  bool inc_valid_ = false;
+  std::vector<geom::Vec2> cur_pos_;        ///< positions at the last update()
+  std::vector<geom::Vec2> anchor_pos_;     ///< positions the grid is built over
+  std::vector<std::vector<NodeId>> adj_;   ///< sorted raw adjacency lists
+  std::vector<std::uint8_t> stale_;        ///< drifted > slack from anchor
+  std::vector<NodeId> stale_list_;
+  std::vector<std::uint8_t> moved_now_;
+  graph::Graph raw_graph_;
+  graph::Graph aug_graph_;
+  std::vector<graph::Edge> bridges_;
+  bool augmented_ = false;
+  bool changed_ = false;
+  Size last_moved_ = 0;
+  std::vector<graph::Edge> ups_, downs_;
+  // Scratch reused across ticks so steady-state updates allocate nothing.
+  std::vector<NodeId> moved_scratch_, nbr_scratch_, new_nbrs_;
+  std::vector<graph::Edge> old_edges_scratch_, bridge_scratch_, combine_scratch_;
 };
 
 }  // namespace manet::net

@@ -26,10 +26,17 @@ Engine::RecurringHandle Engine::schedule_every(Time period, EventFn fn) {
   // stop_recurring() takes effect at the next tick boundary. The engine owns
   // the closure via recurring_ticks_; the queued copies capture only a weak
   // reference so the schedule cannot keep itself alive once retired.
+  //
+  // The k-th firing is placed at origin + k * period (one multiply, one
+  // rounding) rather than by accumulating now() + period: summed rounding
+  // error in the accumulation drifts for periods with no exact binary
+  // representation and can skip or repeat a firing against a run horizon.
   auto tick = std::make_shared<EventFn>();
   auto shared_fn = std::make_shared<EventFn>(std::move(fn));
   std::weak_ptr<EventFn> weak_tick = tick;
-  *tick = [this, token, period, shared_fn, weak_tick]() {
+  const Time origin = now_;
+  auto fired = std::make_shared<std::uint64_t>(0);
+  *tick = [this, token, period, origin, fired, shared_fn, weak_tick]() {
     const auto it = recurring_alive_.find(token);
     if (it == recurring_alive_.end() || !it->second) {
       recurring_alive_.erase(token);
@@ -37,9 +44,12 @@ Engine::RecurringHandle Engine::schedule_every(Time period, EventFn fn) {
       return;
     }
     (*shared_fn)();
-    if (auto self = weak_tick.lock()) schedule_in(period, *self);
+    if (auto self = weak_tick.lock()) {
+      ++*fired;
+      schedule_at(origin + static_cast<Time>(*fired + 1) * period, *self);
+    }
   };
-  schedule_in(period, *tick);
+  schedule_at(origin + period, *tick);
   recurring_ticks_.emplace(token, std::move(tick));
   return RecurringHandle{token};
 }

@@ -192,5 +192,41 @@ TEST(Hierarchy, DeterministicForFixedInput) {
   }
 }
 
+TEST(Hierarchy, ReuseSnapshotIsBitIdenticalToFreshBuild) {
+  // The memoized build path (reuse = previous hierarchy) must produce the
+  // exact structure a from-scratch build does, both when the input is
+  // unchanged and after a perturbation invalidates some prefix of levels.
+  auto d = make_deployment(250, 17);
+  const HierarchyBuilder builder;
+  const auto h0 = builder.build(d.g);
+
+  auto expect_same = [](const Hierarchy& a, const Hierarchy& b) {
+    ASSERT_EQ(a.level_count(), b.level_count());
+    for (Level k = 0; k <= a.top_level(); ++k) {
+      EXPECT_EQ(a.level(k).ids, b.level(k).ids) << "level " << k;
+      EXPECT_EQ(a.level(k).parent, b.level(k).parent) << "level " << k;
+      EXPECT_EQ(a.level(k).node0, b.level(k).node0) << "level " << k;
+      ASSERT_EQ(a.level(k).topo.edge_count(), b.level(k).topo.edge_count()) << "level " << k;
+      EXPECT_TRUE(std::equal(a.level(k).topo.edges().begin(), a.level(k).topo.edges().end(),
+                             b.level(k).topo.edges().begin()))
+          << "level " << k;
+    }
+    for (NodeId v = 0; v < a.level(0).ids.size(); ++v) {
+      EXPECT_EQ(a.address(v), b.address(v));
+    }
+  };
+
+  // Unchanged input: full memo hit.
+  expect_same(builder.build(d.g, {}, {}, &h0), builder.build(d.g));
+
+  // Perturbed input: drop one node's edges so level-0 membership shifts.
+  std::vector<graph::Edge> kept;
+  for (const auto& e : d.g.edges()) {
+    if (e.first != 3 && e.second != 3) kept.push_back(e);
+  }
+  const graph::Graph g2(d.g.vertex_count(), kept);
+  expect_same(builder.build(g2, {}, {}, &h0), builder.build(g2));
+}
+
 }  // namespace
 }  // namespace manet::cluster

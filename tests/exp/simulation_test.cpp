@@ -146,6 +146,56 @@ TEST(RunSimulation, TenureMetricsTrackedWithStates) {
   EXPECT_GT(t1, 0.0);
 }
 
+TEST(RunSimulation, Connected0ReflectsRawDraw) {
+  // Sparse regression for the dead retry loop: at mean degree 2 the raw draw
+  // fragments with near-certainty, and with a single attempt the metric must
+  // say so. The builder's augmentation bridges used to mask this — the old
+  // is_connected(g0) check could never fail, so connected0 was always 1.
+  auto cfg = quick_config(80, 5);
+  cfg.target_degree = 2.0;
+  cfg.connect_attempts = 1;
+  cfg.duration = 5.0;
+  const auto m = run_simulation(cfg);
+  EXPECT_DOUBLE_EQ(m.get("connected0"), 0.0);
+  EXPECT_GT(m.get("augmented_per_tick"), 0.0);
+}
+
+TEST(RunSimulation, Connected0SetWhenDenseDrawConnects) {
+  const auto m = run_simulation(quick_config(150, 2));
+  EXPECT_DOUBLE_EQ(m.get("connected0"), 1.0);
+}
+
+TEST(RunSimulation, SparseRetryLoopActuallyRetries) {
+  // With retries enabled the runner must land on a different deployment than
+  // the single-attempt run of the same base seed (the derived-seed retry
+  // path was unreachable before the fix).
+  auto one = quick_config(80, 5);
+  one.target_degree = 2.0;
+  one.connect_attempts = 1;
+  one.duration = 5.0;
+  auto many = one;
+  many.connect_attempts = 8;
+  const auto a = run_simulation(one);
+  const auto b = run_simulation(many);
+  EXPECT_NE(a.get("f0"), b.get("f0"));
+}
+
+TEST(RunSimulation, TickCountExactOnLongFractionalHorizons) {
+  // 0.1 has no exact binary representation; the old warmup/tick loops
+  // accumulated it and could drift a full tick off over long horizons. The
+  // measured sample count must be exactly duration / tick.
+  auto cfg = quick_config(60, 31);
+  cfg.tick = 0.1;
+  cfg.warmup = 12.3;
+  cfg.duration = 30.0;
+  const auto m = run_simulation(cfg);
+  EXPECT_DOUBLE_EQ(m.get("ticks"), 300.0);
+
+  cfg.duration = 60.0;
+  const auto longer = run_simulation(cfg);
+  EXPECT_DOUBLE_EQ(longer.get("ticks"), 600.0);
+}
+
 TEST(RunSimulation, GroupMobilityRuns) {
   auto cfg = quick_config(160, 24);
   cfg.mobility = MobilityKind::kGroup;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -74,6 +76,142 @@ TEST(UnitDisk, NoAugmentationWhenAlreadyConnected) {
   const auto g = bridged.build({{0, 0}, {0.5, 0}, {1.0, 0}});
   EXPECT_TRUE(graph::is_connected(g));
   EXPECT_EQ(bridged.last_augmented_edges(), 0u);
+}
+
+TEST(UnitDiskIncremental, UpdateMatchesBuildUnderRandomMotion) {
+  // The incremental maintenance contract: at every tick, update() must yield
+  // the exact edge set a full build() over the same positions produces —
+  // including augmentation bridges — and the reported ups/downs must be the
+  // exact raw-edge delta. Motion mixes small jiggles (point-update path),
+  // frozen subsets (empty-delta path) and bulk moves (full-rescan fallback).
+  common::Xoshiro256 rng(41);
+  const geom::DiskRegion region({0, 0}, 8.0);
+  const double radius = 1.3;
+  std::vector<geom::Vec2> pts(160);
+  for (auto& p : pts) p = region.sample(rng);
+
+  for (const bool bridged : {false, true}) {
+    UnitDiskBuilder reference(radius, bridged);
+    UnitDiskBuilder incremental(radius, bridged);
+    std::vector<graph::Edge> prev_raw;
+    for (int step = 0; step < 40; ++step) {
+      if (step > 0) {
+        const double frac = step % 7 == 0 ? 0.6 : (step % 3 == 0 ? 0.0 : 0.15);
+        for (auto& p : pts) {
+          if (common::uniform01(rng) >= frac) continue;
+          p.x += common::uniform(rng, -0.4, 0.4);
+          p.y += common::uniform(rng, -0.4, 0.4);
+        }
+      }
+      const auto expected = reference.build(pts);
+      const auto& got = incremental.update(pts);
+      ASSERT_EQ(expected.edge_count(), got.edge_count()) << "step " << step;
+      ASSERT_TRUE(std::equal(expected.edges().begin(), expected.edges().end(),
+                             got.edges().begin()))
+          << "bridged=" << bridged << " step " << step;
+      EXPECT_EQ(reference.last_augmented_edges(), incremental.last_augmented_edges());
+
+      // Replay the reported delta over the previous raw edge set.
+      if (step > 0) {
+        std::vector<graph::Edge> replayed = prev_raw;
+        for (const auto& e : incremental.links_down()) {
+          const auto it = std::find(replayed.begin(), replayed.end(), e);
+          ASSERT_TRUE(it != replayed.end()) << "down edge never existed";
+          replayed.erase(it);
+        }
+        for (const auto& e : incremental.links_up()) {
+          ASSERT_TRUE(std::find(replayed.begin(), replayed.end(), e) == replayed.end())
+              << "up edge already present";
+          replayed.push_back(e);
+        }
+        std::sort(replayed.begin(), replayed.end());
+        UnitDiskBuilder raw_ref(radius, /*ensure_connected=*/false);
+        const auto raw_now = raw_ref.build(pts);
+        ASSERT_EQ(replayed.size(), raw_now.edges().size()) << "step " << step;
+        EXPECT_TRUE(std::equal(replayed.begin(), replayed.end(), raw_now.edges().begin()));
+        prev_raw = replayed;
+      } else {
+        UnitDiskBuilder raw_ref(radius, /*ensure_connected=*/false);
+        const auto raw_now = raw_ref.build(pts);
+        prev_raw.assign(raw_now.edges().begin(), raw_now.edges().end());
+      }
+    }
+  }
+}
+
+TEST(UnitDiskIncremental, UnmovedTickReportsNoChange) {
+  common::Xoshiro256 rng(5);
+  const geom::DiskRegion region({0, 0}, 5.0);
+  std::vector<geom::Vec2> pts(60);
+  for (auto& p : pts) p = region.sample(rng);
+
+  UnitDiskBuilder builder(1.2);
+  (void)builder.update(pts);
+  EXPECT_TRUE(builder.changed());  // the seeding update counts as new topology
+
+  const auto& g = builder.update(pts);
+  EXPECT_FALSE(builder.changed());
+  EXPECT_EQ(builder.last_moved_nodes(), 0u);
+  EXPECT_TRUE(builder.links_up().empty());
+  EXPECT_TRUE(builder.links_down().empty());
+  EXPECT_EQ(g.edge_count(), builder.graph().edge_count());
+}
+
+TEST(UnitDiskIncremental, BuildInvalidatesIncrementalState) {
+  UnitDiskBuilder builder(1.0);
+  (void)builder.update({{0, 0}, {0.5, 0}});
+  (void)builder.build({{0, 0}, {5.0, 0}});  // stateless detour
+  const auto& g = builder.update({{0, 0}, {0.5, 0}});
+  EXPECT_TRUE(builder.changed());  // re-seeded, treated as new
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(UnitDiskIncremental, BridgeMotionAloneReportsChange) {
+  // Two 2-node components; the raw edge set never changes, but swapping the
+  // positions inside the far component flips which node is the closest-pair
+  // bridge endpoint. The augmented graph changed, and changed() must say so
+  // even with an empty raw delta.
+  std::vector<geom::Vec2> pts{{0, 0}, {0.5, 0}, {10.0, 0}, {10.5, 0}};
+  UnitDiskBuilder builder(1.0, /*ensure_connected=*/true);
+  const auto& g1 = builder.update(pts);
+  EXPECT_TRUE(g1.has_edge(1, 2));
+  EXPECT_EQ(builder.last_augmented_edges(), 1u);
+
+  pts[2] = {10.5, 0};
+  pts[3] = {10.0, 0};
+  const auto& g2 = builder.update(pts);
+  EXPECT_TRUE(builder.changed());
+  EXPECT_TRUE(builder.links_up().empty());
+  EXPECT_TRUE(builder.links_down().empty());
+  EXPECT_TRUE(g2.has_edge(1, 3));
+  EXPECT_FALSE(g2.has_edge(1, 2));
+  EXPECT_EQ(builder.last_augmented_edges(), 1u);
+}
+
+TEST(UnitDiskIncremental, LargeDriftTriggersExactFallback) {
+  // Move well over a quarter of the nodes far enough to rewire everything:
+  // the internal full-rescan fallback must still report the exact delta.
+  common::Xoshiro256 rng(9);
+  const geom::DiskRegion region({0, 0}, 6.0);
+  std::vector<geom::Vec2> pts(80);
+  for (auto& p : pts) p = region.sample(rng);
+
+  UnitDiskBuilder builder(1.4);
+  const auto& g1 = builder.update(pts);
+  std::vector<graph::Edge> before(g1.edges().begin(), g1.edges().end());
+
+  for (auto& p : pts) p = region.sample(rng);  // every node teleports
+  const auto& g2 = builder.update(pts);
+  EXPECT_EQ(builder.last_moved_nodes(), pts.size());
+
+  std::vector<graph::Edge> after(g2.edges().begin(), g2.edges().end());
+  std::vector<graph::Edge> ups, downs;
+  std::set_difference(after.begin(), after.end(), before.begin(), before.end(),
+                      std::back_inserter(ups));
+  std::set_difference(before.begin(), before.end(), after.begin(), after.end(),
+                      std::back_inserter(downs));
+  EXPECT_EQ(builder.links_up(), ups);
+  EXPECT_EQ(builder.links_down(), downs);
 }
 
 TEST(UnitDisk, ConnectivityRadiusYieldsConnectedDeployments) {

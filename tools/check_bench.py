@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Throughput-regression gate for bench artifacts.
+
+Compares a freshly produced ``BENCH_<name>.json`` (schema
+``manet-bench-artifact/1``) against a committed baseline and fails when any
+``ticks_per_sec_*`` series point regressed by more than the threshold
+(default 20%). Absolute ticks/sec is machine-dependent, so the committed
+baseline is only a tripwire for order-of-magnitude regressions on comparable
+hardware — the machine-independent invariants (the incremental speedup and
+bit-identity) are enforced by the bench binary itself and by
+tests/integration/tick_pipeline_test.
+
+Exit codes: 0 ok, 1 regression or malformed input, 77 artifact missing
+(bench not run; registered with SKIP_RETURN_CODE 77 so ctest reports a skip).
+
+Usage: check_bench.py ARTIFACT BASELINE [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+SKIP = 77
+SCHEMA = "manet-bench-artifact/1"
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench: cannot read {path}: {err}", file=sys.stderr)
+        return None
+    if doc.get("schema") != SCHEMA:
+        print(f"check_bench: {path}: unexpected schema {doc.get('schema')!r}",
+              file=sys.stderr)
+        return None
+    return doc
+
+
+def series_points(doc, name):
+    """Map n -> mean for one series."""
+    return {p["n"]: p["mean"] for p in doc.get("series", {}).get(name, [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional ticks/sec drop (default 0.20)")
+    args = parser.parse_args()
+
+    try:
+        artifact_file = open(args.artifact, encoding="utf-8")
+    except FileNotFoundError:
+        print(f"check_bench: {args.artifact} not found — run the bench first "
+              "(skipping)")
+        return SKIP
+    artifact_file.close()
+
+    artifact = load(args.artifact)
+    baseline = load(args.baseline)
+    if artifact is None or baseline is None:
+        return 1
+
+    throughput_series = sorted(
+        name for name in baseline.get("series", {})
+        if name.startswith("ticks_per_sec_"))
+    if not throughput_series:
+        print("check_bench: baseline has no ticks_per_sec_* series",
+              file=sys.stderr)
+        return 1
+
+    status = 0
+    checked = 0
+    for name in throughput_series:
+        base_points = series_points(baseline, name)
+        new_points = series_points(artifact, name)
+        for n, base_mean in sorted(base_points.items()):
+            if n not in new_points:
+                print(f"check_bench: FAIL {name} lost its n={n:g} point",
+                      file=sys.stderr)
+                status = 1
+                continue
+            new_mean = new_points[n]
+            checked += 1
+            if base_mean <= 0:
+                continue
+            drop = 1.0 - new_mean / base_mean
+            verdict = "ok"
+            if drop > args.threshold:
+                verdict = "FAIL"
+                status = 1
+            print(f"check_bench: {verdict} {name} n={n:g} "
+                  f"baseline={base_mean:.4g} now={new_mean:.4g} "
+                  f"({-drop:+.1%})")
+
+    violations = artifact.get("scalars", {}).get("identity_violations")
+    if violations:
+        print(f"check_bench: FAIL artifact reports {violations:g} "
+              "identity violations", file=sys.stderr)
+        status = 1
+
+    if status == 0:
+        print(f"check_bench: OK ({checked} points within "
+              f"{args.threshold:.0%} of baseline)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

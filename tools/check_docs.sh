@@ -59,7 +59,23 @@ for sym in FaultConfig LossyChannel ReliableTransfer MANET_SANITIZE; do
         fail "docs/ARCHITECTURE.md fault chapter no longer mentions $sym"
 done
 
-# 5. The dynamic resilience experiment is documented.
+# 5. The incremental tick pipeline is documented: the architecture chapter
+#    exists and names the load-bearing pieces, and the bench + regression
+#    gate are described in EXPERIMENTS.md.
+grep -q '^## Incremental tick pipeline' "$arch" ||
+    fail "docs/ARCHITECTURE.md lost its 'Incremental tick pipeline' chapter"
+for sym in incremental_tick UnitDiskBuilder::update bit-identical tick_pipeline_test; do
+    grep -q "$sym" "$arch" ||
+        fail "docs/ARCHITECTURE.md tick-pipeline chapter no longer mentions $sym"
+done
+grep -q 'bench_tick_pipeline' "$experiments" ||
+    fail "EXPERIMENTS.md lost its bench_tick_pipeline section"
+grep -q 'check_bench.py' "$experiments" ||
+    fail "EXPERIMENTS.md must describe the check_bench.py regression gate"
+[ -f "$root/tools/baselines/BENCH_tick_pipeline.json" ] ||
+    fail "tools/baselines/BENCH_tick_pipeline.json baseline is missing"
+
+# 6. The dynamic resilience experiment is documented.
 grep -q 'E21-dynamic' "$experiments" ||
     fail "EXPERIMENTS.md lost its E21-dynamic section"
 grep -q 'manet-resilience/1' "$experiments" ||
