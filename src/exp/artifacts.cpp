@@ -1,6 +1,7 @@
 #include "exp/artifacts.hpp"
 
 #include <cmath>
+#include <limits>
 
 #ifndef MANET_GIT_SHA
 #define MANET_GIT_SHA "unknown"
@@ -231,6 +232,27 @@ bool resilience_from_json(const analysis::JsonValue& v, ResilienceReport& out) {
   out.query_success_mean = v.number_or("query_success_mean", 0.0);
   out.crashes = v.number_or("crashes", 0.0);
   out.rejoins = v.number_or("rejoins", 0.0);
+  return true;
+}
+
+void write_run_metrics_json(analysis::JsonWriter& w, const RunMetrics& metrics) {
+  w.begin_object();
+  for (const auto& [name, value] : metrics.values) w.field(name, value);
+  w.end_object();
+}
+
+bool run_metrics_from_json(const analysis::JsonValue& v, RunMetrics& out) {
+  if (!v.is_object()) return false;
+  out = RunMetrics{};
+  for (const auto& [name, value] : v.members) {
+    if (value.is_number()) {
+      out.set(name, value.number);
+    } else if (value.kind == analysis::JsonValue::Kind::kNull) {
+      out.set(name, std::numeric_limits<double>::quiet_NaN());  // NaN wrote as null
+    } else {
+      return false;
+    }
+  }
   return true;
 }
 

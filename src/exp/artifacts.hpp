@@ -86,6 +86,15 @@ struct ResilienceReport {
 void write_resilience_json(analysis::JsonWriter& w, const ResilienceReport& report);
 bool resilience_from_json(const analysis::JsonValue& v, ResilienceReport& out);
 
+/// RunMetrics <-> JSON: an object whose member order is the metric emission
+/// order (duplicate names preserved — first occurrence wins on lookup, but
+/// every entry re-enters aggregation exactly as it would in-process).
+/// Values render as %.17g so doubles round-trip bit-exactly; NaN renders as
+/// null and reads back as NaN. This is the payload of campaign unit
+/// checkpoints (exp/campaign_runner.hpp).
+void write_run_metrics_json(analysis::JsonWriter& w, const RunMetrics& metrics);
+bool run_metrics_from_json(const analysis::JsonValue& v, RunMetrics& out);
+
 /// One aggregated sweep point for artifact series.
 struct SeriesPoint {
   double n = 0.0;

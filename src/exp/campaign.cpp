@@ -3,34 +3,64 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace manet::exp {
 
-void Campaign::series(const std::string& metric, std::vector<double>& ns,
+namespace {
+
+void warn_dropped(const std::string& metric, const std::vector<Size>& dropped_ns,
+                  Size total_points) {
+  if (dropped_ns.empty()) return;
+  std::string message = "campaign: metric '" + metric + "' absent at n=";
+  for (Size i = 0; i < dropped_ns.size(); ++i) {
+    if (i > 0) message += ",";
+    message += std::to_string(dropped_ns[i]);
+  }
+  message += " (" + std::to_string(dropped_ns.size()) + " of " +
+             std::to_string(total_points) + " sweep points dropped from the series)";
+  common::log_warn(message);
+}
+
+}  // namespace
+
+Size Campaign::series(const std::string& metric, std::vector<double>& ns,
                       std::vector<double>& ys) const {
   ns.clear();
   ys.clear();
+  std::vector<Size> dropped;
   for (const auto& point : points) {
     const double y = point.metrics.mean(metric);
-    if (std::isnan(y)) continue;
+    if (std::isnan(y)) {
+      dropped.push_back(point.n);
+      continue;
+    }
     ns.push_back(static_cast<double>(point.n));
     ys.push_back(y);
   }
+  warn_dropped(metric, dropped, points.size());
+  return dropped.size();
 }
 
-void Campaign::series_with_error(const std::string& metric, std::vector<double>& ns,
+Size Campaign::series_with_error(const std::string& metric, std::vector<double>& ns,
                                  std::vector<double>& ys,
                                  std::vector<double>& stderrs) const {
   ns.clear();
   ys.clear();
   stderrs.clear();
+  std::vector<Size> dropped;
   for (const auto& point : points) {
     const auto s = point.metrics.summary(metric);
-    if (s.count == 0) continue;
+    if (s.count == 0) {
+      dropped.push_back(point.n);
+      continue;
+    }
     ns.push_back(static_cast<double>(point.n));
     ys.push_back(s.mean);
     stderrs.push_back(s.ci95 / 1.96);
   }
+  warn_dropped(metric, dropped, points.size());
+  return dropped.size();
 }
 
 Campaign sweep_node_count(const ScenarioConfig& base, std::span<const Size> node_counts,

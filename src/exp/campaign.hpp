@@ -21,11 +21,15 @@ struct Campaign {
   std::vector<SweepPoint> points;
 
   /// Extract the (n, mean metric) series over points that carry the metric.
-  void series(const std::string& metric, std::vector<double>& ns,
+  /// Points where the metric is absent (AggregatedMetrics::mean returns NaN)
+  /// are excluded from the series; the number of excluded points is returned
+  /// and a warning naming the metric and the affected node counts is logged
+  /// through common::log, so a sweep plot can never thin silently.
+  Size series(const std::string& metric, std::vector<double>& ns,
               std::vector<double>& ys) const;
 
   /// Same, plus the standard error of each mean (for bootstrap fits).
-  void series_with_error(const std::string& metric, std::vector<double>& ns,
+  Size series_with_error(const std::string& metric, std::vector<double>& ns,
                          std::vector<double>& ys, std::vector<double>& stderrs) const;
 };
 

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/artifacts.hpp"
+#include "exp/campaign.hpp"
+
+/// \file campaign_runner.hpp
+/// Checkpointable campaign orchestration: the resumable, shardable driver
+/// behind `manet_sim campaign` (user guide: docs/CAMPAIGNS.md).
+///
+/// A campaign decomposes into addressable **work units** — one per
+/// (sweep point, replication block) — executed via the same deterministic
+/// seed derivation as run_replications. Each completed unit writes a durable
+/// JSON checkpoint (schema `manet-campaign-unit/1`, atomic temp-file +
+/// rename) holding the *raw* per-replication metric vectors; the merge step
+/// replays them into AggregatedMetrics in global replication-index order, so
+/// the merged Campaign is bit-identical to the single-process
+/// sweep_node_count path regardless of thread count, interruption point,
+/// shard split or resume order (enforced by
+/// tests/integration/campaign_resume_test.cpp).
+///
+/// On-disk layout of a campaign directory:
+///   <dir>/campaign.json          manifest: schema manet-campaign/1
+///                                (fingerprint + embedded spec + unit ledger)
+///   <dir>/units/<unit-id>.json   one checkpoint per completed work unit
+///   <dir>/CAMPAIGN_<name>.json   merged artifact (manet-bench-artifact/1),
+///                                written by the merge step
+
+namespace manet::exp {
+
+/// Campaign specification: scenario x sweep x replications, decomposed into
+/// work units of at most `block` replications (schema `manet-campaign-spec/1`
+/// as a standalone file; embedded verbatim in the campaign manifest).
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<std::string> args;  ///< manet_sim scenario/measurement flags
+  std::vector<Size> sweep;        ///< node counts, one sweep point each
+  Size replications = 1;          ///< per sweep point
+  Size block = 8;                 ///< replications per work unit (last may be short)
+
+  ScenarioConfig scenario;  ///< parsed from args (n overridden per point)
+  RunOptions options;       ///< parsed from args
+
+  Size blocks_per_point() const;
+  Size unit_count() const;
+
+  /// Stable 64-bit content hash (hex) over everything that determines the
+  /// results: name, args, resolved scenario, sweep, replications, block.
+  /// Checkpoints carry it so a resume can never mix two campaigns.
+  std::string fingerprint() const;
+
+  /// Serialize as a manet-campaign-spec/1 document (args verbatim, so a
+  /// round-trip through campaign.json re-parses to an identical spec).
+  void write_json(analysis::JsonWriter& w) const;
+
+  /// Parse and validate a spec document; re-parses `args` through parse_cli
+  /// (unknown flags fail exactly as they do on the command line). Campaign-
+  /// level flags (--sweep, --reps, --csv, --json, --metrics-json, --trace)
+  /// are rejected inside args: they have spec-field equivalents or apply to
+  /// single runs only.
+  static bool from_json(const analysis::JsonValue& v, CampaignSpec& out,
+                        std::string& error);
+
+  /// Read + parse a spec file from disk.
+  static bool load(const std::string& path, CampaignSpec& out, std::string& error);
+};
+
+/// One addressable work unit: `scenario x n x replication-block`.
+struct WorkUnit {
+  Size index = 0;      ///< position in the unit ledger (plan order)
+  Size point = 0;      ///< index into CampaignSpec::sweep
+  Size n = 0;          ///< node count of the sweep point
+  Size block = 0;      ///< block index within the point
+  Size rep_begin = 0;  ///< global replication range [rep_begin, rep_end)
+  Size rep_end = 0;
+
+  /// Stable checkpoint basename, e.g. "u0007-n512-b02".
+  std::string id() const;
+};
+
+/// A completed unit: raw per-replication metric vectors, in index order.
+struct UnitRecord {
+  WorkUnit unit;
+  std::vector<RunMetrics> replications;
+  double wall_seconds = 0.0;
+};
+
+/// Execute one unit in-process (the primitive CampaignRunner::run loops
+/// over): replications [rep_begin, rep_end) of the spec scenario at unit.n.
+UnitRecord run_unit(const CampaignSpec& spec, const WorkUnit& unit,
+                    common::ThreadPool* pool = nullptr);
+
+/// Checkpoint path for a unit: <dir>/units/<unit.id()>.json.
+std::string unit_checkpoint_path(const std::string& dir, const WorkUnit& unit);
+
+/// Write a unit checkpoint atomically (temp file + rename), so a crash can
+/// never leave a torn record that a later resume would trust.
+bool write_unit_checkpoint(const std::string& dir, const CampaignSpec& spec,
+                           const UnitRecord& record, std::string& error);
+
+/// Strict read-back: schema, campaign fingerprint, unit coordinates and
+/// replication count are all validated against \p spec.
+bool read_unit_checkpoint(const std::string& path, const CampaignSpec& spec,
+                          UnitRecord& out, std::string& error);
+
+/// Write / read <dir>/campaign.json (schema manet-campaign/1: fingerprint,
+/// git SHA, embedded spec, unit ledger). Reading re-derives the spec from
+/// the embedded document, so `--resume <dir>` works without the spec file.
+bool write_campaign_manifest(const std::string& dir, const CampaignSpec& spec,
+                             std::string& error);
+bool read_campaign_manifest(const std::string& dir, CampaignSpec& out,
+                            std::string& error);
+
+/// Write the merged campaign as a BENCH_*-style artifact (schema
+/// manet-bench-artifact/1): manifest + one series per metric name + unit
+/// bookkeeping scalars.
+bool write_campaign_artifact(const std::string& path, const CampaignSpec& spec,
+                             const Campaign& campaign, double wall_seconds,
+                             Size thread_count, std::string& error);
+
+class CampaignRunner {
+ public:
+  /// Binds a spec to a campaign directory. The directory is only created /
+  /// written by run(); plan(), completed_units() and merge() never write.
+  CampaignRunner(CampaignSpec spec, std::string dir);
+
+  const CampaignSpec& spec() const { return spec_; }
+  const std::string& dir() const { return dir_; }
+
+  /// The unit ledger: every work unit of the campaign, in execution order
+  /// (sweep points outer, replication blocks inner — i.e. global
+  /// replication-index order within each point).
+  const std::vector<WorkUnit>& plan() const { return ledger_; }
+
+  /// Per-ledger-entry completion flags from a checkpoint scan of dir().
+  /// Invalid or foreign checkpoint files count as incomplete (a warning is
+  /// logged); missing directories mean nothing is complete.
+  std::vector<bool> completed_units() const;
+
+  struct RunConfig {
+    Size shard_index = 0;  ///< this process owns units with index % shard_count
+    Size shard_count = 1;  ///<   == shard_index (the --shard i/k split)
+    bool resume = false;   ///< skip checkpointed units instead of failing
+    Size max_units = 0;    ///< stop after executing N units (0 = no limit)
+    common::ThreadPool* pool = nullptr;  ///< fans replications within a unit
+    /// Called after each owned unit is checkpointed (or skipped) with the
+    /// number of owned units done so far and the owned total.
+    std::function<void(const WorkUnit&, Size done, Size total)> progress;
+  };
+
+  struct RunReport {
+    Size executed = 0;  ///< units run and checkpointed by this invocation
+    Size skipped = 0;   ///< owned units already checkpointed (resume)
+    Size total = 0;     ///< units owned by this shard
+    bool ok = false;
+    std::string error;  ///< set when !ok
+  };
+
+  /// Execute this shard's not-yet-checkpointed units in ledger order:
+  /// creates dir(), writes campaign.json (validating the fingerprint when
+  /// one already exists), then one checkpoint per unit. Without
+  /// `config.resume`, pre-existing checkpoints for owned units are an error.
+  RunReport run(const RunConfig& config);
+  RunReport run() { return run(RunConfig{}); }
+
+  struct MergeResult {
+    Campaign campaign;          ///< valid only when ok
+    Size units = 0;             ///< checkpoints merged
+    std::vector<Size> missing;  ///< ledger indices without a checkpoint (gaps)
+    std::vector<std::string> stray;  ///< unit files matching no ledger entry
+    bool ok = false;
+    std::string error;
+  };
+
+  /// Validate coverage (no gaps, no strays/duplicates, fingerprints match)
+  /// and merge every checkpoint in ledger order. The result is bit-identical
+  /// to sweep_node_count over the same spec.
+  MergeResult merge() const;
+
+ private:
+  CampaignSpec spec_;
+  std::string dir_;
+  std::vector<WorkUnit> ledger_;
+};
+
+}  // namespace manet::exp

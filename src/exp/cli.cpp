@@ -34,7 +34,120 @@ bool parse_size_list(const std::string& text, std::vector<Size>& out) {
   return !out.empty();
 }
 
+bool parse_shard(const std::string& text, Size& index, Size& count) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return false;
+  Size i = 0;
+  Size k = 0;
+  if (!parse_size(text.substr(0, slash), i) || !parse_size(text.substr(slash + 1), k)) {
+    return false;
+  }
+  if (k < 1 || i >= k) return false;
+  index = i;
+  count = k;
+  return true;
+}
+
 }  // namespace
+
+std::string campaign_cli_usage(const std::string& program) {
+  return "usage: " + program +
+         " campaign [flags]\n"
+         "modes (default: execute pending units):\n"
+         "  --plan             print the unit ledger (with status when a dir is known)\n"
+         "  --merge            validate coverage (no gaps, no strays) and write the\n"
+         "                     merged CAMPAIGN_<name>.json artifact\n"
+         "campaign identity:\n"
+         "  --spec FILE        campaign spec (schema manet-campaign-spec/1); optional\n"
+         "                     when the campaign dir already has a campaign.json\n"
+         "  --out DIR          campaign directory for a fresh run (refuses to rerun\n"
+         "                     checkpointed units)\n"
+         "  --resume DIR       continue a campaign: skip units with valid checkpoints\n"
+         "execution:\n"
+         "  --shard i/k        own only units with index mod k == i (k independent\n"
+         "                     processes split one campaign; merge afterwards)\n"
+         "  --threads N        replication worker threads per unit (0 = hardware)\n"
+         "  --max-units N      stop after executing N units (time-boxed slices)\n"
+         "  --help             this text\n"
+         "\n"
+         "Spec format, checkpoint schema and worked examples: docs/CAMPAIGNS.md\n";
+}
+
+CampaignCliParseResult parse_campaign_cli(int argc, const char* const* argv) {
+  CampaignCliParseResult result;
+  CampaignCliOptions& opt = result.options;
+
+  auto fail = [&](const std::string& message) {
+    result.ok = false;
+    result.error = message;
+    return result;
+  };
+
+  std::string out_dir;
+  std::string resume_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+
+    if (flag == "--help" || flag == "-h") {
+      opt.show_help = true;
+      result.ok = true;
+      return result;
+    } else if (flag == "--plan") {
+      opt.plan = true;
+    } else if (flag == "--merge") {
+      opt.merge = true;
+    } else if (flag == "--spec") {
+      const char* value = next();
+      if (value == nullptr) return fail("--spec needs a file path");
+      opt.spec_path = value;
+    } else if (flag == "--out") {
+      const char* value = next();
+      if (value == nullptr) return fail("--out needs a directory");
+      out_dir = value;
+    } else if (flag == "--resume") {
+      const char* value = next();
+      if (value == nullptr) return fail("--resume needs a campaign directory");
+      resume_dir = value;
+    } else if (flag == "--shard") {
+      const char* value = next();
+      if (value == nullptr || !parse_shard(value, opt.shard_index, opt.shard_count)) {
+        return fail("--shard needs i/k with 0 <= i < k");
+      }
+    } else if (flag == "--threads" || flag == "--max-units") {
+      const char* value = next();
+      Size parsed = 0;
+      if (value == nullptr || !parse_size(value, parsed)) {
+        return fail(flag + " needs an unsigned integer");
+      }
+      if (flag == "--threads") opt.threads = parsed;
+      else opt.max_units = parsed;
+    } else {
+      return fail("unknown campaign flag '" + flag + "'");
+    }
+  }
+
+  if (!out_dir.empty() && !resume_dir.empty()) {
+    return fail("use either --out (fresh campaign) or --resume (continue), not both");
+  }
+  opt.dir = out_dir.empty() ? resume_dir : out_dir;
+  opt.resume = !resume_dir.empty();
+
+  if (opt.plan && opt.merge) return fail("--plan and --merge are mutually exclusive");
+  if (opt.merge && opt.shard_count > 1) {
+    return fail("--merge is a single-process step; run it after all shards complete");
+  }
+  if (opt.spec_path.empty() && opt.dir.empty()) {
+    return fail("campaign needs --spec FILE and/or a campaign directory "
+                "(--out/--resume DIR)");
+  }
+  if (!opt.plan && opt.dir.empty()) {
+    return fail("--out DIR (or --resume DIR) is required to execute or merge; "
+                "--plan previews without a directory");
+  }
+  result.ok = true;
+  return result;
+}
 
 std::string cli_usage(const std::string& program) {
   return "usage: " + program +
@@ -75,7 +188,7 @@ std::string cli_usage(const std::string& program) {
          "  --no-events        skip the reorg event taxonomy\n"
          "  --no-states        skip ALCA state occupancy\n"
          "  --no-hops          skip the h_k measurement\n"
-         "campaign:\n"
+         "campaign (in-process; `campaign` subcommand adds checkpoint/resume/shard):\n"
          "  --reps R           Monte-Carlo replications (default 1)\n"
          "  --sweep N1,N2,...  sweep node counts instead of a single run\n"
          "  --csv PATH         write sweep results as CSV\n"

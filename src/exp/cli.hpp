@@ -33,6 +33,38 @@ struct CliParseResult {
   std::string error;  ///< set when !ok and !options.show_help
 };
 
+/// Options for the `manet_sim campaign` subcommand (see exp/campaign_runner.hpp
+/// and docs/CAMPAIGNS.md). Exactly one of three modes runs: --plan (print the
+/// unit ledger), --merge (validate coverage + write the merged artifact), or
+/// execute (the default: run this shard's pending units).
+struct CampaignCliOptions {
+  std::string spec_path;  ///< --spec FILE (optional when the dir has campaign.json)
+  std::string dir;        ///< --out DIR for a fresh run, --resume DIR to continue
+  bool plan = false;      ///< --plan: print the unit ledger and exit
+  bool resume = false;    ///< set by --resume DIR
+  bool merge = false;     ///< --merge: coverage-validated index-ordered merge
+  Size shard_index = 0;   ///< --shard i/k: own units with index % k == i
+  Size shard_count = 1;
+  Size threads = 0;       ///< --threads N replication workers (0 = hardware)
+  Size max_units = 0;     ///< --max-units N: stop after N units (time-boxing)
+  bool show_help = false;
+};
+
+struct CampaignCliParseResult {
+  CampaignCliOptions options;
+  bool ok = false;
+  std::string error;  ///< set when !ok and !options.show_help
+};
+
+/// Parse the argv of `manet_sim campaign ...` (argv[0] is the subcommand
+/// itself and is skipped). Accepted flags: --spec FILE, --out DIR,
+/// --resume DIR, --plan, --merge, --shard i/k, --threads N, --max-units N,
+/// --help.
+CampaignCliParseResult parse_campaign_cli(int argc, const char* const* argv);
+
+/// Usage text for the campaign subcommand.
+std::string campaign_cli_usage(const std::string& program);
+
 /// Parse argv (argv[0] skipped). Accepted flags:
 ///   --n N            --density D        --mu V          --seed S
 ///   --tick T         --warmup T         --duration T    --reps R

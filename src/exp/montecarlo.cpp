@@ -45,23 +45,31 @@ std::vector<std::string> AggregatedMetrics::names() const {
   return out;
 }
 
+std::vector<RunMetrics> run_replication_block(const ScenarioConfig& base, Size rep_begin,
+                                              Size rep_end, const RunOptions& options,
+                                              common::ThreadPool* pool) {
+  MANET_CHECK(rep_end > rep_begin);
+  const Size count = rep_end - rep_begin;
+  std::vector<RunMetrics> results(count);
+
+  auto run_one = [&](Size i) {
+    ScenarioConfig cfg = base;
+    cfg.seed = common::derive_seed(base.seed, rep_begin + i);
+    results[i] = run_simulation(cfg, options);
+  };
+
+  if (pool != nullptr && pool->thread_count() > 1 && count > 1) {
+    pool->parallel_for(count, run_one);
+  } else {
+    for (Size i = 0; i < count; ++i) run_one(i);
+  }
+  return results;
+}
+
 AggregatedMetrics run_replications(const ScenarioConfig& base, Size replications,
                                    const RunOptions& options, common::ThreadPool* pool) {
   MANET_CHECK(replications >= 1);
-  std::vector<RunMetrics> results(replications);
-
-  auto run_one = [&](Size r) {
-    ScenarioConfig cfg = base;
-    cfg.seed = common::derive_seed(base.seed, r);
-    results[r] = run_simulation(cfg, options);
-  };
-
-  if (pool != nullptr && pool->thread_count() > 1 && replications > 1) {
-    pool->parallel_for(replications, run_one);
-  } else {
-    for (Size r = 0; r < replications; ++r) run_one(r);
-  }
-
+  const auto results = run_replication_block(base, 0, replications, options, pool);
   AggregatedMetrics agg;
   for (const auto& metrics : results) agg.add(metrics);  // index order: deterministic
   return agg;

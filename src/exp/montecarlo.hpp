@@ -40,4 +40,15 @@ AggregatedMetrics run_replications(const ScenarioConfig& base, Size replications
                                    const RunOptions& options = RunOptions{},
                                    common::ThreadPool* pool = nullptr);
 
+/// Run the replication block [rep_begin, rep_end) of \p base and return the
+/// raw per-replication metric vectors in index order. Replication r always
+/// runs with derive_seed(base.seed, r) for the *global* index r, so any
+/// block decomposition reproduces exactly the replication set that
+/// run_replications(base, rep_end) would produce — this is the campaign
+/// work-unit primitive (exp/campaign_runner.hpp).
+std::vector<RunMetrics> run_replication_block(const ScenarioConfig& base, Size rep_begin,
+                                              Size rep_end,
+                                              const RunOptions& options = RunOptions{},
+                                              common::ThreadPool* pool = nullptr);
+
 }  // namespace manet::exp

@@ -113,5 +113,77 @@ TEST(Cli, SemanticValidation) {
   EXPECT_FALSE(parse({"--reps", "0"}).ok);
 }
 
+CampaignCliParseResult parse_campaign(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"campaign"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_campaign_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CampaignCli, ExecuteModeParses) {
+  const auto result = parse_campaign(
+      {"--spec", "spec.json", "--out", "runs/c1", "--threads", "4", "--max-units", "3"});
+  ASSERT_TRUE(result.ok) << result.error;
+  const auto& o = result.options;
+  EXPECT_EQ(o.spec_path, "spec.json");
+  EXPECT_EQ(o.dir, "runs/c1");
+  EXPECT_FALSE(o.resume);
+  EXPECT_FALSE(o.plan);
+  EXPECT_FALSE(o.merge);
+  EXPECT_EQ(o.threads, 4u);
+  EXPECT_EQ(o.max_units, 3u);
+  EXPECT_EQ(o.shard_count, 1u);
+}
+
+TEST(CampaignCli, ShardSyntax) {
+  const auto result = parse_campaign({"--spec", "s.json", "--out", "d", "--shard", "2/4"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.options.shard_index, 2u);
+  EXPECT_EQ(result.options.shard_count, 4u);
+  EXPECT_FALSE(parse_campaign({"--spec", "s.json", "--out", "d", "--shard", "4/4"}).ok);
+  EXPECT_FALSE(parse_campaign({"--spec", "s.json", "--out", "d", "--shard", "0"}).ok);
+  EXPECT_FALSE(parse_campaign({"--spec", "s.json", "--out", "d", "--shard", "a/b"}).ok);
+  EXPECT_FALSE(parse_campaign({"--spec", "s.json", "--out", "d", "--shard", "0/0"}).ok);
+}
+
+TEST(CampaignCli, ResumeAndMergeModes) {
+  auto result = parse_campaign({"--resume", "runs/c1"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.options.resume);
+  EXPECT_EQ(result.options.dir, "runs/c1");
+
+  result = parse_campaign({"--resume", "runs/c1", "--merge"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.options.merge);
+
+  // Plan needs a spec or a dir, not necessarily both.
+  EXPECT_TRUE(parse_campaign({"--spec", "s.json", "--plan"}).ok);
+  EXPECT_TRUE(parse_campaign({"--resume", "runs/c1", "--plan"}).ok);
+}
+
+TEST(CampaignCli, ModeConflictsFail) {
+  // --out and --resume are mutually exclusive ways to name the directory.
+  EXPECT_FALSE(parse_campaign({"--spec", "s.json", "--out", "d", "--resume", "d"}).ok);
+  // --plan and --merge are exclusive modes.
+  EXPECT_FALSE(parse_campaign({"--spec", "s.json", "--out", "d", "--plan", "--merge"}).ok);
+  // --merge is single-process: sharding it makes no sense.
+  EXPECT_FALSE(
+      parse_campaign({"--spec", "s.json", "--out", "d", "--merge", "--shard", "0/2"}).ok);
+  // Execute mode needs a directory.
+  EXPECT_FALSE(parse_campaign({"--spec", "s.json"}).ok);
+  // Something must identify the campaign.
+  EXPECT_FALSE(parse_campaign({"--plan"}).ok);
+  EXPECT_FALSE(parse_campaign({}).ok);
+}
+
+TEST(CampaignCli, HelpAndUnknownFlags) {
+  const auto help = parse_campaign({"--help"});
+  EXPECT_TRUE(help.ok);
+  EXPECT_TRUE(help.options.show_help);
+  EXPECT_FALSE(campaign_cli_usage("manet_sim").empty());
+  const auto bad = parse_campaign({"--bogus"});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("bogus"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace manet::exp

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "common/thread_pool.hpp"
+#include "exp/campaign_runner.hpp"
+
+/// Kill/resume equivalence for the campaign orchestrator: however a campaign
+/// is executed — one process or sharded, straight through or interrupted at
+/// any unit boundary and resumed, 1 or 8 threads — the merged Campaign must
+/// be BIT-IDENTICAL to the single-process sweep_node_count path. These tests
+/// compare every metric's full summary with exact double equality.
+
+namespace manet::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "campaign_resume_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+CampaignSpec fast_spec() {
+  const std::string text = R"({
+    "schema": "manet-campaign-spec/1",
+    "name": "resume-equivalence",
+    "sweep": [40, 56],
+    "replications": 5,
+    "block": 2,
+    "args": ["--seed", "7", "--warmup", "2", "--duration", "6",
+             "--radius", "degree", "--degree", "12",
+             "--no-events", "--no-states", "--no-hops"]
+  })";
+  const auto parsed = analysis::parse_json(text);
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  CampaignSpec spec;
+  std::string error;
+  EXPECT_TRUE(CampaignSpec::from_json(parsed.value, spec, error)) << error;
+  return spec;
+}
+
+Campaign reference_campaign(const CampaignSpec& spec) {
+  return sweep_node_count(spec.scenario, spec.sweep, spec.replications, spec.options);
+}
+
+/// Exact (bitwise, modulo NaN==NaN) equality of two campaigns over every
+/// metric's aggregate summary. EXPECT_EQ on doubles is exact comparison.
+void expect_bit_identical(const Campaign& got, const Campaign& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.points.size(), want.points.size()) << label;
+  for (Size p = 0; p < want.points.size(); ++p) {
+    SCOPED_TRACE(label + " point n=" + std::to_string(want.points[p].n));
+    EXPECT_EQ(got.points[p].n, want.points[p].n);
+    const auto names = want.points[p].metrics.names();
+    ASSERT_EQ(got.points[p].metrics.names(), names);
+    EXPECT_EQ(got.points[p].metrics.replication_count(),
+              want.points[p].metrics.replication_count());
+    for (const auto& name : names) {
+      SCOPED_TRACE(name);
+      const auto w = want.points[p].metrics.summary(name);
+      const auto g = got.points[p].metrics.summary(name);
+      EXPECT_EQ(g.count, w.count);
+      EXPECT_EQ(g.mean, w.mean);
+      EXPECT_EQ(g.stddev, w.stddev);
+      EXPECT_EQ(g.ci95, w.ci95);
+      EXPECT_EQ(g.min, w.min);
+      EXPECT_EQ(g.max, w.max);
+    }
+  }
+}
+
+TEST(CampaignResume, FullRunMatchesSweepAtEveryThreadCount) {
+  const auto spec = fast_spec();
+  const auto reference = reference_campaign(spec);
+
+  for (const Size threads : {Size{1}, Size{2}, Size{8}}) {
+    CampaignRunner runner(spec, fresh_dir("threads" + std::to_string(threads)));
+    common::ThreadPool pool(threads);
+    CampaignRunner::RunConfig config;
+    config.pool = &pool;
+    const auto report = runner.run(config);
+    ASSERT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.executed, spec.unit_count());
+
+    const auto merged = runner.merge();
+    ASSERT_TRUE(merged.ok) << merged.error;
+    EXPECT_EQ(merged.units, spec.unit_count());
+    expect_bit_identical(merged.campaign, reference,
+                         std::to_string(threads) + " threads");
+  }
+}
+
+TEST(CampaignResume, InterruptAtEveryUnitBoundaryThenResume) {
+  const auto spec = fast_spec();
+  const auto reference = reference_campaign(spec);
+  const Size units = spec.unit_count();
+
+  // Kill the campaign after k completed units, for every possible k, then
+  // resume to completion. Each prefix must pick up exactly where it stopped
+  // and the merge must be bit-identical to the uninterrupted path.
+  for (Size k = 0; k < units; ++k) {
+    const std::string dir = fresh_dir("interrupt" + std::to_string(k));
+    if (k == 0) {
+      // Killed before any unit completed: only the manifest exists.
+      std::string error;
+      ASSERT_TRUE(write_campaign_manifest(dir, spec, error)) << error;
+    } else {
+      CampaignRunner first(spec, dir);
+      CampaignRunner::RunConfig config;
+      config.max_units = k;  // 0 would mean "no limit"
+      const auto report = first.run(config);
+      ASSERT_TRUE(report.ok) << report.error;
+      EXPECT_EQ(report.executed, k);
+    }
+
+    // The second process starts from the manifest alone, like --resume DIR.
+    CampaignSpec reloaded;
+    std::string error;
+    ASSERT_TRUE(read_campaign_manifest(dir, reloaded, error)) << error;
+    CampaignRunner second(reloaded, dir);
+    CampaignRunner::RunConfig config;
+    config.resume = true;
+    const auto report = second.run(config);
+    ASSERT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.skipped, k);
+    EXPECT_EQ(report.executed, units - k);
+
+    const auto merged = second.merge();
+    ASSERT_TRUE(merged.ok) << merged.error;
+    expect_bit_identical(merged.campaign, reference,
+                         "interrupted after " + std::to_string(k));
+  }
+}
+
+TEST(CampaignResume, ShardedExecutionMergesIdentically) {
+  const auto spec = fast_spec();
+  const auto reference = reference_campaign(spec);
+  const std::string dir = fresh_dir("shards");
+
+  // Two shards run into the same directory (any order, different thread
+  // counts — nothing about the split may leak into the merged result).
+  {
+    CampaignRunner shard1(spec, dir);
+    common::ThreadPool pool(2);
+    CampaignRunner::RunConfig config;
+    config.shard_index = 1;
+    config.shard_count = 2;
+    config.pool = &pool;
+    const auto report = shard1.run(config);
+    ASSERT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.executed, report.total);
+
+    // Merging with only one shard done reports the other shard's units.
+    const auto partial = shard1.merge();
+    EXPECT_FALSE(partial.ok);
+    EXPECT_EQ(partial.missing.size(), spec.unit_count() - report.total);
+    for (const Size index : partial.missing) EXPECT_EQ(index % 2, 0u);
+  }
+  {
+    CampaignRunner shard0(spec, dir);
+    CampaignRunner::RunConfig config;
+    config.shard_index = 0;
+    config.shard_count = 2;
+    const auto report = shard0.run(config);
+    ASSERT_TRUE(report.ok) << report.error;
+  }
+
+  CampaignRunner merger(spec, dir);
+  const auto merged = merger.merge();
+  ASSERT_TRUE(merged.ok) << merged.error;
+  EXPECT_EQ(merged.units, spec.unit_count());
+  expect_bit_identical(merged.campaign, reference, "sharded 2-way");
+}
+
+TEST(CampaignResume, RerunWithoutResumeFlagIsRefused) {
+  const auto spec = fast_spec();
+  const std::string dir = fresh_dir("no_resume_flag");
+  CampaignRunner runner(spec, dir);
+  CampaignRunner::RunConfig config;
+  config.max_units = 1;
+  ASSERT_TRUE(runner.run(config).ok);
+
+  const auto report = runner.run(config);  // same config, still no resume
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("--resume"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manet::exp

@@ -102,6 +102,26 @@ def main():
               "identity violations", file=sys.stderr)
         status = 1
 
+    # Orchestrator-overhead gate (bench_campaign): the measured wall-clock
+    # overhead of the checkpointed campaign path over raw run_replications
+    # must stay under the cap committed in the baseline. Machine-independent
+    # (a ratio of two runs on the same machine), so the cap is absolute.
+    cap = baseline.get("scalars", {}).get("max_orchestrator_overhead_frac")
+    if cap is not None:
+        overhead = artifact.get("scalars", {}).get("orchestrator_overhead_frac")
+        if overhead is None:
+            print("check_bench: FAIL artifact is missing the "
+                  "orchestrator_overhead_frac scalar", file=sys.stderr)
+            status = 1
+        elif overhead > cap:
+            print(f"check_bench: FAIL orchestrator overhead {overhead:+.2%} "
+                  f"exceeds the {cap:.0%} cap", file=sys.stderr)
+            status = 1
+        else:
+            checked += 1
+            print(f"check_bench: ok orchestrator overhead {overhead:+.2%} "
+                  f"(cap {cap:.0%})")
+
     if status == 0:
         print(f"check_bench: OK ({checked} points within "
               f"{args.threshold:.0%} of baseline)")

@@ -81,5 +81,73 @@ grep -q 'E21-dynamic' "$experiments" ||
 grep -q 'manet-resilience/1' "$experiments" ||
     fail "EXPERIMENTS.md E21-dynamic must name the manet-resilience/1 schema"
 
+# 7. The campaign guide matches the code: every --flag docs/CAMPAIGNS.md
+#    names must be parsed in src/exp/cli.cpp, and every checkpoint schema
+#    field / schema ID it documents must appear in src/exp/campaign_runner.cpp
+#    (so renaming a flag or a JSON field without updating the guide fails CI).
+campaigns="$root/docs/CAMPAIGNS.md"
+cli_src="$root/src/exp/cli.cpp"
+runner_src="$root/src/exp/campaign_runner.cpp"
+if [ ! -f "$campaigns" ]; then
+    fail "docs/CAMPAIGNS.md is missing"
+else
+    for flag in $(grep -o -- '--[a-z][a-z-]*' "$campaigns" | sort -u); do
+        grep -q -- "$flag" "$cli_src" ||
+            fail "docs/CAMPAIGNS.md names $flag but src/exp/cli.cpp does not know it"
+    done
+    for field in campaign fingerprint unit point block rep_begin rep_end \
+                 wall_seconds replications; do
+        grep -q "\`$field\`" "$campaigns" ||
+            fail "docs/CAMPAIGNS.md checkpoint schema reference lost the $field field"
+        grep -q "\"$field\"" "$runner_src" ||
+            fail "docs/CAMPAIGNS.md documents checkpoint field '$field' but \
+src/exp/campaign_runner.cpp never writes it"
+    done
+    for schema in manet-campaign-spec/1 manet-campaign/1 manet-campaign-unit/1 \
+                  manet-bench-artifact/1; do
+        grep -q "$schema" "$campaigns" ||
+            fail "docs/CAMPAIGNS.md no longer names the $schema schema"
+        grep -q "$schema" "$runner_src" ||
+            fail "docs/CAMPAIGNS.md names schema $schema but \
+src/exp/campaign_runner.cpp does not use it"
+    done
+    grep -q 'bench_campaign' "$experiments" ||
+        fail "EXPERIMENTS.md lost its bench_campaign section"
+    [ -f "$root/tools/baselines/BENCH_campaign.json" ] ||
+        fail "tools/baselines/BENCH_campaign.json baseline is missing"
+fi
+
+# 8. No dangling intra-doc links in docs/*.md: every relative link target
+#    must exist on disk and every #fragment must match a heading slug
+#    (GitHub-style: lowercase, punctuation stripped, spaces to dashes).
+slugify() {
+    tr '[:upper:]' '[:lower:]' | sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
+}
+for doc in "$root"/docs/*.md; do
+    for link in $(grep -o '](\([^)]*\))' "$doc" | sed -e 's/^](//' -e 's/)$//'); do
+        case $link in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        file=${link%%#*}
+        frag=
+        case $link in
+            *#*) frag=${link#*#} ;;
+        esac
+        target=$doc
+        if [ -n "$file" ]; then
+            target="$root/docs/$file"
+            if [ ! -f "$target" ]; then
+                fail "$(basename "$doc") links to missing file $file"
+                continue
+            fi
+        fi
+        if [ -n "$frag" ]; then
+            sed -n 's/^#\{1,\} *//p' "$target" | slugify | grep -qx "$frag" ||
+                fail "$(basename "$doc") links to missing anchor \
+#$frag in $(basename "$target")"
+        fi
+    done
+done
+
 [ "$status" -eq 0 ] && echo "check_docs: OK"
 exit "$status"

@@ -2,10 +2,14 @@
 ///
 /// Single run:   manet_sim --n 512 --mu 2 --duration 120 --registration
 /// Scaling sweep: manet_sim --sweep 128,256,512,1024 --reps 3 --csv out.csv
+/// Campaign:      manet_sim campaign --spec spec.json --out dir   (+ --plan /
+///                --resume dir / --shard i/k / --merge — docs/CAMPAIGNS.md)
 ///
 /// Run with --help for the full flag list (exp/cli.hpp).
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "analysis/csv.hpp"
@@ -16,12 +20,164 @@
 #include "common/thread_pool.hpp"
 #include "exp/artifacts.hpp"
 #include "exp/campaign.hpp"
+#include "exp/campaign_runner.hpp"
 #include "exp/cli.hpp"
 #include "sim/trace.hpp"
 #include "viz/json.hpp"
 
+namespace {
+
+using namespace manet;
+
+void print_ledger(const exp::CampaignRunner& runner, const std::vector<bool>* done) {
+  analysis::TextTable table(done != nullptr
+                                ? std::vector<std::string>{"unit", "n", "block", "reps",
+                                                           "status"}
+                                : std::vector<std::string>{"unit", "n", "block", "reps"});
+  for (const auto& unit : runner.plan()) {
+    std::vector<std::string> row{unit.id(), std::to_string(unit.n),
+                                 std::to_string(unit.block),
+                                 "[" + std::to_string(unit.rep_begin) + "," +
+                                     std::to_string(unit.rep_end) + ")"};
+    if (done != nullptr) row.push_back((*done)[unit.index] ? "done" : "pending");
+    table.add_row(row);
+  }
+  const auto& spec = runner.spec();
+  std::printf("%s", table
+                        .to_string("campaign '" + spec.name + "' — " +
+                                   std::to_string(runner.plan().size()) + " unit(s), " +
+                                   std::to_string(spec.replications) +
+                                   " replication(s)/point, fingerprint " +
+                                   spec.fingerprint())
+                        .c_str());
+}
+
+int run_campaign_command(int argc, char** argv) {
+  const auto parsed = exp::parse_campaign_cli(argc - 1, argv + 1);
+  if (parsed.options.show_help) {
+    std::printf("%s", exp::campaign_cli_usage(argv[0]).c_str());
+    return 0;
+  }
+  if (!parsed.ok) {
+    std::fprintf(stderr, "error: %s\n\n%s", parsed.error.c_str(),
+                 exp::campaign_cli_usage(argv[0]).c_str());
+    return 2;
+  }
+  const auto& opt = parsed.options;
+
+  // Spec source: --spec file, else the campaign.json of the directory.
+  exp::CampaignSpec spec;
+  std::string error;
+  if (!opt.spec_path.empty()) {
+    if (!exp::CampaignSpec::load(opt.spec_path, spec, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  } else if (!exp::read_campaign_manifest(opt.dir, spec, error)) {
+    std::fprintf(stderr, "error: %s (pass --spec for a campaign not yet started)\n",
+                 error.c_str());
+    return 1;
+  }
+
+  exp::CampaignRunner runner(spec, opt.dir);
+
+  if (opt.plan) {
+    if (opt.dir.empty()) {
+      print_ledger(runner, nullptr);
+    } else {
+      const auto done = runner.completed_units();
+      print_ledger(runner, &done);
+    }
+    return 0;
+  }
+
+  if (opt.merge) {
+    const auto started = std::chrono::steady_clock::now();
+    auto merged = runner.merge();
+    if (!merged.ok) {
+      std::fprintf(stderr, "error: %s\n", merged.error.c_str());
+      for (const Size index : merged.missing) {
+        std::fprintf(stderr, "  missing: %s\n", runner.plan()[index].id().c_str());
+      }
+      return 1;
+    }
+    analysis::TextTable table({"n", "phi", "gamma", "total", "levels"});
+    for (const auto& point : merged.campaign.points) {
+      table.add_row({std::to_string(point.n),
+                     analysis::TextTable::fmt(point.metrics.mean("phi_rate")),
+                     analysis::TextTable::fmt(point.metrics.mean("gamma_rate")),
+                     analysis::TextTable::fmt(point.metrics.mean("total_rate")),
+                     analysis::TextTable::fmt(point.metrics.mean("levels"), 3)});
+    }
+    std::printf("%s", table
+                          .to_string("campaign '" + spec.name + "' merged (" +
+                                     std::to_string(merged.units) + " units)")
+                          .c_str());
+
+    std::vector<double> ns, totals;
+    merged.campaign.series("total_rate", ns, totals);
+    if (ns.size() >= 3) {
+      const auto sel = analysis::select_model(ns, totals);
+      std::printf("\n%s", sel.to_text().c_str());
+    }
+
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - started;
+    const std::string artifact = opt.dir + "/CAMPAIGN_" + spec.name + ".json";
+    if (!exp::write_campaign_artifact(artifact, spec, merged.campaign, wall.count(),
+                                      /*thread_count=*/1, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote merged artifact %s\n", artifact.c_str());
+    return 0;
+  }
+
+  // Execute this shard's pending units.
+  common::ThreadPool pool(opt.threads);
+  exp::CampaignRunner::RunConfig config;
+  config.shard_index = opt.shard_index;
+  config.shard_count = opt.shard_count;
+  config.resume = opt.resume;
+  config.max_units = opt.max_units;
+  config.pool = &pool;
+  config.progress = [](const exp::WorkUnit& unit, Size done, Size total) {
+    std::printf("  [%zu/%zu] %s reps [%zu,%zu) done\n", done, total, unit.id().c_str(),
+                unit.rep_begin, unit.rep_end);
+    std::fflush(stdout);
+  };
+
+  std::printf("campaign '%s': %zu unit(s), shard %zu/%zu, %zu thread(s)\n",
+              spec.name.c_str(), runner.plan().size(), opt.shard_index, opt.shard_count,
+              pool.thread_count());
+  const auto report = runner.run(config);
+  if (!report.ok) {
+    std::fprintf(stderr, "error: %s\n", report.error.c_str());
+    return 1;
+  }
+  std::printf("executed %zu unit(s), skipped %zu already-checkpointed, of %zu owned\n",
+              report.executed, report.skipped, report.total);
+  if (report.executed + report.skipped < report.total) {
+    std::printf("stopped early (--max-units); resume with: %s campaign --resume %s\n",
+                argv[0], opt.dir.c_str());
+  } else if (opt.shard_count > 1) {
+    std::printf("shard complete; after all shards: %s campaign --resume %s --merge\n",
+                argv[0], opt.dir.c_str());
+  } else {
+    std::printf("all units checkpointed; merge with: %s campaign --resume %s --merge\n",
+                argv[0], opt.dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace manet;
+
+  if (argc > 1 && std::strcmp(argv[1], "campaign") == 0) {
+    return run_campaign_command(argc, argv);
+  }
 
   const auto parsed = exp::parse_cli(argc, argv);
   if (parsed.options.show_help) {
