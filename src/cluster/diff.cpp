@@ -1,9 +1,12 @@
 #include "cluster/diff.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <span>
+#include <utility>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
+#include "common/flat_map.hpp"
 
 namespace manet::cluster {
 
@@ -30,36 +33,41 @@ namespace {
 using IdPair = std::pair<NodeId, NodeId>;
 
 /// Sorted original ids of V_k; empty when the hierarchy lacks level k.
-std::vector<NodeId> sorted_head_ids(const Hierarchy& h, Level k) {
+/// Arena-backed: the span lives until the caller's next rewind().
+std::span<NodeId> sorted_head_ids(const Hierarchy& h, Level k, common::ArenaScratch& arena) {
   if (k >= h.level_count()) return {};
-  std::vector<NodeId> ids(h.level(k).ids.begin(), h.level(k).ids.end());
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  const auto& ids = h.level(k).ids;
+  auto out = arena.alloc_span<NodeId>(ids.size());
+  std::copy(ids.begin(), ids.end(), out.begin());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 /// Canonical sorted id-pair list of E_k; empty when level k is absent.
-std::vector<IdPair> sorted_link_ids(const Hierarchy& h, Level k) {
+std::span<IdPair> sorted_link_ids(const Hierarchy& h, Level k, common::ArenaScratch& arena) {
   if (k >= h.level_count()) return {};
   const auto& view = h.level(k);
-  std::vector<IdPair> out;
-  out.reserve(view.topo.edge_count());
+  auto out = arena.alloc_span<IdPair>(view.topo.edge_count());
+  Size i = 0;
   for (const auto& [a, b] : view.topo.edges()) {
     NodeId ia = view.ids[a];
     NodeId ib = view.ids[b];
     if (ia > ib) std::swap(ia, ib);
-    out.emplace_back(ia, ib);
+    out[i++] = IdPair{ia, ib};
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
-bool contains_sorted(const std::vector<NodeId>& sorted, NodeId id) {
+bool contains_sorted(std::span<const NodeId> sorted, NodeId id) {
   return std::binary_search(sorted.begin(), sorted.end(), id);
 }
 
 /// Ids of the level-(k-1) vertices affiliated with head id \p head in \p h
 /// (excluding the head itself). Empty if level k-1 or the head is absent.
-std::vector<NodeId> voter_ids(const Hierarchy& h, Level k, NodeId head) {
+/// Counted first so the arena span is exact-sized.
+std::span<const NodeId> voter_ids(const Hierarchy& h, Level k, NodeId head,
+                                  common::ArenaScratch& arena) {
   MANET_CHECK(k >= 1);
   if (k - 1 >= h.level_count()) return {};
   const auto& view = h.level(k - 1);
@@ -72,9 +80,14 @@ std::vector<NodeId> voter_ids(const Hierarchy& h, Level k, NodeId head) {
     }
   }
   if (head_dense == kInvalidNode || view.election.head_of.empty()) return {};
-  std::vector<NodeId> out;
+  Size count = 0;
   for (NodeId u = 0; u < view.vertex_count(); ++u) {
-    if (u != head_dense && view.election.head_of[u] == head_dense) out.push_back(view.ids[u]);
+    if (u != head_dense && view.election.head_of[u] == head_dense) ++count;
+  }
+  auto out = arena.alloc_span<NodeId>(count);
+  Size i = 0;
+  for (NodeId u = 0; u < view.vertex_count(); ++u) {
+    if (u != head_dense && view.election.head_of[u] == head_dense) out[i++] = view.ids[u];
   }
   return out;
 }
@@ -109,6 +122,12 @@ HierarchyDelta diff_hierarchies(const Hierarchy& before, const Hierarchy& after)
 void diff_hierarchies(const Hierarchy& before, const Hierarchy& after, HierarchyDelta& delta) {
   MANET_CHECK_MSG(before.level(0).vertex_count() == after.level(0).vertex_count(),
                   "hierarchy diff requires identical node populations");
+  // Per-thread scratch: campaign workers diff disjoint runs, and the scratch
+  // contents never outlive the call, so thread_local reuse is safe and keeps
+  // the per-tick diff allocation-free once the arena has sized itself.
+  thread_local common::ArenaScratch arena;
+  thread_local common::FlatMap<NodeId, NodeId> dense;  // id -> dense, event (vii)
+  arena.rewind();
   delta.migrations.clear();
   delta.events.clear();
   for (auto& per_level : delta.event_counts) per_level.clear();
@@ -134,10 +153,11 @@ void diff_hierarchies(const Hierarchy& before, const Hierarchy& after, Hierarchy
   reset_levels(delta.links_up, top_any + 1);
   reset_levels(delta.links_down, top_any + 1);
 
-  std::vector<std::vector<NodeId>> heads_before(top_any + 2), heads_after(top_any + 2);
+  auto heads_before = arena.alloc_span<std::span<NodeId>>(top_any + 2);
+  auto heads_after = arena.alloc_span<std::span<NodeId>>(top_any + 2);
   for (Level k = 0; k <= top_any + 1; ++k) {
-    heads_before[k] = sorted_head_ids(before, k);
-    heads_after[k] = sorted_head_ids(after, k);
+    heads_before[k] = sorted_head_ids(before, k, arena);
+    heads_after[k] = sorted_head_ids(after, k, arena);
   }
 
   for (Level k = 1; k <= top_any + 1; ++k) {
@@ -148,8 +168,8 @@ void diff_hierarchies(const Hierarchy& before, const Hierarchy& after, Hierarchy
   }
 
   for (Level k = 1; k <= top_any; ++k) {
-    const auto before_links = sorted_link_ids(before, k);
-    const auto after_links = sorted_link_ids(after, k);
+    const auto before_links = sorted_link_ids(before, k, arena);
+    const auto after_links = sorted_link_ids(after, k, arena);
     std::set_difference(after_links.begin(), after_links.end(), before_links.begin(),
                         before_links.end(), std::back_inserter(delta.links_up[k]));
     std::set_difference(before_links.begin(), before_links.end(), after_links.begin(),
@@ -183,7 +203,7 @@ void diff_hierarchies(const Hierarchy& before, const Hierarchy& after, Hierarchy
   // the before-snapshot voters (iv)/(vi).
   for (Level k = 1; k <= top_any + 1; ++k) {
     for (const NodeId h : delta.heads_gained[k]) {
-      const auto voters = voter_ids(after, k, h);
+      const auto voters = voter_ids(after, k, h, arena);
       bool recursive = false;
       NodeId witness = kInvalidNode;
       for (const NodeId u : voters) {
@@ -199,7 +219,7 @@ void diff_hierarchies(const Hierarchy& before, const Hierarchy& after, Hierarchy
              k, h, witness);
     }
     for (const NodeId h : delta.heads_lost[k]) {
-      const auto voters = voter_ids(before, k, h);
+      const auto voters = voter_ids(before, k, h, arena);
       bool recursive = false;
       NodeId witness = kInvalidNode;
       for (const NodeId u : voters) {
@@ -223,14 +243,14 @@ void diff_hierarchies(const Hierarchy& before, const Hierarchy& after, Hierarchy
     if (k + 1 >= delta.heads_gained.size()) break;
     if (k >= after.level_count()) break;
     const auto& view = after.level(k);
-    // id -> dense map for this level.
-    std::unordered_map<NodeId, NodeId> dense;
+    // id -> dense map for this level (cleared per level, capacity retained).
+    dense.clear();
     dense.reserve(view.vertex_count());
-    for (NodeId u = 0; u < view.vertex_count(); ++u) dense.emplace(view.ids[u], u);
+    for (NodeId u = 0; u < view.vertex_count(); ++u) dense.insert_or_assign(view.ids[u], u);
     for (const NodeId h : delta.heads_gained[k + 1]) {
-      const auto it = dense.find(h);
-      if (it == dense.end()) continue;
-      for (const NodeId u : view.topo.neighbors(it->second)) {
+      const NodeId* found = dense.find(h);
+      if (found == nullptr) continue;
+      for (const NodeId u : view.topo.neighbors(*found)) {
         record(delta, ReorgEventType::kNeighborPromoted, k, view.ids[u], h);
       }
     }

@@ -17,30 +17,30 @@ void HeadLifetimeTracker::observe(const Hierarchy& h, Time t) {
     const auto& ids = h.level(k).ids;
 
     // Mark current heads; births for new ones.
-    std::unordered_map<NodeId, bool> present;
-    present.reserve(ids.size());
+    present_.clear();
+    present_.reserve(ids.size());
     for (const NodeId id : ids) {
-      present.emplace(id, true);
-      state.alive.try_emplace(id, t);
+      present_.insert(id);
+      if (!state.alive.contains(id)) state.alive.insert_or_assign(id, t);
     }
-    // Deaths: heads that vanished complete a tenure.
-    for (auto it = state.alive.begin(); it != state.alive.end();) {
-      if (present.contains(it->first)) {
-        ++it;
-        continue;
-      }
-      const double lifetime = t - it->second;
+    // Deaths: heads that vanished complete a tenure. Erasure is deferred —
+    // FlatMap iteration must not race its own compaction.
+    doomed_.clear();
+    for (const auto& e : state.alive) {
+      if (present_.contains(e.key)) continue;
+      const double lifetime = t - e.value;
       state.lifetime_sum += lifetime;
       state.lifetime_max = std::max(state.lifetime_max, lifetime);
       ++state.completed;
-      it = state.alive.erase(it);
+      doomed_.push_back(e.key);
     }
+    for (const NodeId id : doomed_) state.alive.erase(id);
   }
   // Levels beyond the current top: everything alive there dies now.
   for (Level k = top + 1; k <= levels_.size(); ++k) {
     LevelState& state = levels_[k - 1];
-    for (const auto& [id, birth] : state.alive) {
-      const double lifetime = t - birth;
+    for (const auto& e : state.alive) {
+      const double lifetime = t - e.value;
       state.lifetime_sum += lifetime;
       state.lifetime_max = std::max(state.lifetime_max, lifetime);
       ++state.completed;
@@ -65,7 +65,7 @@ TenureStats HeadLifetimeTracker::stats(Level k) const {
   out.ongoing = state.alive.size();
   if (!state.alive.empty()) {
     double age_sum = 0.0;
-    for (const auto& [id, birth] : state.alive) age_sum += last_time_ - birth;
+    for (const auto& e : state.alive) age_sum += last_time_ - e.value;
     out.mean_ongoing_age = age_sum / static_cast<double>(state.alive.size());
   }
   return out;

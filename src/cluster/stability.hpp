@@ -1,9 +1,10 @@
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/hierarchy.hpp"
+#include "common/flat_map.hpp"
+#include "common/flat_set.hpp"
 
 /// \file stability.hpp
 /// Clusterhead tenure tracking — the temporal side of the paper's Section
@@ -43,13 +44,15 @@ class HeadLifetimeTracker {
 
  private:
   struct LevelState {
-    std::unordered_map<NodeId, Time> alive;  ///< head id -> birth time
+    common::FlatMap<NodeId, Time> alive;  ///< head id -> birth time
     double lifetime_sum = 0.0;
     double lifetime_max = 0.0;
     Size completed = 0;
   };
 
   std::vector<LevelState> levels_;  ///< index: level - 1
+  common::FlatSet<NodeId> present_;   ///< per-observe scratch (capacity retained)
+  std::vector<NodeId> doomed_;        ///< per-observe scratch: heads to erase
   Time last_time_ = 0.0;
   bool started_ = false;
 };

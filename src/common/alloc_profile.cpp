@@ -1,0 +1,158 @@
+#include "common/alloc_profile.hpp"
+
+#ifdef MANET_PROFILE_ALLOC
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace manet::common::alloc_profile {
+namespace {
+
+// constinit: the interposed operators can run before any dynamic initializer.
+constinit std::atomic<std::uint64_t> g_allocations{0};
+constinit std::atomic<std::uint64_t> g_frees{0};
+constinit std::atomic<std::uint64_t> g_bytes{0};
+
+void* allocate(std::size_t size) noexcept {
+  // malloc(0) may return nullptr legally; operator new must return a unique
+  // pointer, so round zero-byte requests up.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p != nullptr) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void* allocate_aligned(std::size_t size, std::size_t alignment) noexcept {
+  // aligned_alloc demands size % alignment == 0; round up.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+  if (p != nullptr) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void record_free(void* p) noexcept {
+  if (p != nullptr) g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+bool enabled() noexcept { return true; }
+
+Totals totals() noexcept {
+  return Totals{g_allocations.load(std::memory_order_relaxed),
+                g_frees.load(std::memory_order_relaxed),
+                g_bytes.load(std::memory_order_relaxed)};
+}
+
+Totals delta(const Totals& later, const Totals& earlier) noexcept {
+  return Totals{later.allocations - earlier.allocations, later.frees - earlier.frees,
+                later.bytes - earlier.bytes};
+}
+
+}  // namespace manet::common::alloc_profile
+
+// ---------------------------------------------------------------------------
+// Global replacement operators. Every flavor must be replaced together: a
+// mixed set (e.g. counted scalar new but default aligned new) would pair a
+// malloc'd pointer with the wrong deallocator.
+
+void* operator new(std::size_t size) {
+  void* p = manet::common::alloc_profile::allocate(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = manet::common::alloc_profile::allocate(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return manet::common::alloc_profile::allocate(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return manet::common::alloc_profile::allocate(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = manet::common::alloc_profile::allocate_aligned(
+      size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* p = manet::common::alloc_profile::allocate_aligned(
+      size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return manet::common::alloc_profile::allocate_aligned(
+      size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return manet::common::alloc_profile::allocate_aligned(
+      size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { manet::common::alloc_profile::record_free(p); }
+void operator delete[](void* p) noexcept { manet::common::alloc_profile::record_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  manet::common::alloc_profile::record_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  manet::common::alloc_profile::record_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  manet::common::alloc_profile::record_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  manet::common::alloc_profile::record_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  manet::common::alloc_profile::record_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  manet::common::alloc_profile::record_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  manet::common::alloc_profile::record_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  manet::common::alloc_profile::record_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  manet::common::alloc_profile::record_free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  manet::common::alloc_profile::record_free(p);
+}
+
+#else  // !MANET_PROFILE_ALLOC
+
+namespace manet::common::alloc_profile {
+
+bool enabled() noexcept { return false; }
+Totals totals() noexcept { return Totals{}; }
+Totals delta(const Totals& later, const Totals& earlier) noexcept {
+  return Totals{later.allocations - earlier.allocations, later.frees - earlier.frees,
+                later.bytes - earlier.bytes};
+}
+
+}  // namespace manet::common::alloc_profile
+
+#endif  // MANET_PROFILE_ALLOC

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file alloc_profile.hpp
+/// Global-allocator interposition for the E27 memory bench.
+///
+/// When the tree is configured with -DMANET_PROFILE_ALLOC=ON, every global
+/// `operator new` / `operator delete` (scalar, array, aligned, nothrow)
+/// increments process-wide relaxed atomic counters. The counters cost two
+/// relaxed RMWs per allocation and nothing per free path otherwise; in the
+/// default build the operators are not replaced at all and `enabled()`
+/// returns false, so instrumented call sites (run_simulation's per-phase
+/// deltas, bench_memory's allocs-per-tick gate) compile to a dead branch and
+/// artifacts stay byte-identical to an uninstrumented binary.
+///
+/// The counters are process-global on purpose: the interesting number is
+/// "how many times did the allocator run during the measured tick window",
+/// not a per-subsystem attribution, and global new/delete cannot see the
+/// caller anyway. Consumers snapshot totals() around a phase and diff.
+
+namespace manet::common::alloc_profile {
+
+struct Totals {
+  std::uint64_t allocations = 0;  ///< calls into operator new (any flavor)
+  std::uint64_t frees = 0;        ///< calls into operator delete (any flavor)
+  std::uint64_t bytes = 0;        ///< sum of requested allocation sizes
+};
+
+/// True iff this binary was compiled with MANET_PROFILE_ALLOC=ON (the
+/// operators below are actually interposed). All-zero totals are meaningful
+/// only when this is true.
+bool enabled() noexcept;
+
+/// Cumulative process-wide totals since startup (all zeros when disabled).
+Totals totals() noexcept;
+
+/// Per-field difference `later - earlier` of two monotone snapshots.
+Totals delta(const Totals& later, const Totals& earlier) noexcept;
+
+}  // namespace manet::common::alloc_profile

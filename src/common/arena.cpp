@@ -1,0 +1,39 @@
+#include "common/arena.hpp"
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace manet::common {
+
+void* ArenaScratch::allocate(Size bytes, Size align) {
+  MANET_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+                  "arena alignment must be a power of two");
+  for (;;) {
+    if (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      // Align the absolute address, not the block offset: operator new[]
+      // only guarantees max_align_t, so over-aligned requests must account
+      // for the block base's own misalignment.
+      const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+      const Size aligned =
+          static_cast<Size>(((base + offset_ + align - 1) & ~(std::uintptr_t{align} - 1)) -
+                            base);
+      if (aligned + bytes <= b.size) {
+        offset_ = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+      // Current block exhausted; fall through to the next (or a new) one.
+      ++block_;
+      offset_ = 0;
+      continue;
+    }
+    // Geometric growth keeps the block count logarithmic in peak usage, so
+    // after warmup rewind()/allocate() cycles touch a handful of blocks.
+    Size want = blocks_.empty() ? first_block_bytes_ : blocks_.back().size * 2;
+    if (want < bytes + align) want = bytes + align;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(want), want});
+  }
+}
+
+}  // namespace manet::common

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file arena.hpp
+/// Bump-pointer scratch arena for transient per-tick workspaces.
+///
+/// The tick hot paths (handoff snapshot capture, hierarchy diffing, the
+/// unit-disk delta update) need short-lived arrays whose lifetime is exactly
+/// one tick; growing std::vectors for them re-ran the allocator thousands of
+/// times per second. An ArenaScratch owner instead calls rewind() at the top
+/// of each tick and carves spans out of retained blocks — after the first
+/// few ticks have sized the arena, allocation is pointer arithmetic.
+///
+/// Restrictions (checked at compile time): only trivially destructible
+/// element types, because rewind() never runs destructors. Spans are
+/// invalidated by rewind(); holding one across ticks is a bug.
+
+namespace manet::common {
+
+class ArenaScratch {
+ public:
+  explicit ArenaScratch(Size first_block_bytes = 4096)
+      : first_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  /// Reset every block to empty without releasing memory. O(1).
+  void rewind() noexcept {
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  /// \p count default-initialized elements of T. The span lives until the
+  /// next rewind(); it is never resized in place, so callers size it up
+  /// front (the per-tick sizes are known: n nodes, level count, ...).
+  template <typename T>
+  std::span<T> alloc_span(Size count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena spans are freed by rewind() without destructors");
+    if (count == 0) return {};
+    T* p = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (Size i = 0; i < count; ++i) ::new (static_cast<void*>(p + i)) T();
+    return {p, count};
+  }
+
+  /// Same, filled with \p fill.
+  template <typename T>
+  std::span<T> alloc_span(Size count, const T& fill) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena spans are freed by rewind() without destructors");
+    if (count == 0) return {};
+    T* p = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (Size i = 0; i < count; ++i) ::new (static_cast<void*>(p + i)) T(fill);
+    return {p, count};
+  }
+
+  /// Raw aligned bytes with span lifetime rules.
+  void* allocate(Size bytes, Size align);
+
+  /// Bytes currently held across all blocks (diagnostics / tests).
+  Size capacity() const noexcept {
+    Size total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    Size size = 0;
+  };
+
+  Size first_block_bytes_;
+  std::vector<Block> blocks_;
+  Size block_ = 0;   ///< index of the block being bumped
+  Size offset_ = 0;  ///< bump offset into blocks_[block_]
+};
+
+}  // namespace manet::common

@@ -1,0 +1,231 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+/// \file flat_map.hpp
+/// Open-addressing hash map for integral keys (NodeId, packed u64) with
+/// deterministic iteration, built for the simulation kernel's hot paths
+/// where std::unordered_map's per-node allocations dominated the tick cost.
+///
+/// Layout: a dense `entries_` vector (each element a {key, value} pair, in
+/// insertion order) plus a power-of-two slot table of 32-bit indices
+/// (index + 1; 0 = empty) probed linearly. Lookups touch the slot table and
+/// one dense element; inserts append to the dense vector; erases backward-
+/// shift the slot run (no slot tombstones) and mark the dense entry dead,
+/// compacting when dead entries outnumber live ones. Steady-state churn
+/// (insert/erase at stable size) therefore allocates nothing.
+///
+/// Determinism contract: iteration visits live entries in insertion order —
+/// pointer values and hash seeds never influence the order, so iterating a
+/// FlatMap cannot leak nondeterminism into metrics or traces the way
+/// unordered_map bucket order can. sorted_keys() provides the sorted drain
+/// for the few cold paths that want key order.
+
+namespace manet::common {
+
+/// Stafford variant-13 finalizer of MurmurHash3 (same mixer as
+/// common::mix64, inlined here because the map probes on every lookup).
+struct IntegralHash {
+  template <typename K>
+  std::uint64_t operator()(K key) const noexcept {
+    auto x = static_cast<std::uint64_t>(key);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+};
+
+template <typename Key, typename Value, typename Hash = IntegralHash>
+class FlatMap {
+ public:
+  struct Entry {
+    Key key{};
+    Value value{};
+    bool alive = true;  ///< internal — dead entries are skipped and compacted
+  };
+
+  FlatMap() = default;
+
+  Size size() const noexcept { return live_; }
+  bool empty() const noexcept { return live_ == 0; }
+
+  /// Drops all entries; keeps both the dense and slot capacity.
+  void clear() noexcept {
+    entries_.clear();
+    std::fill(slots_.begin(), slots_.end(), 0u);
+    live_ = 0;
+    dead_ = 0;
+  }
+
+  void reserve(Size n) {
+    entries_.reserve(n);
+    if (slot_budget(slots_.size()) < n) rebuild(slots_for(n));
+  }
+
+  Value* find(const Key& key) noexcept {
+    const Size slot = find_slot(key);
+    return slot == kNoSlot ? nullptr : &entries_[slots_[slot] - 1].value;
+  }
+
+  const Value* find(const Key& key) const noexcept {
+    const Size slot = find_slot(key);
+    return slot == kNoSlot ? nullptr : &entries_[slots_[slot] - 1].value;
+  }
+
+  bool contains(const Key& key) const noexcept { return find_slot(key) != kNoSlot; }
+
+  /// Value of \p key, default-constructing (and inserting) when absent.
+  Value& operator[](const Key& key) {
+    if (slot_budget(slots_.size()) < live_ + 1) rebuild(slots_for(live_ + 1));
+    Size i = home_of(key);
+    while (slots_[i] != 0) {
+      Entry& e = entries_[slots_[i] - 1];
+      if (e.key == key) return e.value;
+      i = next(i);
+    }
+    MANET_CHECK_MSG(entries_.size() < 0xFFFFFFFFu, "FlatMap index overflow");
+    entries_.push_back(Entry{key, Value{}, true});
+    slots_[i] = static_cast<std::uint32_t>(entries_.size());  // index + 1
+    ++live_;
+    return entries_.back().value;
+  }
+
+  /// Insert \p value under \p key (overwriting); true when newly inserted.
+  bool insert_or_assign(const Key& key, Value value) {
+    const Size before = live_;
+    (*this)[key] = std::move(value);
+    return live_ != before;
+  }
+
+  /// Remove \p key; true when it was present. O(1) amortized — the slot run
+  /// is backward-shifted so probes never cross stale slots, and the dense
+  /// hole is reclaimed by the next compaction.
+  bool erase(const Key& key) {
+    Size i = find_slot(key);
+    if (i == kNoSlot) return false;
+    entries_[slots_[i] - 1].alive = false;
+    --live_;
+    ++dead_;
+    // Backward-shift deletion: any displaced entry later in the probe run
+    // whose home slot lies at or before the hole moves into it.
+    Size j = i;
+    for (;;) {
+      j = next(j);
+      if (slots_[j] == 0) break;
+      const Size home = home_of(entries_[slots_[j] - 1].key);
+      if (((j - home) & mask()) >= ((j - i) & mask())) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i] = 0;
+    if (dead_ > live_ + 16) rebuild(slots_.size());
+    return true;
+  }
+
+  /// Live keys in ascending key order (cold-path drain helper).
+  void sorted_keys(std::vector<Key>& out) const {
+    out.clear();
+    out.reserve(live_);
+    for (const Entry& e : entries_) {
+      if (e.alive) out.push_back(e.key);
+    }
+    std::sort(out.begin(), out.end());
+  }
+
+  // Insertion-ordered iteration over live entries (see determinism contract).
+  template <typename EntryT, typename VecT>
+  class Iter {
+   public:
+    Iter(VecT* entries, Size i) : entries_(entries), i_(i) { skip(); }
+    EntryT& operator*() const { return (*entries_)[i_]; }
+    EntryT* operator->() const { return &(*entries_)[i_]; }
+    Iter& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    bool operator==(const Iter& other) const { return i_ == other.i_; }
+    bool operator!=(const Iter& other) const { return i_ != other.i_; }
+
+   private:
+    void skip() {
+      while (i_ < entries_->size() && !(*entries_)[i_].alive) ++i_;
+    }
+    VecT* entries_;
+    Size i_;
+  };
+  using iterator = Iter<Entry, std::vector<Entry>>;
+  using const_iterator = Iter<const Entry, const std::vector<Entry>>;
+
+  iterator begin() noexcept { return iterator(&entries_, 0); }
+  iterator end() noexcept { return iterator(&entries_, entries_.size()); }
+  const_iterator begin() const noexcept { return const_iterator(&entries_, 0); }
+  const_iterator end() const noexcept { return const_iterator(&entries_, entries_.size()); }
+
+ private:
+  static constexpr Size kNoSlot = static_cast<Size>(-1);
+  static constexpr Size kMinSlots = 8;
+
+  Size mask() const noexcept { return slots_.size() - 1; }
+  Size next(Size i) const noexcept { return (i + 1) & mask(); }
+  Size home_of(const Key& key) const noexcept {
+    return static_cast<Size>(Hash{}(key)) & mask();
+  }
+
+  /// Max live entries a slot table of \p slots supports (7/8 load factor).
+  static Size slot_budget(Size slots) noexcept { return slots - slots / 8; }
+
+  static Size slots_for(Size live) {
+    Size slots = kMinSlots;
+    while (slot_budget(slots) < live) slots *= 2;
+    return slots;
+  }
+
+  Size find_slot(const Key& key) const noexcept {
+    if (slots_.empty()) return kNoSlot;
+    Size i = home_of(key);
+    while (slots_[i] != 0) {
+      if (entries_[slots_[i] - 1].key == key) return i;
+      i = next(i);
+    }
+    return kNoSlot;
+  }
+
+  /// Re-point the slot table at \p slot_count slots, compacting dead dense
+  /// entries in the same pass (survivors keep their relative order).
+  void rebuild(Size slot_count) {
+    if (dead_ > 0) {
+      Size w = 0;
+      for (Size r = 0; r < entries_.size(); ++r) {
+        if (!entries_[r].alive) continue;
+        if (w != r) entries_[w] = std::move(entries_[r]);
+        ++w;
+      }
+      entries_.resize(w);
+      dead_ = 0;
+    }
+    slots_.assign(slot_count, 0u);
+    for (Size idx = 0; idx < entries_.size(); ++idx) {
+      Size i = home_of(entries_[idx].key);
+      while (slots_[i] != 0) i = next(i);
+      slots_[i] = static_cast<std::uint32_t>(idx + 1);
+    }
+  }
+
+  std::vector<Entry> entries_;        ///< dense, insertion-ordered, may hold dead
+  std::vector<std::uint32_t> slots_;  ///< power-of-two probe table, index + 1
+  Size live_ = 0;
+  Size dead_ = 0;
+};
+
+}  // namespace manet::common

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "common/flat_map.hpp"
+
+/// \file flat_set.hpp
+/// Open-addressing hash set over integral keys — a key-only adapter of
+/// common::FlatMap with the same guarantees: allocation-free steady-state
+/// churn and deterministic (insertion-ordered) iteration. See flat_map.hpp
+/// for the layout and the determinism contract.
+
+namespace manet::common {
+
+template <typename Key, typename Hash = IntegralHash>
+class FlatSet {
+  struct Unit {};
+  using Map = FlatMap<Key, Unit, Hash>;
+
+ public:
+  Size size() const noexcept { return map_.size(); }
+  bool empty() const noexcept { return map_.empty(); }
+  void clear() noexcept { map_.clear(); }
+  void reserve(Size n) { map_.reserve(n); }
+
+  /// True when \p key was newly inserted.
+  bool insert(const Key& key) { return map_.insert_or_assign(key, Unit{}); }
+  bool contains(const Key& key) const noexcept { return map_.contains(key); }
+  bool erase(const Key& key) { return map_.erase(key); }
+
+  /// Live keys in ascending order (cold-path drain helper).
+  void sorted_keys(std::vector<Key>& out) const { map_.sorted_keys(out); }
+
+  /// Insertion-ordered iteration over live keys.
+  class const_iterator {
+   public:
+    explicit const_iterator(typename Map::const_iterator it) : it_(it) {}
+    const Key& operator*() const { return it_->key; }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const { return it_ == other.it_; }
+    bool operator!=(const const_iterator& other) const { return it_ != other.it_; }
+
+   private:
+    typename Map::const_iterator it_;
+  };
+
+  const_iterator begin() const noexcept { return const_iterator(map_.begin()); }
+  const_iterator end() const noexcept { return const_iterator(map_.end()); }
+
+ private:
+  Map map_;
+};
+
+}  // namespace manet::common

@@ -7,6 +7,7 @@
 
 #include "cluster/diff.hpp"
 #include "cluster/hierarchy_builder.hpp"
+#include "common/alloc_profile.hpp"
 #include "cluster/maxmin.hpp"
 #include "cluster/stability.hpp"
 #include "cluster/state_chain.hpp"
@@ -87,6 +88,12 @@ double measure_hk(const cluster::Hierarchy& h, const graph::Graph& g, Level k, S
 }  // namespace
 
 RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& options) {
+  // Allocation accounting (MANET_PROFILE_ALLOC builds only): setup covers
+  // everything up to the first measured tick — materialization, the initial
+  // hierarchy, warmup — and ticks covers the measured window. Published as
+  // alloc.* metrics below; a no-op zero in default builds.
+  const auto alloc_at_start = common::alloc_profile::totals();
+
   // Draw a connected initial deployment (the paper assumes G connected);
   // retry with derived seeds, keep the last draw if none connects.
   //
@@ -283,6 +290,7 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   // ticks stop growing the heap).
   cluster::Hierarchy next;
   cluster::HierarchyDelta delta;
+  net::LinkDelta link_delta;
   auto tick_fn = [&] {
     const Time now = engine.now();
     scenario.mobility->advance_to(now);
@@ -322,8 +330,18 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     }
     const cluster::Hierarchy& hnow = rebuild ? next : hier;
 
-    links.update(*g, now);
-    handoff.update(hnow, *g, now);
+    // Gated tick: !rebuild proves the level-0 edge set and the hierarchy are
+    // both unchanged (see the change-gate derivation above), so the link diff
+    // and the handoff snapshot would compare equal everywhere — skip their
+    // recomputation outright. Bit-identical by the same argument as the
+    // build+diff skip.
+    if (rebuild) {
+      links.update_into(*g, now, link_delta);
+      handoff.update(hnow, *g, now);
+    } else {
+      links.advance_unchanged(now);
+      handoff.advance_unchanged(now);
+    }
     if (faulted) {
       for (NodeId v = 0; v < cfg.n; ++v) {
         if (down[v] != 0 && prev_down[v] == 0) {
@@ -400,7 +418,26 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   for (Size i = 1; i <= total_ticks; ++i) {
     engine.schedule_at(t0 + static_cast<Time>(i) * cfg.tick, tick_fn);
   }
+  const auto alloc_at_measure = common::alloc_profile::totals();
   engine.run_until(std::max(horizon, t0 + static_cast<Time>(total_ticks) * cfg.tick));
+
+  // Per-phase allocator traffic. Guarded on enabled() so that default builds
+  // publish nothing and every artifact stays byte-identical to an
+  // uninstrumented binary.
+  if (common::alloc_profile::enabled() && options.metrics != nullptr) {
+    const auto setup = common::alloc_profile::delta(alloc_at_measure, alloc_at_start);
+    const auto measured =
+        common::alloc_profile::delta(common::alloc_profile::totals(), alloc_at_measure);
+    options.metrics->counter("alloc.setup.count").add(setup.allocations);
+    options.metrics->counter("alloc.setup.bytes").add(setup.bytes);
+    options.metrics->counter("alloc.ticks.count").add(measured.allocations);
+    options.metrics->counter("alloc.ticks.bytes").add(measured.bytes);
+    if (total_ticks > 0) {
+      options.metrics->gauge("alloc.per_tick")
+          .set(static_cast<double>(measured.allocations) /
+               static_cast<double>(total_ticks));
+    }
+  }
 
   // --- Flatten metrics ---
   RunMetrics out;

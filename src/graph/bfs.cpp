@@ -1,5 +1,7 @@
 #include "graph/bfs.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace manet::graph {
@@ -60,6 +62,70 @@ std::span<const std::uint32_t> BfsScratch::run(const Graph& g, NodeId source) {
 std::uint32_t BfsScratch::hops_to(NodeId v) const {
   MANET_CHECK(v < dist_.size());
   return dist_[v];
+}
+
+std::uint32_t BfsPairScratch::hops(const Graph& g, NodeId u, NodeId v) {
+  const Size n = g.vertex_count();
+  MANET_CHECK(u < n && v < n);
+  if (u == v) return 0;
+
+  if (mark_s_.size() < n) {
+    mark_s_.assign(n, 0);
+    mark_t_.assign(n, 0);
+    ds_.resize(n);
+    dt_.resize(n);
+    epoch_ = 0;
+  }
+  if (++epoch_ == 0) {  // stamp wraparound: old stamps become ambiguous
+    std::fill(mark_s_.begin(), mark_s_.end(), 0u);
+    std::fill(mark_t_.begin(), mark_t_.end(), 0u);
+    epoch_ = 1;
+  }
+  const std::uint32_t e = epoch_;
+
+  mark_s_[u] = e;
+  ds_[u] = 0;
+  mark_t_[v] = e;
+  dt_[v] = 0;
+  frontier_s_.assign(1, u);
+  frontier_t_.assign(1, v);
+  std::uint32_t radius_s = 0;
+  std::uint32_t radius_t = 0;
+  std::uint32_t best = kUnreachable;
+
+  for (;;) {
+    // Once the explored radii cover `best`, no shorter meeting exists (see
+    // header proof) — best is the exact distance.
+    if (best != kUnreachable && best <= radius_s + radius_t) return best;
+
+    const bool expand_s = frontier_s_.size() <= frontier_t_.size();
+    auto& frontier = expand_s ? frontier_s_ : frontier_t_;
+    // A side with an empty frontier has exhausted its component without a
+    // meeting: the endpoints are disconnected.
+    if (frontier.empty()) return best;
+
+    auto& mark_mine = expand_s ? mark_s_ : mark_t_;
+    auto& dist_mine = expand_s ? ds_ : dt_;
+    const auto& mark_other = expand_s ? mark_t_ : mark_s_;
+    const auto& dist_other = expand_s ? dt_ : ds_;
+    const std::uint32_t depth = (expand_s ? radius_s : radius_t) + 1;
+
+    next_.clear();
+    for (const NodeId w : frontier) {
+      for (const NodeId x : g.neighbors(w)) {
+        if (mark_mine[x] == e) continue;
+        mark_mine[x] = e;
+        dist_mine[x] = depth;
+        if (mark_other[x] == e) {
+          const std::uint32_t candidate = depth + dist_other[x];
+          if (candidate < best) best = candidate;
+        }
+        next_.push_back(x);
+      }
+    }
+    frontier.swap(next_);
+    (expand_s ? radius_s : radius_t) = depth;
+  }
 }
 
 }  // namespace manet::graph

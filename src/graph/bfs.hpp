@@ -39,4 +39,36 @@ class BfsScratch {
   std::vector<NodeId> queue_;
 };
 
+/// Reusable single-pair hop query via bidirectional BFS.
+///
+/// The handoff/GLS/registration pricing loops ask for hops(u, v) between
+/// specific endpoint pairs — typically nearby cluster heads — and a full
+/// single-source sweep per query is O(V + E) regardless of how close v is.
+/// This scratch expands the smaller of two level-synchronized frontiers
+/// (one rooted at each endpoint) and stops as soon as the best meeting
+/// distance can no longer improve, which costs O(paths of length <= L/2)
+/// around each endpoint instead of the whole graph.
+///
+/// Exactness: candidates best = min(ds(w) + dt(w)) are recorded whenever a
+/// node w receives its second stamp, and the search only returns best once
+/// best <= radius_s + radius_t. Any true shortest path of length L has a
+/// node at distance radius_s from u and L - radius_s <= radius_t from v, so
+/// it was doubly stamped and recorded; hence best == L exactly — callers
+/// (and the paper's packet accounting) see values identical to a full BFS,
+/// bit for bit.
+///
+/// Distance arrays are epoch-stamped, so repeated queries clear nothing.
+class BfsPairScratch {
+ public:
+  /// Exact hop distance between \p u and \p v (kUnreachable when they are
+  /// in different components).
+  std::uint32_t hops(const Graph& g, NodeId u, NodeId v);
+
+ private:
+  std::vector<std::uint32_t> mark_s_, mark_t_;  ///< epoch stamps per side
+  std::vector<std::uint32_t> ds_, dt_;          ///< valid where stamped
+  std::vector<NodeId> frontier_s_, frontier_t_, next_;
+  std::uint32_t epoch_ = 0;
+};
+
 }  // namespace manet::graph

@@ -16,28 +16,24 @@ void LmDatabase::reset(Size n_nodes) {
 void LmDatabase::put(NodeId server, LocationRecord record) {
   MANET_CHECK(server < stores_.size());
   MANET_CHECK(record.owner != kInvalidNode);
-  auto [it, inserted] = stores_[server].insert_or_assign(key(record.owner, record.level),
-                                                         record);
-  (void)it;
-  if (inserted) ++total_;
+  if (stores_[server].insert_or_assign(key(record.owner, record.level), record)) ++total_;
 }
 
 LocationRecord LmDatabase::take(NodeId server, NodeId owner, Level level) {
   MANET_CHECK(server < stores_.size());
   auto& store = stores_[server];
-  const auto it = store.find(key(owner, level));
-  if (it == store.end()) return LocationRecord{};
-  LocationRecord record = it->second;
-  store.erase(it);
+  const std::uint64_t k = key(owner, level);
+  const LocationRecord* found = store.find(k);
+  if (found == nullptr) return LocationRecord{};
+  LocationRecord record = *found;
+  store.erase(k);
   --total_;
   return record;
 }
 
 const LocationRecord* LmDatabase::find(NodeId server, NodeId owner, Level level) const {
   MANET_CHECK(server < stores_.size());
-  const auto& store = stores_[server];
-  const auto it = store.find(key(owner, level));
-  return it == store.end() ? nullptr : &it->second;
+  return stores_[server].find(key(owner, level));
 }
 
 std::vector<LocationRecord> LmDatabase::drop_all(NodeId server) {
@@ -45,10 +41,7 @@ std::vector<LocationRecord> LmDatabase::drop_all(NodeId server) {
   auto& store = stores_[server];
   std::vector<LocationRecord> out;
   out.reserve(store.size());
-  for (const auto& [k, record] : store) {
-    (void)k;
-    out.push_back(record);
-  }
+  for (const auto& e : store) out.push_back(e.value);
   total_ -= store.size();
   store.clear();
   std::sort(out.begin(), out.end(), [](const LocationRecord& a, const LocationRecord& b) {

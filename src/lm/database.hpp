@@ -1,9 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 
 /// \file database.hpp
@@ -55,11 +56,17 @@ class LmDatabase {
   std::vector<Size> load_vector() const;
 
  private:
+  /// Packed (owner, level) store key. The low 16 bits carry the level, so a
+  /// level at or above 2^16 would silently alias another owner's entry —
+  /// guard the range (hierarchy depth is Theta(log |V|), i.e. tiny, so the
+  /// check can never fire on real input, only on corrupted arguments).
   static std::uint64_t key(NodeId owner, Level level) {
+    static_assert(sizeof(NodeId) * 8 <= 48, "owner<<16 must fit the packed u64");
+    MANET_CHECK_MSG(level < (Level{1} << 16), "level out of packed-key range");
     return (static_cast<std::uint64_t>(owner) << 16) | level;
   }
 
-  std::vector<std::unordered_map<std::uint64_t, LocationRecord>> stores_;
+  std::vector<common::FlatMap<std::uint64_t, LocationRecord>> stores_;
   Size total_ = 0;
 };
 

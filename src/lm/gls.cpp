@@ -79,11 +79,13 @@ void GlsService::rebuild(const std::vector<geom::Vec2>& positions, std::span<con
 
   // Bucket nodes per level-(k-1) cell, for k-1 in [1, L]. One exact map per
   // level, keyed by the packed (cx, cy) cell coordinates.
-  using Bucket = std::vector<std::pair<NodeId, NodeId>>;
-  std::vector<std::unordered_map<std::uint64_t, Bucket>> buckets(grid_.levels() + 1);
+  if (buckets_.size() < static_cast<Size>(grid_.levels()) + 1) {
+    buckets_.resize(grid_.levels() + 1);
+  }
   for (Level lvl = 1; lvl <= grid_.levels(); ++lvl) {
+    buckets_[lvl].clear();
     for (NodeId v = 0; v < n; ++v) {
-      buckets[lvl][grid_.cell_key(positions[v], lvl)].push_back({v, ids[v]});
+      buckets_[lvl][grid_.cell_key(positions[v], lvl)].push_back({v, ids[v]});
     }
   }
 
@@ -106,9 +108,9 @@ void GlsService::rebuild(const std::vector<geom::Vec2>& positions, std::span<con
           const std::uint64_t key =
               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
               static_cast<std::uint32_t>(cy);
-          const auto it = buckets[child].find(key);
+          const Bucket* cell_bucket = buckets_[child].find(key);
           NodeId server = kInvalidNode;
-          if (it != buckets[child].end()) server = successor_pick(ids[v], it->second);
+          if (cell_bucket != nullptr) server = successor_pick(ids[v], *cell_bucket);
           assignments_[v][(k - 2) * kGlsSiblings + slot] = server;
           ++slot;
         }
@@ -147,11 +149,7 @@ void GlsHandoffTracker::prime(const std::vector<geom::Vec2>& positions,
 
 PacketCount GlsHandoffTracker::price(const graph::Graph& g0, NodeId from, NodeId to) {
   if (from == to) return 0;
-  auto it = dist_cache_.find(from);
-  if (it == dist_cache_.end()) {
-    it = dist_cache_.emplace(from, graph::bfs_hops(g0, from)).first;
-  }
-  const std::uint32_t hops = it->second[to];
+  const std::uint32_t hops = pair_bfs_.hops(g0, from, to);
   if (hops == graph::kUnreachable) {
     ++unreachable_;
     return 0;
@@ -165,7 +163,6 @@ GlsHandoffTracker::TickResult GlsHandoffTracker::update(
   MANET_CHECK_MSG(primed_, "GlsHandoffTracker::update before prime");
   MANET_CHECK_MSG(t >= last_time_, "tracker time must be monotone");
   service_.rebuild(positions, ids, t);
-  dist_cache_.clear();
 
   TickResult tick;
   const auto& next = service_.assignments_;

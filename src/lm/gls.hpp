@@ -1,8 +1,9 @@
 #pragma once
 
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "geom/region.hpp"
 #include "graph/bfs.hpp"
 #include "lm/database.hpp"
@@ -78,9 +79,15 @@ class GlsService {
  private:
   friend class GlsHandoffTracker;
 
+  /// Nodes of one grid cell, paired with their successor-rule ids.
+  using Bucket = std::vector<std::pair<NodeId, NodeId>>;
+
   GridHierarchy grid_;
   /// assignments_[owner][(k-2)*3 + sibling].
   std::vector<std::vector<NodeId>> assignments_;
+  /// Per-level cell buckets, reused across rebuild() calls (the slot tables
+  /// keep their capacity; only the entries are dropped per tick).
+  std::vector<common::FlatMap<std::uint64_t, Bucket>> buckets_;
 };
 
 /// Handoff/update accounting for GLS under mobility, with the same pricing
@@ -124,7 +131,7 @@ class GlsHandoffTracker {
   PacketCount total_handoff_ = 0;
   PacketCount total_update_ = 0;
   Size unreachable_ = 0;
-  std::unordered_map<NodeId, std::vector<std::uint32_t>> dist_cache_;
+  graph::BfsPairScratch pair_bfs_;
 };
 
 }  // namespace manet::lm

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -58,22 +60,19 @@ void HandoffEngine::publish_rates() {
   }
 }
 
-HandoffEngine::Snapshot HandoffEngine::capture(const cluster::Hierarchy& h) const {
-  Snapshot snap;
+void HandoffEngine::capture(const cluster::Hierarchy& h, Snapshot& snap) const {
   const Size n = h.level(0).vertex_count();
   snap.top = h.top_level();
-  snap.servers = select_all_servers(h, config_.select);
-  snap.anc_ids.resize(n);
+  snap.served_width = select_all_servers_into(h, config_.select, snap.servers);
+  snap.anc_ids.resize(n * snap.top);  // row-major [owner][k-1], k = 1..top
   for (NodeId v = 0; v < n; ++v) {
-    auto& anc = snap.anc_ids[v];
-    anc.resize(snap.top);  // k = 1..top
+    NodeId* anc = snap.anc_ids.data() + static_cast<Size>(v) * snap.top;
     for (Level k = 1; k <= snap.top; ++k) anc[k - 1] = h.ancestor_id(v, k);
   }
-  return snap;
 }
 
 void HandoffEngine::prime(const cluster::Hierarchy& h, Time t) {
-  prev_ = capture(h);
+  capture(h, prev_);
   node_count_ = h.level(0).vertex_count();
   start_time_ = last_time_ = t;
   primed_ = true;
@@ -82,9 +81,9 @@ void HandoffEngine::prime(const cluster::Hierarchy& h, Time t) {
 
   db_.reset(node_count_);
   for (NodeId owner = 0; owner < node_count_; ++owner) {
-    for (Size i = 0; i < prev_.servers[owner].size(); ++i) {
+    for (Size i = 0; i < prev_.served_width; ++i) {
       const Level k = static_cast<Level>(i) + kFirstServedLevel;
-      db_.put(prev_.servers[owner][i], LocationRecord{owner, k, t, version_counter_++});
+      db_.put(prev_.server(owner, k), LocationRecord{owner, k, t, version_counter_++});
     }
   }
 }
@@ -95,12 +94,7 @@ LevelOverhead& HandoffEngine::ledger(Level k) {
 }
 
 std::uint32_t HandoffEngine::hops_between(const graph::Graph& g0, NodeId from, NodeId to) {
-  if (from == to) return 0;
-  auto it = dist_cache_.find(from);
-  if (it == dist_cache_.end()) {
-    it = dist_cache_.emplace(from, graph::bfs_hops(g0, from)).first;
-  }
-  return it->second[to];
+  return pair_bfs_.hops(g0, from, to);
 }
 
 PacketCount HandoffEngine::price(const graph::Graph& g0, NodeId from, NodeId to) {
@@ -151,13 +145,13 @@ void HandoffEngine::on_node_up(const graph::Graph& g0, NodeId v, Time t) {
   if (trace_ != nullptr) {
     trace_->record(sim::TraceEvent{t, sim::TraceEventType::kNodeRejoin, 0, v, kInvalidNode});
   }
-  if (v >= prev_.servers.size()) return;
+  if (v >= node_count_) return;
   // The rejoined node re-registers with each of its current servers so its
   // own entries are fresh again; successful refreshes also clear any stale
   // flag for the (owner, level).
-  for (Size i = 0; i < prev_.servers[v].size(); ++i) {
+  for (Size i = 0; i < prev_.served_width; ++i) {
     const Level k = static_cast<Level>(i) + kFirstServedLevel;
-    const NodeId s = prev_.servers[v][i];
+    const NodeId s = prev_.server(v, k);
     if (s == kInvalidNode) continue;
     const TransferOutcome out = attempt_transfer(g0, v, s);
     resil_.repair_packets += out.packets;
@@ -191,8 +185,8 @@ HandoffEngine::RepairResult HandoffEngine::audit_repair(const graph::Graph& g0, 
   for (auto it = stale_.begin(); it != stale_.end();) {
     const auto owner = static_cast<NodeId>(it->first >> 16);
     const auto k = static_cast<Level>(it->first & 0xFFFF);
-    if (k > prev_.top || owner >= prev_.servers.size() ||
-        static_cast<Size>(k - kFirstServedLevel) >= prev_.servers[owner].size()) {
+    if (k > prev_.top || owner >= node_count_ ||
+        static_cast<Size>(k - kFirstServedLevel) >= prev_.served_width) {
       // Level no longer served: discard the residue, nothing to repair.
       if (it->second.holder != kInvalidNode) db_.take(it->second.holder, owner, k);
       it = stale_.erase(it);
@@ -202,7 +196,7 @@ HandoffEngine::RepairResult HandoffEngine::audit_repair(const graph::Graph& g0, 
       ++it;  // the owner re-registers on rejoin
       continue;
     }
-    const NodeId s = prev_.servers[owner][k - kFirstServedLevel];
+    const NodeId s = prev_.server(owner, k);
     const TransferOutcome out = attempt_transfer(g0, owner, s);
     resil_.repair_packets += out.packets;
     result.packets += out.packets;
@@ -236,9 +230,9 @@ double HandoffEngine::query_probe(common::Xoshiro256& rng, Size samples) const {
     if (is_down(owner)) continue;  // nobody queries a dead node's location
     ++asked;
     bool found = false;
-    for (Size i = 0; i < prev_.servers[owner].size() && !found; ++i) {
+    for (Size i = 0; i < prev_.served_width && !found; ++i) {
       const Level k = static_cast<Level>(i) + kFirstServedLevel;
-      const NodeId s = prev_.servers[owner][i];
+      const NodeId s = prev_.server(owner, k);
       if (s == kInvalidNode || is_down(s)) continue;
       found = db_.find(s, owner, k) != nullptr;
     }
@@ -263,18 +257,22 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
   MANET_CHECK_MSG(t >= last_time_, "handoff time must be monotone");
   MANET_CHECK_MSG(h.level(0).vertex_count() == node_count_, "node population changed");
 
-  Snapshot next = capture(h);
-  dist_cache_.clear();
+  arena_.rewind();
+  capture(h, next_scratch_);
+  const Snapshot& next = next_scratch_;
   TickResult tick;
 
   // Count per-level cluster membership changes (f_k numerators).
   const Level common_top = std::min(prev_.top, next.top);
   if (migrations_.size() <= common_top) migrations_.resize(common_top + 1, 0);
-  const std::vector<Size> migrations_before =
-      metrics_ != nullptr ? migrations_ : std::vector<Size>{};
+  std::span<Size> migrations_before;
+  if (metrics_ != nullptr) {
+    migrations_before = arena_.alloc_span<Size>(migrations_.size());
+    std::copy(migrations_.begin(), migrations_.end(), migrations_before.begin());
+  }
   for (NodeId v = 0; v < node_count_; ++v) {
     for (Level k = 1; k <= common_top; ++k) {
-      if (prev_.anc_ids[v][k - 1] != next.anc_ids[v][k - 1]) ++migrations_[k];
+      if (prev_.anc_id(v, k) != next.anc_id(v, k)) ++migrations_[k];
     }
   }
   if (metrics_ != nullptr) {
@@ -291,16 +289,15 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
     for (Level k = kFirstServedLevel; k <= max_top; ++k) {
       const bool had = k <= prev_.top;
       const bool has = k <= next.top;
-      const NodeId s_old = had ? prev_.servers[v][k - kFirstServedLevel] : kInvalidNode;
-      const NodeId s_new = has ? next.servers[v][k - kFirstServedLevel] : kInvalidNode;
+      const NodeId s_old = had ? prev_.server(v, k) : kInvalidNode;
+      const NodeId s_new = has ? next.server(v, k) : kInvalidNode;
       if (had && has) {
         if (s_old == s_new) continue;
         // Attribution: migration when the owner's level-k cluster changed;
         // otherwise the cluster kept its head but recomposed (reorg).
         const bool anc_known =
             k <= prev_.top && k <= next.top;
-        const bool migrated =
-            anc_known && prev_.anc_ids[v][k - 1] != next.anc_ids[v][k - 1];
+        const bool migrated = anc_known && prev_.anc_id(v, k) != next.anc_id(v, k);
         PacketCount cost = 0;
         if (arq_ == nullptr) {
           cost = price(g0, s_old, s_new);
@@ -462,10 +459,21 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
     }
   }
 
-  prev_ = std::move(next);
+  std::swap(prev_, next_scratch_);  // both snapshots keep their buffer capacity
   last_time_ = t;
   if (metrics_ != nullptr) publish_rates();
   return tick;
+}
+
+HandoffEngine::TickResult HandoffEngine::advance_unchanged(Time t) {
+  MANET_CHECK_MSG(primed_, "HandoffEngine::advance_unchanged before prime");
+  MANET_CHECK_MSG(t >= last_time_, "handoff time must be monotone");
+  // An identical snapshot diffs to zero everywhere: update() would leave the
+  // ledgers, migration counts and database untouched and only move the
+  // clock. Reproduce exactly that end state.
+  last_time_ = t;
+  if (metrics_ != nullptr) publish_rates();
+  return TickResult{};
 }
 
 PacketCount HandoffEngine::total_phi() const {

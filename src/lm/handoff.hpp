@@ -1,9 +1,10 @@
 #pragma once
 
 #include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
+#include "common/check.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "graph/bfs.hpp"
@@ -66,6 +67,12 @@ class HandoffEngine {
   /// Advance to snapshot \p h (level-0 graph \p g0 prices the transfers) at
   /// time \p t; returns this tick's cost and accumulates totals.
   TickResult update(const cluster::Hierarchy& h, const graph::Graph& g0, Time t);
+
+  /// Advance to \p t when the caller has proven the hierarchy is unchanged
+  /// since the last update()/prime() (the change-gated tick pipeline's skip
+  /// path). Equivalent to update() with an identical snapshot — no entry
+  /// moves, no migration counts — without recomputing the assignment table.
+  TickResult advance_unchanged(Time t);
 
   // --- Accumulated results ---
   Size node_count() const { return node_count_; }
@@ -171,18 +178,27 @@ class HandoffEngine {
   double gamma_retx_rate() const;
 
  private:
-  /// Capture assignment + ancestor tables for a snapshot.
+  /// Capture assignment + ancestor tables for a snapshot. Both tables are
+  /// flat row-major (one contiguous buffer each) so per-tick capture reuses
+  /// the scratch snapshot's capacity instead of allocating n nested vectors.
   struct Snapshot {
-    std::vector<std::vector<NodeId>> servers;  ///< [owner][k-2], k in [2, top]
-    std::vector<std::vector<NodeId>> anc_ids;  ///< [owner][k-1], k in [1, top]
     Level top = 0;
+    Size served_width = 0;         ///< levels carrying a server: top - 1 when top >= 2
+    std::vector<NodeId> servers;   ///< [owner * served_width + (k - 2)], k in [2, top]
+    std::vector<NodeId> anc_ids;   ///< [owner * top + (k - 1)], k in [1, top]
+    NodeId server(NodeId owner, Level k) const {
+      return servers[static_cast<Size>(owner) * served_width + (k - kFirstServedLevel)];
+    }
+    NodeId anc_id(NodeId owner, Level k) const {
+      return anc_ids[static_cast<Size>(owner) * top + (k - 1)];
+    }
   };
-  Snapshot capture(const cluster::Hierarchy& h) const;
+  void capture(const cluster::Hierarchy& h, Snapshot& snap) const;
 
   LevelOverhead& ledger(Level k);
   PacketCount price(const graph::Graph& g0, NodeId from, NodeId to);
 
-  /// Cached BFS hop count; graph::kUnreachable when no path exists. Unlike
+  /// Exact BFS hop count; graph::kUnreachable when no path exists. Unlike
   /// price() this never touches the unreachable ledger.
   std::uint32_t hops_between(const graph::Graph& g0, NodeId from, NodeId to);
   bool is_down(NodeId v) const {
@@ -199,6 +215,8 @@ class HandoffEngine {
   bool primed_ = false;
 
   Snapshot prev_;
+  Snapshot next_scratch_;  ///< swap target for update(); keeps buffer capacity
+  common::ArenaScratch arena_;  ///< per-tick transient allocations (rewound each update)
   std::vector<LevelOverhead> levels_;
   std::vector<Size> migrations_;  ///< per level k
   Size unreachable_ = 0;
@@ -211,7 +229,10 @@ class HandoffEngine {
     NodeId holder = kInvalidNode;  ///< node still holding the entry, if any
     Time since = 0.0;              ///< when the entry went stale
   };
+  /// Same packed layout as LmDatabase::key (and the same aliasing hazard:
+  /// the level must fit the low 16 bits).
   static std::uint64_t stale_key(NodeId owner, Level k) {
+    MANET_CHECK_MSG(k < (Level{1} << 16), "level out of packed-key range");
     return (static_cast<std::uint64_t>(owner) << 16) | k;
   }
   /// Ordered so audits iterate deterministically.
@@ -220,8 +241,10 @@ class HandoffEngine {
   const std::vector<std::uint8_t>* down_ = nullptr;
   ResilienceStats resil_;
 
-  /// Per-tick BFS distance cache, keyed by source.
-  std::unordered_map<NodeId, std::vector<std::uint32_t>> dist_cache_;
+  /// Reusable bidirectional BFS workspace: transfer endpoints are typically
+  /// a few hops apart, so a pair query explores a small neighborhood instead
+  /// of sweeping the whole graph per unique source.
+  graph::BfsPairScratch pair_bfs_;
 
   // Observability (resolved once in set_metrics; hot path is pointer adds).
   common::MetricsRegistry* metrics_ = nullptr;

@@ -25,11 +25,7 @@ void RegistrationTracker::prime(const cluster::Hierarchy& h,
 
 PacketCount RegistrationTracker::price(const graph::Graph& g, NodeId from, NodeId to) {
   if (from == to) return 0;
-  auto it = dist_cache_.find(from);
-  if (it == dist_cache_.end()) {
-    it = dist_cache_.emplace(from, graph::bfs_hops(g, from)).first;
-  }
-  const std::uint32_t hops = it->second[to];
+  const std::uint32_t hops = pair_bfs_.hops(g, from, to);
   return hops == graph::kUnreachable ? 0 : hops;
 }
 
@@ -40,7 +36,6 @@ RegistrationTracker::TickResult RegistrationTracker::update(
   MANET_CHECK_MSG(t >= last_time_, "registration time must be monotone");
   const Size n = anchors_.size();
   MANET_CHECK(positions.size() == n);
-  dist_cache_.clear();
 
   TickResult tick;
   const Level top = std::min(top_, h.top_level());

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "geom/vec2.hpp"
@@ -89,7 +88,7 @@ class RegistrationTracker {
   PacketCount total_packets_ = 0;
   Size total_updates_ = 0;
   std::vector<PacketCount> per_level_packets_;
-  std::unordered_map<NodeId, std::vector<std::uint32_t>> dist_cache_;
+  graph::BfsPairScratch pair_bfs_;
 
   ReliableTransfer* arq_ = nullptr;
   const std::vector<std::uint8_t>* down_ = nullptr;

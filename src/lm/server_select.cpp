@@ -122,19 +122,31 @@ NodeId select_server_in(const cluster::Hierarchy& h, NodeId cluster, Level k, No
 
 std::vector<std::vector<NodeId>> select_all_servers(const cluster::Hierarchy& h,
                                                     const ServerSelectConfig& config) {
+  std::vector<NodeId> flat;
+  const Size width = select_all_servers_into(h, config, flat);
+  const Size n = h.level(0).vertex_count();
+  std::vector<std::vector<NodeId>> servers(n, std::vector<NodeId>(width, kInvalidNode));
+  for (NodeId owner = 0; owner < n; ++owner) {
+    for (Size i = 0; i < width; ++i) servers[owner][i] = flat[owner * width + i];
+  }
+  return servers;
+}
+
+Size select_all_servers_into(const cluster::Hierarchy& h, const ServerSelectConfig& config,
+                             std::vector<NodeId>& out) {
   const Size n = h.level(0).vertex_count();
   const Level top = h.top_level();
-  const Size levels = top >= kFirstServedLevel ? top - kFirstServedLevel + 1 : 0;
-  std::vector<std::vector<NodeId>> servers(n, std::vector<NodeId>(levels, kInvalidNode));
-  if (levels == 0) return servers;
+  const Size width = top >= kFirstServedLevel ? top - kFirstServedLevel + 1 : 0;
+  out.assign(n * width, kInvalidNode);
+  if (width == 0) return width;
 
   if (config.strategy != SelectStrategy::kFlatSuccessor) {
     for (NodeId owner = 0; owner < n; ++owner) {
       for (Level k = kFirstServedLevel; k <= top; ++k) {
-        servers[owner][k - kFirstServedLevel] = select_server(h, owner, k, config);
+        out[owner * width + (k - kFirstServedLevel)] = select_server(h, owner, k, config);
       }
     }
-    return servers;
+    return width;
   }
 
   // Flat successor fast path: per cluster, sort members by original id once;
@@ -148,7 +160,7 @@ std::vector<std::vector<NodeId>> select_all_servers(const cluster::Hierarchy& h,
     for (NodeId c = 0; c < h.cluster_count(k); ++c) {
       const auto& members = h.members0(k, c);
       if (members.size() == 1) {
-        servers[members[0]][slot] = members[0];  // self-serve
+        out[members[0] * width + slot] = members[0];  // self-serve
         continue;
       }
       by_id.clear();
@@ -157,11 +169,11 @@ std::vector<std::vector<NodeId>> select_all_servers(const cluster::Hierarchy& h,
       std::sort(by_id.begin(), by_id.end());
       for (Size i = 0; i < by_id.size(); ++i) {
         const Size next = (i + 1) % by_id.size();
-        servers[by_id[i].second][slot] = by_id[next].second;
+        out[by_id[i].second * width + slot] = by_id[next].second;
       }
     }
   }
-  return servers;
+  return width;
 }
 
 }  // namespace manet::lm

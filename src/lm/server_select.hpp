@@ -91,4 +91,12 @@ inline constexpr Level kFirstServedLevel = 2;
 std::vector<std::vector<NodeId>> select_all_servers(const cluster::Hierarchy& h,
                                                     const ServerSelectConfig& config = {});
 
+/// Flat bulk assignment for per-tick callers: fills \p out with
+/// out[owner * width + (k - kFirstServedLevel)], width = number of served
+/// levels (top - 1 when top >= 2, else 0), and returns width. Reuses \p out's
+/// capacity, so a caller that keeps its buffer across ticks allocates nothing
+/// at steady state. Values match select_all_servers exactly.
+Size select_all_servers_into(const cluster::Hierarchy& h, const ServerSelectConfig& config,
+                             std::vector<NodeId>& out);
+
 }  // namespace manet::lm

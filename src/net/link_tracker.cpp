@@ -9,8 +9,13 @@ namespace manet::net {
 std::vector<graph::Edge> edge_difference(std::span<const graph::Edge> a,
                                          std::span<const graph::Edge> b) {
   std::vector<graph::Edge> out;
-  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  edge_difference_into(a, b, out);
   return out;
+}
+
+void edge_difference_into(std::span<const graph::Edge> a, std::span<const graph::Edge> b,
+                          std::vector<graph::Edge>& out) {
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
 }
 
 LinkTracker::LinkTracker(const graph::Graph& initial, Time t0)
@@ -20,12 +25,19 @@ LinkTracker::LinkTracker(const graph::Graph& initial, Time t0)
       last_time_(t0) {}
 
 LinkDelta LinkTracker::update(const graph::Graph& current, Time t) {
+  LinkDelta delta;
+  update_into(current, t, delta);
+  return delta;
+}
+
+void LinkTracker::update_into(const graph::Graph& current, Time t, LinkDelta& delta) {
   MANET_CHECK_MSG(t >= last_time_, "link tracker time must be monotone");
   MANET_CHECK_MSG(current.vertex_count() == node_count_,
                   "node count changed between snapshots");
-  LinkDelta delta;
-  delta.up = edge_difference(current.edges(), prev_edges_);
-  delta.down = edge_difference(prev_edges_, current.edges());
+  delta.up.clear();
+  delta.down.clear();
+  edge_difference_into(current.edges(), prev_edges_, delta.up);
+  edge_difference_into(prev_edges_, current.edges(), delta.down);
   total_events_ += delta.event_count();
   prev_edges_.assign(current.edges().begin(), current.edges().end());
   last_time_ = t;
@@ -34,7 +46,16 @@ LinkDelta LinkTracker::update(const graph::Graph& current, Time t) {
     down_c_->add(delta.down.size());
     metrics_->gauge("net.f0").set(events_per_node_per_second());
   }
-  return delta;
+}
+
+void LinkTracker::advance_unchanged(Time t) {
+  MANET_CHECK_MSG(t >= last_time_, "link tracker time must be monotone");
+  last_time_ = t;
+  if (metrics_ != nullptr) {
+    // update() with an identical edge set adds 0 to both counters; only the
+    // window-dependent f0 gauge needs refreshing.
+    metrics_->gauge("net.f0").set(events_per_node_per_second());
+  }
 }
 
 void LinkTracker::set_metrics(common::MetricsRegistry* registry) {

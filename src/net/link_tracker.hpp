@@ -32,6 +32,15 @@ class LinkTracker {
   /// running counters, and return the delta. \p t must be >= the prior time.
   LinkDelta update(const graph::Graph& current, Time t);
 
+  /// Same, writing into \p delta (cleared first, capacity retained). The
+  /// per-tick loop uses this so steady-state link diffing is allocation-free.
+  void update_into(const graph::Graph& current, Time t, LinkDelta& delta);
+
+  /// Advance to \p t when the caller has proven the edge set is unchanged
+  /// (the change-gated tick pipeline's skip path): no diff, no copy —
+  /// identical end state to update() against the same graph.
+  void advance_unchanged(Time t);
+
   /// Total link-state change events observed so far.
   Size total_events() const { return total_events_; }
 
@@ -62,5 +71,9 @@ class LinkTracker {
 /// Set-difference of two canonical sorted edge lists (a \ b).
 std::vector<graph::Edge> edge_difference(std::span<const graph::Edge> a,
                                          std::span<const graph::Edge> b);
+
+/// Same, appending to \p out (not cleared; callers clear to reuse capacity).
+void edge_difference_into(std::span<const graph::Edge> a, std::span<const graph::Edge> b,
+                          std::vector<graph::Edge>& out);
 
 }  // namespace manet::net

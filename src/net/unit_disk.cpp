@@ -31,14 +31,15 @@ void UnitDiskBuilder::compute_bridges(const std::vector<geom::Vec2>& positions,
   // tiny in practice, so the quadratic scan is cheap and exact).
   const auto labels = graph::component_labels(raw);
   const std::uint32_t n_comp = 1 + *std::max_element(labels.begin(), labels.end());
-  std::vector<Size> comp_size(n_comp, 0);
+  auto comp_size = arena_.alloc_span<Size>(n_comp);
   for (const auto l : labels) ++comp_size[l];
   const std::uint32_t giant = static_cast<std::uint32_t>(
       std::max_element(comp_size.begin(), comp_size.end()) - comp_size.begin());
 
-  std::vector<NodeId> giant_nodes;
+  auto giant_nodes = arena_.alloc_span<NodeId>(comp_size[giant]);
+  Size gi = 0;
   for (NodeId v = 0; v < labels.size(); ++v) {
-    if (labels[v] == giant) giant_nodes.push_back(v);
+    if (labels[v] == giant) giant_nodes[gi++] = v;
   }
   for (std::uint32_t c = 0; c < n_comp; ++c) {
     if (c == giant) continue;
@@ -62,6 +63,7 @@ void UnitDiskBuilder::compute_bridges(const std::vector<geom::Vec2>& positions,
 
 graph::Graph UnitDiskBuilder::build(const std::vector<geom::Vec2>& positions) {
   inc_valid_ = false;  // stateless path; next update() re-seeds
+  arena_.rewind();
   grid_.rebuild(positions);
   edge_buffer_.clear();
   grid_.for_each_pair_within(tx_radius_, [this](NodeId u, NodeId v) {
@@ -138,6 +140,7 @@ void UnitDiskBuilder::refresh_graphs(bool raw_dirty) {
 
 const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& positions) {
   const Size n = positions.size();
+  arena_.rewind();
   if (!inc_valid_ || cur_pos_.size() != n) {
     full_reset(positions);
     last_moved_ = n;

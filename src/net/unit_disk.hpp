@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "geom/spatial_grid.hpp"
 #include "geom/vec2.hpp"
 #include "graph/graph.hpp"
@@ -123,6 +124,10 @@ class UnitDiskBuilder {
   // Scratch reused across ticks so steady-state updates allocate nothing.
   std::vector<NodeId> moved_scratch_, nbr_scratch_, new_nbrs_;
   std::vector<graph::Edge> old_edges_scratch_, bridge_scratch_, combine_scratch_;
+  /// Bump arena for the augmentation path's transients (component sizes,
+  /// giant-component node list); rewound at the top of each build()/update().
+  /// Mutable because compute_bridges() is logically const.
+  mutable common::ArenaScratch arena_;
 };
 
 }  // namespace manet::net

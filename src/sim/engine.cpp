@@ -7,56 +7,51 @@
 
 namespace manet::sim {
 
-EventId Engine::schedule_at(Time when, EventFn fn) {
+EventId Engine::schedule_at(Time when, EventClosure fn) {
   MANET_CHECK_MSG(when >= now_, "cannot schedule into the past");
   return queue_.schedule(when, std::move(fn));
 }
 
-EventId Engine::schedule_in(Time delay, EventFn fn) {
+EventId Engine::schedule_in(Time delay, EventClosure fn) {
   MANET_CHECK(delay >= 0.0);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-Engine::RecurringHandle Engine::schedule_every(Time period, EventFn fn) {
+Engine::RecurringHandle Engine::schedule_every(Time period, EventClosure fn) {
   MANET_CHECK(period > 0.0);
   const std::uint64_t token = next_recurring_token_++;
-  recurring_alive_[token] = true;
-
-  // Self-rescheduling closure; checks liveness each firing so that
-  // stop_recurring() takes effect at the next tick boundary. The engine owns
-  // the closure via recurring_ticks_; the queued copies capture only a weak
-  // reference so the schedule cannot keep itself alive once retired.
-  //
-  // The k-th firing is placed at origin + k * period (one multiply, one
-  // rounding) rather than by accumulating now() + period: summed rounding
-  // error in the accumulation drifts for periods with no exact binary
-  // representation and can skip or repeat a firing against a run horizon.
-  auto tick = std::make_shared<EventFn>();
-  auto shared_fn = std::make_shared<EventFn>(std::move(fn));
-  std::weak_ptr<EventFn> weak_tick = tick;
-  const Time origin = now_;
-  auto fired = std::make_shared<std::uint64_t>(0);
-  *tick = [this, token, period, origin, fired, shared_fn, weak_tick]() {
-    const auto it = recurring_alive_.find(token);
-    if (it == recurring_alive_.end() || !it->second) {
-      recurring_alive_.erase(token);
-      recurring_ticks_.erase(token);
-      return;
-    }
-    (*shared_fn)();
-    if (auto self = weak_tick.lock()) {
-      ++*fired;
-      schedule_at(origin + static_cast<Time>(*fired + 1) * period, *self);
-    }
-  };
-  schedule_at(origin + period, *tick);
-  recurring_ticks_.emplace(token, std::move(tick));
+  auto rec = std::make_unique<Recurring>();
+  rec->fn = std::move(fn);
+  rec->origin = now_;
+  rec->period = period;
+  recurring_[token] = std::move(rec);
+  // Each firing is a 16-byte closure (inline in the queue's slab); the k-th
+  // occurrence is placed at origin + k * period (one multiply, one rounding)
+  // rather than by accumulating now() + period: summed rounding error in the
+  // accumulation drifts for periods with no exact binary representation and
+  // can skip or repeat a firing against a run horizon.
+  schedule_at(now_ + period, [this, token] { fire_recurring(token); });
   return RecurringHandle{token};
 }
 
+void Engine::fire_recurring(std::uint64_t token) {
+  auto* held = recurring_.find(token);
+  if (held == nullptr) return;
+  Recurring* rec = held->get();
+  if (!rec->alive) {
+    // stop_recurring() took effect at this tick boundary; retire the state.
+    recurring_.erase(token);
+    return;
+  }
+  rec->fn();
+  ++rec->fired;
+  schedule_at(rec->origin + static_cast<Time>(rec->fired + 1) * rec->period,
+              [this, token] { fire_recurring(token); });
+}
+
 void Engine::stop_recurring(RecurringHandle handle) {
-  const auto it = recurring_alive_.find(handle.token);
-  if (it != recurring_alive_.end()) it->second = false;
+  auto* held = recurring_.find(handle.token);
+  if (held != nullptr) (*held)->alive = false;
 }
 
 Size Engine::run_until(Time horizon) {

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/flat_map.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
 
@@ -22,10 +23,10 @@ class Engine {
   Time now() const noexcept { return now_; }
 
   /// Schedule at absolute time \p when (must be >= now()).
-  EventId schedule_at(Time when, EventFn fn);
+  EventId schedule_at(Time when, EventClosure fn);
 
   /// Schedule \p delay seconds from now (delay >= 0).
-  EventId schedule_in(Time delay, EventFn fn);
+  EventId schedule_in(Time delay, EventClosure fn);
 
   /// Schedule \p fn every \p period seconds, first firing at now() + period.
   /// Returns the id of the *first* occurrence; cancelling a recurring event
@@ -33,7 +34,7 @@ class Engine {
   struct RecurringHandle {
     std::uint64_t token;
   };
-  RecurringHandle schedule_every(Time period, EventFn fn);
+  RecurringHandle schedule_every(Time period, EventClosure fn);
   void stop_recurring(RecurringHandle handle);
 
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -61,16 +62,24 @@ class Engine {
   }
 
  private:
-  struct Recurring;
+  /// Engine-owned state of one recurring schedule. Heap-pinned (unique_ptr)
+  /// so the callback may itself create or retire recurring schedules while
+  /// it runs: the map may rehash, the Recurring never moves.
+  struct Recurring {
+    EventClosure fn;
+    Time origin = 0.0;
+    Time period = 0.0;
+    std::uint64_t fired = 0;
+    bool alive = true;
+  };
+
+  void fire_recurring(std::uint64_t token);
 
   EventQueue queue_;
   TraceSink* trace_ = nullptr;
   Time now_ = 0.0;
   std::uint64_t next_recurring_token_ = 1;
-  std::unordered_map<std::uint64_t, bool> recurring_alive_;
-  // Owns each recurring closure; queued copies hold only a weak reference,
-  // so a recurring schedule cannot keep itself alive (no shared_ptr cycle).
-  std::unordered_map<std::uint64_t, std::shared_ptr<EventFn>> recurring_ticks_;
+  common::FlatMap<std::uint64_t, std::unique_ptr<Recurring>> recurring_;
 };
 
 }  // namespace manet::sim

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// \file event_closure.hpp
+/// Move-only type-erased callable for the discrete-event kernel, replacing
+/// std::function<void()> in the event queue. The kernel's closures are small
+/// (a couple of pointers and a token), so they live in a small inline buffer
+/// and the queue's slot slab can recycle them without touching the heap:
+/// schedule/fire/cancel at steady state performs zero allocations. Callables
+/// larger than the buffer (the pre-scheduled measurement tick, built once at
+/// setup) fall back to a single heap allocation.
+
+namespace manet::sim {
+
+class EventClosure {
+ public:
+  /// Inline capacity. Sized so every steady-state kernel closure (engine
+  /// recurring ticks, ARQ timers) stays inline while one closure plus its
+  /// vtable pointer still fits a cache line.
+  static constexpr std::size_t kInlineBytes = 56;
+
+  EventClosure() noexcept = default;
+  EventClosure(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventClosure> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventClosure(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineVt<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapVt<Fn>::ops;
+    }
+  }
+
+  EventClosure(EventClosure&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventClosure& operator=(EventClosure&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventClosure(const EventClosure&) = delete;
+  EventClosure& operator=(const EventClosure&) = delete;
+
+  ~EventClosure() { reset(); }
+
+  /// Invoke the stored callable. Undefined when empty (the queue rejects
+  /// null callbacks at schedule time).
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  friend bool operator==(const EventClosure& c, std::nullptr_t) noexcept {
+    return c.ops_ == nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct into \p dst from \p src, destroying \p src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  struct InlineVt {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapVt {
+    static Fn* held(void* p) noexcept { return *static_cast<Fn**>(p); }
+    static void invoke(void* p) { (*held(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn*(held(src));
+    }
+    static void destroy(void* p) noexcept { delete held(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace manet::sim

@@ -1,23 +1,64 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
 
 namespace manet::sim {
 
-EventId EventQueue::schedule(Time when, EventFn fn) {
+std::uint32_t EventQueue::acquire_slot(EventId id, EventClosure fn) {
+  if (free_.empty()) {
+    MANET_CHECK_MSG(slab_.size() < 0xFFFFFFFFu, "event slab overflow");
+    slab_.push_back(Slot{id, std::move(fn)});
+    return static_cast<std::uint32_t>(slab_.size() - 1);
+  }
+  const std::uint32_t slot = free_.back();
+  free_.pop_back();
+  slab_[slot].id = id;
+  slab_[slot].fn = std::move(fn);
+  return slot;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  slab_[slot].fn = EventClosure{};  // drop captured state eagerly
+  free_.push_back(slot);
+}
+
+EventId EventQueue::schedule(Time when, EventClosure fn) {
   MANET_CHECK_MSG(fn != nullptr, "null event callback");
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(fn));
+  index_[id] = acquire_slot(id, std::move(fn));
+  heap_.push_back(Entry{when, id});
+  std::push_heap(heap_.begin(), heap_.end(), &later);
   return id;
 }
 
-bool EventQueue::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool EventQueue::cancel(EventId id) {
+  const std::uint32_t* slot = index_.find(id);
+  if (slot == nullptr) return false;
+  release_slot(*slot);
+  index_.erase(id);
+  ++tombstones_;
+  // Keep the heap at least half live: a cancel-heavy workload (ARQ timers,
+  // retired recurring schedules) otherwise accumulates dead entries that
+  // every subsequent push/pop still has to sift through.
+  if (tombstones_ * 2 > heap_.size()) compact();
+  return true;
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return !index_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), &later);
+  tombstones_ = 0;
+}
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) heap_.pop();
+  while (!heap_.empty() && !index_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), &later);
+    heap_.pop_back();
+    --tombstones_;
+  }
 }
 
 bool EventQueue::empty() const {
@@ -28,17 +69,19 @@ bool EventQueue::empty() const {
 Time EventQueue::next_time() const {
   drop_cancelled();
   MANET_CHECK(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled();
   MANET_CHECK(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  Fired fired{top.time, top.id, std::move(it->second)};
-  callbacks_.erase(it);
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), &later);
+  heap_.pop_back();
+  const std::uint32_t slot = *index_.find(top.id);
+  Fired fired{top.time, top.id, std::move(slab_[slot].fn)};
+  free_.push_back(slot);
+  index_.erase(top.id);
   return fired;
 }
 

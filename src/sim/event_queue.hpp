@@ -1,30 +1,40 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
+#include "sim/event_closure.hpp"
 
 /// \file event_queue.hpp
 /// Pending-event set for the discrete-event kernel: a binary min-heap keyed
 /// by (time, sequence). The sequence number makes simultaneous events fire in
 /// scheduling order, which keeps runs bit-reproducible.
+///
+/// Storage is allocation-free at steady state: callbacks live in a free-list
+/// slab of EventClosure slots (recycled on fire/cancel), the id->slot index
+/// is a FlatMap, and the heap is a plain vector driven by std::push_heap /
+/// std::pop_heap. Cancellation is lazy — the heap entry is tombstoned — but
+/// when tombstones outnumber live entries the heap is compacted in place, so
+/// a cancel-heavy workload cannot grow the heap unboundedly. Compaction never
+/// changes pop order: (time, id) is a strict total order, so the sequence of
+/// heap minima depends only on the surviving set.
 
 namespace manet::sim {
 
 using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+/// Historical alias from the std::function era; see sim/event_closure.hpp.
+using EventFn = EventClosure;
 
 class EventQueue {
  public:
   /// Schedule \p fn at absolute time \p when; returns a cancellation handle.
-  EventId schedule(Time when, EventFn fn);
+  EventId schedule(Time when, EventClosure fn);
 
   /// Cancel a pending event. Returns false if already fired or cancelled.
-  /// Cancellation is lazy: the heap entry is tombstoned and skipped on pop.
+  /// Cancellation is lazy: the heap entry is tombstoned and skipped on pop
+  /// (the closure itself is released immediately).
   bool cancel(EventId id);
 
   bool empty() const;
@@ -35,29 +45,43 @@ class EventQueue {
   struct Fired {
     Time time;
     EventId id;
-    EventFn fn;
+    EventClosure fn;
   };
 
   /// Pop and return the earliest event. Requires !empty().
   Fired pop();
 
-  Size pending_count() const { return callbacks_.size(); }
+  /// Live (non-cancelled) pending events; heap tombstones are not counted.
+  Size pending_count() const { return index_.size(); }
 
  private:
   struct Entry {
     Time time;
     EventId id;
-    bool operator>(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return id > o.id;
-    }
+  };
+  /// Comparator for std::*_heap (max-heap semantics -> invert for min-heap).
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+
+  struct Slot {
+    EventId id = 0;
+    EventClosure fn;
   };
 
   /// Discard tombstoned (cancelled) heap heads.
   void drop_cancelled() const;
+  /// Remove all tombstones and restore the heap invariant.
+  void compact();
+  std::uint32_t acquire_slot(EventId id, EventClosure fn);
+  void release_slot(std::uint32_t slot);
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_map<EventId, EventFn> callbacks_;
+  mutable std::vector<Entry> heap_;
+  mutable Size tombstones_ = 0;  ///< cancelled entries still in heap_
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_;  ///< recyclable slab slots
+  common::FlatMap<EventId, std::uint32_t> index_;  ///< live id -> slab slot
   EventId next_id_ = 0;
 };
 

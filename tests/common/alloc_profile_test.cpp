@@ -1,0 +1,36 @@
+#include "common/alloc_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ap = manet::common::alloc_profile;
+
+TEST(AllocProfile, DeltaSubtractsFieldwise) {
+  const ap::Totals earlier{10, 4, 100};
+  const ap::Totals later{15, 9, 260};
+  const auto d = ap::delta(later, earlier);
+  EXPECT_EQ(d.allocations, 5u);
+  EXPECT_EQ(d.frees, 5u);
+  EXPECT_EQ(d.bytes, 160u);
+}
+
+/// In a default build nothing is interposed: totals stay zero. In a
+/// MANET_PROFILE_ALLOC build every new/delete pair must move the counters.
+TEST(AllocProfile, CountersMatchBuildMode) {
+  const auto before = ap::totals();
+  {
+    auto p = std::make_unique<std::uint64_t[]>(64);
+    p[0] = 1;
+  }
+  const auto after = ap::totals();
+  if (ap::enabled()) {
+    EXPECT_GE(after.allocations, before.allocations + 1);
+    EXPECT_GE(after.frees, before.frees + 1);
+    EXPECT_GE(after.bytes, before.bytes + 64 * sizeof(std::uint64_t));
+  } else {
+    EXPECT_EQ(after.allocations, 0u);
+    EXPECT_EQ(after.frees, 0u);
+    EXPECT_EQ(after.bytes, 0u);
+  }
+}

@@ -1,0 +1,196 @@
+#include "common/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_set.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+using namespace manet;
+using common::FlatMap;
+using common::FlatSet;
+
+TEST(FlatMap, BasicInsertFindErase) {
+  FlatMap<NodeId, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7u), nullptr);
+
+  map[7u] = 42;
+  map[9u] = 43;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(7u), nullptr);
+  EXPECT_EQ(*map.find(7u), 42);
+  EXPECT_TRUE(map.contains(9u));
+  EXPECT_FALSE(map.contains(8u));
+
+  map[7u] = 50;  // overwrite, not a second entry
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(*map.find(7u), 50);
+
+  EXPECT_TRUE(map.erase(7u));
+  EXPECT_FALSE(map.erase(7u));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.find(7u), nullptr);
+  EXPECT_EQ(*map.find(9u), 43);
+}
+
+TEST(FlatMap, InsertOrAssignReportsNovelty) {
+  FlatMap<std::uint64_t, double> map;
+  EXPECT_TRUE(map.insert_or_assign(1u, 0.5));
+  EXPECT_FALSE(map.insert_or_assign(1u, 0.75));
+  EXPECT_EQ(*map.find(1u), 0.75);
+}
+
+TEST(FlatMap, IterationIsInsertionOrdered) {
+  FlatMap<NodeId, int> map;
+  const std::vector<NodeId> keys{500, 3, 77, 12, 4096, 1};
+  for (Size i = 0; i < keys.size(); ++i) map[keys[i]] = static_cast<int>(i);
+
+  std::vector<NodeId> seen;
+  for (const auto& e : map) seen.push_back(e.key);
+  EXPECT_EQ(seen, keys);
+}
+
+TEST(FlatMap, IterationOrderSurvivesEraseAndCompaction) {
+  FlatMap<NodeId, int> map;
+  for (NodeId k = 0; k < 100; ++k) map[k] = static_cast<int>(k);
+  // Erase enough to trigger compaction (dead > live + 16).
+  for (NodeId k = 0; k < 100; k += 2) EXPECT_TRUE(map.erase(k));
+
+  std::vector<NodeId> seen;
+  for (const auto& e : map) seen.push_back(e.key);
+  ASSERT_EQ(seen.size(), 50u);
+  for (Size i = 0; i + 1 < seen.size(); ++i) {
+    EXPECT_LT(seen[i], seen[i + 1]) << "relative insertion order broken at " << i;
+  }
+  for (const NodeId k : seen) EXPECT_EQ(k % 2, 1u);
+}
+
+/// Two maps fed the same operation sequence must iterate identically — this
+/// is the determinism contract the kernel migration leans on (drain order
+/// can never depend on addresses, hash seeding or load-factor history).
+TEST(FlatMap, DrainOrderIsReproducible) {
+  const auto run = [](std::uint64_t seed) {
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    common::Xoshiro256 rng(seed);
+    for (int op = 0; op < 20000; ++op) {
+      const std::uint64_t key = rng() % 512;
+      if (rng() % 3 == 0) {
+        map.erase(key);
+      } else {
+        map[key] = key * 2;
+      }
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> drained;
+    for (const auto& e : map) drained.emplace_back(e.key, e.value);
+    return drained;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // and it actually depends on the ops
+}
+
+TEST(FlatMap, SortedKeysDrain) {
+  FlatMap<NodeId, int> map;
+  for (const NodeId k : {9u, 1u, 5u, 3u}) map[k] = 0;
+  map.erase(5u);
+  std::vector<NodeId> keys;
+  map.sorted_keys(keys);
+  EXPECT_EQ(keys, (std::vector<NodeId>{1u, 3u, 9u}));
+}
+
+TEST(FlatMap, ClearKeepsWorking) {
+  FlatMap<NodeId, int> map;
+  for (NodeId k = 0; k < 64; ++k) map[k] = 1;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(3u));
+  map[3u] = 7;
+  EXPECT_EQ(*map.find(3u), 7);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, ReserveAvoidsRehashButStaysCorrect) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  map.reserve(1000);
+  for (std::uint64_t k = 0; k < 1000; ++k) map[k] = k;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(map.find(k), nullptr);
+    EXPECT_EQ(*map.find(k), k);
+  }
+}
+
+/// Randomized differential test against std::unordered_map as the oracle,
+/// with adversarial key ranges (dense small ints, packed (owner<<16)|level
+/// keys, and full-width randoms) to stress probe runs and backward-shift
+/// deletion.
+TEST(FlatMap, FuzzAgainstUnorderedMap) {
+  common::Xoshiro256 rng(0xF1A7);
+  for (const std::uint64_t key_mask :
+       {std::uint64_t{0x3F}, std::uint64_t{0xFFFF0003}, ~std::uint64_t{0}}) {
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+    for (int op = 0; op < 50000; ++op) {
+      const std::uint64_t key = rng() & key_mask;
+      switch (rng() % 4) {
+        case 0:
+        case 1: {  // insert/overwrite
+          const std::uint64_t value = rng();
+          map[key] = value;
+          oracle[key] = value;
+          break;
+        }
+        case 2: {  // erase
+          EXPECT_EQ(map.erase(key), oracle.erase(key) > 0);
+          break;
+        }
+        default: {  // lookup
+          const auto it = oracle.find(key);
+          const auto* found = map.find(key);
+          if (it == oracle.end()) {
+            EXPECT_EQ(found, nullptr);
+          } else {
+            ASSERT_NE(found, nullptr);
+            EXPECT_EQ(*found, it->second);
+          }
+          break;
+        }
+      }
+      EXPECT_EQ(map.size(), oracle.size());
+    }
+    // Full-content sweep at the end.
+    Size seen = 0;
+    for (const auto& e : map) {
+      const auto it = oracle.find(e.key);
+      ASSERT_NE(it, oracle.end());
+      EXPECT_EQ(e.value, it->second);
+      ++seen;
+    }
+    EXPECT_EQ(seen, oracle.size());
+  }
+}
+
+TEST(FlatSet, BasicAndIterationOrder) {
+  FlatSet<NodeId> set;
+  EXPECT_TRUE(set.insert(5u));
+  EXPECT_TRUE(set.insert(2u));
+  EXPECT_FALSE(set.insert(5u));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(2u));
+  EXPECT_FALSE(set.contains(3u));
+
+  std::vector<NodeId> seen;
+  for (const NodeId k : set) seen.push_back(k);
+  EXPECT_EQ(seen, (std::vector<NodeId>{5u, 2u}));
+
+  EXPECT_TRUE(set.erase(5u));
+  EXPECT_FALSE(set.erase(5u));
+  EXPECT_EQ(set.size(), 1u);
+
+  std::vector<NodeId> keys;
+  set.sorted_keys(keys);
+  EXPECT_EQ(keys, (std::vector<NodeId>{2u}));
+}

@@ -89,5 +89,62 @@ TEST(BfsScratch, WorksAcrossDifferentGraphSizes) {
   EXPECT_EQ(d[2], 2u);
 }
 
+TEST(BfsPair, PathCycleAndSelf) {
+  BfsPairScratch pair;
+  const auto p = path_graph(6);
+  EXPECT_EQ(pair.hops(p, 0, 0), 0u);
+  EXPECT_EQ(pair.hops(p, 0, 5), 5u);
+  EXPECT_EQ(pair.hops(p, 5, 0), 5u);
+  EXPECT_EQ(pair.hops(p, 2, 3), 1u);
+
+  const auto c = cycle_graph(8);
+  EXPECT_EQ(pair.hops(c, 0, 4), 4u);
+  EXPECT_EQ(pair.hops(c, 0, 5), 3u);
+}
+
+TEST(BfsPair, DisconnectedIsUnreachableBothDirections) {
+  const Graph g(5, std::vector<Edge>{{0, 1}, {2, 3}});
+  BfsPairScratch pair;
+  EXPECT_EQ(pair.hops(g, 0, 3), kUnreachable);
+  EXPECT_EQ(pair.hops(g, 3, 0), kUnreachable);
+  EXPECT_EQ(pair.hops(g, 4, 0), kUnreachable);
+  EXPECT_EQ(pair.hops(g, 0, 1), 1u);  // scratch still healthy afterwards
+}
+
+/// Exhaustive differential check against the single-source BFS on random
+/// sparse graphs (some disconnected): the pair query must agree on every
+/// (u, v), in both query orders, across reuses of one scratch.
+TEST(BfsPair, MatchesFullBfsOnRandomGraphs) {
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  const auto next_rand = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  BfsPairScratch pair;
+  for (int trial = 0; trial < 12; ++trial) {
+    const NodeId n = 20 + static_cast<NodeId>(next_rand() % 40);
+    const Size target_edges = static_cast<Size>(n) * static_cast<Size>(1 + trial % 3);
+    std::vector<Edge> edges;
+    for (Size i = 0; i < target_edges; ++i) {
+      const auto a = static_cast<NodeId>(next_rand() % n);
+      const auto b = static_cast<NodeId>(next_rand() % n);
+      if (a != b) edges.push_back({std::min(a, b), std::max(a, b)});
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    const Graph g(n, edges);
+    for (NodeId u = 0; u < n; u += 3) {
+      const auto dist = bfs_hops(g, u);
+      for (NodeId v = 0; v < n; ++v) {
+        ASSERT_EQ(pair.hops(g, u, v), dist[v]) << "u=" << u << " v=" << v;
+        ASSERT_EQ(pair.hops(g, v, u), dist[v]) << "u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace manet::graph

@@ -83,6 +83,29 @@ TEST(LmDatabase, ResetClears) {
   EXPECT_EQ(db.node_count(), 5u);
 }
 
+/// The store key packs level into the low 16 bits of (owner << 16) | level:
+/// adjacent-but-distinct (owner, level) pairs must never collide, and a
+/// level outside the packed range must be rejected rather than aliased onto
+/// another owner's entry.
+TEST(LmDatabase, PackedKeyBoundaries) {
+  LmDatabase db(2);
+  // (owner=1, level=0xFFFF) and (owner=2, level=0) pack to adjacent keys
+  // 0x1FFFF and 0x20000 — both must round-trip independently.
+  db.put(0, LocationRecord{1, 0xFFFF, 1.0, 10});
+  db.put(0, LocationRecord{2, 0, 2.0, 20});
+  ASSERT_NE(db.find(0, 1, 0xFFFF), nullptr);
+  ASSERT_NE(db.find(0, 2, 0), nullptr);
+  EXPECT_EQ(db.find(0, 1, 0xFFFF)->version, 10u);
+  EXPECT_EQ(db.find(0, 2, 0)->version, 20u);
+  EXPECT_EQ(db.total_entries(), 2u);
+}
+
+TEST(LmDatabaseDeathTest, LevelBeyondPackedRangeIsRejected) {
+  LmDatabase db(2);
+  EXPECT_DEATH(db.put(0, LocationRecord{1, 0x10000, 0.0, 0}), "packed-key range");
+  EXPECT_DEATH(db.find(0, 1, 0x10000), "packed-key range");
+}
+
 TEST(LoadStats, UniformLoadHasZeroGini) {
   const auto stats = load_stats({4, 4, 4, 4});
   EXPECT_DOUBLE_EQ(stats.mean, 4.0);

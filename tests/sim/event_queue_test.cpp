@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace manet::sim {
@@ -78,6 +80,64 @@ TEST(EventQueue, PendingCountTracksLiveEvents) {
   EXPECT_EQ(q.pending_count(), 1u);
   q.pop();
   EXPECT_EQ(q.pending_count(), 0u);
+}
+
+/// Cancel-heavy workload: pop order must survive the in-place tombstone
+/// compaction that triggers once cancelled entries exceed half the heap.
+TEST(EventQueue, MassCancellationCompactsAndPreservesOrder) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::vector<int> fired;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(static_cast<Time>(i), [&fired, i] { fired.push_back(i); }));
+  }
+  // Cancel everything but multiples of 10, scattered so compaction fires
+  // mid-way rather than at the end.
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 10 != 0) {
+      EXPECT_TRUE(q.cancel(ids[static_cast<Size>(i)]));
+    }
+  }
+  EXPECT_EQ(q.pending_count(), 100u);
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(fired.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fired[static_cast<Size>(i)], i * 10);
+}
+
+TEST(EventQueue, SlotsAreRecycledAcrossScheduleCancelChurn) {
+  EventQueue q;
+  // Steady-state churn at a bounded live size: schedule/cancel/fire cycles
+  // must keep working while the slab recycles its slots.
+  int fired = 0;
+  for (int round = 0; round < 200; ++round) {
+    const EventId keep = q.schedule(1.0, [&] { ++fired; });
+    const EventId drop = q.schedule(2.0, [] {});
+    EXPECT_TRUE(q.cancel(drop));
+    EXPECT_EQ(q.pending_count(), 1u);
+    auto ev = q.pop();
+    EXPECT_EQ(ev.id, keep);
+    ev.fn();
+  }
+  EXPECT_EQ(fired, 200);
+  EXPECT_TRUE(q.empty());
+}
+
+/// Closures larger than the inline buffer still schedule and fire correctly
+/// (heap fallback), and move-only captures are supported.
+TEST(EventQueue, OversizedAndMoveOnlyClosures) {
+  EventQueue q;
+  std::array<double, 32> big{};  // 256 bytes, far past the inline buffer
+  big[31] = 7.0;
+  double seen = 0.0;
+  q.schedule(1.0, [big, &seen] { seen = big[31]; });
+
+  auto owned = std::make_unique<int>(42);
+  int got = 0;
+  q.schedule(2.0, [owned = std::move(owned), &got] { got = *owned; });
+
+  while (!q.empty()) q.pop().fn();
+  EXPECT_DOUBLE_EQ(seen, 7.0);
+  EXPECT_EQ(got, 42);
 }
 
 }  // namespace

@@ -72,6 +72,12 @@ def main():
               file=sys.stderr)
         return 1
 
+    # Speedup gate (bench_memory): when the baseline carries a `min_speedup`
+    # scalar, it was produced by a *pre-optimization* binary on purpose, and
+    # every throughput point must beat it by at least that factor (the E27
+    # >=1.3x acceptance criterion) instead of merely not regressing.
+    min_speedup = baseline.get("scalars", {}).get("min_speedup")
+
     status = 0
     checked = 0
     for name in throughput_series:
@@ -87,7 +93,16 @@ def main():
             checked += 1
             if base_mean <= 0:
                 continue
-            drop = 1.0 - new_mean / base_mean
+            ratio = new_mean / base_mean
+            if min_speedup is not None:
+                verdict = "ok" if ratio >= min_speedup else "FAIL"
+                if verdict == "FAIL":
+                    status = 1
+                print(f"check_bench: {verdict} {name} n={n:g} "
+                      f"baseline={base_mean:.4g} now={new_mean:.4g} "
+                      f"(speedup {ratio:.2f}x, need >={min_speedup:g}x)")
+                continue
+            drop = 1.0 - ratio
             verdict = "ok"
             if drop > args.threshold:
                 verdict = "FAIL"
@@ -121,6 +136,30 @@ def main():
             checked += 1
             print(f"check_bench: ok orchestrator overhead {overhead:+.2%} "
                   f"(cap {cap:.0%})")
+
+    # Allocations-per-tick gate (bench_memory): enforced only when the
+    # artifact came from a MANET_PROFILE_ALLOC build (alloc_profile == 1);
+    # a default build has nothing interposed, so the artifact legitimately
+    # lacks the scalar and the gate reports itself skipped.
+    alloc_cap = baseline.get("scalars", {}).get("max_allocs_per_tick")
+    if alloc_cap is not None:
+        profiled = artifact.get("scalars", {}).get("alloc_profile")
+        allocs = artifact.get("scalars", {}).get("allocs_per_tick")
+        if not profiled:
+            print("check_bench: alloc gate skipped (artifact from a build "
+                  "without MANET_PROFILE_ALLOC)")
+        elif allocs is None:
+            print("check_bench: FAIL profiled artifact is missing the "
+                  "allocs_per_tick scalar", file=sys.stderr)
+            status = 1
+        elif allocs > alloc_cap:
+            print(f"check_bench: FAIL {allocs:g} allocations per steady-state "
+                  f"tick exceeds the cap of {alloc_cap:g}", file=sys.stderr)
+            status = 1
+        else:
+            checked += 1
+            print(f"check_bench: ok {allocs:g} allocations per steady-state "
+                  f"tick (cap {alloc_cap:g})")
 
     if status == 0:
         print(f"check_bench: OK ({checked} points within "

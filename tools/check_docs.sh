@@ -117,7 +117,31 @@ src/exp/campaign_runner.cpp does not use it"
         fail "tools/baselines/BENCH_campaign.json baseline is missing"
 fi
 
-# 8. No dangling intra-doc links in docs/*.md: every relative link target
+# 8. The memory layer is documented and its gate cannot silently rot: the
+#    architecture chapter exists and names the load-bearing pieces, the
+#    MANET_PROFILE_ALLOC switch it documents is a real CMake option, and the
+#    bench_memory acceptance gate (E27) keeps its baseline + scalars.
+grep -q '^## Memory layer' "$arch" ||
+    fail "docs/ARCHITECTURE.md lost its 'Memory layer' chapter"
+for sym in FlatMap ArenaScratch EventClosure MANET_PROFILE_ALLOC \
+           max_allocs_per_tick; do
+    grep -q "$sym" "$arch" ||
+        fail "docs/ARCHITECTURE.md memory chapter no longer mentions $sym"
+done
+grep -q 'MANET_PROFILE_ALLOC' "$root/CMakeLists.txt" ||
+    fail "docs reference MANET_PROFILE_ALLOC but CMakeLists.txt does not define it"
+grep -q 'bench_memory' "$experiments" ||
+    fail "EXPERIMENTS.md lost its bench_memory (E27) section"
+grep -q 'MANET_PROFILE_ALLOC' "$experiments" ||
+    fail "EXPERIMENTS.md E27 must describe the MANET_PROFILE_ALLOC alloc gate"
+[ -f "$root/tools/baselines/BENCH_memory.json" ] ||
+    fail "tools/baselines/BENCH_memory.json baseline is missing"
+for scalar in min_speedup max_allocs_per_tick; do
+    grep -q "\"$scalar\"" "$root/tools/baselines/BENCH_memory.json" ||
+        fail "BENCH_memory.json baseline lost its $scalar acceptance scalar"
+done
+
+# 9. No dangling intra-doc links in docs/*.md: every relative link target
 #    must exist on disk and every #fragment must match a heading slug
 #    (GitHub-style: lowercase, punctuation stripped, spaces to dashes).
 slugify() {
