@@ -4,10 +4,18 @@
 /// unit-disk graph as a per-moved-node delta, gates the hierarchy rebuild on
 /// actual change and memoizes per-level elections. This bench measures the
 /// resulting ticks/sec against the historical rebuild-everything tick at
-/// n in {256, 1024, 4096} under two mobility regimes:
+/// n in {256, 1024, 4096} under three mobility regimes:
 ///   low  — static nodes, every measured tick gated (the steady-state win);
-///   high — random waypoint at mu = 1, every tick rewires (the no-regression
-///          bound: the delta machinery must not cost more than it saves).
+///   high — random waypoint at vehicular speed (mu = 0.2, about 0.1 radio
+///          radii per tick), the paper's operating regime: links churn every
+///          tick but locally, so localized repair plus landmark pricing must
+///          deliver a real speedup (>= 1.3x at n = 4096, gated by
+///          tools/check_bench.py);
+///   sat  — random waypoint at mu = 1 (half a radio radius per tick), a
+///          torture regime past any physical mobility model: nearly every
+///          neighborhood rewires at once, so the claim degrades to the
+///          no-regression bound (repair caps its bill at rebuild cost
+///          instead of paying delta overhead on top).
 /// Both runs of each pair are also checked metric-for-metric: the incremental
 /// pipeline is bit-identical to the full rebuild by contract, and the bench
 /// exits non-zero if any value diverges.
@@ -71,7 +79,8 @@ int main() {
   bench::print_header(
       "E25  bench_tick_pipeline — incremental vs full-rebuild tick throughput",
       "gated ticks skip graph+hierarchy rebuilds bit-identically; >=3x at "
-      "n=4096 low-mobility, no regression at high mobility");
+      "n=4096 low-mobility, >=1.3x at n=4096 high mobility (vehicular), no "
+      "regression at saturation (mu=1)");
 
   auto base = bench::paper_scenario();
   base.warmup = 5.0;
@@ -81,12 +90,27 @@ int main() {
   const Size reps = 2;
   bench::Artifact artifact("tick_pipeline", base, reps);
 
+  struct Regime {
+    const char* key;
+    const char* title;
+    double mu;  // 0 = static
+  };
+  const Regime regimes[] = {
+      {"low", "low mobility (static)", 0.0},
+      {"high", "high mobility (random waypoint, vehicular mu=0.2)", 0.2},
+      {"sat", "saturation (random waypoint, mu=1)", 1.0},
+  };
+
   Size violations = 0;
-  for (const bool high_mobility : {false, true}) {
-    const char* regime = high_mobility ? "high" : "low";
+  for (const Regime& regime_cfg : regimes) {
+    const char* regime = regime_cfg.key;
     auto cfg = base;
-    cfg.mobility = high_mobility ? exp::MobilityKind::kRandomWaypoint
-                                 : exp::MobilityKind::kStatic;
+    if (regime_cfg.mu > 0.0) {
+      cfg.mobility = exp::MobilityKind::kRandomWaypoint;
+      cfg.mu = regime_cfg.mu;
+    } else {
+      cfg.mobility = exp::MobilityKind::kStatic;
+    }
 
     analysis::TextTable table(
         {"|V|", "full (ticks/s)", "incremental (ticks/s)", "speedup"});
@@ -109,18 +133,17 @@ int main() {
                          point(inc.ticks_per_sec, reps));
       artifact.add_point(std::string("speedup_") + regime, point(speedup, reps));
     }
-    std::printf("%s", table.to_string(high_mobility
-                                          ? "high mobility (random waypoint, mu=1)"
-                                          : "low mobility (static)")
-                          .c_str());
+    std::printf("%s", table.to_string(regime_cfg.title).c_str());
   }
 
   artifact.set_scalar("identity_violations", static_cast<double>(violations));
   std::printf(
       "\nreading: the low-mobility rows are the gated steady state (update()\n"
       "returns unchanged, the hierarchy rebuild is skipped outright); the\n"
-      "high-mobility rows bound the delta machinery's overhead when nearly\n"
-      "every tick rewires. identity violations: %zu (must be 0).\n",
+      "high-mobility rows show churn-proportional repair plus oracle pricing\n"
+      "under realistic vehicular churn; the saturation rows bound the delta\n"
+      "machinery's overhead when nearly every tick rewires everywhere.\n"
+      "identity violations: %zu (must be 0).\n",
       violations);
   artifact.write();
   return violations == 0 ? 0 : 1;

@@ -1,0 +1,301 @@
+#include "cluster/repair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+#include "common/check.hpp"
+
+namespace manet::cluster {
+
+// ---------------------------------------------------------------------------
+// IncrementalAlca
+// ---------------------------------------------------------------------------
+
+void IncrementalAlca::seed(const graph::Graph& g, std::span<const NodeId> ids) {
+  const Size n = g.vertex_count();
+  MANET_CHECK_MSG(ids.size() == n, "ids array size must match vertex count");
+  raw_elect_.resize(n);
+  raw_votes_.assign(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    NodeId best = u;
+    for (const NodeId w : g.neighbors(u)) {
+      if (ids[w] > ids[best]) best = w;
+    }
+    raw_elect_[u] = best;
+    ++raw_votes_[best];
+  }
+  heads_.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (raw_votes_[v] > 0) heads_.push_back(v);
+  }
+  last_dirty_ = last_gained_ = last_lost_ = 0;
+}
+
+void IncrementalAlca::retarget(NodeId u, NodeId to) {
+  const NodeId old = raw_elect_[u];
+  raw_elect_[u] = to;
+  ++last_dirty_;
+  if (--raw_votes_[old] == 0) {
+    heads_.erase(std::lower_bound(heads_.begin(), heads_.end(), old));
+    ++last_lost_;
+  }
+  if (++raw_votes_[to] == 1) {
+    heads_.insert(std::lower_bound(heads_.begin(), heads_.end(), to), to);
+    ++last_gained_;
+  }
+}
+
+void IncrementalAlca::rescan(const graph::Graph& g, std::span<const NodeId> ids,
+                             NodeId u) {
+  NodeId best = u;
+  for (const NodeId w : g.neighbors(u)) {
+    if (ids[w] > ids[best]) best = w;
+  }
+  if (best != raw_elect_[u]) retarget(u, best);
+}
+
+void IncrementalAlca::apply(const graph::Graph& g, std::span<const NodeId> ids,
+                            std::span<const graph::Edge> ups,
+                            std::span<const graph::Edge> downs) {
+  last_dirty_ = last_gained_ = last_lost_ = 0;
+  // Removals first, each rescanning against the FINAL neighborhood: an
+  // endpoint is dirty only if it just lost its elected target (anything else
+  // it elected still out-ranks the removed neighbor). Rescanning in the final
+  // graph may already observe newly added neighbors — harmless, because the
+  // additions pass below only ever *raises* a target, and a rescan that
+  // already picked the new maximum leaves nothing to raise.
+  for (const auto& [u, v] : downs) {
+    if (raw_elect_[u] == v) rescan(g, ids, u);
+    if (raw_elect_[v] == u) rescan(g, ids, v);
+  }
+  // Additions: a new neighbor matters only if it out-ranks the current
+  // target — no rescan needed, the current target already dominates the rest
+  // of the neighborhood.
+  for (const auto& [u, v] : ups) {
+    if (ids[v] > ids[raw_elect_[u]]) retarget(u, v);
+    if (ids[u] > ids[raw_elect_[v]]) retarget(v, u);
+  }
+}
+
+void IncrementalAlca::emit(ElectionResult& out) const {
+  const Size n = raw_elect_.size();
+  out.head_of.resize(n);
+  out.votes.assign(n, 0);
+  out.clusterheads = heads_;
+  // Identical to alca_elect(): v heads iff some raw election (self included)
+  // targets it; heads self-affiliate (the Fig. 1 remap); votes count
+  // neighbors whose final affiliation is v. A non-head u always has
+  // raw_elect_[u] != u (electing itself would make it a head), so its raw
+  // target survives the remap unchanged.
+  for (NodeId u = 0; u < n; ++u) {
+    if (raw_votes_[u] > 0) {
+      out.head_of[u] = u;
+    } else {
+      out.head_of[u] = raw_elect_[u];
+      ++out.votes[raw_elect_[u]];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HierarchyRepairer
+// ---------------------------------------------------------------------------
+
+HierarchyRepairer::HierarchyRepairer(HierarchyOptions options) : options_(options) {}
+
+void HierarchyRepairer::repair(const graph::Graph& g,
+                               std::span<const graph::Edge> links_up,
+                               std::span<const graph::Edge> links_down,
+                               std::span<const NodeId> ids,
+                               std::span<const geom::Vec2> positions,
+                               const Hierarchy& prev, Hierarchy& out,
+                               bool level0_delta_exact) {
+  const Size n = g.vertex_count();
+  MANET_CHECK(n > 0);
+  if (options_.geometric_links) {
+    MANET_CHECK_MSG(positions.size() == n,
+                    "geometric level-k links need level-0 node positions");
+  }
+  // `usable` covers the induction that makes per-level splicing sound: prev
+  // is the snapshot this repairer produced last call, so for every prev
+  // level with >1 vertices, alca_[k] holds exactly the raw-election state of
+  // (prev.level(k).topo, prev.level(k).ids). A builder-produced or
+  // differently-sized prev (the sim's fallback ticks) arrives with valid_
+  // cleared and re-seeds every level.
+  const bool usable =
+      valid_ && prev.level_count() > 0 && prev.level(0).vertex_count() == n;
+
+  ++stats_.repairs;
+  stats_.levels.clear();
+
+  Hierarchy& h = out;
+  h.levels_.clear();
+  h.ancestor_.clear();
+  h.children_.clear();
+  h.members0_.clear();
+
+  // Level 0: the physical topology. Mirrors HierarchyBuilder::build, minus
+  // the per-call ids-uniqueness audit (ids are fixed per scenario; the
+  // builder validates them on every fallback tick).
+  LevelView base;
+  base.topo = g;
+  if (ids.empty()) {
+    base.ids.resize(n);
+    for (NodeId v = 0; v < n; ++v) base.ids[v] = v;
+  } else {
+    MANET_CHECK_MSG(ids.size() == n, "id assignment size mismatch");
+    base.ids.assign(ids.begin(), ids.end());
+  }
+  base.node0.resize(n);
+  for (NodeId v = 0; v < n; ++v) base.node0[v] = v;
+  h.levels_.push_back(std::move(base));
+  h.children_.emplace_back();
+  h.members0_.emplace_back();
+
+  auto& level0_members = h.members0_.back();
+  level0_members.resize(n);
+  for (NodeId v = 0; v < n; ++v) level0_members[v] = {v};
+
+  h.ancestor_.emplace_back(n);
+  for (NodeId v = 0; v < n; ++v) h.ancestor_[0][v] = v;
+
+  for (Level k = 0; k < options_.max_levels; ++k) {
+    LevelView& cur = h.levels_[k];
+    if (cur.vertex_count() <= 1) break;
+
+    if (alca_.size() <= k) alca_.resize(k + 1);
+    IncrementalAlca& alca = alca_[k];
+    stats_.levels.emplace_back();
+    LevelRepairStats& ls = stats_.levels.back();
+
+    // Splice / repair / re-seed decision. Matching ids mean prev level k had
+    // the same dense vertex set, so alca's state is a valid baseline and the
+    // edge diff against prev's level-k topology is the exact flip set.
+    const bool have_prev =
+        usable && k < prev.level_count() && prev.level(k).ids == cur.ids;
+    if (!have_prev) {
+      alca.seed(cur.topo, cur.ids);
+      ls.reelected = true;
+      ++stats_.reseeds;
+    } else {
+      std::span<const graph::Edge> ups_k, downs_k;
+      if (k == 0 && level0_delta_exact) {
+        ups_k = links_up;
+        downs_k = links_down;
+      } else {
+        const auto a = prev.level(k).topo.edges();
+        const auto b = cur.topo.edges();
+        ups_scratch_.clear();
+        downs_scratch_.clear();
+        std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                            std::back_inserter(ups_scratch_));
+        std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(downs_scratch_));
+        ups_k = ups_scratch_;
+        downs_k = downs_scratch_;
+      }
+      ls.edge_flips = ups_k.size() + downs_k.size();
+      if (ls.edge_flips == 0) {
+        // Clean splice: the level's election state is already current.
+        ls.spliced = true;
+      } else if (ls.edge_flips * 10 >=
+                 cur.topo.edge_count() + prev.level(k).topo.edge_count()) {
+        // Saturated churn: applying a flip set this large (per-flip rescans
+        // plus sorted-head maintenance) costs more than one linear election
+        // pass, so cap the repair bill at the re-seed price. This is the
+        // "churn-proportional, rebuild-bounded" half of the contract — under
+        // torture-grade mobility the repairer degrades to builder cost
+        // instead of paying delta overhead on top of it.
+        alca.seed(cur.topo, cur.ids);
+        ls.reelected = true;
+        ++stats_.reseeds;
+      } else {
+        alca.apply(cur.topo, cur.ids, ups_k, downs_k);
+        ls.dirty_vertices = alca.last_dirty_vertices();
+        ls.heads_gained = alca.last_heads_gained();
+        ls.heads_lost = alca.last_heads_lost();
+      }
+    }
+    alca.emit(cur.election);
+
+    const auto& heads = cur.election.clusterheads;
+    const Size n_next = heads.size();
+    if (n_next == cur.vertex_count()) {
+      // No aggregation — same termination (and cleared election) as the
+      // builder, whether it decided by electing or by its terminated-reuse
+      // memo (both are the same pure function of this level's inputs).
+      cur.election = ElectionResult{};
+      break;
+    }
+
+    std::vector<NodeId> promote(cur.vertex_count(), kInvalidNode);
+    for (Size i = 0; i < n_next; ++i) promote[heads[i]] = static_cast<NodeId>(i);
+    cur.parent.resize(cur.vertex_count());
+    for (NodeId u = 0; u < cur.vertex_count(); ++u) {
+      cur.parent[u] = promote[cur.election.head_of[u]];
+      MANET_CHECK(cur.parent[u] != kInvalidNode);
+    }
+
+    LevelView next;
+    next.ids.resize(n_next);
+    next.node0.resize(n_next);
+    for (Size i = 0; i < n_next; ++i) {
+      next.ids[i] = cur.ids[heads[i]];
+      next.node0[i] = cur.node0[heads[i]];
+    }
+
+    if (options_.geometric_links) {
+      // Same loop (and the same floating-point expression order) as the
+      // builder — positions drift every tick, so this is always recomputed.
+      std::vector<graph::Edge> next_edges;
+      const double mean_ck = static_cast<double>(n) / static_cast<double>(n_next);
+      const double range = options_.beta * options_.tx_radius * std::sqrt(mean_ck);
+      const double range2 = range * range;
+      for (NodeId a = 0; a < n_next; ++a) {
+        const geom::Vec2 pa = positions[next.node0[a]];
+        for (NodeId b = a + 1; b < n_next; ++b) {
+          if (geom::distance2(pa, positions[next.node0[b]]) <= range2) {
+            next_edges.emplace_back(a, b);
+          }
+        }
+      }
+      next.topo = graph::Graph(n_next, next_edges);
+    } else {
+      std::vector<graph::Edge> next_edges;
+      for (const auto& [a, b] : cur.topo.edges()) {
+        NodeId pa = cur.parent[a];
+        NodeId pb = cur.parent[b];
+        if (pa == pb) continue;
+        if (pa > pb) std::swap(pa, pb);
+        next_edges.emplace_back(pa, pb);
+      }
+      std::sort(next_edges.begin(), next_edges.end());
+      next_edges.erase(std::unique(next_edges.begin(), next_edges.end()),
+                       next_edges.end());
+      next.topo = graph::Graph(n_next, next_edges);
+    }
+
+    // Rollups by linear bucket placement. Ascending scans land each bucket's
+    // entries pre-sorted, matching the builder's per-cluster merge + sort.
+    std::vector<std::vector<NodeId>> children(n_next);
+    for (NodeId u = 0; u < cur.vertex_count(); ++u) {
+      children[cur.parent[u]].push_back(u);
+    }
+    std::vector<NodeId> anc(n);
+    for (NodeId v = 0; v < n; ++v) anc[v] = cur.parent[h.ancestor_[k][v]];
+    std::vector<std::vector<NodeId>> members(n_next);
+    for (NodeId v = 0; v < n; ++v) members[anc[v]].push_back(v);
+
+    h.children_.push_back(std::move(children));
+    h.members0_.push_back(std::move(members));
+    h.ancestor_.push_back(std::move(anc));
+    h.levels_.push_back(std::move(next));
+  }
+
+  LevelView& top = h.levels_.back();
+  top.parent.assign(top.vertex_count(), kInvalidNode);
+  valid_ = true;
+}
+
+}  // namespace manet::cluster

@@ -188,6 +188,11 @@ std::string cli_usage(const std::string& program) {
          "  --no-events        skip the reorg event taxonomy\n"
          "  --no-states        skip ALCA state occupancy\n"
          "  --no-hops          skip the h_k measurement\n"
+         "tick pipeline (both default on; see docs/ARCHITECTURE.md):\n"
+         "  --full-tick        rebuild everything every tick (reference arm;\n"
+         "                     disables the incremental pipeline)\n"
+         "  --no-repair        incremental ticks rebuild changed hierarchies\n"
+         "                     with HierarchyBuilder instead of localized repair\n"
          "campaign (in-process; `campaign` subcommand adds checkpoint/resume/shard):\n"
          "  --reps R           Monte-Carlo replications (default 1)\n"
          "  --sweep N1,N2,...  sweep node counts instead of a single run\n"
@@ -232,6 +237,10 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       opt.run.track_states = false;
     } else if (flag == "--no-hops") {
       opt.run.measure_hops = false;
+    } else if (flag == "--full-tick") {
+      opt.run.incremental_tick = false;
+    } else if (flag == "--no-repair") {
+      opt.run.localized_repair = false;
     } else if (flag == "--mobility") {
       const char* value = next();
       if (value == nullptr) return fail("--mobility needs a value");

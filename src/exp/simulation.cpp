@@ -7,6 +7,7 @@
 
 #include "cluster/diff.hpp"
 #include "cluster/hierarchy_builder.hpp"
+#include "cluster/repair.hpp"
 #include "common/alloc_profile.hpp"
 #include "cluster/maxmin.hpp"
 #include "cluster/stability.hpp"
@@ -128,6 +129,17 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   cluster::HierarchyBuilder builder(algo, hopts);
   cluster::Hierarchy hier = builder.build(g0, scenario.ids, scenario.mobility->positions());
 
+  // Localized repair replaces the per-tick builder call on changed ticks of
+  // the incremental path: consume the unit-disk link delta, re-elect only in
+  // the dirty neighborhoods, splice unaffected levels through. Only ALCA has
+  // an incremental election; other algorithms keep the builder. When the raw
+  // delta cannot describe the effective-graph transition (augmentation
+  // bridges, fault stripping, down-mask flips) the repairer edge-diffs level
+  // 0 itself instead of falling back to a full re-election.
+  const bool repair_enabled = options.incremental_tick && options.localized_repair &&
+                              cfg.cluster_algo == ClusterAlgo::kAlca;
+  cluster::HierarchyRepairer repairer(hopts);
+
   lm::HandoffEngine handoff(cfg.handoff);
   handoff.set_metrics(options.metrics);
   handoff.set_trace(options.trace);
@@ -228,6 +240,15 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   }
   hier = builder.build(*g, scenario.ids, scenario.mobility->positions());
   handoff.prime(hier, t0);
+  // Landmark-guided pricing (exact on any pricing graph, so enabling it
+  // never changes a priced value; the full-rebuild arm keeps the historical
+  // per-pair BFS engine as the bit-identity reference — see
+  // net::HopOracle).
+  if (inc) handoff.set_fast_pricing(true);
+  // Bridges standing on the *previous* tick spoil the raw link delta: the
+  // hierarchy was built over the augmented graph then, so the delta
+  // (bridges excluded) would not describe the transition out of it.
+  bool prev_bridged = disk.last_augmented_edges() > 0;
   if (faulted) {
     prev_down = down;
     for (NodeId v = 0; v < cfg.n; ++v) {
@@ -306,6 +327,7 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
       g = &g0;
     }
     augmented_edges += disk.last_augmented_edges();
+    const bool bridged = disk.last_augmented_edges() > 0;
 
     bool mask_changed = false;
     if (faulted) {
@@ -325,9 +347,27 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     const bool rebuild =
         !inc || topo_changed || mask_changed || (pos_moved && cfg.geometric_links);
     if (rebuild) {
-      next = builder.build(*g, scenario.ids, scenario.mobility->positions(),
-                           inc ? &hier : nullptr);
+      // Localized repair needs an exact level-0 delta from hier's topology to
+      // *g. The raw unit-disk delta provides it as long as the graph the
+      // hierarchy sees IS the raw graph on both ends of the transition: no
+      // augmentation bridge now or when hier was built, no down nodes, and a
+      // stable down-mask. Whenever any of those fail, the repairer edge-diffs
+      // level 0 against hier itself (the same O(|E|) set differences it runs
+      // for every higher level) — still churn-proportional above level 0.
+      if (repair_enabled) {
+        bool any_down = false;
+        if (faulted) {
+          for (const auto f : down) any_down = any_down || f != 0;
+        }
+        const bool delta_exact = !mask_changed && !bridged && !prev_bridged && !any_down;
+        repairer.repair(*g, disk.links_up(), disk.links_down(), scenario.ids,
+                        scenario.mobility->positions(), hier, next, delta_exact);
+      } else {
+        next = builder.build(*g, scenario.ids, scenario.mobility->positions(),
+                             inc ? &hier : nullptr);
+      }
     }
+    prev_bridged = bridged;
     const cluster::Hierarchy& hnow = rebuild ? next : hier;
 
     // Gated tick: !rebuild proves the level-0 edge set and the hierarchy are

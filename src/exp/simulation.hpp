@@ -88,6 +88,17 @@ struct RunOptions {
   /// what bench_tick_pipeline compares against.
   bool incremental_tick = true;
 
+  /// Localized hierarchy repair (incremental path only). Changed ticks feed
+  /// the unit-disk link delta to cluster::HierarchyRepairer, which re-runs
+  /// ALCA election only in the dirty neighborhoods of each level and splices
+  /// unaffected levels through, instead of rebuilding every level from
+  /// scratch. Bit-identical to the builder (same golden artifacts, enforced
+  /// by tests/integration/tick_pipeline_test and tests/cluster/repair_test);
+  /// set false to keep the full HierarchyBuilder::build() call as the
+  /// reference implementation on changed ticks. ALCA scenarios only — other
+  /// election algorithms always take the builder path.
+  bool localized_repair = true;
+
   /// Observability hooks (not owned; nullptr = off, zero cost). With a
   /// registry attached, every producer publishes live lm.* / net.* / alca.*
   /// instruments during the run; with a trace sink attached, the engine and

@@ -94,6 +94,9 @@ LevelOverhead& HandoffEngine::ledger(Level k) {
 }
 
 std::uint32_t HandoffEngine::hops_between(const graph::Graph& g0, NodeId from, NodeId to) {
+  // Both branches are exact on g0, so this dispatch can never change a
+  // priced value — only how fast it is produced.
+  if (oracle_.ready()) return oracle_.hops(from, to);
   return pair_bfs_.hops(g0, from, to);
 }
 
@@ -257,6 +260,7 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
   MANET_CHECK_MSG(t >= last_time_, "handoff time must be monotone");
   MANET_CHECK_MSG(h.level(0).vertex_count() == node_count_, "node population changed");
 
+  if (fast_pricing_) oracle_.prepare(g0);
   arena_.rewind();
   capture(h, next_scratch_);
   const Snapshot& next = next_scratch_;

@@ -10,6 +10,7 @@
 #include "graph/bfs.hpp"
 #include "lm/chlm.hpp"
 #include "lm/reliable.hpp"
+#include "net/hop_oracle.hpp"
 #include "sim/trace.hpp"
 
 /// \file handoff.hpp
@@ -117,6 +118,15 @@ class HandoffEngine {
 
   /// Emit one typed TraceEvent per entry transfer / level-churn move.
   void set_trace(sim::TraceSink* trace) noexcept { trace_ = trace; }
+
+  /// Route transfer pricing through the landmark hop oracle
+  /// (net/hop_oracle.hpp) instead of per-pair bidirectional BFS: each
+  /// update() then pays a few BFS sweeps to prepare landmark bounds and
+  /// every priced move runs goal-directed A* on them. The oracle is exact on
+  /// any graph (the bounds are triangle-inequality facts about the pricing
+  /// graph itself), so enabling it never changes a priced value — the
+  /// disabled default stays the bit-identity reference.
+  void set_fast_pricing(bool on) noexcept { fast_pricing_ = on; }
 
   // --- Resilience plane (fault injection; see sim/fault.hpp) ---
   //
@@ -245,6 +255,13 @@ class HandoffEngine {
   /// a few hops apart, so a pair query explores a small neighborhood instead
   /// of sweeping the whole graph per unique source.
   graph::BfsPairScratch pair_bfs_;
+
+  // Landmark pricing oracle (inert until set_fast_pricing(true)). Re-bound
+  // to the pricing graph at each update(); audit_repair() and on_node_up()
+  // price against the same graph as the last update() by the caller's tick
+  // structure, so the binding stays valid between updates.
+  net::HopOracle oracle_;
+  bool fast_pricing_ = false;
 
   // Observability (resolved once in set_metrics; hot path is pointer adds).
   common::MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,178 @@
+#include "net/hop_oracle.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/bfs.hpp"
+
+namespace manet::net {
+
+void HopOracle::prepare(const graph::Graph& g) {
+  g_ = &g;
+  n_ = g.vertex_count();
+  const Size k_count = std::min<Size>(kLandmarks, n_);
+  land_.resize(n_ * kLandmarks);
+  if (sweep_dist_.size() < n_) {
+    sweep_dist_.resize(n_);
+    sweep_queue_.resize(n_);
+  }
+  min_dist_.assign(n_, graph::kUnreachable);
+
+  // Farthest-point sampling from vertex 0: each landmark is the vertex
+  // maximizing the distance to all previous ones (ties -> lowest id), which
+  // spreads them toward the deployment boundary where the bounds are
+  // tightest. Vertices outside landmark 0's component report kUnreachable
+  // and are never promoted — minor components keep h = 0 and degrade to
+  // plain BFS, which their size makes cheap anyway.
+  NodeId next = 0;
+  active_ = false;
+  for (Size k = 0; k < kLandmarks; ++k) {
+    if (k >= k_count) {
+      // Fewer vertices than table slots: duplicate the last sweep so every
+      // slot stays a valid bound.
+      for (NodeId v = 0; v < n_; ++v) land_[v * kLandmarks + k] = land_[v * kLandmarks + k - 1];
+      continue;
+    }
+    // Plain BFS sweep into reusable scratch.
+    std::fill_n(sweep_dist_.begin(), n_, graph::kUnreachable);
+    Size head = 0, tail = 0;
+    sweep_dist_[next] = 0;
+    sweep_queue_[tail++] = next;
+    while (head < tail) {
+      const NodeId u = sweep_queue_[head++];
+      const std::uint32_t d = sweep_dist_[u] + 1;
+      for (const NodeId w : g.neighbors(u)) {
+        if (sweep_dist_[w] != graph::kUnreachable) continue;
+        sweep_dist_[w] = d;
+        sweep_queue_[tail++] = w;
+      }
+    }
+    std::uint32_t ecc = 0;
+    for (NodeId v = 0; v < n_; ++v) {
+      land_[v * kLandmarks + k] = sweep_dist_[v];
+      const std::uint32_t dv = sweep_dist_[v] == graph::kUnreachable ? 0 : sweep_dist_[v];
+      if (dv > ecc) ecc = dv;
+      if (dv < min_dist_[v]) min_dist_[v] = dv;
+    }
+    next = 0;
+    for (NodeId v = 1; v < n_; ++v) {
+      if (min_dist_[v] != graph::kUnreachable && min_dist_[v] > min_dist_[next]) next = v;
+    }
+    // Shallow-graph gate, decided on the cheapest usable depth estimates.
+    // Sweep 0 starts from the arbitrary vertex 0, whose eccentricity only
+    // brackets the diameter within [D/2, D] — a conclusive lower reading
+    // stops after one sweep. Sweep 1 starts from the graph's first landmark
+    // (the vertex farthest from vertex 0, necessarily peripheral), whose
+    // eccentricity is a tight diameter estimate — it cleanly separates
+    // mid-size deployments (D ~ 20, where bidirectional BFS wins at every
+    // distance) from large ones (D ~ 40+) regardless of where vertex 0
+    // landed. Below the cutoffs the remaining sweeps would be pure overhead:
+    // stop, leave the oracle in pass-through mode, and every query routes to
+    // bidirectional BFS.
+    if (k == 0 && ecc < kMinEccentricity) return;
+    if (k == 1 && ecc < kMinDiameter) return;
+  }
+  active_ = true;
+}
+
+std::uint32_t HopOracle::hops(NodeId s, NodeId t) {
+  MANET_CHECK_MSG(ready(), "HopOracle::hops before prepare");
+  MANET_CHECK(s < n_ && t < n_);
+  if (s == t) return 0;
+  const graph::Graph& g = *g_;
+  if (!active_) return pair_bfs_.hops(g, s, t);  // shallow graph: prep skipped
+
+  const std::uint32_t* lt = &land_[static_cast<Size>(t) * kLandmarks];
+  const std::uint32_t* ls = &land_[static_cast<Size>(s) * kLandmarks];
+  // Component screen and landmark bounds in one pass. By the triangle
+  // inequality each landmark L yields |d(L,s) - d(L,t)| <= d(s,t) <=
+  // d(L,s) + d(L,t). A landmark reaching exactly one endpoint separates
+  // them; all landmarks share a component by construction, so a vertex's
+  // row is either all-finite or all-unreachable — one unreachable entry
+  // (with the screen already passed) means both endpoints sit in a minor
+  // component about which the table knows nothing.
+  std::uint32_t lb = 0, ub = graph::kUnreachable;
+  for (Size k = 0; k < kLandmarks; ++k) {
+    const std::uint32_t a = ls[k], b = lt[k];
+    if ((a == graph::kUnreachable) != (b == graph::kUnreachable)) return graph::kUnreachable;
+    if (a == graph::kUnreachable) break;
+    const std::uint32_t d = a > b ? a - b : b - a;
+    if (d > lb) lb = d;
+    if (a + b < ub) ub = a + b;
+  }
+  // Certified distance: when the bounds meet (the pair is radially aligned
+  // with some landmark) the answer costs nothing beyond the scan above.
+  if (lb == ub) return lb;
+  // Near-query dispatch: a small lower bound means the endpoints are close
+  // enough that bidirectional BFS meets in a couple of rings — cheaper than
+  // A*'s per-vertex h() work.
+  if (lb < kNearCut) return pair_bfs_.hops(g, s, t);
+
+  const auto h = [&](NodeId u) -> std::uint32_t {
+    const std::uint32_t* lu = &land_[static_cast<Size>(u) * kLandmarks];
+    std::uint32_t best = 0;
+    for (Size k = 0; k < kLandmarks; ++k) {
+      const std::uint32_t a = lu[k], b = lt[k];
+      // Unreachable entries only occur when u, t and all landmarks of that
+      // slot share the "unseen" state (the screen above handled the rest),
+      // in which case a == b and the term is 0 — no special case needed.
+      const std::uint32_t d = a > b ? a - b : b - a;
+      if (d > best) best = d;
+    }
+    return best;
+  };
+
+  if (mark_.size() < n_) {
+    mark_.assign(n_, 0);
+    dist_.resize(n_);
+    done_.resize(n_);
+  }
+  if (++epoch_ == 0) {  // stamp wraparound: old stamps become ambiguous
+    std::fill(mark_.begin(), mark_.end(), 0u);
+    epoch_ = 1;
+  }
+
+  for (auto& b : buckets_) b.clear();
+  mark_[s] = epoch_;
+  dist_[s] = 0;
+  done_[s] = 0;
+  std::uint32_t f = h(s);
+  buckets_[f % 3].push_back(s);
+
+  // Unit edges + consistent h keep every pushed key in [f, f + 2], so three
+  // rotating buckets form a complete priority queue. Entries are settled
+  // lazily: a vertex re-pushed with an improved distance leaves its stale
+  // copy behind, skipped via done_ when popped.
+  while (true) {
+    auto& bucket = buckets_[f % 3];
+    // Index loop: expanding a key-f vertex may push same-key entries.
+    for (Size i = 0; i < bucket.size(); ++i) {
+      const NodeId u = bucket[i];
+      if (done_[u]) continue;
+      if (u == t) return dist_[u];
+      done_[u] = 1;
+      const std::uint32_t ng = dist_[u] + 1;
+      for (const NodeId w : g.neighbors(u)) {
+        if (mark_[w] == epoch_ && (done_[w] || dist_[w] <= ng)) continue;
+        const std::uint32_t hw = h(w);
+        mark_[w] = epoch_;
+        dist_[w] = ng;
+        done_[w] = 0;
+        // Upper-bound prune: any s-t path through w is at least ng + h(w)
+        // long, so when that exceeds the certified upper bound, w cannot lie
+        // on a shortest path — record the tentative distance (so equal-or-
+        // worse revisits are skipped cheaply above) but skip the push. A
+        // strictly shorter prefix found later re-tests the prune.
+        if (ng + hw > ub) continue;
+        buckets_[(ng + hw) % 3].push_back(w);
+      }
+    }
+    bucket.clear();
+    ++f;
+    if (buckets_[0].empty() && buckets_[1].empty() && buckets_[2].empty()) {
+      return graph::kUnreachable;
+    }
+  }
+}
+
+}  // namespace manet::net

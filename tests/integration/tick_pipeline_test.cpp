@@ -36,9 +36,16 @@ void expect_bit_identical(const RunMetrics& full, const RunMetrics& inc) {
 void run_both_and_compare(const ScenarioConfig& cfg, RunOptions opts = RunOptions{}) {
   opts.incremental_tick = false;
   const auto full = run_simulation(cfg, opts);
+  // Three-arm identity: the incremental pipeline must match whether changed
+  // ticks rebuild hierarchies via localized repair (default) or via the full
+  // HierarchyBuilder call (the localized_repair = false reference arm).
   opts.incremental_tick = true;
+  opts.localized_repair = true;
   const auto inc = run_simulation(cfg, opts);
   expect_bit_identical(full, inc);
+  opts.localized_repair = false;
+  const auto inc_builder = run_simulation(cfg, opts);
+  expect_bit_identical(full, inc_builder);
 }
 
 TEST(TickPipeline, IncrementalMatchesFullRandomWaypoint) {
@@ -84,6 +91,21 @@ TEST(TickPipeline, IncrementalMatchesFullUnderFaults) {
   cfg.fault.loss = 0.08;
   cfg.fault.crash_rate = 0.005;
   cfg.fault.mean_downtime = 4.0;
+  run_both_and_compare(cfg);
+}
+
+TEST(TickPipeline, IncrementalMatchesFullUnderHeavyFaultChurn) {
+  // Stress the repair fallback machinery: a high crash rate flips the fault
+  // down-mask nearly every tick (the level-0 delta is untrustworthy, so the
+  // repairer must self-diff), and a regional outage adds mass down/up wave
+  // transitions. Contraction links keep some ticks gated even here.
+  auto cfg = base_config(140, 19);
+  cfg.fault.loss = 0.05;
+  cfg.fault.crash_rate = 0.03;
+  cfg.fault.mean_downtime = 2.0;
+  cfg.fault.outage_radius = 4.0;
+  cfg.fault.outage_start = 3.0;
+  cfg.fault.outage_duration = 5.0;
   run_both_and_compare(cfg);
 }
 

@@ -1,0 +1,131 @@
+#include "net/hop_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/region.hpp"
+#include "graph/bfs.hpp"
+#include "net/unit_disk.hpp"
+
+namespace manet::net {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+/// Oracle vs reference pair BFS over a deterministic sample of pairs.
+void expect_matches_bfs(HopOracle& oracle, const Graph& g, std::uint64_t seed,
+                        Size pairs) {
+  graph::BfsPairScratch ref;
+  common::Xoshiro256 rng(seed);
+  const Size n = g.vertex_count();
+  for (Size i = 0; i < pairs; ++i) {
+    const NodeId s = static_cast<NodeId>(common::uniform_index(rng, n));
+    const NodeId t = static_cast<NodeId>(common::uniform_index(rng, n));
+    ASSERT_EQ(oracle.hops(s, t), ref.hops(g, s, t)) << "s=" << s << " t=" << t;
+  }
+}
+
+Graph random_deployment(Size n, double radius, bool ensure_connected,
+                        std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  const auto region = geom::DiskRegion::with_density(n, 1.0);
+  std::vector<geom::Vec2> positions(n);
+  for (auto& p : positions) p = region.sample(rng);
+  UnitDiskBuilder builder(radius, ensure_connected);
+  return builder.build(positions);
+}
+
+TEST(HopOracle, MatchesPairBfsOnRandomDeployments) {
+  for (const Size n : {40u, 250u, 800u}) {
+    const Graph g = random_deployment(n, 2.2, /*ensure_connected=*/false, 7 + n);
+    HopOracle oracle;
+    oracle.prepare(g);
+    expect_matches_bfs(oracle, g, 100 + n, 400);
+  }
+}
+
+TEST(HopOracle, MatchesPairBfsOnBridgedSparseDeployment) {
+  // A sparse radius fragments the raw unit-disk graph; connectivity
+  // augmentation splices long bridge edges back in. The landmark bound is
+  // purely graph-theoretic, so it must stay exact across those bridges.
+  const Graph g = random_deployment(300, 1.1, /*ensure_connected=*/true, 17);
+  HopOracle oracle;
+  oracle.prepare(g);
+  expect_matches_bfs(oracle, g, 18, 600);
+}
+
+TEST(HopOracle, ExactInActiveModeOnDeepGraph) {
+  // A long path guarantees eccentricity far above the shallow-graph cutoff,
+  // so this exercises the landmark A* route (and its near-query dispatch)
+  // rather than the pass-through mode.
+  const Size n = 120;
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  const Graph g(n, edges);
+  HopOracle oracle;
+  oracle.prepare(g);
+  graph::BfsPairScratch ref;
+  for (NodeId s = 0; s < n; s += 7) {
+    for (NodeId t = 0; t < n; t += 11) {
+      ASSERT_EQ(oracle.hops(s, t), ref.hops(g, s, t)) << "s=" << s << " t=" << t;
+    }
+  }
+  EXPECT_EQ(oracle.hops(0, n - 1), n - 1);
+  EXPECT_EQ(oracle.hops(5, 5), 0u);
+}
+
+TEST(HopOracle, UnreachableAcrossComponents) {
+  // Two far-apart cliques, no augmentation: cross-component queries must
+  // report kUnreachable, same-component queries stay exact. Also covers
+  // minor components that contain no landmark.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) edges.emplace_back(u, v);
+  }
+  edges.emplace_back(6, 7);
+  edges.emplace_back(7, 8);
+  const Graph g(9, edges);
+  HopOracle oracle;
+  oracle.prepare(g);
+  graph::BfsPairScratch ref;
+  for (NodeId s = 0; s < 9; ++s) {
+    for (NodeId t = 0; t < 9; ++t) {
+      ASSERT_EQ(oracle.hops(s, t), ref.hops(g, s, t)) << "s=" << s << " t=" << t;
+    }
+  }
+  EXPECT_EQ(oracle.hops(0, 8), graph::kUnreachable);
+  EXPECT_EQ(oracle.hops(6, 8), 2u);
+}
+
+TEST(HopOracle, FewerVerticesThanLandmarks) {
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  const Graph g(5, edges);
+  HopOracle oracle;
+  oracle.prepare(g);
+  graph::BfsPairScratch ref;
+  for (NodeId s = 0; s < 5; ++s) {
+    for (NodeId t = 0; t < 5; ++t) {
+      ASSERT_EQ(oracle.hops(s, t), ref.hops(g, s, t)) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(HopOracle, RePrepareRebindsToNewGraph) {
+  // The per-tick usage pattern: prepare on this tick's graph invalidates
+  // everything learned from the previous one.
+  const Graph g1 = random_deployment(200, 2.2, false, 5);
+  const Graph g2 = random_deployment(200, 1.8, false, 6);
+  HopOracle oracle;
+  EXPECT_FALSE(oracle.ready());
+  oracle.prepare(g1);
+  EXPECT_TRUE(oracle.ready());
+  expect_matches_bfs(oracle, g1, 50, 200);
+  oracle.prepare(g2);
+  expect_matches_bfs(oracle, g2, 51, 200);
+}
+
+}  // namespace
+}  // namespace manet::net

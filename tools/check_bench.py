@@ -117,6 +117,29 @@ def main():
               "identity violations", file=sys.stderr)
         status = 1
 
+    # High-mobility speedup gate (bench_tick_pipeline): the incremental arm
+    # must beat the full-rebuild arm by at least `min_speedup_high` at
+    # n = `min_speedup_high_n` in the high-mobility regime. Like the overhead
+    # gate below, the speedup is a ratio of two runs on the same machine, so
+    # the floor is absolute rather than baseline-relative.
+    min_high = baseline.get("scalars", {}).get("min_speedup_high")
+    if min_high is not None:
+        high_n = baseline.get("scalars", {}).get("min_speedup_high_n")
+        speedup = series_points(artifact, "speedup_high").get(high_n)
+        if speedup is None:
+            print(f"check_bench: FAIL artifact has no speedup_high point at "
+                  f"n={high_n:g}", file=sys.stderr)
+            status = 1
+        elif speedup < min_high:
+            print(f"check_bench: FAIL high-mobility speedup {speedup:.2f}x at "
+                  f"n={high_n:g} is below the {min_high:g}x floor",
+                  file=sys.stderr)
+            status = 1
+        else:
+            checked += 1
+            print(f"check_bench: ok high-mobility speedup {speedup:.2f}x at "
+                  f"n={high_n:g} (floor {min_high:g}x)")
+
     # Orchestrator-overhead gate (bench_campaign): the measured wall-clock
     # overhead of the checkpointed campaign path over raw run_replications
     # must stay under the cap committed in the baseline. Machine-independent

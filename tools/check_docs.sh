@@ -173,5 +173,39 @@ for doc in "$root"/docs/*.md; do
     done
 done
 
+# 10. The CLI + RunOptions reference (docs/CLI.md) is complete in both
+#     directions: every --flag parse_cli understands is documented, every
+#     --flag the doc names still parses, every RunOptions field has a doc
+#     row, and every documented field still exists in the struct.
+cli_doc="$root/docs/CLI.md"
+sim_hpp="$root/src/exp/simulation.hpp"
+if [ ! -f "$cli_doc" ]; then
+    fail "docs/CLI.md is missing"
+else
+    # code -> docs: flags are string literals in src/exp/cli.cpp.
+    for flag in $(grep -o -- '"--[a-z][a-z-]*"' "$cli_src" | tr -d '"' | sort -u); do
+        grep -q -- "\`$flag[\` ]" "$cli_doc" ||
+            fail "src/exp/cli.cpp parses $flag but docs/CLI.md does not document it"
+    done
+    # docs -> code: every flag the reference names must still be parsed.
+    for flag in $(grep -o -- '`--[a-z][a-z-]*' "$cli_doc" | tr -d '\`' | sort -u); do
+        grep -q -- "\"$flag\"" "$cli_src" ||
+            fail "docs/CLI.md documents $flag but src/exp/cli.cpp does not parse it"
+    done
+    # code -> docs: every RunOptions field gets a `field` row.
+    for field in $(sed -n '/^struct RunOptions {/,/^};/p' "$sim_hpp" |
+                   sed -n 's/^ *[A-Za-z_].*[ *]\([a-z_][a-z_0-9]*\) =.*/\1/p'); do
+        grep -q "\`$field\`" "$cli_doc" ||
+            fail "RunOptions::$field is not documented in docs/CLI.md"
+    done
+    # docs -> code: every field row in the RunOptions table is a real field.
+    for field in $(sed -n '/^## `exp::RunOptions` fields/,$p' "$cli_doc" |
+                   sed -n 's/^| `\([a-z_][a-z_0-9]*\)`.*/\1/p'); do
+        sed -n '/^struct RunOptions {/,/^};/p' "$sim_hpp" | grep -q "[ *]$field =" ||
+            fail "docs/CLI.md documents RunOptions field '$field' but \
+src/exp/simulation.hpp does not declare it"
+    done
+fi
+
 [ "$status" -eq 0 ] && echo "check_docs: OK"
 exit "$status"
