@@ -235,6 +235,59 @@ bool resilience_from_json(const analysis::JsonValue& v, ResilienceReport& out) {
   return true;
 }
 
+void write_sessions_json(analysis::JsonWriter& w, const SessionReport& report) {
+  w.begin_object();
+  w.field("schema", "manet-sessions/1");
+  w.field("mu", report.mu);
+  w.field("loss", report.loss);
+  w.field("crash_rate", report.crash_rate);
+  w.field("packets_offered", report.packets_offered);
+  w.field("delivered", report.delivered);
+  w.field("misrouted", report.misrouted);
+  w.field("lost", report.lost);
+  w.field("misroute_rate", report.misroute_rate);
+  w.field("loss_rate", report.loss_rate);
+  w.field("interruptions", report.interruptions);
+  w.field("interruption_time", report.interruption_time);
+  w.field("interruption_p99", report.interruption_p99);
+  w.field("handover_started", report.handover_started);
+  w.field("handover_completed", report.handover_completed);
+  w.field("handover_retries", report.handover_retries);
+  w.field("handover_rollbacks", report.handover_rollbacks);
+  w.field("handover_rollback_failures", report.handover_rollback_failures);
+  w.field("handover_mean_completion", report.handover_mean_completion);
+  w.end_object();
+}
+
+bool sessions_from_json(const analysis::JsonValue& v, SessionReport& out) {
+  if (!v.is_object()) return false;
+  if (v.string_or("schema", "") != "manet-sessions/1") return false;
+  const auto* offered = v.find("packets_offered");
+  const auto* p99 = v.find("interruption_p99");
+  if (offered == nullptr || !offered->is_number() || p99 == nullptr || !p99->is_number()) {
+    return false;
+  }
+  out.mu = v.number_or("mu", 0.0);
+  out.loss = v.number_or("loss", 0.0);
+  out.crash_rate = v.number_or("crash_rate", 0.0);
+  out.packets_offered = offered->number;
+  out.delivered = v.number_or("delivered", 0.0);
+  out.misrouted = v.number_or("misrouted", 0.0);
+  out.lost = v.number_or("lost", 0.0);
+  out.misroute_rate = v.number_or("misroute_rate", 0.0);
+  out.loss_rate = v.number_or("loss_rate", 0.0);
+  out.interruptions = v.number_or("interruptions", 0.0);
+  out.interruption_time = v.number_or("interruption_time", 0.0);
+  out.interruption_p99 = p99->number;
+  out.handover_started = v.number_or("handover_started", 0.0);
+  out.handover_completed = v.number_or("handover_completed", 0.0);
+  out.handover_retries = v.number_or("handover_retries", 0.0);
+  out.handover_rollbacks = v.number_or("handover_rollbacks", 0.0);
+  out.handover_rollback_failures = v.number_or("handover_rollback_failures", 0.0);
+  out.handover_mean_completion = v.number_or("handover_mean_completion", 0.0);
+  return true;
+}
+
 void write_run_metrics_json(analysis::JsonWriter& w, const RunMetrics& metrics) {
   w.begin_object();
   for (const auto& [name, value] : metrics.values) w.field(name, value);

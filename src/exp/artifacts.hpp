@@ -86,6 +86,32 @@ struct ResilienceReport {
 void write_resilience_json(analysis::JsonWriter& w, const ResilienceReport& report);
 bool resilience_from_json(const analysis::JsonValue& v, ResilienceReport& out);
 
+/// Aggregated session-continuity + handover-FSM measurements for one
+/// scenario (one point of a bench_sessions sweep). Schema "manet-sessions/1".
+struct SessionReport {
+  double mu = 0.0;                  ///< configured node speed, m/s
+  double loss = 0.0;                ///< configured per-hop Bernoulli loss
+  double crash_rate = 0.0;          ///< configured crash hazard
+  double packets_offered = 0.0;
+  double delivered = 0.0;
+  double misrouted = 0.0;           ///< resolved via a stale / rolled-back copy
+  double lost = 0.0;
+  double misroute_rate = 0.0;       ///< misrouted / offered
+  double loss_rate = 0.0;           ///< lost / offered
+  double interruptions = 0.0;       ///< interruption windows opened
+  double interruption_time = 0.0;   ///< summed window lengths, s
+  double interruption_p99 = 0.0;    ///< p99 closed-window length, s
+  double handover_started = 0.0;
+  double handover_completed = 0.0;
+  double handover_retries = 0.0;
+  double handover_rollbacks = 0.0;
+  double handover_rollback_failures = 0.0;
+  double handover_mean_completion = 0.0;  ///< mean start -> complete, s
+};
+
+void write_sessions_json(analysis::JsonWriter& w, const SessionReport& report);
+bool sessions_from_json(const analysis::JsonValue& v, SessionReport& out);
+
 /// RunMetrics <-> JSON: an object whose member order is the metric emission
 /// order (duplicate names preserved — first occurrence wins on lookup, but
 /// every entry re-enters aggregation exactly as it would in-process).

@@ -181,6 +181,14 @@ std::string cli_usage(const std::string& program) {
          "  --outage-radius R  regional-outage disk radius, m\n"
          "  --outage-start T   outage onset (run time), s\n"
          "  --outage-duration T  outage length, s\n"
+         "sessions + handover FSM (E29; session flags activate the plane):\n"
+         "  --sessions         run long-lived sessions over the handover FSM plane\n"
+         "  --session-rate R   session arrivals /node/s (default 0.2)\n"
+         "  --session-duration T  mean session lifetime, s (default 4)\n"
+         "  --session-pps R    per-session offered packet rate /s (default 4)\n"
+         "  --handover-timeout T  first signalling-attempt timeout, s (default 0.2)\n"
+         "  --handover-retries N  signalling reattempts per stage (default 3)\n"
+         "  --handover-backoff B  timeout multiplier per retry, >= 1 (default 2)\n"
          "measurement:\n"
          "  --gls              run the GLS baseline side by side\n"
          "  --registration     track owner-driven registration updates\n"
@@ -329,6 +337,30 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
         return fail(flag + " needs an unsigned integer");
       }
       opt.scenario.fault.retry_budget = parsed;
+    } else if (flag == "--sessions") {
+      opt.scenario.sessions = true;
+    } else if (flag == "--handover-retries") {
+      const char* value = next();
+      Size parsed = 0;
+      if (value == nullptr || !parse_size(value, parsed)) {
+        return fail(flag + " needs an unsigned integer");
+      }
+      opt.scenario.handover.max_retries = parsed;
+      opt.scenario.sessions = true;
+    } else if (flag == "--session-rate" || flag == "--session-duration" ||
+               flag == "--session-pps" || flag == "--handover-timeout" ||
+               flag == "--handover-backoff") {
+      const char* value = next();
+      double parsed = 0.0;
+      if (value == nullptr || !parse_double(value, parsed) || parsed <= 0.0) {
+        return fail(flag + " needs a positive number");
+      }
+      opt.scenario.sessions = true;
+      if (flag == "--session-rate") opt.scenario.session.sessions_per_node_per_sec = parsed;
+      else if (flag == "--session-duration") opt.scenario.session.mean_duration = parsed;
+      else if (flag == "--session-pps") opt.scenario.session.packets_per_sec = parsed;
+      else if (flag == "--handover-timeout") opt.scenario.handover.timeout = parsed;
+      else opt.scenario.handover.backoff = parsed;
     } else if (flag == "--density" || flag == "--mu" || flag == "--tick" ||
                flag == "--warmup" || flag == "--duration" || flag == "--degree" ||
                flag == "--margin" || flag == "--beta") {
@@ -374,6 +406,7 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
 
   if (opt.scenario.n < 2) return fail("--n must be >= 2");
   if (opt.replications < 1) return fail("--reps must be >= 1");
+  if (opt.scenario.handover.backoff < 1.0) return fail("--handover-backoff must be >= 1");
   result.ok = true;
   return result;
 }

@@ -31,6 +31,13 @@ std::string ScenarioConfig::describe() const {
                 static_cast<unsigned long long>(seed));
   std::string out = buf;
   if (fault.enabled()) out += " fault[" + fault.describe() + "]";
+  if (sessions) {
+    std::snprintf(buf, sizeof(buf),
+                  " sessions[rate=%.3g dur=%.3g pps=%.3g ho_timeout=%.3g ho_retries=%zu]",
+                  session.sessions_per_node_per_sec, session.mean_duration,
+                  session.packets_per_sec, handover.timeout, handover.max_retries);
+    out += buf;
+  }
   return out;
 }
 

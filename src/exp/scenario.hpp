@@ -6,8 +6,10 @@
 
 #include "geom/region.hpp"
 #include "lm/handoff.hpp"
+#include "lm/handover_fsm.hpp"
 #include "mobility/model.hpp"
 #include "sim/fault.hpp"
+#include "traffic/sessions.hpp"
 
 /// \file scenario.hpp
 /// Scenario configuration shared by all experiments. A scenario fixes the
@@ -76,6 +78,14 @@ struct ScenarioConfig {
   /// When disabled the runner constructs none of the fault machinery and the
   /// run is bit-identical to a build without this field.
   sim::FaultConfig fault;
+
+  /// Long-lived session workload + handover FSM plane (experiment E29).
+  /// Off by default; when disabled none of the session/FSM machinery is
+  /// constructed and the run is bit-identical to a build without these
+  /// fields.
+  bool sessions = false;
+  traffic::SessionConfig session;
+  lm::HandoverFsmConfig handover;
 
   /// Maximum attempts to draw an initially connected deployment before
   /// falling back to the best draw.

@@ -14,6 +14,7 @@
 #include "cluster/state_chain.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "exp/session_bridge.hpp"
 #include "graph/bfs.hpp"
 #include "lm/address.hpp"
 #include "lm/gls.hpp"
@@ -184,6 +185,30 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     prev_down.assign(cfg.n, 0);
     handoff.set_resilience(arq.get(), &down);
   }
+  // --- Session/handover plane (experiment E29; constructed only when
+  // cfg.sessions, so plain runs stay bit-identical to builds without it) ---
+  std::unique_ptr<lm::HandoverManager> handover;
+  std::unique_ptr<traffic::SessionWorkload> sessions;
+  std::unique_ptr<LmSessionLocator> locator;
+  std::unique_ptr<routing::RoutingTables> session_tables;
+  if (cfg.sessions) {
+    lm::HandoverFsmConfig hocfg = cfg.handover;
+    // signal_loss < 0 inherits the fault plane's Bernoulli loss (zero on
+    // fault-free runs: procedures then complete within their spawn tick).
+    if (hocfg.signal_loss < 0.0) hocfg.signal_loss = faulted ? cfg.fault.loss : 0.0;
+    handover = std::make_unique<lm::HandoverManager>(
+        hocfg, common::derive_seed(cfg.seed, 0x480F5));
+    handover->set_down(faulted ? &down : nullptr);
+    handover->set_metrics(options.metrics);
+    handover->set_trace(options.trace);
+    handoff.set_handover_observer(handover.get());
+    sessions = std::make_unique<traffic::SessionWorkload>(
+        cfg.session, common::derive_seed(cfg.seed, 0x5E55));
+    sessions->set_metrics(options.metrics);
+    locator = std::make_unique<LmSessionLocator>(handoff, handover.get(),
+                                                 faulted ? &down : nullptr);
+  }
+
   auto refresh_down = [&](Time t) {
     const auto& pos = scenario.mobility->positions();
     for (NodeId v = 0; v < cfg.n; ++v) {
@@ -437,6 +462,26 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     }
 
     if (rebuild) hier = std::move(next);
+
+    // Session/handover plane: the FSMs advance every tick (pending deadlines
+    // fire on gated ticks too), then each live session's packets resolve
+    // through the locator and route over tables rebuilt only on changed
+    // ticks (a gated tick proves the level-0 graph and hierarchy are both
+    // unchanged, so the cached tables stay exact).
+    if (cfg.sessions) {
+      handover->tick(now);
+      if (rebuild || session_tables == nullptr) {
+        session_tables = std::make_unique<routing::RoutingTables>(*g, hier);
+      }
+      traffic::SessionWorkload::TickContext sctx;
+      sctx.tables = session_tables.get();
+      sctx.locator = locator.get();
+      sctx.down = faulted ? &down : nullptr;
+      sctx.node_count = cfg.n;
+      sctx.now = now;
+      sctx.dt = cfg.tick;
+      sessions->tick_sessions(sctx);
+    }
     accumulate_shape(hier);
     if (options.track_states) {
       states.observe(hier, cfg.tick);
@@ -632,6 +677,40 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
       out.set("reg_retx_rate", registration->retx_rate());
       out.set("reg_failed", static_cast<double>(registration->failed_updates()));
     }
+  }
+
+  if (cfg.sessions) {
+    sessions->finish(horizon);  // close windows still open at run end
+    const auto& ss = sessions->stats();
+    out.set("sessions", static_cast<double>(ss.sessions));
+    out.set("session_rate", ss.rate(cfg.n));
+    out.set("session_undeliverable", static_cast<double>(ss.undeliverable));
+    out.set("session_recovered", static_cast<double>(ss.recovered));
+    out.set("session_skipped_ticks", static_cast<double>(ss.skipped_ticks));
+    out.set("session_packets", static_cast<double>(ss.packets_offered));
+    out.set("session_delivered", static_cast<double>(ss.packets_delivered));
+    out.set("session_misrouted", static_cast<double>(ss.packets_misrouted));
+    out.set("session_misroute_rate", ss.misroute_rate());
+    out.set("session_misroute_extra", static_cast<double>(ss.misroute_extra));
+    out.set("session_lost", static_cast<double>(ss.packets_lost));
+    out.set("session_loss_rate", ss.loss_rate());
+    out.set("session_interruptions", static_cast<double>(ss.interruptions));
+    out.set("session_interruption_time", ss.interruption_time);
+    out.set("session_interruption_p99", sessions->interruption_quantile(0.99));
+    const auto& hs = handover->stats();
+    out.set("handover_started", static_cast<double>(hs.started));
+    out.set("handover_completed", static_cast<double>(hs.completed));
+    out.set("handover_retries", static_cast<double>(hs.retries));
+    out.set("handover_timeouts", static_cast<double>(hs.timeouts));
+    out.set("handover_rollbacks", static_cast<double>(hs.rollbacks));
+    out.set("handover_rollback_failures", static_cast<double>(hs.rollback_failures));
+    out.set("handover_target_crashes", static_cast<double>(hs.target_crashes));
+    out.set("handover_superseded", static_cast<double>(hs.superseded));
+    out.set("handover_repaired", static_cast<double>(hs.repaired));
+    out.set("handover_retired", static_cast<double>(hs.retired));
+    out.set("handover_signal_packets", static_cast<double>(hs.signal_packets));
+    out.set("handover_mean_completion", hs.mean_completion_time());
+    out.set("handover_in_flight", static_cast<double>(handover->in_flight()));
   }
 
   if (options.measure_routing) {

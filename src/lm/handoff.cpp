@@ -136,6 +136,7 @@ void HandoffEngine::on_node_down(NodeId v, Time t) {
     const auto [it, inserted] =
         stale_.try_emplace(stale_key(rec.owner, rec.level), StaleEntry{kInvalidNode, t});
     if (!inserted) it->second.holder = kInvalidNode;
+    if (observer_ != nullptr) observer_->on_entry_stale(rec.owner, rec.level, kInvalidNode, t);
   }
   if (trace_ != nullptr) {
     trace_->record(sim::TraceEvent{t, sim::TraceEventType::kNodeCrash, 0, v, kInvalidNode,
@@ -168,13 +169,15 @@ void HandoffEngine::on_node_up(const graph::Graph& g0, NodeId v, Time t) {
         ++resil_.repairs;
         resil_.repair_time_sum += t - st->second.since;
         stale_.erase(st);
+        if (observer_ != nullptr) observer_->on_entry_repaired(v, k, s, t);
         if (trace_ != nullptr) {
           trace_->record(sim::TraceEvent{t, sim::TraceEventType::kRepair, k, v, s,
                                          static_cast<double>(out.packets)});
         }
       }
     } else if (db_.find(s, v, k) == nullptr) {
-      stale_.try_emplace(stale_key(v, k), StaleEntry{kInvalidNode, t});
+      const bool fresh = stale_.try_emplace(stale_key(v, k), StaleEntry{kInvalidNode, t}).second;
+      if (fresh && observer_ != nullptr) observer_->on_entry_stale(v, k, kInvalidNode, t);
     }
   }
 }
@@ -193,6 +196,7 @@ HandoffEngine::RepairResult HandoffEngine::audit_repair(const graph::Graph& g0, 
       // Level no longer served: discard the residue, nothing to repair.
       if (it->second.holder != kInvalidNode) db_.take(it->second.holder, owner, k);
       it = stale_.erase(it);
+      if (observer_ != nullptr) observer_->on_entry_retired(owner, k, t);
       continue;
     }
     if (is_down(owner)) {
@@ -214,6 +218,7 @@ HandoffEngine::RepairResult HandoffEngine::audit_repair(const graph::Graph& g0, 
     ++resil_.repairs;
     resil_.repair_time_sum += t - it->second.since;
     ++result.repaired;
+    if (observer_ != nullptr) observer_->on_entry_repaired(owner, k, s, t);
     if (trace_ != nullptr) {
       trace_->record(sim::TraceEvent{t, sim::TraceEventType::kRepair, k, owner, s,
                                      static_cast<double>(out.packets)});
@@ -316,6 +321,7 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
             retx_ledger += out.packets;
             ++resil_.failed_transfers;
             stale_.emplace(sk, StaleEntry{s_old, t});
+            if (observer_ != nullptr) observer_->on_entry_stale(v, k, s_old, t);
             if (trace_ != nullptr) {
               trace_->record(sim::TraceEvent{t, sim::TraceEventType::kPacketDropped, k,
                                              s_old, s_new,
@@ -365,6 +371,7 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
         db_.put(s_new, LocationRecord{v, k, t, rec.owner == kInvalidNode
                                                    ? version_counter_++
                                                    : rec.version + 1});
+        if (observer_ != nullptr) observer_->on_entry_move(v, k, s_old, s_new, t, migrated, cost);
       } else if (had && !has) {
         // Hierarchy lost level k: the entry retires to its owner.
         PacketCount cost = 0;
@@ -380,6 +387,7 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
             stale_.erase(st);
             ++level_churn_;
             if (level_churn_c_ != nullptr) level_churn_c_->add(1);
+            if (observer_ != nullptr) observer_->on_entry_retired(v, k, t);
             continue;
           }
           const TransferOutcome out = attempt_transfer(g0, s_old, v);
@@ -392,6 +400,7 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
             db_.take(s_old, v, k);
             ++level_churn_;
             if (level_churn_c_ != nullptr) level_churn_c_->add(1);
+            if (observer_ != nullptr) observer_->on_entry_retired(v, k, t);
             if (trace_ != nullptr) {
               trace_->record(sim::TraceEvent{t, sim::TraceEventType::kPacketDropped, k,
                                              s_old, v, static_cast<double>(out.packets)});
@@ -408,6 +417,7 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
         ++tick.entries_moved;
         ++level_churn_;
         db_.take(s_old, v, k);
+        if (observer_ != nullptr) observer_->on_entry_retired(v, k, t);
         if (metrics_ != nullptr) {
           gamma_packets_c_->add(cost);
           gamma_entries_c_->add(1);
@@ -430,7 +440,9 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
           if (!out.delivered) {
             resil_.gamma_retx += out.packets;
             ++resil_.failed_transfers;
-            stale_.try_emplace(stale_key(v, k), StaleEntry{kInvalidNode, t});
+            const bool fresh =
+                stale_.try_emplace(stale_key(v, k), StaleEntry{kInvalidNode, t}).second;
+            if (fresh && observer_ != nullptr) observer_->on_entry_stale(v, k, kInvalidNode, t);
             if (trace_ != nullptr) {
               trace_->record(sim::TraceEvent{t, sim::TraceEventType::kPacketDropped, k, v,
                                              s_new, static_cast<double>(out.packets)});

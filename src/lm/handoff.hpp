@@ -42,6 +42,29 @@ struct HandoffConfig {
   HopMetric metric = HopMetric::kBfsExact;
 };
 
+/// Consumer of the engine's committed entry events — the handover FSM plane
+/// (lm/handover_fsm.hpp) rides on these. The engine stays the measurement
+/// core: it commits every move instantly and prices it as before; observers
+/// only *watch* (they may not mutate the database). Detached (nullptr, the
+/// default) the engine is bit-identical to a build without this hook.
+class HandoverObserver {
+ public:
+  virtual ~HandoverObserver() = default;
+  /// A committed (owner, k) entry move from -> to priced at \p hops;
+  /// \p migrated carries the phi/gamma attribution.
+  virtual void on_entry_move(NodeId owner, Level k, NodeId from, NodeId to, Time t,
+                             bool migrated, PacketCount hops) = 0;
+  /// The (owner, k) entry went stale: transfer failed or its holder crashed.
+  /// \p holder is the node still holding an out-of-date copy, kInvalidNode
+  /// when the copy is gone entirely.
+  virtual void on_entry_stale(NodeId owner, Level k, NodeId holder, Time t) = 0;
+  /// A stale (owner, k) entry was re-delivered to server \p server.
+  virtual void on_entry_repaired(NodeId owner, Level k, NodeId server, Time t) = 0;
+  /// Level k retired for \p owner (the hierarchy lost the level); any
+  /// in-flight procedure for the entry is moot.
+  virtual void on_entry_retired(NodeId owner, Level k, Time t) = 0;
+};
+
 /// Accumulated overhead at one hierarchy level.
 struct LevelOverhead {
   PacketCount phi_packets = 0;
@@ -118,6 +141,37 @@ class HandoffEngine {
 
   /// Emit one typed TraceEvent per entry transfer / level-churn move.
   void set_trace(sim::TraceSink* trace) noexcept { trace_ = trace; }
+
+  /// Feed committed entry moves / stale transitions / repairs to the
+  /// handover FSM plane (nullptr = off, zero cost).
+  void set_handover_observer(HandoverObserver* observer) noexcept {
+    observer_ = observer;
+  }
+
+  // --- Read-only assignment view (the locator plane resolves through these;
+  // they never touch the ledgers) ---
+
+  /// Current assignment server for (owner, k); kInvalidNode when the level
+  /// is not served or the engine is unprimed.
+  NodeId current_server(NodeId owner, Level k) const {
+    if (!primed_ || owner >= node_count_ || k < kFirstServedLevel ||
+        static_cast<Size>(k - kFirstServedLevel) >= prev_.served_width) {
+      return kInvalidNode;
+    }
+    return prev_.server(owner, k);
+  }
+  Level top_level() const { return prev_.top; }
+
+  /// True when the (owner, k) entry is flagged stale (lost or out of date).
+  bool is_stale(NodeId owner, Level k) const {
+    return stale_.find(stale_key(owner, k)) != stale_.end();
+  }
+  /// Node still holding the out-of-date copy of a stale entry, kInvalidNode
+  /// when there is none (or the entry is not stale).
+  NodeId stale_holder(NodeId owner, Level k) const {
+    const auto it = stale_.find(stale_key(owner, k));
+    return it != stale_.end() ? it->second.holder : kInvalidNode;
+  }
 
   /// Route transfer pricing through the landmark hop oracle
   /// (net/hop_oracle.hpp) instead of per-pair bidirectional BFS: each
@@ -266,6 +320,7 @@ class HandoffEngine {
   // Observability (resolved once in set_metrics; hot path is pointer adds).
   common::MetricsRegistry* metrics_ = nullptr;
   sim::TraceSink* trace_ = nullptr;
+  HandoverObserver* observer_ = nullptr;
   common::Counter* phi_packets_c_ = nullptr;
   common::Counter* gamma_packets_c_ = nullptr;
   common::Counter* phi_entries_c_ = nullptr;

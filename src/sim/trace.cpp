@@ -24,6 +24,11 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kNodeCrash: return "node_crash";
     case TraceEventType::kNodeRejoin: return "node_rejoin";
     case TraceEventType::kRepair: return "repair";
+    case TraceEventType::kHandoverStart: return "handover_start";
+    case TraceEventType::kHandoverComplete: return "handover_complete";
+    case TraceEventType::kHandoverRetry: return "handover_retry";
+    case TraceEventType::kHandoverRollback: return "handover_rollback";
+    case TraceEventType::kHandoverFail: return "handover_fail";
   }
   return "unknown";
 }

@@ -46,9 +46,17 @@ enum class TraceEventType : std::uint8_t {
   kNodeCrash,      ///< node went down (crash plan or regional outage)
   kNodeRejoin,     ///< node came back up and re-registered
   kRepair,         ///< stale/missing CHLM entry repaired (value = packets)
+  // Handover FSM plane (see lm/handover_fsm.hpp): per-(owner, level) control
+  // procedures riding every server move, with rollback-to-old-server on
+  // failure (a = old server, b = new server unless noted).
+  kHandoverStart,     ///< FSM spawned for an entry move (value = hops)
+  kHandoverComplete,  ///< new server confirmed live (value = latency, s)
+  kHandoverRetry,     ///< signalling attempt timed out, retrying (value = attempt)
+  kHandoverRollback,  ///< procedure aborted; sessions stay on the old server
+  kHandoverFail,      ///< rollback impossible (old server also dark)
 };
 
-inline constexpr std::size_t kTraceEventTypeCount = 18;
+inline constexpr std::size_t kTraceEventTypeCount = 23;
 
 const char* to_string(TraceEventType type);
 

@@ -1,8 +1,17 @@
 #include "traffic/sessions.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace manet::traffic {
+
+namespace {
+/// Interruption-window buckets (seconds) and query-latency buckets (hops).
+constexpr double kInterruptionBuckets[] = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+constexpr double kQueryHopBuckets[] = {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+}  // namespace
 
 double SessionStats::rate(Size node_count) const {
   const double denom = static_cast<double>(node_count) * window;
@@ -15,15 +24,46 @@ double SessionStats::mean_transmissions_per_session() const {
   return static_cast<double>(data_transmissions) / static_cast<double>(delivered);
 }
 
+double SessionStats::misroute_rate() const {
+  if (packets_offered == 0) return 0.0;
+  return static_cast<double>(packets_misrouted) / static_cast<double>(packets_offered);
+}
+
+double SessionStats::loss_rate() const {
+  if (packets_offered == 0) return 0.0;
+  return static_cast<double>(packets_lost) / static_cast<double>(packets_offered);
+}
+
 SessionWorkload::SessionWorkload(SessionConfig config, std::uint64_t seed)
     : config_(config), rng_(seed) {
   MANET_CHECK(config_.sessions_per_node_per_sec > 0.0);
   MANET_CHECK(config_.packets_per_session >= 1);
+  MANET_CHECK(config_.mean_duration > 0.0);
+  MANET_CHECK(config_.packets_per_sec > 0.0);
+}
+
+void SessionWorkload::set_metrics(common::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    offered_c_ = delivered_c_ = misrouted_c_ = lost_c_ = nullptr;
+    interruption_h_ = query_hops_h_ = nullptr;
+    return;
+  }
+  offered_c_ = &registry->counter("session.packets");
+  delivered_c_ = &registry->counter("session.delivered");
+  misrouted_c_ = &registry->counter("session.misrouted");
+  lost_c_ = &registry->counter("session.lost");
+  interruption_h_ = &registry->histogram("session.interruption_s", kInterruptionBuckets);
+  query_hops_h_ = &registry->histogram("session.query_hops", kQueryHopBuckets);
 }
 
 void SessionWorkload::tick(const routing::RoutingTables& tables, Size node_count, Time dt) {
   MANET_CHECK(dt > 0.0);
-  MANET_CHECK(node_count >= 2);
+  if (node_count < 2) {
+    // Crash faults can leave fewer than 2 alive nodes; a tick with no
+    // possible pairs is a skipped tick, not a fatal condition.
+    ++stats_.skipped_ticks;
+    return;
+  }
   const double lambda =
       config_.sessions_per_node_per_sec * static_cast<double>(node_count) * dt;
   const std::uint64_t n_sessions = common::poisson(rng_, lambda);
@@ -44,6 +84,142 @@ void SessionWorkload::tick(const routing::RoutingTables& tables, Size node_count
         static_cast<PacketCount>(routed.path.size() - 1);
   }
   stats_.window += dt;
+}
+
+void SessionWorkload::close_window(Live& session, Time now) {
+  if (!session.interrupted) return;
+  const double length = now - session.interrupted_since;
+  session.interrupted = false;
+  ++stats_.interruptions;
+  stats_.interruption_time += length;
+  windows_.push_back(length);
+  if (interruption_h_ != nullptr) interruption_h_->observe(length);
+}
+
+bool SessionWorkload::send_packet(Live& session, const TickContext& ctx) {
+  ++stats_.packets_offered;
+  if (offered_c_ != nullptr) offered_c_->add(1);
+  if (is_down(ctx, session.src) || is_down(ctx, session.dst)) {
+    ++stats_.packets_lost;
+    if (lost_c_ != nullptr) lost_c_->add(1);
+    return false;
+  }
+  LocateOutcome loc{LocateResult::kFresh, session.dst, kInvalidNode};
+  if (ctx.locator != nullptr) loc = ctx.locator->locate(session.dst);
+  if (loc.result == LocateResult::kMiss) {
+    ++stats_.packets_lost;
+    if (lost_c_ != nullptr) lost_c_->add(1);
+    return false;
+  }
+  if (loc.result == LocateResult::kStaleHit && loc.holder != kInvalidNode &&
+      loc.holder != session.dst) {
+    // The packet chases the out-of-date locator to its holder first, then
+    // on to the real destination — the user-visible cost of a stale entry.
+    const auto chase = ctx.tables->route(session.src, loc.holder);
+    const auto onward = ctx.tables->route(loc.holder, session.dst);
+    ++stats_.packets_misrouted;
+    if (misrouted_c_ != nullptr) misrouted_c_->add(1);
+    if (!chase.delivered || !onward.delivered) {
+      ++stats_.packets_lost;
+      if (lost_c_ != nullptr) lost_c_->add(1);
+      return false;
+    }
+    const auto chase_tx = static_cast<PacketCount>(chase.path.size() - 1);
+    stats_.data_transmissions += chase_tx;
+    stats_.data_transmissions += static_cast<PacketCount>(onward.path.size() - 1);
+    stats_.misroute_extra += chase_tx;
+    ++stats_.packets_delivered;
+    if (delivered_c_ != nullptr) delivered_c_->add(1);
+    return true;
+  }
+  const auto routed = ctx.tables->route(session.src, session.dst);
+  if (!routed.delivered) {
+    ++stats_.packets_lost;
+    ++stats_.undeliverable;  // a genuine routing failure, as in legacy mode
+    if (lost_c_ != nullptr) lost_c_->add(1);
+    return false;
+  }
+  if (routed.recovered) ++stats_.recovered;
+  stats_.data_transmissions += static_cast<PacketCount>(routed.path.size() - 1);
+  ++stats_.packets_delivered;
+  if (delivered_c_ != nullptr) delivered_c_->add(1);
+  return true;
+}
+
+void SessionWorkload::tick_sessions(const TickContext& ctx) {
+  MANET_CHECK(ctx.dt > 0.0);
+  MANET_CHECK(ctx.tables != nullptr);
+  if (ctx.node_count < 2) {
+    ++stats_.skipped_ticks;
+    return;
+  }
+  stats_.window += ctx.dt;
+
+  // Expire finished sessions (stable order; a session interrupted at its
+  // natural end closes its window there).
+  const auto expired = std::stable_partition(
+      live_.begin(), live_.end(),
+      [&](const Live& s) { return s.ends_at > ctx.now; });
+  for (auto it = expired; it != live_.end(); ++it) close_window(*it, ctx.now);
+  live_.erase(expired, live_.end());
+
+  // Poisson arrivals between uniform random pairs. RNG draws are consumed
+  // regardless of endpoint liveness so the stream stays aligned; sessions
+  // toward dark endpoints simply are not admitted (their packets would only
+  // measure the crash plane, not the handover plane).
+  const double lambda =
+      config_.sessions_per_node_per_sec * static_cast<double>(ctx.node_count) * ctx.dt;
+  const std::uint64_t arrivals = common::poisson(rng_, lambda);
+  for (std::uint64_t s = 0; s < arrivals; ++s) {
+    const auto src = static_cast<NodeId>(common::uniform_index(rng_, ctx.node_count));
+    auto dst = static_cast<NodeId>(common::uniform_index(rng_, ctx.node_count - 1));
+    if (dst >= src) ++dst;
+    const double duration = common::exponential(rng_, 1.0 / config_.mean_duration);
+    if (is_down(ctx, src) || is_down(ctx, dst)) continue;
+    ++stats_.sessions;
+    live_.push_back(Live{src, dst, ctx.now + duration, false, 0.0});
+    // Query-latency sample at session setup: hops from the caller to the
+    // answering LM server over the live tables.
+    if (query_hops_h_ != nullptr && ctx.locator != nullptr) {
+      const LocateOutcome loc = ctx.locator->locate(dst);
+      if (loc.result != LocateResult::kMiss && loc.server != kInvalidNode) {
+        const auto to_server = ctx.tables->route(src, loc.server);
+        if (to_server.delivered) {
+          query_hops_h_->observe(static_cast<double>(to_server.path.size() - 1));
+        }
+      }
+    }
+  }
+
+  // Per-tick packets for every live session; one delivered packet closes an
+  // open interruption window, a fully failed tick opens one.
+  const auto packets_per_tick = static_cast<Size>(
+      std::max<long>(1, std::lround(config_.packets_per_sec * ctx.dt)));
+  for (auto& session : live_) {
+    bool any_delivered = false;
+    for (Size p = 0; p < packets_per_tick; ++p) {
+      any_delivered = send_packet(session, ctx) || any_delivered;
+    }
+    if (any_delivered) {
+      close_window(session, ctx.now);
+    } else if (!session.interrupted) {
+      session.interrupted = true;
+      session.interrupted_since = ctx.now;
+    }
+  }
+}
+
+void SessionWorkload::finish(Time now) {
+  for (auto& session : live_) close_window(session, now);
+}
+
+double SessionWorkload::interruption_quantile(double q) const {
+  if (windows_.empty()) return 0.0;
+  std::vector<double> sorted = windows_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  const auto idx = static_cast<Size>(clamped * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
 }
 
 }  // namespace manet::traffic

@@ -85,6 +85,176 @@ TEST(Sessions, Deterministic) {
   EXPECT_EQ(a.stats().data_transmissions, b.stats().data_transmissions);
 }
 
+TEST(Sessions, FewerThanTwoNodesSkipsTheTickInsteadOfAborting) {
+  // Regression: crash faults can shrink the alive set below 2; this used to
+  // trip MANET_CHECK and abort the whole run.
+  const auto w = make(50, 9);
+  const routing::RoutingTables tables(w.g, w.h);
+  SessionWorkload workload(SessionConfig{}, 10);
+  workload.tick(tables, 1, 1.0);
+  workload.tick(tables, 0, 1.0);
+  EXPECT_EQ(workload.stats().skipped_ticks, 2u);
+  EXPECT_EQ(workload.stats().sessions, 0u);
+  EXPECT_DOUBLE_EQ(workload.stats().window, 0.0);
+
+  SessionWorkload long_lived(SessionConfig{}, 10);
+  SessionWorkload::TickContext ctx;
+  ctx.tables = &tables;
+  ctx.node_count = 1;
+  ctx.now = 1.0;
+  long_lived.tick_sessions(ctx);
+  EXPECT_EQ(long_lived.stats().skipped_ticks, 1u);
+
+  // Back above the threshold the workload resumes normally.
+  workload.tick(tables, w.n, 1.0);
+  EXPECT_DOUBLE_EQ(workload.stats().window, 1.0);
+}
+
+/// Scripted resolution: every destination resolves the same way, so the
+/// continuity accounting is exactly predictable.
+struct FixedLocator : LocatorView {
+  LocateOutcome outcome;
+  LocateOutcome locate(NodeId /*dst*/) override { return outcome; }
+};
+
+TEST(Sessions, LongLivedSessionsPersistAndDeliver) {
+  const auto w = make(150, 11);
+  const routing::RoutingTables tables(w.g, w.h);
+  SessionConfig cfg;
+  cfg.sessions_per_node_per_sec = 0.1;
+  cfg.mean_duration = 6.0;
+  cfg.packets_per_sec = 2.0;
+  SessionWorkload workload(cfg, 12);
+  SessionWorkload::TickContext ctx;
+  ctx.tables = &tables;
+  ctx.node_count = w.n;
+  ctx.dt = 1.0;
+  for (int t = 1; t <= 30; ++t) {
+    ctx.now = t;
+    workload.tick_sessions(ctx);
+  }
+  workload.finish(31.0);
+  const auto& stats = workload.stats();
+  EXPECT_GT(stats.sessions, 0u);
+  EXPECT_GT(stats.packets_offered, stats.sessions);  // sessions outlive a tick
+  // Idealized resolution (no locator) + connected graph: everything delivers.
+  EXPECT_EQ(stats.packets_delivered, stats.packets_offered);
+  EXPECT_EQ(stats.packets_misrouted, 0u);
+  EXPECT_EQ(stats.packets_lost, 0u);
+  EXPECT_EQ(stats.interruptions, 0u);
+  EXPECT_DOUBLE_EQ(workload.interruption_quantile(0.99), 0.0);
+}
+
+TEST(Sessions, ResolutionMissOpensAnInterruptionWindowAndFreshCloses) {
+  const auto w = make(100, 13);
+  const routing::RoutingTables tables(w.g, w.h);
+  SessionConfig cfg;
+  cfg.sessions_per_node_per_sec = 0.2;
+  cfg.mean_duration = 100.0;  // sessions span the whole test
+  cfg.packets_per_sec = 1.0;
+  SessionWorkload workload(cfg, 14);
+  FixedLocator locator;
+  SessionWorkload::TickContext ctx;
+  ctx.tables = &tables;
+  ctx.locator = &locator;
+  ctx.node_count = w.n;
+  ctx.dt = 1.0;
+
+  locator.outcome = LocateOutcome{LocateResult::kFresh, 0, kInvalidNode};
+  ctx.now = 1.0;
+  workload.tick_sessions(ctx);
+  ASSERT_GT(workload.live_sessions(), 0u);
+  EXPECT_EQ(workload.stats().interruptions, 0u);
+
+  // Every resolution misses for 3 ticks: a window opens for each live
+  // session (sessions expiring mid-outage close theirs at their natural end).
+  locator.outcome = LocateOutcome{LocateResult::kMiss, kInvalidNode, kInvalidNode};
+  const Size live = workload.live_sessions();
+  for (int t = 2; t <= 4; ++t) {
+    ctx.now = t;
+    workload.tick_sessions(ctx);
+  }
+  EXPECT_GT(workload.stats().packets_lost, 0u);
+
+  // Resolution recovers: every still-open window closes. Sessions that
+  // survived the whole outage report windows of >= 3 s.
+  locator.outcome = LocateOutcome{LocateResult::kFresh, 0, kInvalidNode};
+  ctx.now = 5.0;
+  workload.tick_sessions(ctx);
+  EXPECT_GE(workload.stats().interruptions, live);
+  EXPECT_GE(workload.interruption_quantile(1.0), 3.0);
+  EXPECT_GT(workload.stats().interruption_time, 0.0);
+}
+
+TEST(Sessions, StaleResolutionMisroutesThroughTheHolder) {
+  const auto w = make(100, 15);
+  const routing::RoutingTables tables(w.g, w.h);
+  SessionConfig cfg;
+  cfg.sessions_per_node_per_sec = 0.2;
+  cfg.mean_duration = 50.0;
+  cfg.packets_per_sec = 1.0;
+  SessionWorkload workload(cfg, 16);
+  FixedLocator locator;
+  locator.outcome = LocateOutcome{LocateResult::kStaleHit, 7, 7};
+  SessionWorkload::TickContext ctx;
+  ctx.tables = &tables;
+  ctx.locator = &locator;
+  ctx.node_count = w.n;
+  ctx.dt = 1.0;
+  for (int t = 1; t <= 10; ++t) {
+    ctx.now = t;
+    workload.tick_sessions(ctx);
+  }
+  const auto& stats = workload.stats();
+  ASSERT_GT(stats.packets_offered, 0u);
+  // Destination 7's own packets resolve holder == dst and route directly;
+  // everything else chases the stale holder first.
+  EXPECT_GT(stats.packets_misrouted, 0u);
+  EXPECT_GT(stats.misroute_extra, 0u);
+  EXPECT_GT(stats.misroute_rate(), 0.5);
+  // Misrouted packets still arrive (both legs route on a connected graph).
+  EXPECT_EQ(stats.packets_delivered, stats.packets_offered);
+  EXPECT_EQ(stats.interruptions, 0u);
+}
+
+TEST(Sessions, DownEndpointsLosePacketsWithoutRouting) {
+  const auto w = make(80, 17);
+  const routing::RoutingTables tables(w.g, w.h);
+  SessionConfig cfg;
+  cfg.sessions_per_node_per_sec = 0.3;
+  cfg.mean_duration = 50.0;
+  SessionWorkload workload(cfg, 18);
+  std::vector<std::uint8_t> down(w.n, 1);  // everyone dark
+  SessionWorkload::TickContext ctx;
+  ctx.tables = &tables;
+  ctx.down = &down;
+  ctx.node_count = w.n;
+  ctx.dt = 1.0;
+  ctx.now = 1.0;
+  workload.tick_sessions(ctx);
+  // Dark endpoints are never admitted, so no sessions and no packets.
+  EXPECT_EQ(workload.stats().sessions, 0u);
+  EXPECT_EQ(workload.stats().packets_offered, 0u);
+
+  // Admission draws were consumed anyway, so the arrival stream stays
+  // aligned: once everyone is back up the workload admits sessions again,
+  // and a mirror that never saw down nodes admits strictly more (only the
+  // dark first tick differs).
+  SessionWorkload mirror(cfg, 18);
+  SessionWorkload::TickContext mirror_ctx = ctx;
+  mirror_ctx.down = nullptr;
+  mirror.tick_sessions(mirror_ctx);
+  std::fill(down.begin(), down.end(), 0);  // everyone back up
+  for (int t = 2; t <= 6; ++t) {
+    ctx.now = t;
+    mirror_ctx.now = t;
+    workload.tick_sessions(ctx);
+    mirror.tick_sessions(mirror_ctx);
+  }
+  EXPECT_GT(workload.stats().sessions, 0u);
+  EXPECT_GT(mirror.stats().sessions, workload.stats().sessions);
+}
+
 TEST(Poisson, MeanAndVarianceMatch) {
   common::Xoshiro256 rng(9);
   for (const double lambda : {0.5, 4.0, 100.0}) {

@@ -184,6 +184,30 @@ def main():
             print(f"check_bench: ok {allocs:g} allocations per steady-state "
                   f"tick (cap {alloc_cap:g})")
 
+    # Session-continuity gate (bench_sessions): the vehicular-regime p99
+    # interruption window and misroute rate must stay under the caps
+    # committed in the baseline (the E29 acceptance bars). Both are
+    # simulated quantities, so the caps are absolute, not machine-relative.
+    for cap_key, value_key, unit in (
+            ("max_session_interruption_p99", "interruption_p99_vehicular", "s"),
+            ("max_misroute_rate", "misroute_rate_vehicular", "")):
+        cap = baseline.get("scalars", {}).get(cap_key)
+        if cap is None:
+            continue
+        value = artifact.get("scalars", {}).get(value_key)
+        if value is None:
+            print(f"check_bench: FAIL artifact is missing the "
+                  f"{value_key} scalar", file=sys.stderr)
+            status = 1
+        elif value > cap:
+            print(f"check_bench: FAIL {value_key} {value:g}{unit} exceeds "
+                  f"the cap of {cap:g}{unit}", file=sys.stderr)
+            status = 1
+        else:
+            checked += 1
+            print(f"check_bench: ok {value_key} {value:g}{unit} "
+                  f"(cap {cap:g}{unit})")
+
     if status == 0:
         print(f"check_bench: OK ({checked} points within "
               f"{args.threshold:.0%} of baseline)")

@@ -141,6 +141,28 @@ for scalar in min_speedup max_allocs_per_tick; do
         fail "BENCH_memory.json baseline lost its $scalar acceptance scalar"
 done
 
+# 8b. The session/handover-FSM plane is documented and its gate cannot
+#     silently rot: the architecture chapter exists and names the
+#     load-bearing pieces, EXPERIMENTS.md keeps E29 and the report schema,
+#     and the bench_sessions baseline keeps its acceptance-cap scalars.
+grep -q '^## Session-riding handover FSM' "$arch" ||
+    fail "docs/ARCHITECTURE.md lost its 'Session-riding handover FSM' chapter"
+for sym in HandoverManager HandoverObserver kRolledBack rollback_failures \
+           LocatorView; do
+    grep -q "$sym" "$arch" ||
+        fail "docs/ARCHITECTURE.md handover chapter no longer mentions $sym"
+done
+grep -q 'bench_sessions' "$experiments" ||
+    fail "EXPERIMENTS.md lost its bench_sessions (E29) section"
+grep -q 'manet-sessions/1' "$experiments" ||
+    fail "EXPERIMENTS.md E29 must name the manet-sessions/1 schema"
+[ -f "$root/tools/baselines/BENCH_sessions.json" ] ||
+    fail "tools/baselines/BENCH_sessions.json baseline is missing"
+for scalar in max_session_interruption_p99 max_misroute_rate; do
+    grep -q "\"$scalar\"" "$root/tools/baselines/BENCH_sessions.json" ||
+        fail "BENCH_sessions.json baseline lost its $scalar acceptance scalar"
+done
+
 # 9. No dangling intra-doc links in docs/*.md: every relative link target
 #    must exist on disk and every #fragment must match a heading slug
 #    (GitHub-style: lowercase, punctuation stripped, spaces to dashes).
