@@ -264,7 +264,12 @@ bool sessions_from_json(const analysis::JsonValue& v, SessionReport& out) {
   if (v.string_or("schema", "") != "manet-sessions/1") return false;
   const auto* offered = v.find("packets_offered");
   const auto* p99 = v.find("interruption_p99");
-  if (offered == nullptr || !offered->is_number() || p99 == nullptr || !p99->is_number()) {
+  // interruption_p99 is NaN when the run closed no interruption windows
+  // (traffic::SessionWorkload::interruption_quantile); the writer renders
+  // non-finite doubles as null, so null here round-trips back to NaN.
+  const bool p99_ok =
+      p99 != nullptr && (p99->is_number() || p99->kind == analysis::JsonValue::Kind::kNull);
+  if (offered == nullptr || !offered->is_number() || !p99_ok) {
     return false;
   }
   out.mu = v.number_or("mu", 0.0);
@@ -278,7 +283,8 @@ bool sessions_from_json(const analysis::JsonValue& v, SessionReport& out) {
   out.loss_rate = v.number_or("loss_rate", 0.0);
   out.interruptions = v.number_or("interruptions", 0.0);
   out.interruption_time = v.number_or("interruption_time", 0.0);
-  out.interruption_p99 = p99->number;
+  out.interruption_p99 =
+      p99->is_number() ? p99->number : std::numeric_limits<double>::quiet_NaN();
   out.handover_started = v.number_or("handover_started", 0.0);
   out.handover_completed = v.number_or("handover_completed", 0.0);
   out.handover_retries = v.number_or("handover_retries", 0.0);

@@ -100,7 +100,8 @@ struct SessionReport {
   double loss_rate = 0.0;           ///< lost / offered
   double interruptions = 0.0;       ///< interruption windows opened
   double interruption_time = 0.0;   ///< summed window lengths, s
-  double interruption_p99 = 0.0;    ///< p99 closed-window length, s
+  double interruption_p99 = 0.0;    ///< p99 closed-window length, s (NaN =
+                                    ///< no windows closed; JSON null)
   double handover_started = 0.0;
   double handover_completed = 0.0;
   double handover_retries = 0.0;

@@ -1,6 +1,9 @@
 #include "exp/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace manet::exp {
@@ -8,9 +11,19 @@ namespace manet::exp {
 namespace {
 
 bool parse_size(const std::string& text, Size& out) {
+  // Digits only: strtoull on its own would silently *wrap* a negative input
+  // ("-3" -> 18446744073709551613) and accept "+3" / " 3" / "0x10"; a
+  // malformed count must be rejected, not reinterpreted.
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  if (end == nullptr || *end != '\0' || errno == ERANGE ||
+      value > std::numeric_limits<Size>::max()) {
+    return false;
+  }
   out = static_cast<Size>(value);
   return true;
 }
@@ -18,8 +31,25 @@ bool parse_size(const std::string& text, Size& out) {
 bool parse_double(const std::string& text, double& out) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  // Reject "nan"/"inf" (strtod accepts them): every numeric flag feeds a
+  // rate, duration or threshold where a non-finite value silently corrupts
+  // the whole run instead of failing here.
+  if (end == nullptr || *end != '\0' || text.empty() || !std::isfinite(value)) {
+    return false;
+  }
   out = value;
+  return true;
+}
+
+/// Split a "--flag=value" token. Returns true (and truncates \p flag at the
+/// '=') when an inline value is present; both CLI parsers accept the form
+/// for every value-taking flag and reject it on boolean flags.
+bool split_inline_value(std::string& flag, std::string& value) {
+  if (flag.size() < 3 || flag[0] != '-' || flag[1] != '-') return false;
+  const auto eq = flag.find('=');
+  if (eq == std::string::npos) return false;
+  value = flag.substr(eq + 1);
+  flag.resize(eq);
   return true;
 }
 
@@ -86,8 +116,17 @@ CampaignCliParseResult parse_campaign_cli(int argc, const char* const* argv) {
   std::string out_dir;
   std::string resume_dir;
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    std::string flag = argv[i];
+    std::string inline_value;
+    const bool has_inline = split_inline_value(flag, inline_value);
+    bool inline_used = false;
+    auto next = [&]() -> const char* {
+      if (has_inline) {
+        inline_used = true;
+        return inline_value.c_str();
+      }
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
 
     if (flag == "--help" || flag == "-h") {
       opt.show_help = true;
@@ -124,6 +163,9 @@ CampaignCliParseResult parse_campaign_cli(int argc, const char* const* argv) {
       else opt.max_units = parsed;
     } else {
       return fail("unknown campaign flag '" + flag + "'");
+    }
+    if (has_inline && !inline_used) {
+      return fail("'" + flag + "' does not take a value");
     }
   }
 
@@ -201,6 +243,8 @@ std::string cli_usage(const std::string& program) {
          "                     disables the incremental pipeline)\n"
          "  --no-repair        incremental ticks rebuild changed hierarchies\n"
          "                     with HierarchyBuilder instead of localized repair\n"
+         "  --threads N        sharded-tick worker threads (default 1 = sequential,\n"
+         "                     0 = hardware); output is identical at any N\n"
          "campaign (in-process; `campaign` subcommand adds checkpoint/resume/shard):\n"
          "  --reps R           Monte-Carlo replications (default 1)\n"
          "  --sweep N1,N2,...  sweep node counts instead of a single run\n"
@@ -226,8 +270,17 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
   };
 
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    std::string flag = argv[i];
+    std::string inline_value;
+    const bool has_inline = split_inline_value(flag, inline_value);
+    bool inline_used = false;
+    auto next = [&]() -> const char* {
+      if (has_inline) {
+        inline_used = true;
+        return inline_value.c_str();
+      }
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
 
     if (flag == "--help" || flag == "-h") {
       opt.show_help = true;
@@ -321,7 +374,8 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       if (value == nullptr || !parse_size_list(value, opt.sweep)) {
         return fail("--sweep needs a comma-separated list of node counts");
       }
-    } else if (flag == "--n" || flag == "--seed" || flag == "--reps") {
+    } else if (flag == "--n" || flag == "--seed" || flag == "--reps" ||
+               flag == "--threads") {
       const char* value = next();
       Size parsed = 0;
       if (value == nullptr || !parse_size(value, parsed)) {
@@ -329,6 +383,7 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       }
       if (flag == "--n") opt.scenario.n = parsed;
       else if (flag == "--seed") opt.scenario.seed = parsed;
+      else if (flag == "--threads") opt.run.threads = parsed;
       else opt.replications = parsed;
     } else if (flag == "--retry-budget") {
       const char* value = next();
@@ -402,11 +457,18 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
     } else {
       return fail("unknown flag '" + flag + "'");
     }
+    if (has_inline && !inline_used) {
+      return fail("'" + flag + "' does not take a value");
+    }
   }
 
   if (opt.scenario.n < 2) return fail("--n must be >= 2");
   if (opt.replications < 1) return fail("--reps must be >= 1");
   if (opt.scenario.handover.backoff < 1.0) return fail("--handover-backoff must be >= 1");
+  if (opt.scenario.tick <= 0.0) return fail("--tick must be > 0");
+  if (opt.scenario.warmup < 0.0) return fail("--warmup must be >= 0");
+  if (opt.scenario.duration < 0.0) return fail("--duration must be >= 0");
+  if (opt.scenario.density <= 0.0) return fail("--density must be > 0");
   result.ok = true;
   return result;
 }

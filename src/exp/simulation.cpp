@@ -14,6 +14,7 @@
 #include "cluster/state_chain.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "exp/session_bridge.hpp"
 #include "graph/bfs.hpp"
 #include "lm/address.hpp"
@@ -27,6 +28,7 @@
 #include "routing/table.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
+#include "sim/shard.hpp"
 
 namespace manet::exp {
 
@@ -144,6 +146,21 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   lm::HandoffEngine handoff(cfg.handoff);
   handoff.set_metrics(options.metrics);
   handoff.set_trace(options.trace);
+
+  // --- Sharded parallel tick (inert at threads == 1, the default) ---
+  // One per-run pool + a fixed 16-shard executor: the heavy per-tick phases
+  // (unit-disk delta, link diffing, pricing) shard over a grid whose size
+  // never depends on the thread count, and per-shard outputs merge in shard
+  // index order — so every artifact of the run is bit-identical to the
+  // sequential tick regardless of options.threads (see sim/shard.hpp).
+  std::unique_ptr<common::ThreadPool> tick_pool;
+  std::unique_ptr<sim::ShardExecutor> tick_shards;
+  if (options.threads != 1) {
+    tick_pool = std::make_unique<common::ThreadPool>(options.threads);
+    tick_shards = std::make_unique<sim::ShardExecutor>(*tick_pool, sim::kDefaultShardCount);
+    disk.set_parallel(tick_shards.get());
+    handoff.set_parallel(tick_shards.get());
+  }
   cluster::StateChainTracker states;
   cluster::HeadLifetimeTracker tenures;
   common::Xoshiro256 hop_rng(common::derive_seed(cfg.seed, 0xB0F5));
@@ -282,6 +299,7 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   }
   net::LinkTracker links(*g, t0);
   links.set_metrics(options.metrics);
+  if (tick_shards) links.set_parallel(tick_shards.get());
   if (gls) gls->prime(scenario.mobility->positions(), scenario.ids, t0);
 
   std::unique_ptr<lm::RegistrationTracker> registration;
@@ -522,6 +540,14 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
           .set(static_cast<double>(measured.allocations) /
                static_cast<double>(total_ticks));
     }
+  }
+
+  // Sharded-tick telemetry: fold the per-shard par.* counters into the run
+  // registry. The values are pure functions of the workload and the fixed
+  // shard grid — identical at every thread count >= 2 (the sequential path
+  // has no executor and publishes none, like alloc.* in default builds).
+  if (tick_shards != nullptr && options.metrics != nullptr) {
+    tick_shards->merge_metrics_into(*options.metrics);
   }
 
   // --- Flatten metrics ---

@@ -99,6 +99,17 @@ struct RunOptions {
   /// election algorithms always take the builder path.
   bool localized_repair = true;
 
+  /// Intra-run worker threads for the sharded tick (docs/ARCHITECTURE.md
+  /// "Sharded parallel tick"). 1 (the default) runs the historical
+  /// sequential tick with no pool and no executor; 0 means one worker per
+  /// hardware thread; any other value sizes the per-run pool explicitly.
+  /// The sharded tick is bit-identical to the sequential one at every
+  /// thread count — work is split over a fixed shard grid whose per-shard
+  /// outputs are merged in shard index order, so metrics, traces and run
+  /// artifacts never depend on this knob (enforced by
+  /// tests/integration/sharded_tick_test).
+  Size threads = 1;
+
   /// Observability hooks (not owned; nullptr = off, zero cost). With a
   /// registry attached, every producer publishes live lm.* / net.* / alca.*
   /// instruments during the run; with a trace sink attached, the engine and

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -36,8 +37,21 @@ class SpatialGrid {
   template <typename F>
   void for_each_pair_within(double radius, F&& visit) const;
 
+  /// Same, restricted to the occupied cells with bucket index in
+  /// [cell_begin, cell_end) — the sharding hook for parallel pair
+  /// enumeration. Every pair is owned by exactly one cell (the one that
+  /// enumerates it through the forward stencil), so covering [0,
+  /// cell_count()) with disjoint ranges visits each pair exactly once, and
+  /// concatenating the ranges' outputs in range order reproduces the
+  /// unsharded enumeration order.
+  template <typename F>
+  void for_each_pair_within(double radius, std::size_t cell_begin, std::size_t cell_end,
+                            F&& visit) const;
+
   double cell_size() const { return cell_size_; }
   std::size_t node_count() const { return positions_.size(); }
+  /// Occupied cells in the current index (the shardable bucket count).
+  std::size_t cell_count() const { return cell_starts_.size(); }
 
  private:
   std::int64_t cell_of(Vec2 p) const;
@@ -60,12 +74,19 @@ class SpatialGrid {
 
 template <typename F>
 void SpatialGrid::for_each_pair_within(double radius, F&& visit) const {
+  for_each_pair_within(radius, 0, cell_starts_.size(), std::forward<F>(visit));
+}
+
+template <typename F>
+void SpatialGrid::for_each_pair_within(double radius, std::size_t cell_begin,
+                                       std::size_t cell_end, F&& visit) const {
   const double r2 = radius * radius;
   // For each occupied cell, pair within the cell and with the 4 forward
-  // neighbor cells (E, SW, S, SE); each unordered cell pair is visited once.
-  for (const auto& [key, start] : cell_starts_) {
+  // neighbor cells (E, SW, S, SE); each unordered cell pair is visited once,
+  // by the cell that owns it through the forward stencil.
+  for (std::size_t c = cell_begin; c < cell_end; ++c) {
+    const std::int64_t key = cell_starts_[c].first;
     const auto [a_begin, a_end] = bucket(key);
-    (void)start;
     visit_bucket_pairs(a_begin, a_end, a_begin, a_end, r2, /*same_bucket=*/true, visit);
     const std::int64_t cx = key >> 32;
     const std::int64_t cy = static_cast<std::int32_t>(key & 0xFFFFFFFF);

@@ -94,10 +94,70 @@ LevelOverhead& HandoffEngine::ledger(Level k) {
 }
 
 std::uint32_t HandoffEngine::hops_between(const graph::Graph& g0, NodeId from, NodeId to) {
-  // Both branches are exact on g0, so this dispatch can never change a
-  // priced value — only how fast it is produced.
+  // All branches are exact on g0, so this dispatch can never change a
+  // priced value — only how fast it is produced. The batch cache (filled by
+  // batch_price_pairs under a sharded executor) is consulted first; hop
+  // distance is symmetric, so the canonical pair key covers both directions.
+  if (!price_keys_.empty()) {
+    const std::uint64_t key = pack_pair(from, to);
+    const auto it = std::lower_bound(price_keys_.begin(), price_keys_.end(), key);
+    if (it != price_keys_.end() && *it == key) {
+      return price_vals_[static_cast<Size>(it - price_keys_.begin())];
+    }
+  }
   if (oracle_.ready()) return oracle_.hops(from, to);
   return pair_bfs_.hops(g0, from, to);
+}
+
+void HandoffEngine::batch_price_pairs(const graph::Graph& g0, const Snapshot& next) {
+  // Read-only pre-scan of the snapshot diff, replicating exactly the branch
+  // structure of update()'s entry-move loop so the collected pair set is
+  // precisely the set of hops_between() queries that loop will issue (price()
+  // never queries equal endpoints). Runs before any mutation, so the scan
+  // and the loop see identical prev_/next state.
+  price_keys_.clear();
+  price_vals_.clear();
+  const Level max_top = std::max(prev_.top, next.top);
+  for (NodeId v = 0; v < node_count_; ++v) {
+    for (Level k = kFirstServedLevel; k <= max_top; ++k) {
+      const bool had = k <= prev_.top;
+      const bool has = k <= next.top;
+      NodeId from = kInvalidNode;
+      NodeId to = kInvalidNode;
+      if (had && has) {
+        from = prev_.server(v, k);
+        to = next.server(v, k);
+      } else if (had) {
+        from = prev_.server(v, k);
+        to = v;
+      } else if (has) {
+        from = v;
+        to = next.server(v, k);
+      } else {
+        continue;
+      }
+      if (from == to) continue;
+      price_keys_.push_back(pack_pair(from, to));
+    }
+  }
+  std::sort(price_keys_.begin(), price_keys_.end());
+  price_keys_.erase(std::unique(price_keys_.begin(), price_keys_.end()), price_keys_.end());
+  if (price_keys_.empty()) return;
+
+  price_vals_.resize(price_keys_.size());
+  const Size shards = par_->shard_count();
+  if (par_scratch_.size() < shards) par_scratch_.resize(shards);
+  par_->for_each_shard([&](Size s) {
+    const auto [begin, end] = sim::ShardExecutor::slice(price_keys_.size(), s, shards);
+    auto& scratch = par_scratch_[s];
+    for (Size i = begin; i < end; ++i) {
+      const auto a = static_cast<NodeId>(price_keys_[i] >> 32);
+      const auto b = static_cast<NodeId>(price_keys_[i] & 0xFFFFFFFF);
+      price_vals_[i] = oracle_.ready() ? oracle_.hops(a, b, scratch)
+                                       : scratch.pair_bfs.hops(g0, a, b);
+    }
+    par_->metrics(s).counter("par.priced_pairs").add(end - begin);
+  });
 }
 
 PacketCount HandoffEngine::price(const graph::Graph& g0, NodeId from, NodeId to) {
@@ -270,6 +330,13 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
   capture(h, next_scratch_);
   const Snapshot& next = next_scratch_;
   TickResult tick;
+
+  // Sharded pricing: compute every hop distance the loop below will ask for
+  // up front, in parallel. Gated off the ARQ path (lossy transfers consume
+  // RNG in loop order) and the unit metric (which never prices hops).
+  if (par_ != nullptr && arq_ == nullptr && config_.metric == HopMetric::kBfsExact) {
+    batch_price_pairs(g0, next);
+  }
 
   // Count per-level cluster membership changes (f_k numerators).
   const Level common_top = std::min(prev_.top, next.top);
@@ -477,6 +544,8 @@ HandoffEngine::TickResult HandoffEngine::update(const cluster::Hierarchy& h,
 
   std::swap(prev_, next_scratch_);  // both snapshots keep their buffer capacity
   last_time_ = t;
+  price_keys_.clear();  // answers are only valid against this tick's g0
+  price_vals_.clear();
   if (metrics_ != nullptr) publish_rates();
   return tick;
 }

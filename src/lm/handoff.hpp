@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "lm/chlm.hpp"
 #include "lm/reliable.hpp"
 #include "net/hop_oracle.hpp"
+#include "sim/shard.hpp"
 #include "sim/trace.hpp"
 
 /// \file handoff.hpp
@@ -182,6 +184,18 @@ class HandoffEngine {
   /// disabled default stays the bit-identity reference.
   void set_fast_pricing(bool on) noexcept { fast_pricing_ = on; }
 
+  /// Shard the per-tick pricing work over \p executor (nullptr = sequential,
+  /// the default). update() then pre-scans the snapshot diff for the exact
+  /// set of (from, to) endpoint pairs its entry-move loop will price,
+  /// computes their hop distances in parallel (each shard with a private
+  /// net::HopOracle::Scratch), and the sequential loop reads the answers
+  /// from the cache. Hop queries are exact and symmetric, so the cache can
+  /// never change a priced value — ledgers, traces, database versions and
+  /// observer callbacks are emitted by the unchanged sequential loop in the
+  /// unchanged order. Inert while an ARQ layer is attached (the lossy path
+  /// consumes per-transfer RNG in loop order, which must stay sequential).
+  void set_parallel(sim::ShardExecutor* executor) noexcept { par_ = executor; }
+
   // --- Resilience plane (fault injection; see sim/fault.hpp) ---
   //
   // With an ARQ layer attached, every entry transfer traverses the lossy
@@ -316,6 +330,20 @@ class HandoffEngine {
   // structure, so the binding stays valid between updates.
   net::HopOracle oracle_;
   bool fast_pricing_ = false;
+
+  /// Pre-computed hop distances for this update()'s pricing queries, keyed
+  /// by canonical packed pair (min << 32 | max), sorted for binary search.
+  /// Filled by batch_price_pairs() when an executor is attached; cleared at
+  /// the end of every update() so between-tick callers (audit_repair,
+  /// on_node_up) never read answers computed on an older graph.
+  void batch_price_pairs(const graph::Graph& g0, const Snapshot& next);
+  static std::uint64_t pack_pair(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  }
+  sim::ShardExecutor* par_ = nullptr;
+  std::vector<net::HopOracle::Scratch> par_scratch_;  ///< one per shard
+  std::vector<std::uint64_t> price_keys_;
+  std::vector<std::uint32_t> price_vals_;
 
   // Observability (resolved once in set_metrics; hot path is pointer adds).
   common::MetricsRegistry* metrics_ = nullptr;

@@ -75,12 +75,12 @@ void HopOracle::prepare(const graph::Graph& g) {
   active_ = true;
 }
 
-std::uint32_t HopOracle::hops(NodeId s, NodeId t) {
+std::uint32_t HopOracle::hops(NodeId s, NodeId t, Scratch& scratch) const {
   MANET_CHECK_MSG(ready(), "HopOracle::hops before prepare");
   MANET_CHECK(s < n_ && t < n_);
   if (s == t) return 0;
   const graph::Graph& g = *g_;
-  if (!active_) return pair_bfs_.hops(g, s, t);  // shallow graph: prep skipped
+  if (!active_) return scratch.pair_bfs.hops(g, s, t);  // shallow graph: prep skipped
 
   const std::uint32_t* lt = &land_[static_cast<Size>(t) * kLandmarks];
   const std::uint32_t* ls = &land_[static_cast<Size>(s) * kLandmarks];
@@ -106,7 +106,7 @@ std::uint32_t HopOracle::hops(NodeId s, NodeId t) {
   // Near-query dispatch: a small lower bound means the endpoints are close
   // enough that bidirectional BFS meets in a couple of rings — cheaper than
   // A*'s per-vertex h() work.
-  if (lb < kNearCut) return pair_bfs_.hops(g, s, t);
+  if (lb < kNearCut) return scratch.pair_bfs.hops(g, s, t);
 
   const auto h = [&](NodeId u) -> std::uint32_t {
     const std::uint32_t* lu = &land_[static_cast<Size>(u) * kLandmarks];
@@ -122,54 +122,59 @@ std::uint32_t HopOracle::hops(NodeId s, NodeId t) {
     return best;
   };
 
-  if (mark_.size() < n_) {
-    mark_.assign(n_, 0);
-    dist_.resize(n_);
-    done_.resize(n_);
+  auto& mark = scratch.mark;
+  auto& dist = scratch.dist;
+  auto& done = scratch.done;
+  auto& buckets = scratch.buckets;
+  if (mark.size() < n_) {
+    mark.assign(n_, 0);
+    dist.resize(n_);
+    done.resize(n_);
   }
-  if (++epoch_ == 0) {  // stamp wraparound: old stamps become ambiguous
-    std::fill(mark_.begin(), mark_.end(), 0u);
-    epoch_ = 1;
+  if (++scratch.epoch == 0) {  // stamp wraparound: old stamps become ambiguous
+    std::fill(mark.begin(), mark.end(), 0u);
+    scratch.epoch = 1;
   }
+  const std::uint32_t epoch = scratch.epoch;
 
-  for (auto& b : buckets_) b.clear();
-  mark_[s] = epoch_;
-  dist_[s] = 0;
-  done_[s] = 0;
+  for (auto& b : buckets) b.clear();
+  mark[s] = epoch;
+  dist[s] = 0;
+  done[s] = 0;
   std::uint32_t f = h(s);
-  buckets_[f % 3].push_back(s);
+  buckets[f % 3].push_back(s);
 
   // Unit edges + consistent h keep every pushed key in [f, f + 2], so three
   // rotating buckets form a complete priority queue. Entries are settled
   // lazily: a vertex re-pushed with an improved distance leaves its stale
   // copy behind, skipped via done_ when popped.
   while (true) {
-    auto& bucket = buckets_[f % 3];
+    auto& bucket = buckets[f % 3];
     // Index loop: expanding a key-f vertex may push same-key entries.
     for (Size i = 0; i < bucket.size(); ++i) {
       const NodeId u = bucket[i];
-      if (done_[u]) continue;
-      if (u == t) return dist_[u];
-      done_[u] = 1;
-      const std::uint32_t ng = dist_[u] + 1;
+      if (done[u]) continue;
+      if (u == t) return dist[u];
+      done[u] = 1;
+      const std::uint32_t ng = dist[u] + 1;
       for (const NodeId w : g.neighbors(u)) {
-        if (mark_[w] == epoch_ && (done_[w] || dist_[w] <= ng)) continue;
+        if (mark[w] == epoch && (done[w] || dist[w] <= ng)) continue;
         const std::uint32_t hw = h(w);
-        mark_[w] = epoch_;
-        dist_[w] = ng;
-        done_[w] = 0;
+        mark[w] = epoch;
+        dist[w] = ng;
+        done[w] = 0;
         // Upper-bound prune: any s-t path through w is at least ng + h(w)
         // long, so when that exceeds the certified upper bound, w cannot lie
         // on a shortest path — record the tentative distance (so equal-or-
         // worse revisits are skipped cheaply above) but skip the push. A
         // strictly shorter prefix found later re-tests the prune.
         if (ng + hw > ub) continue;
-        buckets_[(ng + hw) % 3].push_back(w);
+        buckets[(ng + hw) % 3].push_back(w);
       }
     }
     bucket.clear();
     ++f;
-    if (buckets_[0].empty() && buckets_[1].empty() && buckets_[2].empty()) {
+    if (buckets[0].empty() && buckets[1].empty() && buckets[2].empty()) {
       return graph::kUnreachable;
     }
   }

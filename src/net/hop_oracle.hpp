@@ -71,6 +71,21 @@ namespace manet::net {
 /// Every route is exact, so the dispatch never changes a returned value.
 class HopOracle {
  public:
+  /// Per-caller query state: the A* visit marks / bucket queue plus the
+  /// bidirectional-BFS scratch the near/shallow routes dispatch to. The
+  /// prepared landmark table is shared-read, so concurrent queries against
+  /// one prepared oracle are safe as long as each thread brings its own
+  /// Scratch — the sharded pricing pass in lm::HandoffEngine keeps one per
+  /// shard.
+  struct Scratch {
+    graph::BfsPairScratch pair_bfs;  ///< near-query + shallow-graph route
+    // A* scratch: epoch-stamped visit marks plus the rotating bucket queue.
+    std::vector<std::uint32_t> mark, dist;
+    std::vector<std::uint8_t> done;
+    std::vector<NodeId> buckets[3];
+    std::uint32_t epoch = 0;
+  };
+
   /// Bind the oracle to this tick's pricing graph: farthest-point landmark
   /// selection + one BFS sweep per landmark. \p g must stay alive and
   /// unchanged until the next prepare(); call again whenever the edge set
@@ -82,7 +97,12 @@ class HopOracle {
 
   /// Exact hop distance between \p s and \p t on the prepared graph —
   /// bit-identical to BFS, graph::kUnreachable across components.
-  std::uint32_t hops(NodeId s, NodeId t);
+  std::uint32_t hops(NodeId s, NodeId t) { return hops(s, t, scratch_); }
+
+  /// Same, with caller-supplied scratch: const on the oracle, so queries
+  /// with distinct Scratch instances may run concurrently between two
+  /// prepare() calls.
+  std::uint32_t hops(NodeId s, NodeId t, Scratch& scratch) const;
 
  private:
   static constexpr Size kLandmarks = 16;
@@ -101,18 +121,13 @@ class HopOracle {
   Size n_ = 0;
   bool active_ = false;              ///< landmark table populated this bind
   std::vector<std::uint32_t> land_;  ///< interleaved: land_[v * K + k]
-  graph::BfsPairScratch pair_bfs_;   ///< near-query + shallow-graph route
 
   // Landmark-selection scratch (farthest-point sampling).
   std::vector<std::uint32_t> min_dist_;
   std::vector<std::uint32_t> sweep_dist_;
   std::vector<NodeId> sweep_queue_;
 
-  // A* scratch: epoch-stamped visit marks plus the rotating bucket queue.
-  std::vector<std::uint32_t> mark_, dist_;
-  std::vector<std::uint8_t> done_;
-  std::vector<NodeId> buckets_[3];
-  std::uint32_t epoch_ = 0;
+  Scratch scratch_;  ///< backing state for the sequential hops(s, t) overload
 };
 
 }  // namespace manet::net

@@ -18,6 +18,28 @@ void edge_difference_into(std::span<const graph::Edge> a, std::span<const graph:
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
 }
 
+void ShardedEdgeDiff::run(std::span<const graph::Edge> a, std::span<const graph::Edge> b,
+                          sim::ShardExecutor& executor, std::vector<graph::Edge>& out) {
+  const Size shards = executor.shard_count();
+  if (shard_out_.size() < shards) shard_out_.resize(shards);
+  executor.for_each_shard([&](Size s) {
+    const auto [begin, end] = sim::ShardExecutor::slice(a.size(), s, shards);
+    auto& mine = shard_out_[s];
+    mine.clear();
+    if (begin == end) return;
+    // Only right-hand entries inside the slice's value range can cancel a
+    // slice element; both lists are sorted, so the range is two searches.
+    const auto b_lo = std::lower_bound(b.begin(), b.end(), a[begin]);
+    const auto b_hi = std::upper_bound(b_lo, b.end(), a[end - 1]);
+    std::set_difference(a.begin() + static_cast<std::ptrdiff_t>(begin),
+                        a.begin() + static_cast<std::ptrdiff_t>(end), b_lo, b_hi,
+                        std::back_inserter(mine));
+  });
+  for (Size s = 0; s < shards; ++s) {
+    out.insert(out.end(), shard_out_[s].begin(), shard_out_[s].end());
+  }
+}
+
 LinkTracker::LinkTracker(const graph::Graph& initial, Time t0)
     : prev_edges_(initial.edges().begin(), initial.edges().end()),
       node_count_(initial.vertex_count()),
@@ -36,8 +58,13 @@ void LinkTracker::update_into(const graph::Graph& current, Time t, LinkDelta& de
                   "node count changed between snapshots");
   delta.up.clear();
   delta.down.clear();
-  edge_difference_into(current.edges(), prev_edges_, delta.up);
-  edge_difference_into(prev_edges_, current.edges(), delta.down);
+  if (par_ != nullptr) {
+    diff_.run(current.edges(), prev_edges_, *par_, delta.up);
+    diff_.run(prev_edges_, current.edges(), *par_, delta.down);
+  } else {
+    edge_difference_into(current.edges(), prev_edges_, delta.up);
+    edge_difference_into(prev_edges_, current.edges(), delta.down);
+  }
   total_events_ += delta.event_count();
   prev_edges_.assign(current.edges().begin(), current.edges().end());
   last_time_ = t;

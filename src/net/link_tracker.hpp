@@ -4,6 +4,7 @@
 
 #include "common/metrics.hpp"
 #include "graph/graph.hpp"
+#include "sim/shard.hpp"
 
 /// \file link_tracker.hpp
 /// Link-state change detection between consecutive topology snapshots.
@@ -21,6 +22,23 @@ struct LinkDelta {
   std::vector<graph::Edge> down;  ///< links absent now, present before
 
   Size event_count() const { return up.size() + down.size(); }
+};
+
+/// Sharded set-difference over canonical sorted edge lists: `a \ b`,
+/// bit-identical to std::set_difference at any thread count. The left list
+/// is cut into contiguous shard slices; each shard narrows the right list
+/// to the value range its slice can cancel against (binary search) and
+/// diffs independently; outputs concatenate in shard index order, which is
+/// exactly the sequential output order. Owns per-shard scratch so
+/// steady-state diffs allocate nothing.
+class ShardedEdgeDiff {
+ public:
+  /// Append a \ b to \p out (not cleared), sharded over \p executor.
+  void run(std::span<const graph::Edge> a, std::span<const graph::Edge> b,
+           sim::ShardExecutor& executor, std::vector<graph::Edge>& out);
+
+ private:
+  std::vector<std::vector<graph::Edge>> shard_out_;
 };
 
 class LinkTracker {
@@ -57,6 +75,12 @@ class LinkTracker {
   /// gauge into \p registry on every update. nullptr turns publishing off.
   void set_metrics(common::MetricsRegistry* registry);
 
+  /// Shard the two edge-set differences of update_into() over \p executor
+  /// (nullptr = sequential, the default). The sharded diff is bit-identical
+  /// to the sequential one — per-shard outputs concatenate in shard index
+  /// order — so attaching an executor never changes a delta.
+  void set_parallel(sim::ShardExecutor* executor) noexcept { par_ = executor; }
+
  private:
   std::vector<graph::Edge> prev_edges_;
   Size node_count_;
@@ -66,6 +90,8 @@ class LinkTracker {
   common::MetricsRegistry* metrics_ = nullptr;
   common::Counter* up_c_ = nullptr;
   common::Counter* down_c_ = nullptr;
+  sim::ShardExecutor* par_ = nullptr;
+  ShardedEdgeDiff diff_;
 };
 
 /// Set-difference of two canonical sorted edge lists (a \ b).

@@ -88,11 +88,41 @@ void UnitDiskBuilder::full_reset(const std::vector<geom::Vec2>& positions) {
   grid_.rebuild(positions);
   adj_.resize(n);
   for (auto& a : adj_) a.clear();
-  grid_.for_each_pair_within(tx_radius_, [this](NodeId u, NodeId v) {
-    adj_[u].push_back(v);
-    adj_[v].push_back(u);
-  });
-  for (auto& a : adj_) std::sort(a.begin(), a.end());
+  if (par_ != nullptr) {
+    // Sharded pair enumeration over contiguous occupied-cell ranges: each
+    // pair is owned by exactly one cell (the forward-stencil owner, the
+    // lexically lower cell key), hence by exactly one shard. The adjacency
+    // fill below walks shard buffers in shard order and every list is
+    // sorted afterwards, so the result cannot depend on the thread count.
+    const Size shards = par_->shard_count();
+    if (shard_pairs_.size() < shards) shard_pairs_.resize(shards);
+    const Size cells = grid_.cell_count();
+    par_->for_each_shard([&](Size s) {
+      const auto [begin, end] = sim::ShardExecutor::slice(cells, s, shards);
+      auto& mine = shard_pairs_[s];
+      mine.clear();
+      grid_.for_each_pair_within(tx_radius_, begin, end, [&mine](NodeId u, NodeId v) {
+        mine.emplace_back(u, v);
+      });
+      par_->metrics(s).counter("par.udg_pairs").add(mine.size());
+    });
+    for (Size s = 0; s < shards; ++s) {
+      for (const auto& [u, v] : shard_pairs_[s]) {
+        adj_[u].push_back(v);
+        adj_[v].push_back(u);
+      }
+    }
+    par_->for_each_shard([&](Size s) {
+      const auto [begin, end] = sim::ShardExecutor::slice(n, s, shards);
+      for (Size v = begin; v < end; ++v) std::sort(adj_[v].begin(), adj_[v].end());
+    });
+  } else {
+    grid_.for_each_pair_within(tx_radius_, [this](NodeId u, NodeId v) {
+      adj_[u].push_back(v);
+      adj_[v].push_back(u);
+    });
+    for (auto& a : adj_) std::sort(a.begin(), a.end());
+  }
   stale_.assign(n, 0);
   stale_list_.clear();
   moved_now_.assign(n, 0);
@@ -144,6 +174,7 @@ const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& posit
   if (!inc_valid_ || cur_pos_.size() != n) {
     full_reset(positions);
     last_moved_ = n;
+    full_rescan_ = true;
     ups_.clear();
     downs_.clear();
     changed_ = true;  // (re)seed: callers must treat the topology as new
@@ -157,6 +188,7 @@ const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& posit
     if (positions[v] != cur_pos_[v]) moved_scratch_.push_back(v);
   }
   last_moved_ = moved_scratch_.size();
+  full_rescan_ = false;
   ups_.clear();
   downs_.clear();
   if (moved_scratch_.empty()) {
@@ -166,17 +198,25 @@ const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& posit
     return graph();
   }
 
-  if (last_moved_ > n / 4) {
-    // Mostly-moving tick: a full rescan is cheaper than point updates.
-    // Preserve the previous *raw* edge set to emit an exact delta — the
-    // ups/downs contract covers radio links only, never synthetic bridges.
+  if (4 * last_moved_ > n) {
+    // Mostly-moving tick (the exact "> n/4" contract, written without the
+    // integer division that would merely obscure it): a full rescan is
+    // cheaper than point updates. Preserve the previous *raw* edge set to
+    // emit an exact delta — the ups/downs contract covers radio links only,
+    // never synthetic bridges.
+    full_rescan_ = true;
     old_edges_scratch_.assign(raw_graph_.edges().begin(), raw_graph_.edges().end());
     full_reset(positions);
     const auto new_edges = raw_graph_.edges();
-    std::set_difference(new_edges.begin(), new_edges.end(), old_edges_scratch_.begin(),
-                        old_edges_scratch_.end(), std::back_inserter(ups_));
-    std::set_difference(old_edges_scratch_.begin(), old_edges_scratch_.end(),
-                        new_edges.begin(), new_edges.end(), std::back_inserter(downs_));
+    if (par_ != nullptr) {
+      diff_.run(new_edges, old_edges_scratch_, *par_, ups_);
+      diff_.run(old_edges_scratch_, new_edges, *par_, downs_);
+    } else {
+      std::set_difference(new_edges.begin(), new_edges.end(), old_edges_scratch_.begin(),
+                          old_edges_scratch_.end(), std::back_inserter(ups_));
+      std::set_difference(old_edges_scratch_.begin(), old_edges_scratch_.end(),
+                          new_edges.begin(), new_edges.end(), std::back_inserter(downs_));
+    }
     // full_reset's refresh left the pre-reset bridge set in bridge_scratch_,
     // so a position-only bridge swap (same count, different endpoints) is
     // still visible here.
@@ -186,8 +226,8 @@ const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& posit
   }
 
   // --- Point updates ---
-  const double r2 = tx_radius_ * tx_radius_;
-  const double query_r = tx_radius_ + slack_;
+  // Phase 1 (sequential): commit new positions and stale flags. Phase 2
+  // reads that state without writing it, so it shards over the moved list.
   const double slack2 = slack_ * slack_;
   for (const NodeId v : moved_scratch_) {
     moved_now_[v] = 1;
@@ -198,45 +238,35 @@ const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& posit
     }
   }
 
-  for (const NodeId u : moved_scratch_) {
-    // New exact neighborhood of u: grid candidates are keyed by anchored
-    // positions, so widen the query by the slack (a non-stale candidate sits
-    // within slack of its anchor) and re-check true distances; stale nodes
-    // are not reliably anchored and are scanned directly.
-    new_nbrs_.clear();
-    nbr_scratch_.clear();
-    grid_.neighbors_within(cur_pos_[u], query_r, u, nbr_scratch_);
-    for (const NodeId v : nbr_scratch_) {
-      if (stale_[v] == 0 && geom::distance2(cur_pos_[u], cur_pos_[v]) <= r2) {
-        new_nbrs_.push_back(v);
-      }
+  if (par_ != nullptr) {
+    // Phase 2 (sharded): contiguous slices of the moved list, per-shard
+    // scratch and delta buffers; concatenating the buffers in shard index
+    // order reproduces the sequential emission order exactly.
+    const Size shards = par_->shard_count();
+    if (shard_ups_.size() < shards) {
+      shard_ups_.resize(shards);
+      shard_downs_.resize(shards);
+      shard_nbr_.resize(shards);
+      shard_fresh_.resize(shards);
     }
-    for (const NodeId v : stale_list_) {
-      if (v != u && geom::distance2(cur_pos_[u], cur_pos_[v]) <= r2) {
-        new_nbrs_.push_back(v);
+    par_->for_each_shard([&](Size s) {
+      const auto [begin, end] = sim::ShardExecutor::slice(moved_scratch_.size(), s, shards);
+      auto& ups = shard_ups_[s];
+      auto& downs = shard_downs_[s];
+      ups.clear();
+      downs.clear();
+      for (Size idx = begin; idx < end; ++idx) {
+        recompute_moved(moved_scratch_[idx], shard_nbr_[s], shard_fresh_[s], ups, downs);
       }
+      par_->metrics(s).counter("par.moved_nodes").add(end - begin);
+    });
+    for (Size s = 0; s < shards; ++s) {
+      ups_.insert(ups_.end(), shard_ups_[s].begin(), shard_ups_[s].end());
+      downs_.insert(downs_.end(), shard_downs_[s].begin(), shard_downs_[s].end());
     }
-    std::sort(new_nbrs_.begin(), new_nbrs_.end());
-
-    // Diff against the maintained adjacency. A pair with both endpoints
-    // moved is recomputed twice with identical results; emit it once
-    // (from the smaller endpoint).
-    const auto& old_nbrs = adj_[u];
-    auto record = [&](NodeId v, std::vector<graph::Edge>& out) {
-      if (moved_now_[v] == 0 || u < v) {
-        out.emplace_back(std::min(u, v), std::max(u, v));
-      }
-    };
-    std::size_t i = 0, j = 0;
-    while (i < old_nbrs.size() || j < new_nbrs_.size()) {
-      if (j == new_nbrs_.size() || (i < old_nbrs.size() && old_nbrs[i] < new_nbrs_[j])) {
-        record(old_nbrs[i++], downs_);
-      } else if (i == old_nbrs.size() || new_nbrs_[j] < old_nbrs[i]) {
-        record(new_nbrs_[j++], ups_);
-      } else {
-        ++i;
-        ++j;
-      }
+  } else {
+    for (const NodeId u : moved_scratch_) {
+      recompute_moved(u, nbr_scratch_, new_nbrs_, ups_, downs_);
     }
   }
   for (const NodeId v : moved_scratch_) moved_now_[v] = 0;
@@ -267,6 +297,55 @@ const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& posit
     stale_list_.clear();
   }
   return graph();
+}
+
+void UnitDiskBuilder::recompute_moved(NodeId u, std::vector<NodeId>& nbr,
+                                      std::vector<NodeId>& fresh,
+                                      std::vector<graph::Edge>& ups,
+                                      std::vector<graph::Edge>& downs) const {
+  // New exact neighborhood of u: grid candidates are keyed by anchored
+  // positions, so widen the query by the slack (a non-stale candidate sits
+  // within slack of its anchor) and re-check true distances; stale nodes
+  // are not reliably anchored and are scanned directly. Reads only
+  // phase-1-committed state (cur_pos_, stale_, adj_, moved_now_, grid_),
+  // so concurrent calls on distinct u with private buffers are safe.
+  const double r2 = tx_radius_ * tx_radius_;
+  const double query_r = tx_radius_ + slack_;
+  fresh.clear();
+  nbr.clear();
+  grid_.neighbors_within(cur_pos_[u], query_r, u, nbr);
+  for (const NodeId v : nbr) {
+    if (stale_[v] == 0 && geom::distance2(cur_pos_[u], cur_pos_[v]) <= r2) {
+      fresh.push_back(v);
+    }
+  }
+  for (const NodeId v : stale_list_) {
+    if (v != u && geom::distance2(cur_pos_[u], cur_pos_[v]) <= r2) {
+      fresh.push_back(v);
+    }
+  }
+  std::sort(fresh.begin(), fresh.end());
+
+  // Diff against the maintained adjacency. A pair with both endpoints
+  // moved is recomputed twice with identical results; emit it once
+  // (from the smaller endpoint).
+  const auto& old_nbrs = adj_[u];
+  auto record = [&](NodeId v, std::vector<graph::Edge>& out) {
+    if (moved_now_[v] == 0 || u < v) {
+      out.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  };
+  std::size_t i = 0, j = 0;
+  while (i < old_nbrs.size() || j < fresh.size()) {
+    if (j == fresh.size() || (i < old_nbrs.size() && old_nbrs[i] < fresh[j])) {
+      record(old_nbrs[i++], downs);
+    } else if (i == old_nbrs.size() || fresh[j] < old_nbrs[i]) {
+      record(fresh[j++], ups);
+    } else {
+      ++i;
+      ++j;
+    }
+  }
 }
 
 }  // namespace manet::net

@@ -7,7 +7,9 @@
 #include "geom/spatial_grid.hpp"
 #include "geom/vec2.hpp"
 #include "graph/graph.hpp"
+#include "net/link_tracker.hpp"
 #include "net/radio.hpp"
+#include "sim/shard.hpp"
 
 /// \file unit_disk.hpp
 /// Unit-disk graph construction: G = (V, E) with e = (u, v) in E iff
@@ -61,10 +63,24 @@ class UnitDiskBuilder {
   /// changed since the last update() (exact comparison — bit-identity
   /// forbids a movement threshold here) and returns the maintained graph.
   /// The first call, a node-count change, or a call after build() seeds a
-  /// full rescan. When more than a quarter of the nodes moved, the builder
-  /// falls back to a full rescan internally (cheaper than point updates,
-  /// still emitting an exact delta).
+  /// full rescan. When strictly more than a quarter of the nodes moved
+  /// (the exact test 4 * moved > n, no integer-division truncation), the
+  /// builder falls back to a full rescan internally (cheaper than point
+  /// updates, still emitting an exact delta).
   const graph::Graph& update(const std::vector<geom::Vec2>& positions);
+
+  /// Shard the heavy update() phases — full-rescan pair enumeration,
+  /// per-moved-node neighborhood recomputation, fallback edge diffing —
+  /// over \p executor (nullptr = sequential, the default). Sharding is by
+  /// fixed shard index with per-shard outputs concatenated in shard order,
+  /// so the maintained graph and the ups/downs delta are bit-identical to
+  /// the sequential build at any thread count.
+  void set_parallel(sim::ShardExecutor* executor) noexcept { par_ = executor; }
+
+  /// True when the last update() took a full-rescan path (a (re)seed or the
+  /// exact > n/4 fallback) rather than point updates. Test hook for the
+  /// rescan-threshold boundary contract.
+  bool last_full_rescan() const { return full_rescan_; }
 
   /// The graph maintained by update(). Valid until the next build()/update().
   const graph::Graph& graph() const { return augmented_ ? aug_graph_ : raw_graph_; }
@@ -98,6 +114,12 @@ class UnitDiskBuilder {
   /// rule; shared by the full and incremental paths).
   void compute_bridges(const std::vector<geom::Vec2>& positions, const graph::Graph& raw,
                        std::vector<graph::Edge>& bridges) const;
+  /// Recompute moved node \p u's exact neighborhood and diff it against the
+  /// maintained adjacency, appending to \p ups / \p downs (the point-update
+  /// inner body; pure per-u given phase-1 state, so shards run it
+  /// concurrently with per-shard scratch and output buffers).
+  void recompute_moved(NodeId u, std::vector<NodeId>& nbr, std::vector<NodeId>& fresh,
+                       std::vector<graph::Edge>& ups, std::vector<graph::Edge>& downs) const;
 
   double tx_radius_;
   bool ensure_connected_;
@@ -119,11 +141,18 @@ class UnitDiskBuilder {
   std::vector<graph::Edge> bridges_;
   bool augmented_ = false;
   bool changed_ = false;
+  bool full_rescan_ = false;
   Size last_moved_ = 0;
   std::vector<graph::Edge> ups_, downs_;
   // Scratch reused across ticks so steady-state updates allocate nothing.
   std::vector<NodeId> moved_scratch_, nbr_scratch_, new_nbrs_;
   std::vector<graph::Edge> old_edges_scratch_, bridge_scratch_, combine_scratch_;
+  // Sharded-update state (inert while par_ == nullptr). Per-shard output
+  // and scratch buffers, reused across ticks like the sequential scratch.
+  sim::ShardExecutor* par_ = nullptr;
+  std::vector<std::vector<graph::Edge>> shard_pairs_, shard_ups_, shard_downs_;
+  std::vector<std::vector<NodeId>> shard_nbr_, shard_fresh_;
+  ShardedEdgeDiff diff_;
   /// Bump arena for the augmentation path's transients (component sizes,
   /// giant-component node list); rewound at the top of each build()/update().
   /// Mutable because compute_bridges() is logically const.

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+/// \file shard.hpp
+/// Deterministic intra-run parallelism: a fixed shard decomposition over a
+/// borrowed worker pool.
+///
+/// The tick pipeline's heavy phases (unit-disk pair enumeration, link-set
+/// differences, batch hop pricing) are data-parallel over an index space
+/// that already has a canonical sequential order. ShardExecutor splits that
+/// space into a FIXED number of contiguous shards — decoupled from the
+/// thread count — and runs one task per shard on the pool. Each shard
+/// writes its own output buffer; callers concatenate the buffers in shard
+/// index order, which reproduces the sequential iteration order exactly.
+/// The result is bit-identical to the sequential build at ANY thread count
+/// (1, 2, 8, ...), which is what the sharded-tick identity suite pins.
+///
+/// Telemetry follows the same discipline through the per-shard
+/// common::MetricsRegistry shards (common::ShardedMetrics): shard i is
+/// written exclusively by the task running shard i, and merged_metrics()
+/// folds the shards in index order, so every par.* counter is a pure
+/// function of the workload and the shard count — never of the thread
+/// count or the scheduling order.
+
+namespace manet::sim {
+
+/// Default shard grid for the tick pipeline: comfortably above the thread
+/// counts the runner accepts in practice (so slow shards rebalance) while
+/// keeping the sequential concatenation step trivial. Fixed — NOT derived
+/// from the thread count — because the shard decomposition is part of the
+/// deterministic output contract.
+inline constexpr Size kDefaultShardCount = 16;
+
+class ShardExecutor {
+ public:
+  /// Shards the run over \p pool. \p shard_count is fixed for the executor's
+  /// lifetime; it should modestly exceed the largest thread count in use so
+  /// slow shards rebalance, but stay O(tens) — per-shard buffers are
+  /// concatenated sequentially. \p pool must outlive the executor.
+  ShardExecutor(common::ThreadPool& pool, Size shard_count)
+      : pool_(&pool), shard_count_(shard_count), metrics_(shard_count) {}
+
+  Size shard_count() const noexcept { return shard_count_; }
+  Size thread_count() const noexcept { return pool_->thread_count(); }
+
+  /// Run fn(shard) for every shard in [0, shard_count) across the pool and
+  /// block until all complete. Exceptions propagate (first in shard order).
+  void for_each_shard(const std::function<void(Size)>& fn) const {
+    pool_->parallel_for(shard_count_, fn);
+  }
+
+  /// Contiguous slice [begin, end) of an n-element index space owned by
+  /// \p shard: the first n % shard_count shards take one extra element, so
+  /// concatenating the slices in shard order walks [0, n) exactly once.
+  static std::pair<Size, Size> slice(Size n, Size shard, Size shard_count) {
+    const Size base = n / shard_count;
+    const Size extra = n % shard_count;
+    const Size begin = shard * base + std::min(shard, extra);
+    return {begin, begin + base + (shard < extra ? 1 : 0)};
+  }
+
+  /// Shard-exclusive registry for the task running \p shard (lock-free by
+  /// construction: no two shards share a registry).
+  common::MetricsRegistry& metrics(Size shard) { return metrics_.shard(shard); }
+
+  /// Fold the per-shard telemetry into \p target in shard index order (the
+  /// ShardedMetrics determinism contract).
+  void merge_metrics_into(common::MetricsRegistry& target) const {
+    target.merge(metrics_.merged());
+  }
+
+ private:
+  common::ThreadPool* pool_;
+  Size shard_count_;
+  mutable common::ShardedMetrics metrics_;
+};
+
+}  // namespace manet::sim

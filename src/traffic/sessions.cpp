@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -214,7 +215,12 @@ void SessionWorkload::finish(Time now) {
 }
 
 double SessionWorkload::interruption_quantile(double q) const {
-  if (windows_.empty()) return 0.0;
+  // No closed windows -> the quantile is undefined, not zero. NaN is the
+  // repo-wide "metric absent" sentinel (RunMetrics::has() reads it as
+  // absent, AggregatedMetrics skips it, JSON writers emit null); returning
+  // 0.0 here would conflate "never interrupted" with "p99 of 0 seconds" in
+  // every downstream aggregate.
+  if (windows_.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::vector<double> sorted = windows_;
   std::sort(sorted.begin(), sorted.end());
   const double clamped = std::min(std::max(q, 0.0), 1.0);

@@ -130,7 +130,11 @@ class SessionWorkload {
   /// histograms) into \p registry. nullptr = off, zero cost.
   void set_metrics(common::MetricsRegistry* registry);
 
-  /// Quantile over *closed* interruption windows (0 when none closed yet).
+  /// Nearest-rank quantile over *closed* interruption windows. Quiet NaN —
+  /// the repo's "metric absent" sentinel — when none closed yet: an
+  /// uninterrupted run has no p99, and a 0.0 placeholder would silently
+  /// drag down campaign aggregates. Artifact writers round-trip the NaN as
+  /// JSON null (exp/artifacts.cpp).
   double interruption_quantile(double q) const;
   const std::vector<double>& interruption_windows() const { return windows_; }
 

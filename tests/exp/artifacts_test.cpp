@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <sstream>
 
 #include "common/metrics.hpp"
@@ -162,6 +164,54 @@ lm::OverheadReport sample_report() {
   report.gamma_entries = 9;
   report.unreachable_transfers = 2;
   return report;
+}
+
+TEST(SessionsJson, RoundTripPreservesNumbers) {
+  SessionReport report;
+  report.mu = 4.0;
+  report.packets_offered = 1000.0;
+  report.delivered = 990.0;
+  report.interruptions = 3.0;
+  report.interruption_time = 2.5;
+  report.interruption_p99 = 1.75;
+  report.handover_started = 12.0;
+
+  const auto text = render(
+      [&report](analysis::JsonWriter& w) { write_sessions_json(w, report); }, true);
+  const auto parsed = analysis::parse_json(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+
+  SessionReport back;
+  ASSERT_TRUE(sessions_from_json(parsed.value, back));
+  EXPECT_EQ(back.mu, report.mu);
+  EXPECT_EQ(back.packets_offered, report.packets_offered);
+  EXPECT_EQ(back.delivered, report.delivered);
+  EXPECT_EQ(back.interruptions, report.interruptions);
+  EXPECT_EQ(back.interruption_time, report.interruption_time);
+  EXPECT_EQ(back.interruption_p99, report.interruption_p99);
+  EXPECT_EQ(back.handover_started, report.handover_started);
+}
+
+TEST(SessionsJson, AbsentP99RoundTripsThroughNull) {
+  // An uninterrupted run has no p99 (satellite of the NaN-sentinel
+  // convention): the writer must emit JSON null, and the reader must map
+  // null back to quiet NaN rather than rejecting the document or
+  // resurrecting a fake 0.0.
+  SessionReport report;
+  report.packets_offered = 100.0;
+  report.delivered = 100.0;
+  report.interruption_p99 = std::numeric_limits<double>::quiet_NaN();
+
+  const auto text = render(
+      [&report](analysis::JsonWriter& w) { write_sessions_json(w, report); }, true);
+  EXPECT_NE(text.find("null"), std::string::npos) << text;
+  const auto parsed = analysis::parse_json(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+
+  SessionReport back;
+  ASSERT_TRUE(sessions_from_json(parsed.value, back));
+  EXPECT_TRUE(std::isnan(back.interruption_p99));
+  EXPECT_EQ(back.packets_offered, report.packets_offered);
 }
 
 TEST(OverheadJson, RoundTripIsExact) {

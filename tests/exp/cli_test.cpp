@@ -111,6 +111,65 @@ TEST(Cli, InvalidEnumValuesFail) {
 TEST(Cli, SemanticValidation) {
   EXPECT_FALSE(parse({"--n", "1"}).ok);
   EXPECT_FALSE(parse({"--reps", "0"}).ok);
+  EXPECT_FALSE(parse({"--tick", "0"}).ok);
+  EXPECT_FALSE(parse({"--tick", "-0.5"}).ok);
+  EXPECT_FALSE(parse({"--warmup", "-1"}).ok);
+  EXPECT_FALSE(parse({"--duration", "-2"}).ok);
+  EXPECT_FALSE(parse({"--density", "0"}).ok);
+}
+
+TEST(Cli, InlineEqualsValuesParse) {
+  const auto result = parse({"--n=512", "--mu=2.5", "--session-pps=8", "--threads=4"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.options.scenario.n, 512u);
+  EXPECT_DOUBLE_EQ(result.options.scenario.mu, 2.5);
+  EXPECT_DOUBLE_EQ(result.options.scenario.session.packets_per_sec, 8.0);
+  EXPECT_EQ(result.options.run.threads, 4u);
+}
+
+TEST(Cli, MalformedInlineValuesFailWithFlagName) {
+  // The one-line diagnostic must name the offending flag, not crash or
+  // silently swallow the junk value.
+  const auto bad = parse({"--session-pps=abc"});
+  ASSERT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("--session-pps"), std::string::npos) << bad.error;
+  EXPECT_FALSE(parse({"--n=12abc"}).ok);
+  EXPECT_FALSE(parse({"--n="}).ok);
+  EXPECT_FALSE(parse({"--mu=1.2.3"}).ok);
+}
+
+TEST(Cli, NegativeAndNonFiniteNumbersFail) {
+  // strtoull would silently wrap "-3" to a huge unsigned; the parser must
+  // reject the sign outright. Same for non-finite doubles.
+  EXPECT_FALSE(parse({"--n", "-3"}).ok);
+  EXPECT_FALSE(parse({"--reps", "-1"}).ok);
+  EXPECT_FALSE(parse({"--threads", "-2"}).ok);
+  EXPECT_FALSE(parse({"--handover-timeout", "-0.2"}).ok);
+  EXPECT_FALSE(parse({"--arq-timeout", "-1"}).ok);
+  EXPECT_FALSE(parse({"--session-pps", "-4"}).ok);
+  EXPECT_FALSE(parse({"--mu", "nan"}).ok);
+  EXPECT_FALSE(parse({"--mu", "inf"}).ok);
+  EXPECT_FALSE(parse({"--loss", "nan"}).ok);
+}
+
+TEST(Cli, BooleanFlagsRejectInlineValues) {
+  const auto result = parse({"--trace=1"});
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("--trace"), std::string::npos) << result.error;
+  EXPECT_FALSE(parse({"--sessions=true"}).ok);
+  EXPECT_FALSE(parse({"--gls=on"}).ok);
+}
+
+TEST(Cli, ThreadsFlagParses) {
+  EXPECT_EQ(parse({}).options.run.threads, 1u);  // default: sequential
+  const auto hw = parse({"--threads", "0"});     // 0 = hardware concurrency
+  ASSERT_TRUE(hw.ok) << hw.error;
+  EXPECT_EQ(hw.options.run.threads, 0u);
+  const auto eight = parse({"--threads", "8"});
+  ASSERT_TRUE(eight.ok) << eight.error;
+  EXPECT_EQ(eight.options.run.threads, 8u);
+  EXPECT_FALSE(parse({"--threads", "abc"}).ok);
+  EXPECT_FALSE(parse({"--threads"}).ok);
 }
 
 CampaignCliParseResult parse_campaign(std::initializer_list<const char*> args) {

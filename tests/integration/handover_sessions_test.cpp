@@ -87,7 +87,8 @@ TEST(HandoverSessions, FaultFreeBaselineIsHandoverInvisible) {
   EXPECT_EQ(m.get("session_misrouted"), 0.0);
   EXPECT_EQ(m.get("session_lost"), 0.0);
   EXPECT_EQ(m.get("session_interruptions"), 0.0);
-  EXPECT_EQ(m.get("session_interruption_p99"), 0.0);
+  // Never interrupted -> the p99 is absent (NaN sentinel), not zero.
+  EXPECT_FALSE(m.has("session_interruption_p99"));
 }
 
 TEST(HandoverSessions, SeededFaultsReachEveryFsmFailureEdge) {

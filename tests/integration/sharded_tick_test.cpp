@@ -1,0 +1,174 @@
+/// Bit-identity of the sharded parallel tick (RunOptions::threads) against
+/// the sequential legacy path.
+///
+/// The contract (sim/shard.hpp): the shard decomposition is fixed at
+/// sim::kDefaultShardCount regardless of worker count, every per-shard
+/// output is merged in shard index order, and boundary work is owned by
+/// exactly one shard — so every run product (flattened RunMetrics, trace
+/// stream, metrics registry) must be byte-identical at *any* thread count.
+/// Like the golden fixtures, the config uses a dyadic tick (0.5) so float
+/// accumulation is order-exact and byte-identity is a meaningful contract.
+///
+/// The only permitted difference: parallel runs additionally publish par.*
+/// telemetry counters (sharded-work accounting) that a sequential run never
+/// creates. Those are excluded when comparing sequential vs parallel and
+/// compared in full between two parallel thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/metrics.hpp"
+#include "exp/montecarlo.hpp"
+#include "exp/simulation.hpp"
+#include "sim/trace.hpp"
+
+using namespace manet;
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+exp::ScenarioConfig base_config() {
+  exp::ScenarioConfig cfg;
+  cfg.n = 96;
+  cfg.density = 1.0;
+  cfg.mu = 1.0;
+  cfg.radius_policy = exp::RadiusPolicy::kMeanDegree;
+  cfg.target_degree = 12.0;
+  cfg.tick = 0.5;  // dyadic — see file comment
+  cfg.warmup = 2.0;
+  cfg.duration = 6.0;
+  cfg.seed = 424242;
+  return cfg;
+}
+
+/// Faults + long-lived sessions: covers the ARQ-attached regime where batch
+/// pricing must stay inert (the per-transfer RNG stream is order-sensitive)
+/// while unit-disk and link diffing still shard.
+exp::ScenarioConfig faulted_sessions_config() {
+  auto cfg = base_config();
+  cfg.fault.loss = 0.05;
+  cfg.fault.crash_rate = 0.02;
+  cfg.fault.mean_downtime = 3.0;
+  cfg.sessions = true;
+  return cfg;
+}
+
+std::string serialize(const exp::RunMetrics& metrics) {
+  std::string out;
+  for (const auto& [name, value] : metrics.values) {
+    out += name + '=' + fmt(value) + '\n';
+  }
+  return out;
+}
+
+std::string serialize(const sim::TraceSink& sink) {
+  std::string out;
+  for (const auto& e : sink.snapshot()) {
+    out += fmt(e.t);
+    out += ' ';
+    out += sim::to_string(e.type);
+    out += " k=" + std::to_string(e.level);
+    out += " a=" + std::to_string(e.a);
+    out += " b=" + std::to_string(e.b);
+    out += " v=" + fmt(e.value);
+    out += '\n';
+  }
+  out += "seen=" + std::to_string(sink.seen()) + '\n';
+  return out;
+}
+
+/// alloc.* exists only under MANET_PROFILE_ALLOC; par.* exists only when an
+/// executor is attached (skip_par excludes it for seq-vs-par comparisons).
+std::string serialize(const common::MetricsRegistry& registry, bool skip_par) {
+  std::string out;
+  for (const auto& entry : registry.entries()) {
+    if (entry.name.rfind("alloc.", 0) == 0) continue;
+    if (skip_par && entry.name.rfind("par.", 0) == 0) continue;
+    switch (entry.kind) {
+      case common::MetricsRegistry::Entry::Kind::kCounter:
+        out += "C " + entry.name + " " + std::to_string(entry.counter->value());
+        break;
+      case common::MetricsRegistry::Entry::Kind::kGauge:
+        out += "G " + entry.name + " " + fmt(entry.gauge->value());
+        break;
+      case common::MetricsRegistry::Entry::Kind::kRateMeter:
+        out += "R " + entry.name + " " + std::to_string(entry.rate_meter->total());
+        break;
+      case common::MetricsRegistry::Entry::Kind::kHistogram:
+        out += "H " + entry.name + " " + std::to_string(entry.histogram->count()) +
+               " " + fmt(entry.histogram->sum()) + " " + fmt(entry.histogram->max_seen());
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+struct Products {
+  std::string metrics;
+  std::string trace;
+  std::string registry;       ///< par.* excluded (comparable to sequential)
+  std::string registry_full;  ///< par.* included (parallel-vs-parallel)
+};
+
+Products run_with_threads(const exp::ScenarioConfig& cfg, Size threads) {
+  exp::RunOptions opts;
+  opts.run_gls = true;
+  opts.track_registration = true;
+  opts.measure_routing = true;
+  opts.threads = threads;
+  common::MetricsRegistry registry;
+  sim::TraceSink trace;
+  opts.metrics = &registry;
+  opts.trace = &trace;
+  const auto metrics = exp::run_simulation(cfg, opts);
+  return Products{serialize(metrics), serialize(trace),
+                  serialize(registry, /*skip_par=*/true),
+                  serialize(registry, /*skip_par=*/false)};
+}
+
+void expect_thread_identity(const exp::ScenarioConfig& cfg) {
+  const auto seq = run_with_threads(cfg, 1);
+  const auto par2 = run_with_threads(cfg, 2);
+  const auto par8 = run_with_threads(cfg, 8);
+
+  EXPECT_EQ(seq.metrics, par2.metrics) << "RunMetrics diverged at threads=2";
+  EXPECT_EQ(seq.metrics, par8.metrics) << "RunMetrics diverged at threads=8";
+  EXPECT_EQ(seq.trace, par2.trace) << "trace stream diverged at threads=2";
+  EXPECT_EQ(seq.trace, par8.trace) << "trace stream diverged at threads=8";
+  EXPECT_EQ(seq.registry, par2.registry) << "registry diverged at threads=2";
+  EXPECT_EQ(seq.registry, par8.registry) << "registry diverged at threads=8";
+  // Between two parallel runs even the par.* telemetry must agree: the
+  // sharded workload accounting is a pure function of the (fixed) shard
+  // decomposition, never of the worker count.
+  EXPECT_EQ(par2.registry_full, par8.registry_full)
+      << "par.* telemetry depends on the thread count";
+  EXPECT_NE(par2.registry_full, par2.registry)
+      << "parallel run published no par.* telemetry — executor not attached?";
+}
+
+TEST(ShardedTick, FaultFreeRunIsThreadCountInvariant) {
+  expect_thread_identity(base_config());
+}
+
+TEST(ShardedTick, FaultedSessionsRunIsThreadCountInvariant) {
+  expect_thread_identity(faulted_sessions_config());
+}
+
+TEST(ShardedTick, HardwareConcurrencyMatchesSequential) {
+  const auto cfg = base_config();
+  const auto seq = run_with_threads(cfg, 1);
+  const auto par = run_with_threads(cfg, 0);  // 0 = hardware concurrency
+  EXPECT_EQ(seq.metrics, par.metrics);
+  EXPECT_EQ(seq.trace, par.trace);
+  EXPECT_EQ(seq.registry, par.registry);
+}
+
+}  // namespace

@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "geom/region.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "net/unit_disk.hpp"
+#include "sim/shard.hpp"
 
 namespace manet::net {
 namespace {
@@ -94,6 +99,70 @@ TEST(LinkTrackerDeath, TimeMustBeMonotone) {
   const Graph g(4, std::vector<Edge>{});
   LinkTracker tracker(g, 5.0);
   EXPECT_DEATH(tracker.update(g, 4.0), "monotone");
+}
+
+TEST(ShardedEdgeDiff, MatchesSetDifferenceOnRandomLists) {
+  // a \ b must be byte-identical to std::set_difference for every list
+  // shape: empty, shorter than the shard count, and much longer. Sorted
+  // unique inputs are the contract (canonical edge lists).
+  common::ThreadPool pool(3);
+  sim::ShardExecutor exec(pool, sim::kDefaultShardCount);
+  ShardedEdgeDiff diff;
+  common::Xoshiro256 rng(29);
+
+  for (const Size len_a : {Size{0}, Size{1}, Size{7}, Size{500}, Size{4000}}) {
+    for (const Size len_b : {Size{0}, Size{5}, Size{900}}) {
+      auto make = [&](Size len) {
+        std::vector<Edge> edges;
+        edges.reserve(len);
+        for (Size i = 0; i < len; ++i) {
+          const auto u = static_cast<NodeId>(common::uniform_index(rng, 64));
+          const auto v = static_cast<NodeId>(common::uniform_index(rng, 64));
+          if (u != v) edges.emplace_back(std::min(u, v), std::max(u, v));
+        }
+        std::sort(edges.begin(), edges.end());
+        edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+        return edges;
+      };
+      const auto a = make(len_a);
+      const auto b = make(len_b);
+      std::vector<Edge> want;
+      std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(want));
+      std::vector<Edge> got;
+      diff.run(a, b, exec, got);
+      EXPECT_EQ(want, got) << "len_a=" << len_a << " len_b=" << len_b;
+    }
+  }
+}
+
+TEST(LinkTracker, ParallelDeltaMatchesSequential) {
+  // Same snapshots through a sequential and an executor-attached tracker:
+  // deltas and running counters must agree exactly.
+  common::ThreadPool pool(2);
+  sim::ShardExecutor exec(pool, sim::kDefaultShardCount);
+
+  const auto region = geom::DiskRegion::with_density(120, 1.0);
+  mobility::RandomWaypoint walk(region, 120,
+                                mobility::RandomWaypoint::Params{0.5, 1.5, 0.0},
+                                555);
+  UnitDiskBuilder disk(1.5);
+
+  const auto& g0 = disk.update(walk.positions());
+  LinkTracker sequential(g0, 0.0);
+  LinkTracker parallel(g0, 0.0);
+  parallel.set_parallel(&exec);
+
+  LinkDelta ds, dp;
+  for (int step = 1; step <= 12; ++step) {
+    walk.advance_to(static_cast<Time>(step));
+    const auto& g = disk.update(walk.positions());
+    sequential.update_into(g, static_cast<Time>(step), ds);
+    parallel.update_into(g, static_cast<Time>(step), dp);
+    ASSERT_EQ(ds.up, dp.up) << "step " << step;
+    ASSERT_EQ(ds.down, dp.down) << "step " << step;
+  }
+  EXPECT_EQ(sequential.total_events(), parallel.total_events());
 }
 
 }  // namespace

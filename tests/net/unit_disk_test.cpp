@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "geom/region.hpp"
 #include "graph/components.hpp"
+#include "sim/shard.hpp"
 
 namespace manet::net {
 namespace {
@@ -240,6 +242,83 @@ TEST(UnitDisk, ConnectivityRadiusYieldsConnectedDeployments) {
   const int at_high = connected_count(6.0);
   EXPECT_GE(at_high, 17);
   EXPECT_GE(at_high, at_low);
+}
+
+/// Move exactly \p k of the \p n nodes by a tiny jiggle and report whether
+/// the update took the full-rescan fallback. The builder is freshly seeded
+/// each call so the move count is the only variable.
+bool rescanned_after_moving(Size n, Size k) {
+  common::Xoshiro256 rng(17);
+  const geom::DiskRegion region({0, 0}, 4.0);
+  std::vector<geom::Vec2> pts(n);
+  for (auto& p : pts) p = region.sample(rng);
+  UnitDiskBuilder builder(1.2);
+  (void)builder.update(pts);
+  EXPECT_TRUE(builder.last_full_rescan()) << "seeding update is a full rescan";
+  for (Size i = 0; i < k; ++i) pts[i].x += 0.01;
+  (void)builder.update(pts);
+  EXPECT_EQ(builder.last_moved_nodes(), k);
+  return builder.last_full_rescan();
+}
+
+TEST(UnitDiskIncremental, RescanThresholdBoundaryIsExact) {
+  // The fallback condition is "strictly more than a quarter moved", tested
+  // as 4 * moved > n with no integer-division truncation. Exactly n/4 moved
+  // must stay on the point-update path; one more must rescan.
+  EXPECT_FALSE(rescanned_after_moving(8, 2));   // 4*2 = 8, not > 8
+  EXPECT_TRUE(rescanned_after_moving(8, 3));    // 12 > 8
+  EXPECT_FALSE(rescanned_after_moving(100, 25));
+  EXPECT_TRUE(rescanned_after_moving(100, 26));
+}
+
+TEST(UnitDiskIncremental, RescanThresholdSmallOddCounts) {
+  // Small odd n is where a floor(n/4) comparison would misclassify: for
+  // n in 5..7, floor(n/4) = 1, and moving exactly 1 node must point-update
+  // while moving 2 (> n/4 exactly, not > floor) must rescan.
+  for (const Size n : {Size{5}, Size{6}, Size{7}}) {
+    EXPECT_FALSE(rescanned_after_moving(n, 1)) << "n=" << n;
+    EXPECT_TRUE(rescanned_after_moving(n, 2)) << "n=" << n;
+  }
+}
+
+TEST(UnitDiskIncremental, ParallelUpdateMatchesSequential) {
+  // The sharded update paths (full-reset pair enumeration, phase-2 moved
+  // recomputation, sharded edge diffs) must yield byte-identical graphs and
+  // deltas to the sequential builder under every motion regime: jiggles
+  // (point-update path), frozen ticks (empty delta) and bulk drift (the
+  // full-rescan fallback).
+  common::ThreadPool pool(4);
+  sim::ShardExecutor exec(pool, sim::kDefaultShardCount);
+
+  common::Xoshiro256 rng(73);
+  const geom::DiskRegion region({0, 0}, 7.0);
+  const double radius = 1.3;
+  std::vector<geom::Vec2> pts(150);
+  for (auto& p : pts) p = region.sample(rng);
+
+  UnitDiskBuilder sequential(radius);
+  UnitDiskBuilder parallel(radius);
+  parallel.set_parallel(&exec);
+
+  for (int step = 0; step < 30; ++step) {
+    if (step > 0) {
+      const double frac = step % 7 == 0 ? 0.7 : (step % 3 == 0 ? 0.0 : 0.1);
+      for (auto& p : pts) {
+        if (common::uniform01(rng) >= frac) continue;
+        p.x += common::uniform(rng, -0.5, 0.5);
+        p.y += common::uniform(rng, -0.5, 0.5);
+      }
+    }
+    const auto& want = sequential.update(pts);
+    const auto& got = parallel.update(pts);
+    ASSERT_EQ(sequential.last_full_rescan(), parallel.last_full_rescan())
+        << "step " << step;
+    ASSERT_TRUE(std::equal(want.edges().begin(), want.edges().end(),
+                           got.edges().begin(), got.edges().end()))
+        << "edge set diverged at step " << step;
+    ASSERT_EQ(sequential.links_up(), parallel.links_up()) << "step " << step;
+    ASSERT_EQ(sequential.links_down(), parallel.links_down()) << "step " << step;
+  }
 }
 
 }  // namespace

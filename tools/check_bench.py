@@ -10,8 +10,10 @@ hardware — the machine-independent invariants (the incremental speedup and
 bit-identity) are enforced by the bench binary itself and by
 tests/integration/tick_pipeline_test.
 
-Exit codes: 0 ok, 1 regression or malformed input, 77 artifact missing
-(bench not run; registered with SKIP_RETURN_CODE 77 so ctest reports a skip).
+Exit codes: 0 ok, 1 regression or malformed artifact, 2 baseline missing or
+malformed (a repo problem, not a perf problem — regenerate the committed
+baseline), 77 artifact missing (bench not run; registered with
+SKIP_RETURN_CODE 77 so ctest reports a skip).
 
 Usage: check_bench.py ARTIFACT BASELINE [--threshold 0.20]
 """
@@ -21,7 +23,40 @@ import json
 import sys
 
 SKIP = 77
+BASELINE_ERROR = 2
 SCHEMA = "manet-bench-artifact/1"
+
+
+def validate(doc):
+    """Return an error string when ``doc`` deviates from the artifact shape
+    the gates below index into; None when well-formed. Every access pattern
+    used later (series -> list of {n, mean} points, numeric scalars) is
+    pinned here so a truncated or hand-mangled JSON fails with a one-line
+    diagnosis instead of a KeyError/TypeError traceback."""
+    if not isinstance(doc, dict):
+        return "top level is not an object"
+    if doc.get("schema") != SCHEMA:
+        return f"unexpected schema {doc.get('schema')!r}"
+    series = doc.get("series", {})
+    if not isinstance(series, dict):
+        return "'series' is not an object"
+    for name, points in series.items():
+        if not isinstance(points, list):
+            return f"series {name!r} is not a list of points"
+        for point in points:
+            if not isinstance(point, dict):
+                return f"series {name!r} has a non-object point"
+            for key in ("n", "mean"):
+                value = point.get(key)
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    return f"series {name!r} has a point without a numeric {key!r}"
+    scalars = doc.get("scalars", {})
+    if not isinstance(scalars, dict):
+        return "'scalars' is not an object"
+    for key, value in scalars.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return f"scalar {key!r} is not a number"
+    return None
 
 
 def load(path):
@@ -31,9 +66,9 @@ def load(path):
     except (OSError, json.JSONDecodeError) as err:
         print(f"check_bench: cannot read {path}: {err}", file=sys.stderr)
         return None
-    if doc.get("schema") != SCHEMA:
-        print(f"check_bench: {path}: unexpected schema {doc.get('schema')!r}",
-              file=sys.stderr)
+    error = validate(doc)
+    if error is not None:
+        print(f"check_bench: {path}: {error}", file=sys.stderr)
         return None
     return doc
 
@@ -60,9 +95,15 @@ def main():
     artifact_file.close()
 
     artifact = load(args.artifact)
-    baseline = load(args.baseline)
-    if artifact is None or baseline is None:
+    if artifact is None:
         return 1
+    # A bad *baseline* is a repo problem, not a perf regression: distinct
+    # exit code so CI can tell "fix the committed file" from "fix the code".
+    baseline = load(args.baseline)
+    if baseline is None:
+        print(f"check_bench: baseline {args.baseline} is missing or malformed "
+              "— regenerate it from a known-good bench run", file=sys.stderr)
+        return BASELINE_ERROR
 
     throughput_series = sorted(
         name for name in baseline.get("series", {})
@@ -116,6 +157,27 @@ def main():
         print(f"check_bench: FAIL artifact reports {violations:g} "
               "identity violations", file=sys.stderr)
         status = 1
+
+    # Capacity gate (bench_capacity): the artifact must demonstrate a
+    # measured throughput point at or above the committed node-count floor
+    # (the 10^5-node acceptance bar for the sharded tick). Simulated scale,
+    # not machine speed, so the floor is absolute.
+    floor_n = baseline.get("scalars", {}).get("min_capacity_n")
+    if floor_n is not None:
+        largest = max(
+            (n for name in artifact.get("series", {})
+             if name.startswith("ticks_per_sec_")
+             for n in series_points(artifact, name)),
+            default=0)
+        if largest < floor_n:
+            print(f"check_bench: FAIL largest measured throughput point "
+                  f"n={largest:g} is below the n={floor_n:g} capacity floor",
+                  file=sys.stderr)
+            status = 1
+        else:
+            checked += 1
+            print(f"check_bench: ok capacity point n={largest:g} "
+                  f"(floor n={floor_n:g})")
 
     # High-mobility speedup gate (bench_tick_pipeline): the incremental arm
     # must beat the full-rebuild arm by at least `min_speedup_high` at

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Exit-code contract test for check_bench.py.
+
+Runs the gate as a subprocess against synthetic artifact/baseline pairs and
+asserts the documented exit codes: 0 ok, 1 regression or malformed artifact,
+2 baseline missing or malformed (the repo-problem code CI keys on), 77
+artifact missing (ctest SKIP_RETURN_CODE). Registered as ctest
+bench.check_bench_selftest.
+
+Usage: check_bench_selftest.py /path/to/check_bench.py
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SCHEMA = "manet-bench-artifact/1"
+
+
+def doc(tps=100.0, n=1000, scalars=None):
+    return {
+        "schema": SCHEMA,
+        "manifest": {"name": "selftest"},
+        "series": {"ticks_per_sec_main": [
+            {"n": n, "mean": tps, "ci95": 0.0, "count": 1}]},
+        "scalars": scalars or {},
+    }
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_bench_selftest.py CHECK_BENCH", file=sys.stderr)
+        return 2
+    check_bench = sys.argv[1]
+    failures = []
+
+    def run(artifact, baseline, expect, label):
+        result = subprocess.run(
+            [sys.executable, check_bench, str(artifact), str(baseline)],
+            capture_output=True, text=True)
+        if result.returncode != expect:
+            failures.append(
+                f"{label}: expected exit {expect}, got {result.returncode}\n"
+                f"  stdout: {result.stdout.strip()}\n"
+                f"  stderr: {result.stderr.strip()}")
+        else:
+            print(f"ok: {label} -> exit {expect}")
+
+    with tempfile.TemporaryDirectory() as raw:
+        tmp = Path(raw)
+
+        def write(name, payload):
+            path = tmp / name
+            path.write_text(payload if isinstance(payload, str)
+                            else json.dumps(payload))
+            return path
+
+        good_artifact = write("artifact.json", doc())
+        good_baseline = write("baseline.json", doc())
+
+        run(good_artifact, good_baseline, 0, "matching pair passes")
+        run(tmp / "nope.json", good_baseline, 77, "missing artifact skips")
+        run(good_artifact, tmp / "nope.json", 2, "missing baseline is exit 2")
+        run(good_artifact, write("trunc.json", '{"schema": "manet-bench'),
+            2, "truncated baseline JSON is exit 2")
+        run(good_artifact, write("schema.json", doc() | {"schema": "bogus/9"}),
+            2, "wrong baseline schema is exit 2")
+        run(good_artifact,
+            write("scalar.json", doc(scalars={"min_speedup": "fast"})),
+            2, "non-numeric baseline scalar is exit 2")
+        run(write("badpoint.json",
+                  {"schema": SCHEMA, "series": {"ticks_per_sec_x": [{"n": 1}]},
+                   "scalars": {}}),
+            good_baseline, 1, "artifact point without mean is exit 1")
+        run(write("slow.json", doc(tps=10.0)), good_baseline, 1,
+            "5x regression is exit 1")
+        run(write("ident.json", doc(scalars={"identity_violations": 2})),
+            good_baseline, 1, "identity violations are exit 1")
+        run(good_artifact,
+            write("floor.json", doc(scalars={"min_capacity_n": 100000})),
+            1, "unmet capacity floor is exit 1")
+        run(write("big.json", doc(n=100000)),
+            write("floor2.json", doc(n=100000,
+                                     scalars={"min_capacity_n": 100000})),
+            0, "met capacity floor passes")
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print("check_bench_selftest: all exit-code contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -163,6 +163,26 @@ for scalar in max_session_interruption_p99 max_misroute_rate; do
         fail "BENCH_sessions.json baseline lost its $scalar acceptance scalar"
 done
 
+# 8c. The sharded parallel tick is documented and its gates cannot silently
+#     rot: the architecture chapter exists and names the load-bearing
+#     pieces, EXPERIMENTS.md keeps E30, and the bench_capacity baseline
+#     keeps its acceptance scalar.
+grep -q '^## Sharded parallel tick' "$arch" ||
+    fail "docs/ARCHITECTURE.md lost its 'Sharded parallel tick' chapter"
+for sym in ShardExecutor kDefaultShardCount ShardedEdgeDiff \
+           sharded_tick_test min_capacity_n; do
+    grep -q "$sym" "$arch" ||
+        fail "docs/ARCHITECTURE.md sharded-tick chapter no longer mentions $sym"
+done
+grep -q 'E30' "$experiments" ||
+    fail "EXPERIMENTS.md lost its E30 (sharded-tick capacity) section"
+grep -q 'identity_violations' "$experiments" ||
+    fail "EXPERIMENTS.md E30 must describe the identity_violations gate"
+[ -f "$root/tools/baselines/BENCH_capacity.json" ] ||
+    fail "tools/baselines/BENCH_capacity.json baseline is missing"
+grep -q '"min_capacity_n"' "$root/tools/baselines/BENCH_capacity.json" ||
+    fail "BENCH_capacity.json baseline lost its min_capacity_n acceptance scalar"
+
 # 9. No dangling intra-doc links in docs/*.md: every relative link target
 #    must exist on disk and every #fragment must match a heading slug
 #    (GitHub-style: lowercase, punctuation stripped, spaces to dashes).
