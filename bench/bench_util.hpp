@@ -77,10 +77,15 @@ inline void print_model_selection(const std::string& label, const exp::Campaign&
               sel.to_text().c_str());
 }
 
-inline void print_header(const char* experiment, const char* claim) {
+/// Banner for one experiment regime. Pass \p artifact_schema (e.g.
+/// "manet-bench-artifact/1") when the regime writes a BENCH_<name>.json so
+/// the schema ID the artifact carries is visible in the text output too.
+inline void print_header(const char* experiment, const char* claim,
+                         const char* artifact_schema = nullptr) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", experiment);
   std::printf("claim: %s\n", claim);
+  if (artifact_schema != nullptr) std::printf("artifact schema: %s\n", artifact_schema);
   std::printf("================================================================\n");
 }
 

@@ -245,6 +245,10 @@ std::string cli_usage(const std::string& program) {
          "                     with HierarchyBuilder instead of localized repair\n"
          "  --threads N        sharded-tick worker threads (default 1 = sequential,\n"
          "                     0 = hardware); output is identical at any N\n"
+         "query serving (E31; see docs/QUERY_ENGINE.md):\n"
+         "  --query-load N     serve N location lookups per measured tick through\n"
+         "                     the epoch-gated lm::QueryEngine (default 0 = off);\n"
+         "                     emits the query_* metrics, identical at any --threads\n"
          "campaign (in-process; `campaign` subcommand adds checkpoint/resume/shard):\n"
          "  --reps R           Monte-Carlo replications (default 1)\n"
          "  --sweep N1,N2,...  sweep node counts instead of a single run\n"
@@ -375,7 +379,7 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
         return fail("--sweep needs a comma-separated list of node counts");
       }
     } else if (flag == "--n" || flag == "--seed" || flag == "--reps" ||
-               flag == "--threads") {
+               flag == "--threads" || flag == "--query-load") {
       const char* value = next();
       Size parsed = 0;
       if (value == nullptr || !parse_size(value, parsed)) {
@@ -384,6 +388,7 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       if (flag == "--n") opt.scenario.n = parsed;
       else if (flag == "--seed") opt.scenario.seed = parsed;
       else if (flag == "--threads") opt.run.threads = parsed;
+      else if (flag == "--query-load") opt.run.query_load = parsed;
       else opt.replications = parsed;
     } else if (flag == "--retry-budget") {
       const char* value = next();

@@ -74,6 +74,7 @@ std::string campaign_cli_usage(const std::string& program);
 ///   --strategy {successor|weighted|unweighted}
 ///   --links {geometric|contraction}     --beta B
 ///   --gls  --registration  --routing  --no-events  --no-states  --no-hops
+///   --threads N (sharded tick)          --query-load N (E31 query serving)
 ///   --sweep N1,N2,...                   --csv PATH
 ///   --json PATH (single-run metrics as JSON)
 ///   --trace  --trace-capacity N  --trace-sample N

@@ -17,8 +17,10 @@
 #include "common/thread_pool.hpp"
 #include "exp/session_bridge.hpp"
 #include "graph/bfs.hpp"
+#include "common/hash.hpp"
 #include "lm/address.hpp"
 #include "lm/gls.hpp"
+#include "lm/query_engine.hpp"
 #include "lm/overhead.hpp"
 #include "lm/registration.hpp"
 #include "lm/reliable.hpp"
@@ -224,6 +226,24 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     sessions->set_metrics(options.metrics);
     locator = std::make_unique<LmSessionLocator>(handoff, handover.get(),
                                                  faulted ? &down : nullptr);
+  }
+
+  // --- Query-serving plane (experiment E31; constructed only when
+  // options.query_load > 0, keeping plain runs bit-identical to builds
+  // without it). Each measured tick publishes one epoch and serves
+  // query_load lookups whose targets are a pure function of the global
+  // lookup index; partial hit counts / digests are computed per canonical
+  // shard slice and folded in shard index order, so the query_* metrics
+  // never depend on options.threads.
+  std::unique_ptr<lm::QueryEngine> query_engine;
+  std::vector<Size> query_shard_hits;
+  std::vector<std::uint64_t> query_shard_digests;
+  Size query_lookups = 0, query_hits = 0;
+  std::uint64_t query_digest = 0x9E3779B97F4A7C15ULL;
+  if (options.query_load > 0) {
+    query_engine = std::make_unique<lm::QueryEngine>(cfg.handoff.select);
+    query_shard_hits.assign(sim::kDefaultShardCount, 0);
+    query_shard_digests.assign(sim::kDefaultShardCount, 0);
   }
 
   auto refresh_down = [&](Time t) {
@@ -500,6 +520,54 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
       sctx.dt = cfg.tick;
       sessions->tick_sessions(sctx);
     }
+    // Query-serving plane: the tick's write phase is done — publish the new
+    // epoch and serve this tick's lookup load against it (sharded over the
+    // tick executor when one exists; the sequential path walks the same
+    // shard slices in order, so both produce identical partials).
+    if (query_engine) {
+      query_engine->publish(hier, handoff.database(), now);
+      const std::uint64_t tick_base =
+          static_cast<std::uint64_t>(ticks) * static_cast<std::uint64_t>(options.query_load);
+      auto serve_shard = [&](Size shard) {
+        const auto [begin, end] =
+            sim::ShardExecutor::slice(options.query_load, shard, sim::kDefaultShardCount);
+        Size hits = 0;
+        std::uint64_t digest = 0xCBF29CE484222325ULL;
+        for (Size q = begin; q < end; ++q) {
+          // Weyl-style target mixing: owners sweep the id space evenly, the
+          // level cycles over [2, 4] (levels above the current top answer
+          // found = false, deterministically).
+          const std::uint64_t gq = tick_base + q;
+          const auto owner = static_cast<NodeId>((gq * 2654435761ULL) % cfg.n);
+          const Level k = lm::kFirstServedLevel + static_cast<Level>(gq % 3);
+          const lm::QueryResult r = query_engine->lookup(owner, k);
+          hits += r.found ? 1 : 0;
+          digest ^= static_cast<std::uint64_t>(r.server) + r.version + (r.found ? 1u : 0u);
+          digest *= 1099511628211ULL;
+        }
+        query_shard_hits[shard] = hits;
+        query_shard_digests[shard] = digest;
+      };
+      if (tick_shards) {
+        tick_shards->for_each_shard(serve_shard);
+      } else {
+        for (Size shard = 0; shard < sim::kDefaultShardCount; ++shard) serve_shard(shard);
+      }
+      for (Size shard = 0; shard < sim::kDefaultShardCount; ++shard) {
+        query_hits += query_shard_hits[shard];
+        query_digest = common::hash_combine(query_digest, query_shard_digests[shard]);
+      }
+      query_lookups += options.query_load;
+      if (options.metrics != nullptr) {
+        options.metrics->counter("lm.query_lookups").add(options.query_load);
+        Size tick_hits = 0;
+        for (Size shard = 0; shard < sim::kDefaultShardCount; ++shard)
+          tick_hits += query_shard_hits[shard];
+        options.metrics->counter("lm.query_hits").add(tick_hits);
+        options.metrics->gauge("lm.query_epoch")
+            .set(static_cast<double>(query_engine->epoch()));
+      }
+    }
     accumulate_shape(hier);
     if (options.track_states) {
       states.observe(hier, cfg.tick);
@@ -737,6 +805,19 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     out.set("handover_signal_packets", static_cast<double>(hs.signal_packets));
     out.set("handover_mean_completion", hs.mean_completion_time());
     out.set("handover_in_flight", static_cast<double>(handover->in_flight()));
+  }
+
+  if (query_engine) {
+    out.set("query_lookups", static_cast<double>(query_lookups));
+    out.set("query_hits", static_cast<double>(query_hits));
+    out.set("query_hit_rate", query_lookups > 0
+                                  ? static_cast<double>(query_hits) /
+                                        static_cast<double>(query_lookups)
+                                  : 0.0);
+    out.set("query_epochs", static_cast<double>(query_engine->epoch()));
+    // Folded to 32 bits so the double holds it exactly (identity witness for
+    // the thread-count bit-identity suite).
+    out.set("query_digest", static_cast<double>(query_digest & 0xFFFFFFFFULL));
   }
 
   if (options.measure_routing) {

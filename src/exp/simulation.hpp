@@ -47,6 +47,12 @@
 ///   stale_entries / repairs / repair_packets   repair-path accounting
 ///   mean_time_to_repair                        mean stale -> repaired latency
 ///   query_success_rate / query_success_mean    consistency probe (final / mean)
+///
+/// Query-serving metrics (emitted only when RunOptions::query_load > 0):
+///   query_lookups / query_hits / query_hit_rate   lookup totals over the run
+///   query_epochs                                  epochs published (one per tick)
+///   query_digest                                  32-bit fold of every answer
+///                                                 (thread-count identity witness)
 
 namespace manet::exp {
 
@@ -109,6 +115,15 @@ struct RunOptions {
   /// artifacts never depend on this knob (enforced by
   /// tests/integration/sharded_tick_test).
   Size threads = 1;
+
+  /// Query-serving plane (docs/QUERY_ENGINE.md, experiment E31): when > 0,
+  /// each measured tick publishes the fresh (hierarchy, database) state as a
+  /// lm::QueryEngine epoch and serves this many location lookups against it.
+  /// Lookup targets are a pure function of (tick, lookup index) and per-shard
+  /// partial results fold in shard index order, so the query_* metrics are
+  /// bit-identical at every RunOptions::threads value. 0 (the default)
+  /// constructs nothing and changes nothing.
+  Size query_load = 0;
 
   /// Observability hooks (not owned; nullptr = off, zero cost). With a
   /// registry attached, every producer publishes live lm.* / net.* / alca.*

@@ -1,0 +1,106 @@
+#include "lm/query_engine.hpp"
+
+#include <thread>
+
+#include "cluster/hierarchy.hpp"
+#include "common/check.hpp"
+
+namespace manet::lm {
+
+QueryEngine::QueryEngine(ServerSelectConfig select) : select_(select) {}
+
+void QueryEngine::publish(const cluster::Hierarchy& h, const LmDatabase& db, Time now) {
+  const std::uint32_t back = 1u - front_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[back];
+
+  // Drain stragglers still pinned on the back slot (reader calls in flight
+  // since two publishes ago). seq_cst pairs with the readers' pin/validate
+  // so a reader that validated the back slot as front is always visible
+  // here, and a reader we observe as gone has finished its data reads.
+  while (slot.readers.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+
+  Snapshot& s = slot.snap;
+  s.epoch = ++epoch_counter_;
+  s.published_at = now;
+  s.n = h.level(0).vertex_count();
+  s.top = h.top_level();
+  s.width = select_all_servers_into(h, select_, s.servers);
+  const Size total = s.n * s.width;
+  s.versions.assign(total, 0);
+  s.updated.assign(total, 0.0);
+  s.present.assign(total, 0);
+  for (NodeId owner = 0; owner < s.n; ++owner) {
+    const Size row = static_cast<Size>(owner) * s.width;
+    for (Level k = kFirstServedLevel; k <= s.top; ++k) {
+      const Size idx = row + (k - kFirstServedLevel);
+      const NodeId server = s.servers[idx];
+      if (const LocationRecord* rec = db.find(server, owner, k)) {
+        s.present[idx] = 1;
+        s.versions[idx] = rec->version;
+        s.updated[idx] = rec->updated;
+      }
+    }
+  }
+
+  front_.store(back, std::memory_order_seq_cst);
+  epoch_.store(s.epoch, std::memory_order_release);
+}
+
+const QueryEngine::Slot* QueryEngine::acquire() const {
+  for (;;) {
+    const std::uint32_t f = front_.load(std::memory_order_seq_cst);
+    const Slot& slot = slots_[f];
+    slot.readers.fetch_add(1, std::memory_order_seq_cst);  // pin
+    if (front_.load(std::memory_order_seq_cst) == f) {
+      return &slot;  // validated: the writer cannot rebuild this slot now
+    }
+    // The front moved between pin and validation: the pin may be on a slot
+    // the writer is about to rebuild. Retract without having read any data
+    // and retry against the new front.
+    slot.readers.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+void QueryEngine::release(const Slot* slot) const {
+  slot->readers.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+QueryResult QueryEngine::lookup_in(const Snapshot& s, NodeId owner, Level k) {
+  QueryResult r;
+  if (owner >= s.n || k < kFirstServedLevel || k > s.top || s.width == 0) {
+    return r;  // out of range: not found, server == kInvalidNode
+  }
+  const Size idx = static_cast<Size>(owner) * s.width + (k - kFirstServedLevel);
+  r.server = s.servers[idx];
+  r.found = s.present[idx] != 0;
+  if (r.found) {
+    r.version = s.versions[idx];
+    r.updated = s.updated[idx];
+  }
+  return r;
+}
+
+QueryResult QueryEngine::lookup(NodeId owner, Level k) const {
+  const Slot* slot = acquire();
+  const QueryResult r = lookup_in(slot->snap, owner, k);
+  release(slot);
+  return r;
+}
+
+Size QueryEngine::lookup_batch(std::span<const NodeId> owners, Level k,
+                               std::span<QueryResult> out) const {
+  MANET_CHECK(out.size() == owners.size());
+  const Slot* slot = acquire();  // one pin serves the whole batch
+  const Snapshot& s = slot->snap;
+  Size found = 0;
+  for (Size i = 0; i < owners.size(); ++i) {
+    out[i] = lookup_in(s, owners[i], k);
+    found += out[i].found ? 1 : 0;
+  }
+  release(slot);
+  return found;
+}
+
+}  // namespace manet::lm

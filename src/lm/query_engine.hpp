@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lm/database.hpp"
+#include "lm/server_select.hpp"
+
+/// \file query_engine.hpp
+/// Read-optimized concurrent query front over the LM database.
+///
+/// The simulator's write plane (HandoffEngine / ChlmService) mutates the
+/// FlatMap-backed LmDatabase during the tick's write phase; this engine turns
+/// that state into a *serving* surface: many reader threads answering
+/// location lookups at memory speed while the handoff plane churns the
+/// hierarchy underneath (ROADMAP item 3, bench_query E31).
+///
+/// Concurrency model — epoch-gated double buffering (RCU-lite):
+///  - The single writer (the tick's write phase) calls publish() with the
+///    fresh hierarchy + database. publish() builds the *inactive* snapshot
+///    slot, then flips the front-slot index with one atomic store. Each
+///    publish is one **epoch**; epoch() exposes the monotone counter.
+///  - Readers (lookup / lookup_batch, any thread) pin the front slot with a
+///    pin -> validate -> retry protocol: bump the slot's reader count, then
+///    re-check the front index; if it moved, retract and retry. A validated
+///    pin guarantees the writer cannot rebuild that slot until the reader
+///    unpins, so every answer is a consistent pre- or post-flip value —
+///    never a torn mix (tests/lm/query_engine_test.cpp proves this at
+///    1/2/8 threads and under TSan).
+///  - Readers never block each other and never block the writer's flip; the
+///    writer waits only for readers still pinned on the slot it is about to
+///    rebuild — i.e. calls still in flight from *two* publishes ago. The
+///    pin/validate pair and the flip use seq_cst so the Dekker-style
+///    "reader pinned stale slot" vs "writer saw zero readers" race cannot
+///    occur.
+/// See docs/QUERY_ENGINE.md for the user-facing contract.
+
+namespace manet::lm {
+
+/// One lookup answer. `server` is the level-k location server the owner's
+/// entry hashes to under the published hierarchy; `found` says whether that
+/// server actually held the (owner, k) record at publish time (false also
+/// covers out-of-range owners/levels, with server == kInvalidNode).
+struct QueryResult {
+  NodeId server = kInvalidNode;
+  std::uint64_t version = 0;  ///< the record's monotone version, 0 if !found
+  Time updated = 0.0;         ///< the record's last refresh time, 0 if !found
+  bool found = false;
+};
+
+/// Single-writer / many-reader location query engine. Writer methods
+/// (publish) must come from one thread at a time — the tick structure's
+/// write phase provides that naturally; reader methods (lookup,
+/// lookup_batch, epoch) are safe from any number of concurrent threads.
+class QueryEngine {
+ public:
+  explicit QueryEngine(ServerSelectConfig select = ServerSelectConfig{});
+
+  /// Writer: snapshot the (hierarchy, database) pair as the next epoch and
+  /// flip readers onto it. Blocks only while readers are still pinned on the
+  /// slot being rebuilt (in-flight calls from two publishes ago).
+  void publish(const cluster::Hierarchy& h, const LmDatabase& db, Time now);
+
+  /// Reader: answer one (owner, level-k) location query against the current
+  /// epoch. Lock-free with respect to the writer.
+  QueryResult lookup(NodeId owner, Level k) const;
+
+  /// Reader: answer a batch of same-level queries, one QueryResult per
+  /// owner (out.size() must equal owners.size()). The whole batch is served
+  /// from a single pinned epoch, so its answers are mutually consistent.
+  /// Returns the number of found entries.
+  Size lookup_batch(std::span<const NodeId> owners, Level k, std::span<QueryResult> out) const;
+
+  /// Reader: the current epoch number (0 before the first publish; each
+  /// publish increments it by one).
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  /// Immutable-once-published flat view of one (hierarchy, database) state.
+  /// Indexed [owner * width + (k - kFirstServedLevel)], mirroring the
+  /// handoff engine's row-major snapshot layout.
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    Size n = 0;
+    Level top = 0;
+    Size width = 0;
+    Time published_at = 0.0;
+    std::vector<NodeId> servers;
+    std::vector<std::uint64_t> versions;
+    std::vector<Time> updated;
+    std::vector<std::uint8_t> present;
+  };
+
+  struct Slot {
+    Snapshot snap;
+    mutable std::atomic<Size> readers{0};
+  };
+
+  const Slot* acquire() const;
+  void release(const Slot* slot) const;
+  static QueryResult lookup_in(const Snapshot& s, NodeId owner, Level k);
+
+  ServerSelectConfig select_;
+  Slot slots_[2];
+  std::atomic<std::uint32_t> front_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::uint64_t epoch_counter_ = 0;  ///< writer-only
+};
+
+}  // namespace manet::lm

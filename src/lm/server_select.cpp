@@ -26,17 +26,6 @@ std::uint64_t step_salt(std::uint64_t base, Level k, Level depth) {
   return common::hash_combine(base, (static_cast<std::uint64_t>(k) << 32) | depth);
 }
 
-/// Weighted rendezvous score: w / -ln(u) with u the (0,1)-uniform hash of
-/// (salt, owner, candidate). Argmax selects candidate c with probability
-/// w_c / sum(w) — the classic HRW weighting — so weighting children by their
-/// level-0 member counts makes the descended-to node uniform over members.
-double weighted_score(std::uint64_t salt, NodeId owner_id, NodeId candidate_id, double weight) {
-  const std::uint64_t raw = rendezvous_score(salt, owner_id, candidate_id);
-  // Map to (0, 1): never exactly 0 or 1 thanks to the +1 / +2 shift.
-  const double u = (static_cast<double>(raw >> 11) + 1.0) / (9007199254740992.0 + 2.0);
-  return weight / -std::log(u);
-}
-
 /// Successor-ID rule over the level-k cluster's flat member set: the member
 /// whose id minimizes (id_z - id_owner - 1) mod 2^32 — the least id above
 /// the owner's, cyclically (the paper's eq. (5) applied to members, where it
@@ -87,7 +76,10 @@ NodeId descend(const cluster::Hierarchy& h, NodeId cluster, Level k, NodeId owne
       if (weighted && lvl >= 2) {
         weight = static_cast<double>(h.members0(lvl - 1, child).size());
       }
-      const double score = weighted_score(salt, owner_id, child_ids[child], weight);
+      // Weighting children by their level-0 member counts makes the
+      // descended-to node uniform over members (weighted HRW; see
+      // rendezvous_weighted_score).
+      const double score = rendezvous_weighted_score(salt, owner_id, child_ids[child], weight);
       if (best == kInvalidNode || score > best_score ||
           (score == best_score && child_ids[child] < child_ids[best])) {
         best = child;

@@ -172,6 +172,19 @@ TEST(Cli, ThreadsFlagParses) {
   EXPECT_FALSE(parse({"--threads"}).ok);
 }
 
+TEST(Cli, QueryLoadFlagParses) {
+  EXPECT_EQ(parse({}).options.run.query_load, 0u);  // default: query plane off
+  const auto result = parse({"--query-load", "5000"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.options.run.query_load, 5000u);
+  const auto inline_eq = parse({"--query-load=250"});
+  ASSERT_TRUE(inline_eq.ok) << inline_eq.error;
+  EXPECT_EQ(inline_eq.options.run.query_load, 250u);
+  EXPECT_FALSE(parse({"--query-load", "abc"}).ok);
+  EXPECT_FALSE(parse({"--query-load", "-5"}).ok);
+  EXPECT_FALSE(parse({"--query-load"}).ok);
+}
+
 CampaignCliParseResult parse_campaign(std::initializer_list<const char*> args) {
   std::vector<const char*> argv{"campaign"};
   argv.insert(argv.end(), args.begin(), args.end());

@@ -118,12 +118,14 @@ struct Products {
   std::string registry_full;  ///< par.* included (parallel-vs-parallel)
 };
 
-Products run_with_threads(const exp::ScenarioConfig& cfg, Size threads) {
+Products run_with_threads(const exp::ScenarioConfig& cfg, Size threads,
+                          Size query_load = 0) {
   exp::RunOptions opts;
   opts.run_gls = true;
   opts.track_registration = true;
   opts.measure_routing = true;
   opts.threads = threads;
+  opts.query_load = query_load;
   common::MetricsRegistry registry;
   sim::TraceSink trace;
   opts.metrics = &registry;
@@ -160,6 +162,23 @@ TEST(ShardedTick, FaultFreeRunIsThreadCountInvariant) {
 
 TEST(ShardedTick, FaultedSessionsRunIsThreadCountInvariant) {
   expect_thread_identity(faulted_sessions_config());
+}
+
+TEST(ShardedTick, QueryServingRunIsThreadCountInvariant) {
+  // The query plane (RunOptions::query_load, lm::QueryEngine) serves its
+  // deterministic lookup stream over the same canonical shard slices in the
+  // sequential and parallel paths, so query_lookups / query_hits /
+  // query_digest must be byte-identical at every thread count.
+  const auto cfg = base_config();
+  const auto seq = run_with_threads(cfg, 1, /*query_load=*/512);
+  const auto par2 = run_with_threads(cfg, 2, /*query_load=*/512);
+  const auto par8 = run_with_threads(cfg, 8, /*query_load=*/512);
+  EXPECT_NE(seq.metrics.find("query_digest"), std::string::npos)
+      << "query plane was not enabled";
+  EXPECT_EQ(seq.metrics, par2.metrics) << "query metrics diverged at threads=2";
+  EXPECT_EQ(seq.metrics, par8.metrics) << "query metrics diverged at threads=8";
+  EXPECT_EQ(seq.trace, par2.trace);
+  EXPECT_EQ(seq.registry, par2.registry);
 }
 
 TEST(ShardedTick, HardwareConcurrencyMatchesSequential) {

@@ -108,9 +108,20 @@ def main():
     throughput_series = sorted(
         name for name in baseline.get("series", {})
         if name.startswith("ticks_per_sec_"))
-    if not throughput_series:
-        print("check_bench: baseline has no ticks_per_sec_* series",
-              file=sys.stderr)
+    # Scalar-only baselines are legitimate when they carry recognized gate
+    # scalars (bench_query's is gated purely on absolute floors/caps); a
+    # baseline with neither throughput series nor gates checks nothing and
+    # is flagged as malformed.
+    gate_scalar_keys = (
+        "min_speedup", "min_capacity_n", "min_speedup_high",
+        "max_orchestrator_overhead_frac", "max_allocs_per_tick",
+        "max_session_interruption_p99", "max_misroute_rate",
+        "min_lookups_per_sec", "max_lookup_p99_us")
+    baseline_scalars = baseline.get("scalars", {})
+    if not throughput_series and not any(
+            key in baseline_scalars for key in gate_scalar_keys):
+        print("check_bench: baseline has no ticks_per_sec_* series and no "
+              "recognized gate scalars", file=sys.stderr)
         return 1
 
     # Speedup gate (bench_memory): when the baseline carries a `min_speedup`
@@ -269,6 +280,44 @@ def main():
             checked += 1
             print(f"check_bench: ok {value_key} {value:g}{unit} "
                   f"(cap {cap:g}{unit})")
+
+    # Query-serving gates (bench_query E31): the frozen-snapshot
+    # single-thread serving rate must meet the committed absolute floor and
+    # the p99 per-lookup latency must stay under the cap. The floor is a
+    # deliberate lowball (any in-memory epoch-pinned lookup path clears
+    # 10^6/s even on the slowest CI hardware) so it trips on structural
+    # regressions — a lock on the read path, a per-lookup allocation — not
+    # on machine variance.
+    floor_rate = baseline.get("scalars", {}).get("min_lookups_per_sec")
+    if floor_rate is not None:
+        rate = artifact.get("scalars", {}).get("lookups_per_sec")
+        if rate is None:
+            print("check_bench: FAIL artifact is missing the "
+                  "lookups_per_sec scalar", file=sys.stderr)
+            status = 1
+        elif rate < floor_rate:
+            print(f"check_bench: FAIL {rate:g} lookups/s is below the "
+                  f"{floor_rate:g}/s floor", file=sys.stderr)
+            status = 1
+        else:
+            checked += 1
+            print(f"check_bench: ok {rate:g} lookups/s "
+                  f"(floor {floor_rate:g}/s)")
+    p99_cap = baseline.get("scalars", {}).get("max_lookup_p99_us")
+    if p99_cap is not None:
+        p99 = artifact.get("scalars", {}).get("lookup_p99_us")
+        if p99 is None:
+            print("check_bench: FAIL artifact is missing the "
+                  "lookup_p99_us scalar", file=sys.stderr)
+            status = 1
+        elif p99 > p99_cap:
+            print(f"check_bench: FAIL lookup p99 {p99:g}us exceeds the "
+                  f"{p99_cap:g}us cap", file=sys.stderr)
+            status = 1
+        else:
+            checked += 1
+            print(f"check_bench: ok lookup p99 {p99:g}us "
+                  f"(cap {p99_cap:g}us)")
 
     if status == 0:
         print(f"check_bench: OK ({checked} points within "

@@ -86,6 +86,30 @@ def main():
                                      scalars={"min_capacity_n": 100000})),
             0, "met capacity floor passes")
 
+        # Query-serving gates (bench_query E31): scalar-only baselines carry
+        # no ticks_per_sec_* series at all — recognized gate scalars must be
+        # enough for the baseline to validate.
+        def qdoc(scalars):
+            return {"schema": SCHEMA, "manifest": {"name": "query"},
+                    "series": {}, "scalars": scalars}
+
+        query_baseline = write("qbase.json", qdoc(
+            {"min_lookups_per_sec": 1000000.0, "max_lookup_p99_us": 5.0}))
+        run(write("qfast.json", qdoc(
+                {"lookups_per_sec": 2.5e7, "lookup_p99_us": 0.1,
+                 "identity_violations": 0})),
+            query_baseline, 0, "query floors met on scalar-only baseline")
+        run(write("qslow.json", qdoc(
+                {"lookups_per_sec": 5e5, "lookup_p99_us": 0.1})),
+            query_baseline, 1, "unmet lookups/sec floor is exit 1")
+        run(write("qlag.json", qdoc(
+                {"lookups_per_sec": 2.5e7, "lookup_p99_us": 50.0})),
+            query_baseline, 1, "exceeded lookup p99 cap is exit 1")
+        run(write("qmissing.json", qdoc({})),
+            query_baseline, 1, "missing query scalars are exit 1")
+        run(good_artifact, write("gateless.json", qdoc({})),
+            1, "baseline without series or gate scalars is exit 1")
+
     if failures:
         print("\n".join(failures), file=sys.stderr)
         return 1

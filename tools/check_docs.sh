@@ -183,6 +183,56 @@ grep -q 'identity_violations' "$experiments" ||
 grep -q '"min_capacity_n"' "$root/tools/baselines/BENCH_capacity.json" ||
     fail "BENCH_capacity.json baseline lost its min_capacity_n acceptance scalar"
 
+# 8d. The query-serving plane is documented and its gates cannot silently
+#     rot: the user guide exists and documents every QueryEngine public
+#     method, the batch rendezvous kernels and the CLI flag (and each of
+#     those must still exist in the code), the architecture chapter exists
+#     and names the load-bearing pieces, EXPERIMENTS.md keeps E31 + the
+#     artifact schema, and the bench_query baseline keeps its gate scalars.
+qe_doc="$root/docs/QUERY_ENGINE.md"
+qe_hpp="$root/src/lm/query_engine.hpp"
+if [ ! -f "$qe_doc" ]; then
+    fail "docs/QUERY_ENGINE.md is missing"
+else
+    # code -> docs: every QueryEngine public method must be documented.
+    for method in publish lookup lookup_batch epoch; do
+        grep -q "$method" "$qe_doc" ||
+            fail "docs/QUERY_ENGINE.md no longer documents QueryEngine::$method"
+        grep -q "$method" "$qe_hpp" ||
+            fail "docs/QUERY_ENGINE.md documents QueryEngine::$method but \
+src/lm/query_engine.hpp does not declare it"
+    done
+    for sym in rendezvous_pick_batch rendezvous_pick_weighted_batch \
+               RendezvousScratch QueryResult kInvalidNode; do
+        grep -q "$sym" "$qe_doc" ||
+            fail "docs/QUERY_ENGINE.md no longer mentions $sym"
+    done
+    grep -q -- '--query-load' "$qe_doc" ||
+        fail "docs/QUERY_ENGINE.md lost its --query-load section"
+    grep -q -- '"--query-load"' "$cli_src" ||
+        fail "docs/QUERY_ENGINE.md documents --query-load but \
+src/exp/cli.cpp does not parse it"
+    grep -q 'manet-bench-artifact/1' "$qe_doc" ||
+        fail "docs/QUERY_ENGINE.md no longer names the artifact schema"
+fi
+grep -q '^## Query engine' "$arch" ||
+    fail "docs/ARCHITECTURE.md lost its 'Query engine' chapter"
+for sym in QueryEngine rendezvous_pick_batch query_engine_test seq_cst \
+           query_load; do
+    grep -q "$sym" "$arch" ||
+        fail "docs/ARCHITECTURE.md query-engine chapter no longer mentions $sym"
+done
+grep -q 'E31' "$experiments" ||
+    fail "EXPERIMENTS.md lost its E31 (query serving) section"
+grep -q 'BENCH_query_cost' "$experiments" ||
+    fail "EXPERIMENTS.md must name the split E12b artifact BENCH_query_cost.json"
+[ -f "$root/tools/baselines/BENCH_query.json" ] ||
+    fail "tools/baselines/BENCH_query.json baseline is missing"
+for scalar in min_lookups_per_sec max_lookup_p99_us; do
+    grep -q "\"$scalar\"" "$root/tools/baselines/BENCH_query.json" ||
+        fail "BENCH_query.json baseline lost its $scalar gate scalar"
+done
+
 # 9. No dangling intra-doc links in docs/*.md: every relative link target
 #    must exist on disk and every #fragment must match a heading slug
 #    (GitHub-style: lowercase, punctuation stripped, spaces to dashes).
