@@ -9,14 +9,23 @@
 /// E30: the 10^5-node capacity demonstration for the sharded parallel tick.
 /// The hot tick kernel — mobility advance, unit-disk delta update, link
 /// diffing, and a fixed batch of hop queries — runs at n = 100 000 under
-/// 1/2/8 worker threads. The sharded path is bit-identical to sequential by
-/// construction (fixed sim::kDefaultShardCount decomposition, shard-order
-/// merges), so the bench also folds every delta edge and hop answer into a
-/// digest and reports `identity_violations` when any thread count diverges.
-/// The committed baseline carries `min_capacity_n` = 100000, turning
-/// tools/check_bench.py into the capacity acceptance gate.
+/// 1/2/8 worker threads, and at n = 25 000 over a full shards x threads
+/// matrix (shard topology is a runtime knob since the SoA refactor). The
+/// sharded path is bit-identical to sequential by construction (runtime
+/// shard decomposition, shard-order merges), so the bench also folds every
+/// delta edge and hop answer into a digest and reports
+/// `identity_violations` when any shards x threads cell diverges from the
+/// sequential reference. The matrix lands in the artifact as per-cell
+/// `ticks_per_sec_s<S>_t<T>` scalars plus the derived `speedup_2t` /
+/// `speedup_max` ratios; the committed baseline carries `min_capacity_n` =
+/// 100000 and `min_parallel_speedup`, turning tools/check_bench.py into the
+/// capacity + parallel-speedup acceptance gate (the speedup gate skips
+/// itself, with a logged reason, when the manifest says the producing
+/// machine had hardware_concurrency < 2).
 
+#include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <memory>
 
 #include "bench_util.hpp"
@@ -49,9 +58,11 @@ std::pair<NodeId, NodeId> query_pair(Size q, Size n) {
 
 /// Run `ticks` steps of the sharded tick kernel (RWP mobility -> unit-disk
 /// delta -> link diff -> kQueries hop lookups) and time it. threads == 1
-/// runs the pure sequential path (no pool, no executor); any other count
-/// attaches a ShardExecutor over sim::kDefaultShardCount shards.
-KernelResult run_shard_kernel(Size n, Size threads, Size ticks) {
+/// with shards == 0 runs the pure sequential path (no pool, no executor);
+/// any other combination attaches a ShardExecutor over
+/// sim::resolve_shard_count(shards, workers) shards — mirroring the
+/// RunOptions::threads / RunOptions::shards semantics exactly.
+KernelResult run_shard_kernel(Size n, Size threads, Size shards, Size ticks) {
   constexpr Size kQueries = 256;
   auto cfg = bench::paper_scenario();
   cfg.n = n;
@@ -60,9 +71,10 @@ KernelResult run_shard_kernel(Size n, Size threads, Size ticks) {
   std::unique_ptr<common::ThreadPool> pool;
   std::unique_ptr<sim::ShardExecutor> exec;
   net::UnitDiskBuilder disk(cfg.tx_radius());
-  if (threads != 1) {
+  if (threads != 1 || shards != 0) {
     pool = std::make_unique<common::ThreadPool>(threads);
-    exec = std::make_unique<sim::ShardExecutor>(*pool, sim::kDefaultShardCount);
+    exec = std::make_unique<sim::ShardExecutor>(
+        *pool, sim::resolve_shard_count(shards, pool->thread_count()));
     disk.set_parallel(exec.get());
   }
 
@@ -91,9 +103,10 @@ KernelResult run_shard_kernel(Size n, Size threads, Size ticks) {
 
     oracle.prepare(g);
     if (exec != nullptr) {
-      const Size shards = exec->shard_count();
+      const Size shard_count = exec->shard_count();
       exec->for_each_shard([&](Size s) {
-        const auto [begin, end] = sim::ShardExecutor::slice(kQueries, s, shards);
+        const auto [begin, end] =
+            sim::ShardExecutor::slice(kQueries, s, shard_count);
         std::uint64_t sum = 0;
         for (Size q = begin; q < end; ++q) {
           const auto [src, dst] = query_pair(q, n);
@@ -105,7 +118,7 @@ KernelResult run_shard_kernel(Size n, Size threads, Size ticks) {
       // grouping is immaterial) — the digest must see exactly what the
       // sequential arm sees: one sum per tick.
       std::uint64_t total = 0;
-      for (Size s = 0; s < shards; ++s) total += partial[s];
+      for (Size s = 0; s < shard_count; ++s) total += partial[s];
       mix(total);
     } else {
       std::uint64_t sum = 0;
@@ -182,38 +195,89 @@ int main() {
       "smallest scales and drift down from there — boundedness is the\n"
       "operative check; the decline is gentle. Paper Section 6.\n");
 
-  // ---- E30: sharded-tick capacity at n = 10^5 ------------------------------
+  // ---- E30: sharded-tick capacity at 10^5 + shards x threads matrix --------
   bench::print_header(
-      "E30  bench_capacity — sharded parallel tick at 10^5 nodes",
-      "the tick kernel shards across threads with bit-identical output");
+      "E30  bench_capacity — sharded parallel tick, shards x threads matrix",
+      "any shard count x any thread count is bit-identical; threads buy wall-clock");
 
   auto artifact_cfg = bench::paper_scenario();
   artifact_cfg.n = 100000;
   bench::Artifact artifact("capacity", artifact_cfg, 1,
                            std::thread::hardware_concurrency());
 
-  // Identity sweep: every thread count must fold the identical delta stream
-  // and hop answers into the identical digest.
+  const Size kMatrixShards[] = {1, 4, 16, 64};
+  const Size kMatrixThreads[] = {1, 2, 8};
+
+  // Identity sweep: every shards x threads cell must fold the identical
+  // delta stream and hop answers into the sequential reference's digest.
   const Size kIdentityN = 10000;
   Size identity_violations = 0;
-  const auto seq = run_shard_kernel(kIdentityN, 1, 3);
-  for (const Size threads : {Size{2}, Size{8}}) {
-    const auto par = run_shard_kernel(kIdentityN, threads, 3);
-    if (par.digest != seq.digest) ++identity_violations;
+  const auto seq = run_shard_kernel(kIdentityN, 1, 0, 3);
+  for (const Size shards : kMatrixShards) {
+    for (const Size threads : kMatrixThreads) {
+      const auto par = run_shard_kernel(kIdentityN, threads, shards, 3);
+      if (par.digest != seq.digest) ++identity_violations;
+    }
   }
-  std::printf("identity @ n=%zu: digest %016llx, violations %zu\n",
+  std::printf("identity @ n=%zu over shards {1,4,16,64} x threads {1,2,8}: "
+              "digest %016llx, violations %zu\n",
               static_cast<std::size_t>(kIdentityN),
               static_cast<unsigned long long>(seq.digest),
               static_cast<std::size_t>(identity_violations));
   artifact.set_scalar("identity_violations",
                       static_cast<double>(identity_violations));
 
-  // Throughput sweep, culminating in the n = 100 000 acceptance point.
+  // Shards x threads wall-clock matrix at n = 25 000: one ticks/s cell per
+  // combination, recorded as ticks_per_sec_s<S>_t<T> scalars. The derived
+  // speedup ratios compare each topology's multi-thread cells against ITS
+  // OWN single-thread cell, and the reported scalars take the best topology
+  // (what a tuned run would pick).
+  const Size kMatrixN = 25000;
+  const Size kMatrixTicks = 6;
+  analysis::TextTable matrix_table({"shards", "threads", "ticks/s", "digest"});
+  double speedup_2t = 0.0, speedup_max = 0.0;
+  for (const Size shards : kMatrixShards) {
+    double base_tps = 0.0;
+    for (const Size threads : kMatrixThreads) {
+      const auto r = run_shard_kernel(kMatrixN, threads, shards, kMatrixTicks);
+      char digest_hex[24];
+      std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                    static_cast<unsigned long long>(r.digest));
+      matrix_table.add_row({std::to_string(shards), std::to_string(threads),
+                            bench::fixed(r.ticks_per_sec, 3), digest_hex});
+      artifact.set_scalar("ticks_per_sec_s" + std::to_string(shards) + "_t" +
+                              std::to_string(threads),
+                          r.ticks_per_sec);
+      if (threads == 1) {
+        base_tps = r.ticks_per_sec;
+      } else if (base_tps > 0.0) {
+        const double ratio = r.ticks_per_sec / base_tps;
+        if (threads == 2 && ratio > speedup_2t) speedup_2t = ratio;
+        if (ratio > speedup_max) speedup_max = ratio;
+      }
+    }
+  }
+  std::printf("%s", matrix_table
+                        .to_string("shards x threads matrix @ n=25000 (ticks/s)")
+                        .c_str());
+  std::printf("speedup_2t %.3f  speedup_max %.3f  (hardware_concurrency %zu)\n",
+              speedup_2t, speedup_max,
+              static_cast<std::size_t>(artifact.hardware_concurrency()));
+  artifact.set_scalar("speedup_2t", speedup_2t);
+  artifact.set_scalar("speedup_max", speedup_max);
+  // The manifest's thread_count reports the largest worker count any matrix
+  // cell actually ran with (the construction-time value was this machine's
+  // hardware_concurrency, which the matrix deliberately oversubscribes).
+  artifact.set_thread_count(*std::max_element(std::begin(kMatrixThreads),
+                                              std::end(kMatrixThreads)));
+
+  // Throughput sweep, culminating in the n = 100 000 acceptance point
+  // (shards = 0: the auto topology a plain --threads run would get).
   analysis::TextTable capacity_table({"|V|", "threads", "ticks/s", "digest"});
   for (const Size n : {Size{25000}, Size{100000}}) {
     const Size ticks = n >= 100000 ? 5 : 8;
-    for (const Size threads : {Size{1}, Size{2}, Size{8}}) {
-      const auto r = run_shard_kernel(n, threads, ticks);
+    for (const Size threads : kMatrixThreads) {
+      const auto r = run_shard_kernel(n, threads, 0, ticks);
       char digest_hex[24];
       std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
                     static_cast<unsigned long long>(r.digest));
@@ -226,17 +290,21 @@ int main() {
   }
   std::printf("%s", capacity_table.to_string("sharded tick kernel throughput")
                         .c_str());
-  // Mirrors the gate floor committed in the baseline so the artifact is
-  // self-describing; check_bench.py reads the *baseline's* copy.
+  // Mirrors the gate floors committed in the baseline so the artifact is
+  // self-describing; check_bench.py reads the *baseline's* copy. The
+  // min_parallel_speedup floor only binds when the producing machine has
+  // hardware_concurrency >= 2 (single-core runners skip it, logged).
   artifact.set_scalar("min_capacity_n", 100000.0);
+  artifact.set_scalar("min_parallel_speedup", 1.2);
   artifact.write();
 
   std::printf(
-      "\nreading: the digest column is constant down each |V| block — the\n"
-      "sharded decomposition (fixed %zu shards, shard-order merges) makes the\n"
-      "parallel tick bit-identical to sequential at every thread count, so\n"
-      "threads buy wall-clock only. tools/check_bench.py enforces the\n"
-      "n=100000 capacity point and identity_violations == 0.\n",
-      static_cast<std::size_t>(sim::kDefaultShardCount));
+      "\nreading: the digest column is constant down each block — the runtime\n"
+      "shard decomposition (shard-order merges; sim::resolve_shard_count) makes\n"
+      "the parallel tick bit-identical to sequential at every shard count x\n"
+      "thread count, so the matrix cells differ in wall-clock only.\n"
+      "tools/check_bench.py enforces the n=100000 capacity point,\n"
+      "identity_violations == 0, matrix-cell presence, and (on multi-core\n"
+      "machines) speedup_max >= min_parallel_speedup.\n");
   return 0;
 }

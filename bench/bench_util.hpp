@@ -92,7 +92,11 @@ inline void print_header(const char* experiment, const char* claim,
 /// Machine-readable artifact accumulator: collect the exact values printed
 /// in the text tables, then write() a BENCH_<name>.json next to the binary's
 /// stdout (into $MANET_BENCH_DIR when set, else the working directory).
-/// Wall time from construction to write() lands in the manifest.
+/// Wall time from construction to write() lands in the manifest, as does the
+/// producing machine's hardware_concurrency (captured by RunManifest) — the
+/// header field that makes speedup scalars interpretable across machines and
+/// that check_bench.py reads to skip parallel-speedup gates on single-core
+/// runners.
 class Artifact {
  public:
   Artifact(std::string name, const exp::ScenarioConfig& base, Size replications,
@@ -100,6 +104,14 @@ class Artifact {
       : manifest_(exp::RunManifest::capture(std::move(name), base, replications,
                                             thread_count)),
         started_(std::chrono::steady_clock::now()) {}
+
+  /// Hardware threads on this machine, as captured into the manifest header.
+  Size hardware_concurrency() const { return manifest_.hardware_concurrency; }
+
+  /// Record the ACTUAL worker count the bench ran with (e.g. the resolved
+  /// pool size, or the largest thread count of a shards x threads matrix)
+  /// when it differs from the count passed at construction.
+  void set_thread_count(Size actual) { manifest_.thread_count = actual; }
 
   /// One aggregated sweep point of a named series (phi_rate, gamma_rate, ...).
   void add_point(const std::string& series, double n, const exp::AggregatedMetrics& agg,
@@ -156,7 +168,9 @@ class Artifact {
     w.end_object();
     w.end_object();
     file << '\n';
-    std::printf("wrote artifact %s\n", path.c_str());
+    std::printf("wrote artifact %s (threads=%zu, hardware_concurrency=%zu)\n", path.c_str(),
+                static_cast<std::size_t>(manifest_.thread_count),
+                static_cast<std::size_t>(manifest_.hardware_concurrency));
     return path;
   }
 

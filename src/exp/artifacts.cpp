@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #ifndef MANET_GIT_SHA
 #define MANET_GIT_SHA "unknown"
@@ -20,6 +21,7 @@ RunManifest RunManifest::capture(std::string name, const ScenarioConfig& config,
   m.n = config.n;
   m.replications = replications;
   m.thread_count = thread_count;
+  m.hardware_concurrency = static_cast<Size>(std::thread::hardware_concurrency());
   m.scenario = config.describe();
   m.fault = config.fault.describe();
   return m;
@@ -33,6 +35,7 @@ void RunManifest::write_json(analysis::JsonWriter& w) const {
   w.field("n", static_cast<std::uint64_t>(n));
   w.field("replications", static_cast<std::uint64_t>(replications));
   w.field("thread_count", static_cast<std::uint64_t>(thread_count));
+  w.field("hardware_concurrency", static_cast<std::uint64_t>(hardware_concurrency));
   w.field("wall_seconds", wall_seconds);
   w.field("scenario", scenario);
   w.field("fault", fault);
@@ -57,6 +60,8 @@ bool RunManifest::from_json(const analysis::JsonValue& v, RunManifest& out) {
   out.n = static_cast<Size>(v.number_or("n", 0.0));
   out.replications = static_cast<Size>(v.number_or("replications", 0.0));
   out.thread_count = static_cast<Size>(v.number_or("thread_count", 1.0));
+  // Manifests written before the field existed read back as 0 ("unknown").
+  out.hardware_concurrency = static_cast<Size>(v.number_or("hardware_concurrency", 0.0));
   out.wall_seconds = v.number_or("wall_seconds", 0.0);
   // Pre-fault manifests lack the field; treat them as fault-free runs.
   out.fault = v.string_or("fault", "off");

@@ -33,6 +33,11 @@ struct RunManifest {
   Size n = 0;                ///< node count (0 for sweeps; see series)
   Size replications = 0;
   Size thread_count = 1;
+  /// std::thread::hardware_concurrency() on the machine that produced the
+  /// artifact (0 in manifests written before the field existed). Speedup
+  /// scalars are only interpretable relative to this; check_bench.py skips
+  /// the min_parallel_speedup gate when it is < 2 (single-core runner).
+  Size hardware_concurrency = 0;
   double wall_seconds = 0.0; ///< measured by the artifact writer
   std::string scenario;      ///< ScenarioConfig::describe() of the base config
   std::string fault = "off"; ///< FaultConfig::describe(); "off" when disabled

@@ -245,6 +245,9 @@ std::string cli_usage(const std::string& program) {
          "                     with HierarchyBuilder instead of localized repair\n"
          "  --threads N        sharded-tick worker threads (default 1 = sequential,\n"
          "                     0 = hardware); output is identical at any N\n"
+         "  --shards N         sharded-tick shard count (rounded up to a power of\n"
+         "                     two, max 1024; default 0 = auto from the worker\n"
+         "                     count); output is identical at any N\n"
          "query serving (E31; see docs/QUERY_ENGINE.md):\n"
          "  --query-load N     serve N location lookups per measured tick through\n"
          "                     the epoch-gated lm::QueryEngine (default 0 = off);\n"
@@ -379,7 +382,7 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
         return fail("--sweep needs a comma-separated list of node counts");
       }
     } else if (flag == "--n" || flag == "--seed" || flag == "--reps" ||
-               flag == "--threads" || flag == "--query-load") {
+               flag == "--threads" || flag == "--shards" || flag == "--query-load") {
       const char* value = next();
       Size parsed = 0;
       if (value == nullptr || !parse_size(value, parsed)) {
@@ -388,6 +391,7 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       if (flag == "--n") opt.scenario.n = parsed;
       else if (flag == "--seed") opt.scenario.seed = parsed;
       else if (flag == "--threads") opt.run.threads = parsed;
+      else if (flag == "--shards") opt.run.shards = parsed;
       else if (flag == "--query-load") opt.run.query_load = parsed;
       else opt.replications = parsed;
     } else if (flag == "--retry-budget") {

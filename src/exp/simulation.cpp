@@ -149,17 +149,22 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   handoff.set_metrics(options.metrics);
   handoff.set_trace(options.trace);
 
-  // --- Sharded parallel tick (inert at threads == 1, the default) ---
-  // One per-run pool + a fixed 16-shard executor: the heavy per-tick phases
-  // (unit-disk delta, link diffing, pricing) shard over a grid whose size
-  // never depends on the thread count, and per-shard outputs merge in shard
-  // index order — so every artifact of the run is bit-identical to the
-  // sequential tick regardless of options.threads (see sim/shard.hpp).
+  // --- Sharded parallel tick (inert at threads == 1 && shards == 0, the
+  // default) --- One per-run pool + a runtime-topology executor: the heavy
+  // per-tick phases (unit-disk delta, link diffing, pricing) shard over a
+  // grid resolved from RunOptions::shards (0 = auto from the worker count;
+  // sim::resolve_shard_count), and per-shard outputs merge in shard index
+  // order — so every artifact of the run is bit-identical to the sequential
+  // tick regardless of options.threads AND options.shards (see
+  // sim/shard.hpp). An explicit shard request with threads == 1 runs the
+  // sharded path on a one-worker pool, which the cross-shard-count identity
+  // suite uses to pin the {S} x {1} cells.
   std::unique_ptr<common::ThreadPool> tick_pool;
   std::unique_ptr<sim::ShardExecutor> tick_shards;
-  if (options.threads != 1) {
+  if (options.threads != 1 || options.shards != 0) {
     tick_pool = std::make_unique<common::ThreadPool>(options.threads);
-    tick_shards = std::make_unique<sim::ShardExecutor>(*tick_pool, sim::kDefaultShardCount);
+    tick_shards = std::make_unique<sim::ShardExecutor>(
+        *tick_pool, sim::resolve_shard_count(options.shards, tick_pool->thread_count()));
     disk.set_parallel(tick_shards.get());
     handoff.set_parallel(tick_shards.get());
   }
@@ -232,18 +237,22 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
   // options.query_load > 0, keeping plain runs bit-identical to builds
   // without it). Each measured tick publishes one epoch and serves
   // query_load lookups whose targets are a pure function of the global
-  // lookup index; partial hit counts / digests are computed per canonical
-  // shard slice and folded in shard index order, so the query_* metrics
-  // never depend on options.threads.
+  // lookup index. Partial hit counts and digest contributions are computed
+  // per slice of the run's OWN shard topology (one slice on the sequential
+  // path) and folded with commutative, associative operations (integer sum,
+  // wrapping sum), so the query_* metrics are invariant to how the lookup
+  // range is partitioned — never a function of options.threads or
+  // options.shards.
   std::unique_ptr<lm::QueryEngine> query_engine;
   std::vector<Size> query_shard_hits;
   std::vector<std::uint64_t> query_shard_digests;
   Size query_lookups = 0, query_hits = 0;
   std::uint64_t query_digest = 0x9E3779B97F4A7C15ULL;
+  const Size query_shards = tick_shards != nullptr ? tick_shards->shard_count() : 1;
   if (options.query_load > 0) {
     query_engine = std::make_unique<lm::QueryEngine>(cfg.handoff.select);
-    query_shard_hits.assign(sim::kDefaultShardCount, 0);
-    query_shard_digests.assign(sim::kDefaultShardCount, 0);
+    query_shard_hits.assign(query_shards, 0);
+    query_shard_digests.assign(query_shards, 0);
   }
 
   auto refresh_down = [&](Time t) {
@@ -522,17 +531,17 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
     }
     // Query-serving plane: the tick's write phase is done — publish the new
     // epoch and serve this tick's lookup load against it (sharded over the
-    // tick executor when one exists; the sequential path walks the same
-    // shard slices in order, so both produce identical partials).
+    // tick executor when one exists; the sequential path serves the whole
+    // range as one slice — the commutative fold makes both identical).
     if (query_engine) {
       query_engine->publish(hier, handoff.database(), now);
       const std::uint64_t tick_base =
           static_cast<std::uint64_t>(ticks) * static_cast<std::uint64_t>(options.query_load);
       auto serve_shard = [&](Size shard) {
         const auto [begin, end] =
-            sim::ShardExecutor::slice(options.query_load, shard, sim::kDefaultShardCount);
+            sim::ShardExecutor::slice(options.query_load, shard, query_shards);
         Size hits = 0;
-        std::uint64_t digest = 0xCBF29CE484222325ULL;
+        std::uint64_t digest = 0;
         for (Size q = begin; q < end; ++q) {
           // Weyl-style target mixing: owners sweep the id space evenly, the
           // level cycles over [2, 4] (levels above the current top answer
@@ -542,8 +551,14 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
           const Level k = lm::kFirstServedLevel + static_cast<Level>(gq % 3);
           const lm::QueryResult r = query_engine->lookup(owner, k);
           hits += r.found ? 1 : 0;
-          digest ^= static_cast<std::uint64_t>(r.server) + r.version + (r.found ? 1u : 0u);
-          digest *= 1099511628211ULL;
+          // Per-lookup contribution folded with a wrapping sum. Unlike the
+          // old chained-FNV-per-slice scheme, a sum of per-lookup mixes is
+          // commutative and associative, so the digest is invariant to how
+          // [0, query_load) is partitioned: any shard count, any thread
+          // count and the sequential path all fold to the same word.
+          const std::uint64_t answer = (static_cast<std::uint64_t>(r.server) << 32) ^
+                                       r.version ^ (r.found ? 1ULL : 0ULL);
+          digest += common::mix64(gq ^ common::mix64(answer));
         }
         query_shard_hits[shard] = hits;
         query_shard_digests[shard] = digest;
@@ -551,18 +566,17 @@ RunMetrics run_simulation(const ScenarioConfig& config, const RunOptions& option
       if (tick_shards) {
         tick_shards->for_each_shard(serve_shard);
       } else {
-        for (Size shard = 0; shard < sim::kDefaultShardCount; ++shard) serve_shard(shard);
+        serve_shard(0);  // query_shards == 1: the whole range, one slice
       }
-      for (Size shard = 0; shard < sim::kDefaultShardCount; ++shard) {
-        query_hits += query_shard_hits[shard];
-        query_digest = common::hash_combine(query_digest, query_shard_digests[shard]);
+      Size tick_hits = 0;
+      for (Size shard = 0; shard < query_shards; ++shard) {
+        tick_hits += query_shard_hits[shard];
+        query_digest += query_shard_digests[shard];
       }
+      query_hits += tick_hits;
       query_lookups += options.query_load;
       if (options.metrics != nullptr) {
         options.metrics->counter("lm.query_lookups").add(options.query_load);
-        Size tick_hits = 0;
-        for (Size shard = 0; shard < sim::kDefaultShardCount; ++shard)
-          tick_hits += query_shard_hits[shard];
         options.metrics->counter("lm.query_hits").add(tick_hits);
         options.metrics->gauge("lm.query_epoch")
             .set(static_cast<double>(query_engine->epoch()));

@@ -52,7 +52,7 @@
 ///   query_lookups / query_hits / query_hit_rate   lookup totals over the run
 ///   query_epochs                                  epochs published (one per tick)
 ///   query_digest                                  32-bit fold of every answer
-///                                                 (thread-count identity witness)
+///                                                 (shard/thread identity witness)
 
 namespace manet::exp {
 
@@ -107,22 +107,35 @@ struct RunOptions {
 
   /// Intra-run worker threads for the sharded tick (docs/ARCHITECTURE.md
   /// "Sharded parallel tick"). 1 (the default) runs the historical
-  /// sequential tick with no pool and no executor; 0 means one worker per
-  /// hardware thread; any other value sizes the per-run pool explicitly.
-  /// The sharded tick is bit-identical to the sequential one at every
-  /// thread count — work is split over a fixed shard grid whose per-shard
-  /// outputs are merged in shard index order, so metrics, traces and run
-  /// artifacts never depend on this knob (enforced by
-  /// tests/integration/sharded_tick_test).
+  /// sequential tick with no pool and no executor (unless \ref shards
+  /// requests a topology explicitly); 0 means one worker per hardware
+  /// thread; any other value sizes the per-run pool explicitly. The sharded
+  /// tick is bit-identical to the sequential one at every thread count —
+  /// work is split over a shard grid whose per-shard outputs are merged in
+  /// shard index order, so metrics, traces and run artifacts never depend
+  /// on this knob (enforced by tests/integration/sharded_tick_test).
   Size threads = 1;
+
+  /// Shard topology for the sharded tick: the number of contiguous slices
+  /// the per-tick index spaces are decomposed into (sim::resolve_shard_count
+  /// rounds it up to a power of two and clamps to sim::kMaxShardCount).
+  /// 0 (the default) derives the count from the worker pool size with
+  /// sim::kDefaultShardCount as the floor. A non-zero value with
+  /// threads == 1 still runs the sharded path (on a one-worker pool), which
+  /// is how the identity suite pins shards x threads = {S} x {1}. Outputs
+  /// are bit-identical at every shard count — this knob only moves
+  /// throughput (enforced by tests/integration/sharded_tick_test).
+  Size shards = 0;
 
   /// Query-serving plane (docs/QUERY_ENGINE.md, experiment E31): when > 0,
   /// each measured tick publishes the fresh (hierarchy, database) state as a
   /// lm::QueryEngine epoch and serves this many location lookups against it.
-  /// Lookup targets are a pure function of (tick, lookup index) and per-shard
-  /// partial results fold in shard index order, so the query_* metrics are
-  /// bit-identical at every RunOptions::threads value. 0 (the default)
-  /// constructs nothing and changes nothing.
+  /// Lookup targets are a pure function of the global lookup index and the
+  /// per-lookup digest contributions fold with a commutative, associative
+  /// wrapping sum, so the query_* metrics are bit-identical at every
+  /// RunOptions::threads AND RunOptions::shards value (the fold is invariant
+  /// to how [0, query_load) is partitioned). 0 (the default) constructs
+  /// nothing and changes nothing.
   Size query_load = 0;
 
   /// Observability hooks (not owned; nullptr = off, zero cost). With a

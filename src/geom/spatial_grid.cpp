@@ -54,6 +54,15 @@ std::pair<std::uint32_t, std::uint32_t> SpatialGrid::bucket(std::int64_t key) co
   return {begin, end};
 }
 
+std::int32_t SpatialGrid::bucket_index_of(Vec2 p) const {
+  const std::int64_t key = cell_of(p);
+  const auto it = std::lower_bound(
+      cell_starts_.begin(), cell_starts_.end(), key,
+      [](const auto& entry, std::int64_t k) { return entry.first < k; });
+  if (it == cell_starts_.end() || it->first != key) return -1;
+  return static_cast<std::int32_t>(it - cell_starts_.begin());
+}
+
 void SpatialGrid::neighbors_within(Vec2 query, double radius, NodeId self,
                                    std::vector<NodeId>& out) const {
   MANET_CHECK_MSG(radius <= cell_size_ * (1.0 + 1e-9),

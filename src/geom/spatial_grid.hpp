@@ -53,6 +53,13 @@ class SpatialGrid {
   /// Occupied cells in the current index (the shardable bucket count).
   std::size_t cell_count() const { return cell_starts_.size(); }
 
+  /// Index into the occupied-cell table ([0, cell_count())) of the cell
+  /// containing \p p, or -1 when that cell holds no node. This is the
+  /// shard-space coordinate used by for_each_pair_within's cell ranges, so
+  /// callers can map node -> owning shard slice (sim::NodeStateSoA caches it
+  /// per node at anchor time).
+  std::int32_t bucket_index_of(Vec2 p) const;
+
  private:
   std::int64_t cell_of(Vec2 p) const;
   std::int64_t cell_key(std::int64_t cx, std::int64_t cy) const;

@@ -81,11 +81,30 @@ graph::Graph UnitDiskBuilder::build(const std::vector<geom::Vec2>& positions) {
   return graph::Graph(positions.size(), edge_buffer_);
 }
 
+void UnitDiskBuilder::refresh_cells() {
+  // Node -> occupied-bucket map over the anchored snapshot. Every write is
+  // an independent pure function of (anchor_pos_, grid_), so the sharded
+  // fill is trivially identical to the sequential one.
+  const Size n = anchor_pos_.size();
+  if (par_ != nullptr) {
+    const Size shards = par_->shard_count();
+    par_->for_each_shard([&](Size s) {
+      const auto [begin, end] = sim::ShardExecutor::slice(n, s, shards);
+      for (Size v = begin; v < end; ++v) {
+        state_.set_cell(static_cast<NodeId>(v), grid_.bucket_index_of(anchor_pos_[v]));
+      }
+    });
+  } else {
+    for (NodeId v = 0; v < n; ++v) state_.set_cell(v, grid_.bucket_index_of(anchor_pos_[v]));
+  }
+}
+
 void UnitDiskBuilder::full_reset(const std::vector<geom::Vec2>& positions) {
   const Size n = positions.size();
-  cur_pos_ = positions;
+  state_.build_from(positions);
   anchor_pos_ = positions;
   grid_.rebuild(positions);
+  refresh_cells();
   adj_.resize(n);
   for (auto& a : adj_) a.clear();
   if (par_ != nullptr) {
@@ -131,12 +150,34 @@ void UnitDiskBuilder::full_reset(const std::vector<geom::Vec2>& positions) {
 }
 
 void UnitDiskBuilder::refresh_graphs(bool raw_dirty) {
-  const Size n = cur_pos_.size();
+  const Size n = state_.size();
   if (raw_dirty) {
     edge_buffer_.clear();
-    for (NodeId u = 0; u < n; ++u) {
-      for (const NodeId v : adj_[u]) {
-        if (v > u) edge_buffer_.emplace_back(u, v);
+    if (par_ != nullptr) {
+      // Sharded canonical-edge rebuild: contiguous node ranges, per-shard
+      // buffers concatenated in shard order == the sequential u-major walk.
+      // shard_pairs_ is free here (full_reset consumed it into adj_).
+      const Size shards = par_->shard_count();
+      if (shard_pairs_.size() < shards) shard_pairs_.resize(shards);
+      par_->for_each_shard([&](Size s) {
+        const auto [begin, end] = sim::ShardExecutor::slice(n, s, shards);
+        auto& mine = shard_pairs_[s];
+        mine.clear();
+        for (Size u = begin; u < end; ++u) {
+          for (const NodeId v : adj_[u]) {
+            if (v > u) mine.emplace_back(static_cast<NodeId>(u), v);
+          }
+        }
+      });
+      for (Size s = 0; s < shards; ++s) {
+        edge_buffer_.insert(edge_buffer_.end(), shard_pairs_[s].begin(),
+                            shard_pairs_[s].end());
+      }
+    } else {
+      for (NodeId u = 0; u < n; ++u) {
+        for (const NodeId v : adj_[u]) {
+          if (v > u) edge_buffer_.emplace_back(u, v);
+        }
       }
     }
     raw_graph_.assign(n, edge_buffer_);
@@ -150,7 +191,8 @@ void UnitDiskBuilder::refresh_graphs(bool raw_dirty) {
       std::swap(bridges_, bridge_scratch_);  // keep the old set for the diff
       bridges_.clear();
       if (!graph::is_connected(raw_graph_)) {
-        compute_bridges(cur_pos_, raw_graph_, bridges_);
+        state_.write_back(pos_scratch_);  // AoS bridge for the cold path
+        compute_bridges(pos_scratch_, raw_graph_, bridges_);
       }
       aug_dirty = bridges_ != bridge_scratch_;
       augmented_ = !bridges_.empty();
@@ -171,7 +213,7 @@ void UnitDiskBuilder::refresh_graphs(bool raw_dirty) {
 const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& positions) {
   const Size n = positions.size();
   arena_.rewind();
-  if (!inc_valid_ || cur_pos_.size() != n) {
+  if (!inc_valid_ || state_.size() != n) {
     full_reset(positions);
     last_moved_ = n;
     full_rescan_ = true;
@@ -181,12 +223,14 @@ const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& posit
     return graph();
   }
 
-  // Exact moved-node detection. Any approximation here (a movement
-  // threshold) could miss a pair crossing R_TX and break bit-identity.
+  // Exact moved-node detection (any approximation here — a movement
+  // threshold — could miss a pair crossing R_TX and break bit-identity),
+  // fused with the position commit: the SoA advance() compares coordinate
+  // pairs exactly like Vec2::operator!=, records the displacement and
+  // commits the new x/y. Committing before the rescan decision is safe —
+  // full_reset() rebuilds the whole state from \p positions anyway.
   moved_scratch_.clear();
-  for (NodeId v = 0; v < n; ++v) {
-    if (positions[v] != cur_pos_[v]) moved_scratch_.push_back(v);
-  }
+  state_.advance(positions, moved_scratch_);
   last_moved_ = moved_scratch_.size();
   full_rescan_ = false;
   ups_.clear();
@@ -226,13 +270,13 @@ const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& posit
   }
 
   // --- Point updates ---
-  // Phase 1 (sequential): commit new positions and stale flags. Phase 2
-  // reads that state without writing it, so it shards over the moved list.
+  // Phase 1 (sequential; positions were already committed by advance()):
+  // mark movers and refresh stale flags. Phase 2 reads that state without
+  // writing it, so it shards over the moved list.
   const double slack2 = slack_ * slack_;
   for (const NodeId v : moved_scratch_) {
     moved_now_[v] = 1;
-    cur_pos_[v] = positions[v];
-    if (stale_[v] == 0 && geom::distance2(cur_pos_[v], anchor_pos_[v]) > slack2) {
+    if (stale_[v] == 0 && geom::distance2(state_.pos(v), anchor_pos_[v]) > slack2) {
       stale_[v] = 1;
       stale_list_.push_back(v);
     }
@@ -291,8 +335,12 @@ const graph::Graph& UnitDiskBuilder::update(const std::vector<geom::Vec2>& posit
   // queries degrade (the stale list is scanned per moved node) before
   // correctness ever would.
   if (stale_list_.size() > std::max<Size>(16, n / 8)) {
-    grid_.rebuild(cur_pos_);
-    anchor_pos_ = cur_pos_;
+    // The committed SoA state equals \p positions bit-for-bit here (every
+    // mover was just committed from it), so re-anchor straight off the
+    // caller's AoS vector — no write-back copy needed.
+    grid_.rebuild(positions);
+    anchor_pos_ = positions;
+    refresh_cells();
     std::fill(stale_.begin(), stale_.end(), 0);
     stale_list_.clear();
   }
@@ -307,20 +355,33 @@ void UnitDiskBuilder::recompute_moved(NodeId u, std::vector<NodeId>& nbr,
   // positions, so widen the query by the slack (a non-stale candidate sits
   // within slack of its anchor) and re-check true distances; stale nodes
   // are not reliably anchored and are scanned directly. Reads only
-  // phase-1-committed state (cur_pos_, stale_, adj_, moved_now_, grid_),
+  // phase-1-committed state (state_, stale_, adj_, moved_now_, grid_),
   // so concurrent calls on distinct u with private buffers are safe.
+  //
+  // Distance checks run over the SoA x/y arrays: dx*dx + dy*dy is the same
+  // expression tree as geom::distance2 (bit-identical), but the operands
+  // are contiguous doubles, which is what lets the compiler vectorize the
+  // candidate re-check.
   const double r2 = tx_radius_ * tx_radius_;
   const double query_r = tx_radius_ + slack_;
+  const double* xs = state_.x();
+  const double* ys = state_.y();
+  const double ux = xs[u];
+  const double uy = ys[u];
   fresh.clear();
   nbr.clear();
-  grid_.neighbors_within(cur_pos_[u], query_r, u, nbr);
+  grid_.neighbors_within({ux, uy}, query_r, u, nbr);
   for (const NodeId v : nbr) {
-    if (stale_[v] == 0 && geom::distance2(cur_pos_[u], cur_pos_[v]) <= r2) {
+    const double dx = ux - xs[v];
+    const double dy = uy - ys[v];
+    if (stale_[v] == 0 && dx * dx + dy * dy <= r2) {
       fresh.push_back(v);
     }
   }
   for (const NodeId v : stale_list_) {
-    if (v != u && geom::distance2(cur_pos_[u], cur_pos_[v]) <= r2) {
+    const double dx = ux - xs[v];
+    const double dy = uy - ys[v];
+    if (v != u && dx * dx + dy * dy <= r2) {
       fresh.push_back(v);
     }
   }

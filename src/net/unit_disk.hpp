@@ -9,6 +9,7 @@
 #include "graph/graph.hpp"
 #include "net/link_tracker.hpp"
 #include "net/radio.hpp"
+#include "sim/node_state.hpp"
 #include "sim/shard.hpp"
 
 /// \file unit_disk.hpp
@@ -70,11 +71,13 @@ class UnitDiskBuilder {
   const graph::Graph& update(const std::vector<geom::Vec2>& positions);
 
   /// Shard the heavy update() phases — full-rescan pair enumeration,
-  /// per-moved-node neighborhood recomputation, fallback edge diffing —
-  /// over \p executor (nullptr = sequential, the default). Sharding is by
-  /// fixed shard index with per-shard outputs concatenated in shard order,
-  /// so the maintained graph and the ups/downs delta are bit-identical to
-  /// the sequential build at any thread count.
+  /// per-moved-node neighborhood recomputation, edge-buffer refresh,
+  /// fallback edge diffing — over \p executor (nullptr = sequential, the
+  /// default). Sharding is by shard index with per-shard outputs
+  /// concatenated in shard order, so the maintained graph and the ups/downs
+  /// delta are bit-identical to the sequential build at any shard count x
+  /// any thread count (the executor's shard_count() is a pure throughput
+  /// knob here).
   void set_parallel(sim::ShardExecutor* executor) noexcept { par_ = executor; }
 
   /// True when the last update() took a full-rescan path (a (re)seed or the
@@ -104,6 +107,11 @@ class UnitDiskBuilder {
   /// snapshot (update() carries the standing count across unchanged ticks).
   Size last_augmented_edges() const { return last_augmented_; }
 
+  /// The SoA node state maintained by the incremental path (committed
+  /// positions, last-step displacement, anchored grid buckets). Valid while
+  /// the incremental state is seeded — i.e. after any update().
+  const sim::NodeStateSoA& node_state() const { return state_; }
+
  private:
   /// Re-seed all incremental state from a full rescan of \p positions.
   void full_reset(const std::vector<geom::Vec2>& positions);
@@ -128,10 +136,18 @@ class UnitDiskBuilder {
   std::vector<graph::Edge> edge_buffer_;
   Size last_augmented_ = 0;
 
+  /// Refresh state_'s anchored-cell array from the (just rebuilt) grid;
+  /// sharded over par_ when attached (independent per-node writes).
+  void refresh_cells();
+
   // --- Incremental state (valid while inc_valid_) ---
   bool inc_valid_ = false;
-  std::vector<geom::Vec2> cur_pos_;        ///< positions at the last update()
+  /// Positions at the last update(), SoA (hot distance-loop operands), plus
+  /// last-step displacement and anchored grid buckets. Replaces the old AoS
+  /// cur_pos_ mirror; cold paths bridge back through write_back().
+  sim::NodeStateSoA state_;
   std::vector<geom::Vec2> anchor_pos_;     ///< positions the grid is built over
+  std::vector<geom::Vec2> pos_scratch_;    ///< AoS bridge for cold paths
   std::vector<std::vector<NodeId>> adj_;   ///< sorted raw adjacency lists
   std::vector<std::uint8_t> stale_;        ///< drifted > slack from anchor
   std::vector<NodeId> stale_list_;

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geom/vec2.hpp"
+
+/// \file node_state.hpp
+/// Structure-of-arrays node state for the sharded tick's hot loops.
+///
+/// The mobility model, scenario plumbing and cold paths all speak
+/// std::vector<geom::Vec2> (AoS) — convenient, but every distance check in
+/// the unit-disk delta then strides over interleaved x/y pairs, and shards
+/// working disjoint node ranges share cache lines. NodeStateSoA keeps the
+/// same state as separate contiguous arrays:
+///
+///   x, y     committed current positions (the hot operands of every
+///            distance comparison; contiguous doubles so the inner loops
+///            auto-vectorize and per-shard slices touch disjoint lines)
+///   vx, vy   displacement committed by the last advance() per node
+///            (zero after a (re)seed; groundwork for mobility-aware shard
+///            placement — ROADMAP item 1's NUMA direction)
+///   cell     anchored spatial-grid bucket per node (kNoCell when the node
+///            was absent from the anchor snapshot), refreshed whenever the
+///            owner re-anchors its grid; gives shards a contiguous
+///            node -> bucket map without touching the grid's CSR internals
+///
+/// build_from()/write_back() bridge to the existing AoS structs so cold
+/// paths (grid rebuilds, bridge computation) stay unchanged. Bit-identity
+/// note: advance() detects movement with the exact comparison
+/// (nx != x[v] || ny != y[v]), which is precisely !(Vec2 ==) memberwise,
+/// and pos(v) reconstructs the committed Vec2 bit-for-bit — so swapping the
+/// AoS mirror for this layout cannot change any produced edge set.
+
+namespace manet::sim {
+
+class NodeStateSoA {
+ public:
+  /// Sentinel cell for nodes without an anchored bucket.
+  static constexpr std::int32_t kNoCell = -1;
+
+  Size size() const noexcept { return x_.size(); }
+  bool empty() const noexcept { return x_.empty(); }
+
+  /// Reset to \p positions: x/y copied, vx/vy zeroed, cells cleared to
+  /// kNoCell (the owner re-derives them after anchoring its grid).
+  void build_from(const std::vector<geom::Vec2>& positions) {
+    const Size n = positions.size();
+    x_.resize(n);
+    y_.resize(n);
+    for (Size v = 0; v < n; ++v) {
+      x_[v] = positions[v].x;
+      y_[v] = positions[v].y;
+    }
+    vx_.assign(n, 0.0);
+    vy_.assign(n, 0.0);
+    cell_.assign(n, kNoCell);
+  }
+
+  /// Write the committed positions back into an AoS vector (resized to fit).
+  void write_back(std::vector<geom::Vec2>& positions) const {
+    positions.resize(size());
+    for (Size v = 0; v < size(); ++v) positions[v] = {x_[v], y_[v]};
+  }
+
+  /// Detect-and-commit bridge for one tick: appends to \p moved every node
+  /// whose position in \p positions differs from the committed state (exact
+  /// comparison — identical to Vec2::operator!=), records the displacement
+  /// in vx/vy and commits the new coordinates. Unmoved nodes keep the last
+  /// committed displacement in vx/vy; callers needing "this-tick velocity"
+  /// consult \p moved.
+  void advance(const std::vector<geom::Vec2>& positions, std::vector<NodeId>& moved) {
+    const Size n = size();
+    for (NodeId v = 0; v < n; ++v) {
+      const double nx = positions[v].x;
+      const double ny = positions[v].y;
+      if (nx != x_[v] || ny != y_[v]) {
+        moved.push_back(v);
+        vx_[v] = nx - x_[v];
+        vy_[v] = ny - y_[v];
+        x_[v] = nx;
+        y_[v] = ny;
+      }
+    }
+  }
+
+  /// Committed position of \p v, reconstructed bit-for-bit.
+  geom::Vec2 pos(NodeId v) const { return {x_[v], y_[v]}; }
+  /// Displacement committed by the last advance() that moved \p v.
+  geom::Vec2 velocity(NodeId v) const { return {vx_[v], vy_[v]}; }
+
+  const double* x() const noexcept { return x_.data(); }
+  const double* y() const noexcept { return y_.data(); }
+  const double* vx() const noexcept { return vx_.data(); }
+  const double* vy() const noexcept { return vy_.data(); }
+
+  std::int32_t cell(NodeId v) const { return cell_[v]; }
+  void set_cell(NodeId v, std::int32_t c) { cell_[v] = c; }
+  /// Reset every anchored bucket (before a re-anchor refresh).
+  void clear_cells() { cell_.assign(size(), kNoCell); }
+
+ private:
+  std::vector<double> x_, y_;
+  std::vector<double> vx_, vy_;
+  std::vector<std::int32_t> cell_;
+};
+
+}  // namespace manet::sim

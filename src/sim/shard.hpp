@@ -9,18 +9,22 @@
 #include "common/types.hpp"
 
 /// \file shard.hpp
-/// Deterministic intra-run parallelism: a fixed shard decomposition over a
-/// borrowed worker pool.
+/// Deterministic intra-run parallelism: a runtime-chosen shard decomposition
+/// over a borrowed worker pool.
 ///
 /// The tick pipeline's heavy phases (unit-disk pair enumeration, link-set
 /// differences, batch hop pricing) are data-parallel over an index space
 /// that already has a canonical sequential order. ShardExecutor splits that
-/// space into a FIXED number of contiguous shards — decoupled from the
-/// thread count — and runs one task per shard on the pool. Each shard
-/// writes its own output buffer; callers concatenate the buffers in shard
-/// index order, which reproduces the sequential iteration order exactly.
-/// The result is bit-identical to the sequential build at ANY thread count
-/// (1, 2, 8, ...), which is what the sharded-tick identity suite pins.
+/// space into a number of contiguous shards fixed for the executor's
+/// lifetime — decoupled from the thread count — and runs one task per shard
+/// on the pool. Each shard writes its own output buffer; callers concatenate
+/// the buffers in shard index order, which reproduces the sequential
+/// iteration order exactly. The result is bit-identical to the sequential
+/// build at ANY shard count x ANY thread count (the sharded-tick identity
+/// suite pins shards {1, 4, 16, 64} x threads {1, 2, 8}), so the shard
+/// count is a pure throughput knob: RunOptions::shards / --shards picks it
+/// per run (resolve_shard_count(), power-of-two rounded, 0 = auto from the
+/// worker count).
 ///
 /// Telemetry follows the same discipline through the per-shard
 /// common::MetricsRegistry shards (common::ShardedMetrics): shard i is
@@ -33,10 +37,32 @@ namespace manet::sim {
 
 /// Default shard grid for the tick pipeline: comfortably above the thread
 /// counts the runner accepts in practice (so slow shards rebalance) while
-/// keeping the sequential concatenation step trivial. Fixed — NOT derived
-/// from the thread count — because the shard decomposition is part of the
-/// deterministic output contract.
+/// keeping the sequential concatenation step trivial. Used as the floor of
+/// the auto topology in resolve_shard_count(); every output is bit-identical
+/// at any shard count, so this is a throughput default, not a correctness
+/// contract.
 inline constexpr Size kDefaultShardCount = 16;
+
+/// Upper bound on the per-run shard count: per-shard output buffers are
+/// concatenated sequentially, so thousands of shards only add merge overhead.
+inline constexpr Size kMaxShardCount = 1024;
+
+/// Resolve a requested shard topology (RunOptions::shards / --shards) into
+/// the executor's shard count. \p requested == 0 means auto: modestly
+/// oversubscribe the worker count (4x, so slow shards rebalance) with
+/// kDefaultShardCount as the floor. Any explicit request is rounded UP to
+/// the next power of two — power-of-two counts keep slice boundaries stable
+/// under halving/doubling sweeps — and clamped to [1, kMaxShardCount].
+/// Outputs never depend on the result (bit-identity across shard counts),
+/// so this is pure throughput policy.
+inline Size resolve_shard_count(Size requested, Size workers) noexcept {
+  Size target = requested;
+  if (target == 0) target = std::max<Size>(kDefaultShardCount, 4 * workers);
+  if (target > kMaxShardCount) target = kMaxShardCount;
+  Size rounded = 1;
+  while (rounded < target) rounded *= 2;
+  return rounded;
+}
 
 class ShardExecutor {
  public:

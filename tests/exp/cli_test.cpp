@@ -172,6 +172,20 @@ TEST(Cli, ThreadsFlagParses) {
   EXPECT_FALSE(parse({"--threads"}).ok);
 }
 
+TEST(Cli, ShardsFlagParses) {
+  EXPECT_EQ(parse({}).options.run.shards, 0u);  // default: auto topology
+  const auto result = parse({"--shards", "64"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.options.run.shards, 64u);
+  const auto inline_form = parse({"--shards=4", "--threads=2"});
+  ASSERT_TRUE(inline_form.ok) << inline_form.error;
+  EXPECT_EQ(inline_form.options.run.shards, 4u);
+  EXPECT_EQ(inline_form.options.run.threads, 2u);
+  EXPECT_FALSE(parse({"--shards", "abc"}).ok);
+  EXPECT_FALSE(parse({"--shards", "-1"}).ok);
+  EXPECT_FALSE(parse({"--shards"}).ok);
+}
+
 TEST(Cli, QueryLoadFlagParses) {
   EXPECT_EQ(parse({}).options.run.query_load, 0u);  // default: query plane off
   const auto result = parse({"--query-load", "5000"});

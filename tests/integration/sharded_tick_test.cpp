@@ -1,18 +1,22 @@
-/// Bit-identity of the sharded parallel tick (RunOptions::threads) against
-/// the sequential legacy path.
+/// Bit-identity of the sharded parallel tick (RunOptions::threads,
+/// RunOptions::shards) against the sequential legacy path.
 ///
-/// The contract (sim/shard.hpp): the shard decomposition is fixed at
-/// sim::kDefaultShardCount regardless of worker count, every per-shard
-/// output is merged in shard index order, and boundary work is owned by
-/// exactly one shard — so every run product (flattened RunMetrics, trace
-/// stream, metrics registry) must be byte-identical at *any* thread count.
+/// The contract (sim/shard.hpp): the shard topology is chosen at run start
+/// (resolve_shard_count; --shards, 0 = auto from the worker count), every
+/// per-shard output is merged in shard index order, and boundary work is
+/// owned by exactly one shard — so every run product (flattened RunMetrics,
+/// trace stream, metrics registry) must be byte-identical at *any* shard
+/// count x *any* thread count. The suite pins shards {1, 4, 16, 64} x
+/// threads {1, 2, 8} for the faulted-sessions and query-serving regimes.
 /// Like the golden fixtures, the config uses a dyadic tick (0.5) so float
 /// accumulation is order-exact and byte-identity is a meaningful contract.
 ///
 /// The only permitted difference: parallel runs additionally publish par.*
 /// telemetry counters (sharded-work accounting) that a sequential run never
 /// creates. Those are excluded when comparing sequential vs parallel and
-/// compared in full between two parallel thread counts.
+/// compared in full between parallel runs: every par.* counter is a sum of
+/// per-item work over shards, so the totals are invariant to BOTH the
+/// thread count and the shard count.
 
 #include <gtest/gtest.h>
 
@@ -119,12 +123,13 @@ struct Products {
 };
 
 Products run_with_threads(const exp::ScenarioConfig& cfg, Size threads,
-                          Size query_load = 0) {
+                          Size query_load = 0, Size shards = 0) {
   exp::RunOptions opts;
   opts.run_gls = true;
   opts.track_registration = true;
   opts.measure_routing = true;
   opts.threads = threads;
+  opts.shards = shards;
   opts.query_load = query_load;
   common::MetricsRegistry registry;
   sim::TraceSink trace;
@@ -134,6 +139,34 @@ Products run_with_threads(const exp::ScenarioConfig& cfg, Size threads,
   return Products{serialize(metrics), serialize(trace),
                   serialize(registry, /*skip_par=*/true),
                   serialize(registry, /*skip_par=*/false)};
+}
+
+/// The full ISSUE-pinned topology sweep: shards {1, 4, 16, 64} x threads
+/// {1, 2, 8}, every cell compared against the pure sequential legacy path
+/// (threads=1, shards=0: no executor at all). par.* is excluded against
+/// sequential; between parallel cells even par.* must agree (workload sums).
+void expect_shard_count_identity(const exp::ScenarioConfig& cfg,
+                                 Size query_load = 0) {
+  const auto seq = run_with_threads(cfg, 1, query_load, 0);
+  std::string par_registry_full;  // from the first parallel cell
+  for (const Size shards : {Size{1}, Size{4}, Size{16}, Size{64}}) {
+    for (const Size threads : {Size{1}, Size{2}, Size{8}}) {
+      const auto par = run_with_threads(cfg, threads, query_load, shards);
+      const std::string cell = " at shards=" + std::to_string(shards) +
+                               " threads=" + std::to_string(threads);
+      EXPECT_EQ(seq.metrics, par.metrics) << "RunMetrics diverged" << cell;
+      EXPECT_EQ(seq.trace, par.trace) << "trace stream diverged" << cell;
+      EXPECT_EQ(seq.registry, par.registry) << "registry diverged" << cell;
+      EXPECT_NE(par.registry_full, par.registry)
+          << "no par.* telemetry" << cell << " — executor not attached?";
+      if (par_registry_full.empty()) {
+        par_registry_full = par.registry_full;
+      } else {
+        EXPECT_EQ(par_registry_full, par.registry_full)
+            << "par.* telemetry depends on the topology" << cell;
+      }
+    }
+  }
 }
 
 void expect_thread_identity(const exp::ScenarioConfig& cfg) {
@@ -179,6 +212,32 @@ TEST(ShardedTick, QueryServingRunIsThreadCountInvariant) {
   EXPECT_EQ(seq.metrics, par8.metrics) << "query metrics diverged at threads=8";
   EXPECT_EQ(seq.trace, par2.trace);
   EXPECT_EQ(seq.registry, par2.registry);
+}
+
+TEST(ShardedTick, FaultedSessionsRunIsShardCountInvariant) {
+  // Tentpole acceptance sweep (runtime-tunable topology): the ARQ-attached
+  // faulted + sessions regime across the full shards x threads grid.
+  expect_shard_count_identity(faulted_sessions_config());
+}
+
+TEST(ShardedTick, QueryServingRunIsShardCountInvariant) {
+  // The query plane slices its lookup stream over the RESOLVED shard count
+  // and folds per-shard digests with a commutative sum, so query_lookups /
+  // query_hits / query_digest are invariant to the partitioning too.
+  expect_shard_count_identity(base_config(), /*query_load=*/512);
+}
+
+TEST(ShardedTick, ExplicitShardsOnOneWorkerMatchesSequential) {
+  // threads=1 + shards>0 runs the sharded path on a one-worker pool; it
+  // must still match the executor-free sequential run bit-for-bit.
+  const auto cfg = base_config();
+  const auto seq = run_with_threads(cfg, 1);
+  const auto par = run_with_threads(cfg, 1, 0, /*shards=*/4);
+  EXPECT_EQ(seq.metrics, par.metrics);
+  EXPECT_EQ(seq.trace, par.trace);
+  EXPECT_EQ(seq.registry, par.registry);
+  EXPECT_NE(par.registry_full, par.registry)
+      << "shards>0 on one worker should still attach the executor";
 }
 
 TEST(ShardedTick, HardwareConcurrencyMatchesSequential) {

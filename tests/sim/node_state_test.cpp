@@ -1,0 +1,137 @@
+/// NodeStateSoA: the structure-of-arrays mirror the unit-disk delta's hot
+/// loops read. The contract that matters is bit-identity — build_from /
+/// write_back round-trip exactly, advance() flags precisely the nodes whose
+/// Vec2 changed (memberwise !=), and pos() reconstructs committed positions
+/// bit-for-bit — because the sharded tick's identity suite rests on it.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "sim/node_state.hpp"
+
+using namespace manet;
+using sim::NodeStateSoA;
+
+namespace {
+
+std::vector<geom::Vec2> sample_positions() {
+  return {{0.0, 0.0}, {1.5, -2.25}, {1e-9, 3.0}, {-7.125, 0.5}};
+}
+
+TEST(NodeStateSoA, BuildFromWriteBackRoundTripsExactly) {
+  NodeStateSoA state;
+  EXPECT_TRUE(state.empty());
+  const auto positions = sample_positions();
+  state.build_from(positions);
+  EXPECT_EQ(state.size(), positions.size());
+  EXPECT_FALSE(state.empty());
+
+  std::vector<geom::Vec2> out;
+  state.write_back(out);
+  ASSERT_EQ(out.size(), positions.size());
+  for (Size v = 0; v < positions.size(); ++v) {
+    EXPECT_EQ(out[v].x, positions[v].x);
+    EXPECT_EQ(out[v].y, positions[v].y);
+    EXPECT_EQ(state.pos(static_cast<NodeId>(v)).x, positions[v].x);
+    EXPECT_EQ(state.pos(static_cast<NodeId>(v)).y, positions[v].y);
+  }
+}
+
+TEST(NodeStateSoA, BuildFromZeroesVelocityAndClearsCells) {
+  NodeStateSoA state;
+  state.build_from(sample_positions());
+  for (NodeId v = 0; v < state.size(); ++v) {
+    EXPECT_EQ(state.velocity(v).x, 0.0);
+    EXPECT_EQ(state.velocity(v).y, 0.0);
+    EXPECT_EQ(state.cell(v), NodeStateSoA::kNoCell);
+  }
+}
+
+TEST(NodeStateSoA, AdvanceFlagsExactlyTheMovedNodes) {
+  NodeStateSoA state;
+  auto positions = sample_positions();
+  state.build_from(positions);
+
+  // Move nodes 1 and 3; node 2 gets an exact copy (no move), node 0 is
+  // untouched. Detection is the exact comparison, so equal bits == unmoved.
+  positions[1] = {2.0, -2.0};
+  positions[3] = {positions[3].x + 0.25, positions[3].y};
+  std::vector<NodeId> moved;
+  state.advance(positions, moved);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], 1u);
+  EXPECT_EQ(moved[1], 3u);
+
+  // Committed state now equals the input bit-for-bit.
+  for (NodeId v = 0; v < state.size(); ++v) {
+    EXPECT_EQ(state.pos(v).x, positions[v].x);
+    EXPECT_EQ(state.pos(v).y, positions[v].y);
+  }
+}
+
+TEST(NodeStateSoA, AdvanceRecordsDisplacementForMovedNodesOnly) {
+  NodeStateSoA state;
+  auto positions = sample_positions();
+  state.build_from(positions);
+  const geom::Vec2 before1 = positions[1];
+  positions[1] = {4.0, 1.0};
+  std::vector<NodeId> moved;
+  state.advance(positions, moved);
+
+  EXPECT_EQ(state.velocity(1).x, 4.0 - before1.x);
+  EXPECT_EQ(state.velocity(1).y, 1.0 - before1.y);
+  // Unmoved nodes keep their last committed displacement (zero post-seed).
+  EXPECT_EQ(state.velocity(0).x, 0.0);
+  EXPECT_EQ(state.velocity(2).y, 0.0);
+
+  // A second advance with no changes commits nothing and flags nothing,
+  // but node 1 retains the displacement from the tick that moved it.
+  moved.clear();
+  state.advance(positions, moved);
+  EXPECT_TRUE(moved.empty());
+  EXPECT_EQ(state.velocity(1).x, 4.0 - before1.x);
+}
+
+TEST(NodeStateSoA, CellArrayStoresAndClearsAnchoredBuckets) {
+  NodeStateSoA state;
+  state.build_from(sample_positions());
+  state.set_cell(0, 7);
+  state.set_cell(2, 0);
+  EXPECT_EQ(state.cell(0), 7);
+  EXPECT_EQ(state.cell(1), NodeStateSoA::kNoCell);
+  EXPECT_EQ(state.cell(2), 0);
+  state.clear_cells();
+  for (NodeId v = 0; v < state.size(); ++v) {
+    EXPECT_EQ(state.cell(v), NodeStateSoA::kNoCell);
+  }
+}
+
+TEST(NodeStateSoA, RawArraysAreContiguousAndMatchAccessors) {
+  // The hot loops read the raw pointers; they must alias the same storage
+  // the accessors read.
+  NodeStateSoA state;
+  const auto positions = sample_positions();
+  state.build_from(positions);
+  const double* xs = state.x();
+  const double* ys = state.y();
+  for (Size v = 0; v < positions.size(); ++v) {
+    EXPECT_EQ(xs[v], positions[v].x);
+    EXPECT_EQ(ys[v], positions[v].y);
+  }
+}
+
+TEST(NodeStateSoA, BuildFromResizesAcrossReseeds) {
+  NodeStateSoA state;
+  state.build_from(sample_positions());
+  EXPECT_EQ(state.size(), 4u);
+  std::vector<geom::Vec2> bigger(9, geom::Vec2{1.0, 2.0});
+  state.build_from(bigger);
+  EXPECT_EQ(state.size(), 9u);
+  EXPECT_EQ(state.pos(8).x, 1.0);
+  EXPECT_EQ(state.cell(8), NodeStateSoA::kNoCell);
+  EXPECT_EQ(state.velocity(8).x, 0.0);
+}
+
+}  // namespace

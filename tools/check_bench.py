@@ -116,7 +116,7 @@ def main():
         "min_speedup", "min_capacity_n", "min_speedup_high",
         "max_orchestrator_overhead_frac", "max_allocs_per_tick",
         "max_session_interruption_p99", "max_misroute_rate",
-        "min_lookups_per_sec", "max_lookup_p99_us")
+        "min_lookups_per_sec", "max_lookup_p99_us", "min_parallel_speedup")
     baseline_scalars = baseline.get("scalars", {})
     if not throughput_series and not any(
             key in baseline_scalars for key in gate_scalar_keys):
@@ -189,6 +189,67 @@ def main():
             checked += 1
             print(f"check_bench: ok capacity point n={largest:g} "
                   f"(floor n={floor_n:g})")
+
+    # Shards x threads matrix pinning (bench_capacity E30): every
+    # ticks_per_sec_s<S>_t<T> cell the baseline recorded must exist in the
+    # artifact with a positive throughput. The cells are wall-clock on the
+    # producing machine, so they are shape-pinned — a lost cell means the
+    # matrix shrank — but never timing-compared (the series gate above and
+    # the speedup gate below cover performance).
+    matrix_cells = sorted(
+        key for key in baseline_scalars
+        if key.startswith("ticks_per_sec_s") and "_t" in key)
+    matrix_bad = 0
+    for key in matrix_cells:
+        value = artifact.get("scalars", {}).get(key)
+        if value is None:
+            print(f"check_bench: FAIL artifact lost the {key} matrix cell",
+                  file=sys.stderr)
+            matrix_bad += 1
+        elif value <= 0:
+            print(f"check_bench: FAIL matrix cell {key} is not positive "
+                  f"({value:g})", file=sys.stderr)
+            matrix_bad += 1
+        else:
+            checked += 1
+    if matrix_bad:
+        status = 1
+    elif matrix_cells:
+        print(f"check_bench: ok shards x threads matrix "
+              f"({len(matrix_cells)} cells present and positive)")
+
+    # Parallel-speedup gate (bench_capacity E30): on a multi-core machine the
+    # best shards x threads cell must beat its own single-thread cell by at
+    # least `min_parallel_speedup`. The ratio compares two runs on the same
+    # machine, so the floor is absolute — but it is meaningless on a
+    # single-core runner (threads > 1 only add contention), so the gate skips
+    # itself, with the reason logged, when the artifact's manifest reports
+    # hardware_concurrency < 2.
+    min_parallel = baseline.get("scalars", {}).get("min_parallel_speedup")
+    if min_parallel is not None:
+        manifest = artifact.get("manifest", {})
+        hw = manifest.get("hardware_concurrency", 0) \
+            if isinstance(manifest, dict) else 0
+        if not isinstance(hw, (int, float)) or isinstance(hw, bool):
+            hw = 0
+        if hw < 2:
+            print(f"check_bench: min_parallel_speedup gate skipped "
+                  f"(hardware_concurrency={hw:g} < 2: single-core runner, "
+                  f"parallel speedup is unmeasurable here)")
+        else:
+            speedup = artifact.get("scalars", {}).get("speedup_max")
+            if speedup is None:
+                print("check_bench: FAIL artifact is missing the "
+                      "speedup_max scalar", file=sys.stderr)
+                status = 1
+            elif speedup < min_parallel:
+                print(f"check_bench: FAIL parallel speedup {speedup:.2f}x is "
+                      f"below the {min_parallel:g}x floor", file=sys.stderr)
+                status = 1
+            else:
+                checked += 1
+                print(f"check_bench: ok parallel speedup {speedup:.2f}x "
+                      f"(floor {min_parallel:g}x)")
 
     # High-mobility speedup gate (bench_tick_pipeline): the incremental arm
     # must beat the full-rebuild arm by at least `min_speedup_high` at

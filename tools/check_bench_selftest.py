@@ -86,6 +86,52 @@ def main():
                                      scalars={"min_capacity_n": 100000})),
             0, "met capacity floor passes")
 
+        # Parallel-speedup gate (bench_capacity E30): the floor binds only
+        # when the artifact's manifest reports a multi-core producer; a
+        # single-core manifest (or a pre-field manifest with no
+        # hardware_concurrency at all) skips the gate with a logged reason.
+        def pdoc(hw, scalars):
+            d = doc(scalars=scalars)
+            d["manifest"] = {"name": "selftest", "hardware_concurrency": hw}
+            return d
+
+        speedup_baseline = write("pbase.json",
+                                 doc(scalars={"min_parallel_speedup": 1.2}))
+        run(write("pfast.json", pdoc(8, {"speedup_max": 1.8, "speedup_2t": 1.5})),
+            speedup_baseline, 0, "met parallel-speedup floor passes")
+        run(write("pslow.json", pdoc(8, {"speedup_max": 0.9, "speedup_2t": 0.8})),
+            speedup_baseline, 1, "unmet parallel-speedup floor is exit 1")
+        run(write("pmissing.json", pdoc(8, {})),
+            speedup_baseline, 1, "missing speedup_max on multi-core is exit 1")
+        single_core = write("psingle.json", pdoc(1, {"speedup_max": 0.5}))
+        run(single_core, speedup_baseline, 0,
+            "single-core runner skips the parallel-speedup gate")
+        result = subprocess.run(
+            [sys.executable, check_bench, str(single_core),
+             str(speedup_baseline)], capture_output=True, text=True)
+        if "min_parallel_speedup gate skipped" not in result.stdout:
+            failures.append("single-core skip did not log its reason:\n"
+                            f"  stdout: {result.stdout.strip()}")
+        else:
+            print("ok: single-core skip logs its reason")
+        run(write("pnohw.json", doc(scalars={"speedup_max": 0.5})),
+            speedup_baseline, 0,
+            "manifest without hardware_concurrency skips the gate")
+
+        # Matrix-cell pinning: baseline ticks_per_sec_s<S>_t<T> scalars must
+        # survive into the artifact with positive values.
+        matrix_baseline = write("mbase.json", doc(scalars={
+            "min_parallel_speedup": 1.2,
+            "ticks_per_sec_s16_t1": 8.0, "ticks_per_sec_s16_t2": 9.0}))
+        run(write("mok.json", pdoc(1, {
+                "ticks_per_sec_s16_t1": 7.5, "ticks_per_sec_s16_t2": 8.5})),
+            matrix_baseline, 0, "matrix cells present and positive pass")
+        run(write("mlost.json", pdoc(1, {"ticks_per_sec_s16_t1": 7.5})),
+            matrix_baseline, 1, "lost matrix cell is exit 1")
+        run(write("mzero.json", pdoc(1, {
+                "ticks_per_sec_s16_t1": 7.5, "ticks_per_sec_s16_t2": 0.0})),
+            matrix_baseline, 1, "non-positive matrix cell is exit 1")
+
         # Query-serving gates (bench_query E31): scalar-only baselines carry
         # no ticks_per_sec_* series at all — recognized gate scalars must be
         # enough for the baseline to validate.

@@ -233,6 +233,29 @@ for scalar in min_lookups_per_sec max_lookup_p99_us; do
         fail "BENCH_query.json baseline lost its $scalar gate scalar"
 done
 
+# 8e. The runtime shard topology + SoA node state (PR 10) are documented
+#     and their gates cannot silently rot: the architecture chapter names
+#     the load-bearing pieces (and they still exist in the code), CLI.md
+#     documents --shards, and the bench_capacity baseline keeps the
+#     parallel-speedup gate scalars.
+for sym in resolve_shard_count NodeStateSoA min_parallel_speedup speedup_max \
+           '--shards'; do
+    grep -q -- "$sym" "$arch" ||
+        fail "docs/ARCHITECTURE.md sharded-tick chapter no longer mentions $sym"
+done
+grep -q 'resolve_shard_count' "$root/src/sim/shard.hpp" ||
+    fail "docs name sim::resolve_shard_count but src/sim/shard.hpp lost it"
+grep -q 'class NodeStateSoA' "$root/src/sim/node_state.hpp" ||
+    fail "docs name sim::NodeStateSoA but src/sim/node_state.hpp lost it"
+grep -q -- '"--shards"' "$cli_src" ||
+    fail "docs document --shards but src/exp/cli.cpp does not parse it"
+for scalar in min_parallel_speedup speedup_max; do
+    grep -q "\"$scalar\"" "$root/tools/baselines/BENCH_capacity.json" ||
+        fail "BENCH_capacity.json baseline lost its $scalar gate scalar"
+done
+grep -q 'min_parallel_speedup' "$experiments" ||
+    fail "EXPERIMENTS.md E30 must describe the min_parallel_speedup gate"
+
 # 9. No dangling intra-doc links in docs/*.md: every relative link target
 #    must exist on disk and every #fragment must match a heading slug
 #    (GitHub-style: lowercase, punctuation stripped, spaces to dashes).
